@@ -1,0 +1,35 @@
+//! Benchmark of the figure-regeneration path itself: one full
+//! `(workload × 4 policies)` evaluation cell at reduced volume. This is the
+//! unit of work behind every `exp_*` binary, so its cost bounds the
+//! wall-clock of regenerating the whole paper.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hybridmem_core::{ExperimentConfig, PolicyKind};
+use hybridmem_trace::parsec;
+
+fn figure_cell(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure_cell");
+    group.sample_size(10);
+    let spec = parsec::spec("bodytrack").expect("builtin").capped(50_000);
+    let config = ExperimentConfig::default();
+    group.bench_function("bodytrack_4_policies_50k", |b| {
+        b.iter(|| {
+            let reports = config
+                .compare(
+                    &spec,
+                    &[
+                        PolicyKind::TwoLru,
+                        PolicyKind::ClockDwf,
+                        PolicyKind::DramOnly,
+                        PolicyKind::NvmOnly,
+                    ],
+                )
+                .expect("simulation succeeds");
+            black_box(reports)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, figure_cell);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Benchmarks of the substrate pipeline: trace generation, cache-hierarchy
+//! filtering, and the end-to-end simulator loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hybridmem_cachesim::{CacheHierarchy, CotsonConfig};
+use hybridmem_core::HybridSimulator;
+use hybridmem_policy::{TwoLruConfig, TwoLruPolicy};
+use hybridmem_trace::{parsec, TraceGenerator};
+use hybridmem_types::{PageAccess, PageCount};
+
+const TRACE_LEN: u64 = 50_000;
+
+fn trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.throughput(Throughput::Elements(TRACE_LEN));
+    for name in ["bodytrack", "canneal", "streamcluster"] {
+        let spec = parsec::spec(name).expect("builtin").capped(TRACE_LEN);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for access in TraceGenerator::new(spec.clone(), 42) {
+                    black_box(access);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn cache_filtering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_filtering");
+    group.throughput(Throughput::Elements(TRACE_LEN));
+    let spec = parsec::spec("ferret").expect("builtin").capped(TRACE_LEN);
+    let trace: Vec<_> = TraceGenerator::new(spec, 42).collect();
+    group.bench_function("table_ii_hierarchy", |b| {
+        b.iter(|| {
+            let mut hierarchy =
+                CacheHierarchy::new(CotsonConfig::date2016()).expect("valid config");
+            for &access in &trace {
+                black_box(hierarchy.access(access));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn simulator_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(TRACE_LEN));
+    let spec = parsec::spec("bodytrack")
+        .expect("builtin")
+        .capped(TRACE_LEN);
+    let trace: Vec<PageAccess> = TraceGenerator::new(spec.clone(), 42)
+        .map(PageAccess::from)
+        .collect();
+    let dram = PageCount::new((spec.working_set.value() * 3 / 40).max(1));
+    let nvm = PageCount::new((spec.working_set.value() * 27 / 40).max(1));
+    group.bench_function("two_lru_end_to_end", |b| {
+        b.iter(|| {
+            let config = TwoLruConfig::new(dram, nvm).expect("valid config");
+            let mut sim =
+                HybridSimulator::with_date2016_devices(Box::new(TwoLruPolicy::new(config)));
+            for &access in &trace {
+                sim.step(access);
+            }
+            black_box(sim.into_report("bench"))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    trace_generation,
+    cache_filtering,
+    simulator_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Microbenchmarks of the policy data structures and per-access policy
+//! costs — the "OS overhead" side of the paper's scheme (the paper argues
+//! the bookkeeping is negligible: ~0.04% space and O(1)-ish time per hit).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hybridmem_policy::{
+    ClockDwfPolicy, ClockRing, HybridPolicy, RankedLru, SingleTierPolicy, TwoLruConfig,
+    TwoLruPolicy,
+};
+use hybridmem_types::{AccessKind, PageAccess, PageCount, PageId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn ranked_lru(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ranked_lru");
+    for &size in &[1_000usize, 10_000, 100_000] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("touch", size), &size, |b, &size| {
+            let mut lru = RankedLru::with_capacity(size);
+            for i in 0..size as u64 {
+                lru.insert(PageId::new(i));
+            }
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                let page = PageId::new(rng.gen_range(0..size as u64));
+                black_box(lru.touch(page));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("rank", size), &size, |b, &size| {
+            let mut lru = RankedLru::with_capacity(size);
+            for i in 0..size as u64 {
+                lru.insert(PageId::new(i));
+            }
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                let page = PageId::new(rng.gen_range(0..size as u64));
+                black_box(lru.rank(page));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("evict_insert", size), &size, |b, &size| {
+            let mut lru = RankedLru::with_capacity(size);
+            for i in 0..size as u64 {
+                lru.insert(PageId::new(i));
+            }
+            let mut next = size as u64;
+            b.iter(|| {
+                lru.evict_lru();
+                lru.insert(PageId::new(next));
+                next += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn clock_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clock_ring");
+    for &size in &[1_000usize, 100_000] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::new("touch", size), &size, |b, &size| {
+            let mut ring: ClockRing<u32> = ClockRing::new(size);
+            for i in 0..size as u64 {
+                ring.insert(PageId::new(i), 0);
+            }
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let page = PageId::new(rng.gen_range(0..size as u64));
+                black_box(ring.touch(page));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("evict_insert", size), &size, |b, &size| {
+            let mut ring: ClockRing<u32> = ClockRing::new(size);
+            for i in 0..size as u64 {
+                ring.insert(PageId::new(i), 0);
+            }
+            let mut next = size as u64;
+            b.iter(|| {
+                let _ = ring.evict_with(|_| false);
+                ring.insert(PageId::new(next), 0);
+                next += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+/// A reusable synthetic access stream: hot/cold mix over `pages` pages.
+fn access_stream(pages: u64, len: usize, seed: u64) -> Vec<PageAccess> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let page = if rng.gen::<f64>() < 0.8 {
+                PageId::new(rng.gen_range(0..pages / 10))
+            } else {
+                PageId::new(rng.gen_range(0..pages))
+            };
+            let kind = if rng.gen::<f64>() < 0.3 {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            PageAccess::new(page, kind)
+        })
+        .collect()
+}
+
+fn policy_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_on_access");
+    let pages = 20_000u64;
+    let dram = PageCount::new(1_500);
+    let nvm = PageCount::new(13_500);
+    let stream = access_stream(pages, 4_096, 7);
+
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.bench_function("two_lru", |b| {
+        let config = TwoLruConfig::new(dram, nvm).expect("valid config");
+        let mut policy = TwoLruPolicy::new(config);
+        b.iter(|| {
+            for &access in &stream {
+                black_box(policy.on_access(access));
+            }
+        });
+    });
+    group.bench_function("clock_dwf", |b| {
+        let mut policy = ClockDwfPolicy::new(dram, nvm).expect("valid config");
+        b.iter(|| {
+            for &access in &stream {
+                black_box(policy.on_access(access));
+            }
+        });
+    });
+    group.bench_function("dram_only", |b| {
+        let mut policy = SingleTierPolicy::dram_only(PageCount::new(15_000)).expect("valid");
+        b.iter(|| {
+            for &access in &stream {
+                black_box(policy.on_access(access));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ranked_lru, clock_ring, policy_access);
+criterion_main!(benches);

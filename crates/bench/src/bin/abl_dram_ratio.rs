@@ -1,0 +1,72 @@
+//! Ablation A3 — sweep the DRAM share of the hybrid memory.
+//!
+//! The paper fixes DRAM at 10% of the memory "similar to previous
+//! studies"; this sweep shows what that choice trades: more DRAM buys
+//! lower dynamic/migration cost but erodes the static-power advantage that
+//! motivates hybrid memory in the first place.
+
+use hybridmem_bench::{announce_json, SuiteOptions};
+use hybridmem_core::{geo_mean, ExperimentConfig, PolicyKind};
+use hybridmem_types::Result;
+use serde::Serialize;
+
+const DRAM_FRACTIONS: [f64; 5] = [0.05, 0.10, 0.20, 0.35, 0.50];
+
+#[derive(Debug, Serialize)]
+struct Point {
+    dram_fraction: f64,
+    workload: String,
+    power_vs_dram: f64,
+    amat_ns: f64,
+    nvm_write_total: u64,
+}
+
+fn main() -> Result<()> {
+    let options = SuiteOptions::from_args();
+    let mut points = Vec::new();
+
+    println!("=== Ablation A3: DRAM fraction sweep (proposed scheme) ===");
+    println!(
+        "{:<8} {:<14} {:>12} {:>12} {:>14}",
+        "dram%", "workload", "P vs DRAM", "AMAT (ns)", "NVM writes"
+    );
+    for dram_fraction in DRAM_FRACTIONS {
+        let config = ExperimentConfig {
+            dram_fraction,
+            seed: options.seed,
+            ..ExperimentConfig::date2016()
+        };
+        let specs = options.specs();
+        let mut ratios = Vec::new();
+        for spec in &specs {
+            let reports = config.compare(spec, &[PolicyKind::TwoLru, PolicyKind::DramOnly])?;
+            let [proposed, dram] = &reports[..] else {
+                unreachable!("two policies requested")
+            };
+            let point = Point {
+                dram_fraction,
+                workload: spec.name.clone(),
+                power_vs_dram: proposed.energy_normalized_to(dram),
+                amat_ns: proposed.amat().value(),
+                nvm_write_total: proposed.nvm_writes.total(),
+            };
+            ratios.push(point.power_vs_dram);
+            points.push(point);
+        }
+        println!(
+            "{:<8} {:<14} {:>12.3}",
+            format!("{:.0}%", dram_fraction * 100.0),
+            "G-Mean (12)",
+            geo_mean(&ratios),
+        );
+    }
+    println!("\nper-workload points are in the JSON output (--out DIR).");
+    println!(
+        "Expected shape: power rises with the DRAM share (static power \
+         scales with\nDRAM), while AMAT and NVM writes improve — the 10% \
+         operating point keeps\nmost of the static saving at acceptable \
+         migration cost."
+    );
+    announce_json(options.write_json("abl_dram_ratio", &points)?.as_deref());
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Fig. 1 — DRAM-only power breakdown (Static / Dynamic / Page Fault),
+//! normalized per workload to its own total, exactly as the paper plots it.
+
+use hybridmem_bench::{announce_json, print_stacked_figure, StackedBar, SuiteOptions};
+use hybridmem_core::PolicyKind;
+use hybridmem_types::Result;
+
+fn main() -> Result<()> {
+    let options = SuiteOptions::from_args();
+    let matrix = options.run_matrix(&[PolicyKind::DramOnly])?;
+
+    let bars: Vec<StackedBar> = matrix
+        .iter()
+        .map(|(spec, row)| {
+            let report = &row[0];
+            let total = report.energy.total().value();
+            StackedBar {
+                workload: spec.name.clone(),
+                components: vec![
+                    ("static".into(), report.energy.static_energy.value() / total),
+                    ("dynamic".into(), report.energy.dynamic.value() / total),
+                    (
+                        "page_fault".into(),
+                        report.energy.page_faults.value() / total,
+                    ),
+                ],
+            }
+        })
+        .collect();
+
+    print_stacked_figure(
+        "Fig. 1: DRAM-only power breakdown (fraction of total)",
+        &bars,
+    );
+    println!(
+        "\npaper: static power contributes 60-80% of the total for most \
+         workloads;\nstreamcluster is dynamic-dominated (burst of accesses, \
+         small footprint)."
+    );
+    announce_json(options.write_json("fig1", &bars)?.as_deref());
+    Ok(())
+}

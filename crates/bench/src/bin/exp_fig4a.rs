@@ -1,0 +1,60 @@
+//! Fig. 4a — power breakdown of CLOCK-DWF (left bars) and the proposed
+//! two-LRU scheme (right bars), both normalized to DRAM-only power.
+
+use hybridmem_bench::{announce_json, print_grouped_figure, report, StackedBar, SuiteOptions};
+use hybridmem_core::PolicyKind;
+use hybridmem_types::Result;
+
+fn power_bar(r: &hybridmem_core::SimulationReport, workload: &str, baseline: f64) -> StackedBar {
+    StackedBar {
+        workload: workload.to_owned(),
+        components: vec![
+            ("static".into(), r.energy.static_energy.value() / baseline),
+            (
+                "dynamic".into(),
+                (r.energy.dynamic + r.energy.page_faults).value() / baseline,
+            ),
+            ("migration".into(), r.energy.migrations.value() / baseline),
+        ],
+    }
+}
+
+fn main() -> Result<()> {
+    let options = SuiteOptions::from_args();
+    let matrix = options.run_matrix(&[
+        PolicyKind::ClockDwf,
+        PolicyKind::TwoLru,
+        PolicyKind::DramOnly,
+    ])?;
+
+    let mut dwf_bars = Vec::new();
+    let mut proposed_bars = Vec::new();
+    for (spec, row) in &matrix {
+        let baseline = report(row, "dram-only").energy.total().value();
+        dwf_bars.push(power_bar(report(row, "clock-dwf"), &spec.name, baseline));
+        proposed_bars.push(power_bar(report(row, "two-lru"), &spec.name, baseline));
+    }
+
+    print_grouped_figure(
+        "Fig. 4a: power normalized to DRAM-only",
+        &[
+            ("CLOCK-DWF (left bars)", dwf_bars.clone()),
+            ("proposed two-LRU (right bars)", proposed_bars.clone()),
+        ],
+    );
+    println!(
+        "\npaper: the proposed scheme cuts power up to 48% (14% G-Mean) vs \
+         CLOCK-DWF\nand up to 79% (43% G-Mean) vs DRAM-only; migration cost \
+         drops up to 80%.\ncanneal/fluidanimate/streamcluster stay >1 — \
+         'not suitable for hybrid memories'."
+    );
+    announce_json(
+        options
+            .write_json(
+                "fig4a",
+                &vec![("clock-dwf", dwf_bars), ("two-lru", proposed_bars)],
+            )?
+            .as_deref(),
+    );
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! Tables I, II, and IV — the static configuration tables of the paper,
+//! printed from the constants actually used by this implementation so any
+//! drift between documentation and code is visible.
+
+use hybridmem_cachesim::CotsonConfig;
+use hybridmem_device::{DiskCharacteristics, MemoryCharacteristics};
+use hybridmem_types::{PAGE_FACTOR, PAGE_SIZE};
+
+fn table_i() {
+    println!("=== Table I: model parameters (see hybridmem_core::model) ===");
+    for (name, description) in [
+        (
+            "PHitDRAM/PHitNVM",
+            "memory hit probabilities (measured per run)",
+        ),
+        (
+            "PRDRAM/PRNVM, PW*",
+            "read/write splits within each hit class",
+        ),
+        ("PMiss", "main-memory miss probability"),
+        ("PMigD/PMigN", "NVM→DRAM / DRAM→NVM migrations per request"),
+        ("PDiskToD/PDiskToN", "page-fault fill target probabilities"),
+        ("TR*/TW* (ns)", "read/write latencies (Table IV)"),
+        ("PoR*/PoW* (nJ)", "read/write dynamic energies (Table IV)"),
+        ("TDisk", "disk access latency (Table II)"),
+        ("PageFactor", "memory accesses per 4 KB page move"),
+        ("AvgStaticPower", "Eq. 3: static power prorated per request"),
+        ("StperPage", "static power of one page (nJ/s)"),
+        ("AccessperPage", "accesses per page per second (1/s)"),
+    ] {
+        println!("  {name:<22} {description}");
+    }
+    println!(
+        "  PageFactor = {PAGE_FACTOR} ({} B page / 8 B access)\n",
+        PAGE_SIZE
+    );
+}
+
+fn table_ii() {
+    let config = CotsonConfig::date2016();
+    let disk = DiskCharacteristics::hdd_date2016();
+    println!("=== Table II: COTSon configuration (hybridmem_cachesim) ===");
+    println!(
+        "  CPU                {} cores (write-invalidate coherence)",
+        config.cores
+    );
+    for (name, geometry) in [
+        ("L1 data cache", config.l1d),
+        ("L1 instr cache", config.l1i),
+        ("Last-level cache", config.llc),
+    ] {
+        println!(
+            "  {name:<18} {} KB, {}-way, {} B lines ({} sets)",
+            geometry.size_bytes / 1024,
+            geometry.associativity,
+            geometry.line_size,
+            geometry.sets(),
+        );
+    }
+    println!("  Main memory        2x 2GB DDR2 (modelled per Table IV)");
+    println!(
+        "  Secondary storage  HDD, {} ms response time\n",
+        disk.access_latency.value() / 1e6
+    );
+}
+
+fn table_iv() {
+    println!("=== Table IV: memory characteristics (hybridmem_device) ===");
+    println!(
+        "  {:<10} {:>16} {:>16} {:>22}",
+        "memory", "latency r/w (ns)", "energy r/w (nJ)", "static (J/GB.s)"
+    );
+    for (name, c) in [
+        ("DRAM", MemoryCharacteristics::dram_date2016()),
+        ("NVM (PCM)", MemoryCharacteristics::pcm_date2016()),
+    ] {
+        println!(
+            "  {:<10} {:>7}/{:<8} {:>7}/{:<8} {:>22}",
+            name,
+            c.read_latency.value(),
+            c.write_latency.value(),
+            c.read_energy.value(),
+            c.write_energy.value(),
+            c.static_power_j_per_gib_s,
+        );
+    }
+}
+
+fn main() {
+    let table: Option<u32> = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--table")
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse().expect("--table expects 1, 2, or 4"))
+    };
+    match table {
+        Some(1) => table_i(),
+        Some(2) => table_ii(),
+        Some(4) => table_iv(),
+        Some(other) => panic!("no table {other}; expected 1, 2, or 4 (3 has its own binary)"),
+        None => {
+            table_i();
+            table_ii();
+            table_iv();
+        }
+    }
+}

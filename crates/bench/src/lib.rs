@@ -1,0 +1,277 @@
+//! Shared harness for the figure/table regenerators and Criterion
+//! benchmarks.
+//!
+//! Every exhibit of the paper has a binary in `src/bin/` (see `DESIGN.md`
+//! §4 for the index). All binaries accept the same flags:
+//!
+//! ```text
+//! --cap N      max accesses per workload (default 1_000_000; 0 = full scale)
+//! --seed N     trace generator seed (default 42)
+//! --out DIR    also write machine-readable JSON results into DIR
+//! ```
+//!
+//! Tables are printed in the same row/series layout the paper uses, with
+//! `G-Mean` and `A-Mean` columns matching the figures' summary bars.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use hybridmem_core::{
+    arith_mean, compare_policies, geo_mean, ExperimentConfig, PolicyKind, SimulationReport,
+};
+use hybridmem_trace::{parsec, WorkloadSpec};
+use hybridmem_types::Result;
+use serde::Serialize;
+
+/// Command-line options shared by every regenerator binary.
+#[derive(Debug, Clone)]
+pub struct SuiteOptions {
+    /// Maximum accesses per workload (`0` disables capping).
+    pub cap: u64,
+    /// Trace generator seed.
+    pub seed: u64,
+    /// Directory for machine-readable JSON results, when given.
+    pub out_dir: Option<PathBuf>,
+}
+
+impl SuiteOptions {
+    /// Default cap used by the regenerators: large enough for stable
+    /// steady-state statistics, small enough to run the full suite in
+    /// minutes.
+    pub const DEFAULT_CAP: u64 = 1_000_000;
+
+    /// Parses `--cap`, `--seed`, and `--out` from `std::env::args`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed arguments.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut options = Self {
+            cap: Self::DEFAULT_CAP,
+            seed: 42,
+            out_dir: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            let mut value = || {
+                args.next()
+                    .unwrap_or_else(|| panic!("flag {flag} requires a value"))
+            };
+            match flag.as_str() {
+                "--cap" => options.cap = value().parse().expect("--cap expects an integer"),
+                "--seed" => options.seed = value().parse().expect("--seed expects an integer"),
+                "--out" => options.out_dir = Some(PathBuf::from(value())),
+                other => panic!("unknown flag {other}; expected --cap/--seed/--out"),
+            }
+        }
+        options
+    }
+
+    /// The experiment configuration for these options.
+    #[must_use]
+    pub fn config(&self) -> ExperimentConfig {
+        ExperimentConfig {
+            seed: self.seed,
+            ..ExperimentConfig::date2016()
+        }
+    }
+
+    /// All 12 PARSEC specs, capped per the options.
+    #[must_use]
+    pub fn specs(&self) -> Vec<WorkloadSpec> {
+        parsec::all_specs()
+            .into_iter()
+            .map(|spec| {
+                if self.cap == 0 {
+                    spec
+                } else {
+                    spec.capped(self.cap)
+                }
+            })
+            .collect()
+    }
+
+    /// Runs `kinds` over all 12 workloads (parallel across workloads).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing simulation.
+    pub fn run_matrix(
+        &self,
+        kinds: &[PolicyKind],
+    ) -> Result<Vec<(WorkloadSpec, Vec<SimulationReport>)>> {
+        let specs = self.specs();
+        let rows = compare_policies(&specs, kinds, &self.config())?;
+        Ok(specs.into_iter().zip(rows).collect())
+    }
+
+    /// Writes `value` as pretty JSON into `out_dir/name.json` when an
+    /// output directory was requested. Returns the path written, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`hybridmem_types::Error::InvalidInput`] on I/O failures.
+    pub fn write_json<T: Serialize>(&self, name: &str, value: &T) -> Result<Option<PathBuf>> {
+        let Some(dir) = &self.out_dir else {
+            return Ok(None);
+        };
+        fs::create_dir_all(dir)
+            .map_err(|e| hybridmem_types::Error::invalid_input(format!("mkdir {dir:?}: {e}")))?;
+        let path = dir.join(format!("{name}.json"));
+        let json = serde_json::to_string_pretty(value)
+            .map_err(|e| hybridmem_types::Error::invalid_input(format!("serialize: {e}")))?;
+        fs::write(&path, json)
+            .map_err(|e| hybridmem_types::Error::invalid_input(format!("write {path:?}: {e}")))?;
+        Ok(Some(path))
+    }
+}
+
+impl Default for SuiteOptions {
+    fn default() -> Self {
+        Self {
+            cap: Self::DEFAULT_CAP,
+            seed: 42,
+            out_dir: None,
+        }
+    }
+}
+
+/// One stacked bar of a figure: a workload's component values.
+#[derive(Debug, Clone, Serialize)]
+pub struct StackedBar {
+    /// Workload (x-axis label).
+    pub workload: String,
+    /// `(component name, value)` pairs, in legend order.
+    pub components: Vec<(String, f64)>,
+}
+
+impl StackedBar {
+    /// Total height of the bar.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.components.iter().map(|(_, v)| v).sum()
+    }
+}
+
+/// Prints a figure as a table: one row per workload, one column per
+/// component, plus a total column and G-Mean / A-Mean rows over totals —
+/// the same summary bars the paper appends to each figure.
+pub fn print_stacked_figure(title: &str, bars: &[StackedBar]) {
+    println!("\n=== {title} ===");
+    let components: Vec<&str> = bars
+        .first()
+        .map(|b| b.components.iter().map(|(n, _)| n.as_str()).collect())
+        .unwrap_or_default();
+    print!("{:<16}", "workload");
+    for name in &components {
+        print!(" {name:>12}");
+    }
+    println!(" {:>12}", "total");
+    for bar in bars {
+        print!("{:<16}", bar.workload);
+        for (_, value) in &bar.components {
+            print!(" {value:>12.4}");
+        }
+        println!(" {:>12.4}", bar.total());
+    }
+    let totals: Vec<f64> = bars.iter().map(StackedBar::total).collect();
+    if totals.iter().all(|&t| t > 0.0) && !totals.is_empty() {
+        let pad = components.len() * 13;
+        println!("{:<16}{:pad$} {:>12.4}", "G-Mean", "", geo_mean(&totals));
+        println!("{:<16}{:pad$} {:>12.4}", "A-Mean", "", arith_mean(&totals));
+    }
+}
+
+/// Prints a grouped figure (left/right bars per workload, like Fig. 4):
+/// each group is a labelled set of stacked bars over the same workloads.
+pub fn print_grouped_figure(title: &str, groups: &[(&str, Vec<StackedBar>)]) {
+    println!("\n=== {title} ===");
+    for (label, bars) in groups {
+        print_stacked_figure(&format!("{title} — {label}"), bars);
+    }
+}
+
+/// Re-exported so the binaries can keep their imports terse.
+pub use hybridmem_core as core_api;
+
+/// Convenience: indexes a report row by policy name.
+///
+/// # Panics
+///
+/// Panics when the policy is missing from the row — regenerator binaries
+/// always request the policies they index.
+#[must_use]
+pub fn report<'a>(row: &'a [SimulationReport], policy: &str) -> &'a SimulationReport {
+    row.iter()
+        .find(|r| r.policy == policy)
+        .unwrap_or_else(|| panic!("policy {policy} missing from report row"))
+}
+
+/// Marks `path` (if any) on stdout so users can find the JSON artefacts.
+pub fn announce_json(path: Option<&Path>) {
+    if let Some(path) = path {
+        println!("\nwrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options() {
+        let o = SuiteOptions::default();
+        assert_eq!(o.cap, SuiteOptions::DEFAULT_CAP);
+        assert_eq!(o.seed, 42);
+        assert!(o.out_dir.is_none());
+        assert_eq!(o.config().seed, 42);
+    }
+
+    #[test]
+    fn specs_are_capped() {
+        let o = SuiteOptions {
+            cap: 10_000,
+            ..SuiteOptions::default()
+        };
+        for spec in o.specs() {
+            assert!(spec.total_accesses() <= 10_100, "{}", spec.name);
+        }
+        let full = SuiteOptions {
+            cap: 0,
+            ..SuiteOptions::default()
+        };
+        assert_eq!(full.specs()[9].total_accesses(), 169_115_076); // streamcluster
+    }
+
+    #[test]
+    fn stacked_bar_total() {
+        let bar = StackedBar {
+            workload: "w".into(),
+            components: vec![("a".into(), 0.25), ("b".into(), 0.5)],
+        };
+        assert!((bar.total() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_json_respects_missing_out_dir() {
+        let o = SuiteOptions::default();
+        assert_eq!(o.write_json("x", &42).unwrap(), None);
+    }
+
+    #[test]
+    fn write_json_writes_to_dir() {
+        let dir = std::env::temp_dir().join("hybridmem-bench-test");
+        let o = SuiteOptions {
+            out_dir: Some(dir.clone()),
+            ..SuiteOptions::default()
+        };
+        let path = o.write_json("sample", &vec![1, 2, 3]).unwrap().unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains('1'));
+        let _ = fs::remove_file(path);
+    }
+}

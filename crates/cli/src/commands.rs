@@ -1,0 +1,496 @@
+//! The CLI subcommands.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use hybridmem_core::{ExperimentConfig, PolicyKind, SimulationReport};
+use hybridmem_trace::{
+    io as trace_io, parsec, ReuseProfile, TraceGenerator, TraceStats, WorkloadSpec,
+};
+use hybridmem_types::{Access, Error, PageAccess, Result};
+
+use crate::Args;
+
+/// The top-level usage text.
+pub const USAGE: &str = "\
+hybridmem — hybrid DRAM-NVM memory simulator (DATE 2016 reproduction)
+
+USAGE:
+    hybridmem <COMMAND> [FLAGS]
+
+COMMANDS:
+    list                               available workloads and policies
+    generate --workload W --output P   write a trace file
+             [--cap N] [--seed N] [--format text|binary]
+             (--workload may also be a path to a WorkloadSpec JSON file)
+    characterize <trace>               Table III-style statistics of a trace
+             [--format text|binary] [--deep true]   (reuse-distance analysis)
+    simulate <trace> --policy P        run one policy over a trace file
+             [--memory-fraction F] [--dram-fraction F] [--json]
+    compare <trace>                    run all policies over a trace file
+             [--memory-fraction F] [--dram-fraction F]
+
+Trace files use the formats documented in hybridmem-trace: text
+(`R 0x1000 0` per line) or binary (11-byte records). `--format` defaults
+to guessing from the file extension (`.trace`/`.bin` = binary).
+";
+
+/// Runs the CLI with pre-split arguments, writing to `out`. Returns the
+/// intended process exit code.
+///
+/// # Errors
+///
+/// Returns an [`Error`] for invalid arguments, unreadable traces, or
+/// simulation failures; `main` prints it and exits non-zero.
+pub fn run<W: std::io::Write>(raw: Vec<String>, out: &mut W) -> Result<()> {
+    let args = Args::parse(raw)?;
+    let Some(command) = args.positional(0) else {
+        write_usage(out);
+        return Ok(());
+    };
+    match command {
+        "list" => list(out),
+        "generate" => generate(&args, out),
+        "characterize" => characterize(&args, out),
+        "simulate" => simulate(&args, out),
+        "compare" => compare(&args, out),
+        "help" | "--help" | "-h" => {
+            write_usage(out);
+            Ok(())
+        }
+        other => Err(Error::invalid_input(format!(
+            "unknown command {other:?}; run `hybridmem help`"
+        ))),
+    }
+}
+
+fn write_usage<W: std::io::Write>(out: &mut W) {
+    let _ = out.write_all(USAGE.as_bytes());
+}
+
+fn list<W: std::io::Write>(out: &mut W) -> Result<()> {
+    writeln!(out, "workloads (PARSEC, Table III):").map_err(io_err)?;
+    for row in &parsec::TABLE_III {
+        writeln!(
+            out,
+            "  {:<14} {:>9} KB working set, {:>11} accesses",
+            row.name,
+            row.working_set_kb,
+            row.reads + row.writes
+        )
+        .map_err(io_err)?;
+    }
+    writeln!(out, "\npolicies:").map_err(io_err)?;
+    for kind in PolicyKind::all() {
+        writeln!(out, "  {}", kind.name()).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn generate<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
+    args.reject_unknown(&["workload", "output", "cap", "seed", "format"])?;
+    let workload = args.require("workload")?;
+    let output = args.require("output")?;
+    let cap: u64 = args.get_parsed_or("cap", 1_000_000)?;
+    let seed: u64 = args.get_parsed_or("seed", 42)?;
+    let spec = load_spec(workload)?;
+    let spec = if cap == 0 { spec } else { spec.capped(cap) };
+
+    let file = File::create(output)
+        .map_err(|e| Error::invalid_input(format!("cannot create {output}: {e}")))?;
+    let writer = BufWriter::new(file);
+    let generator = TraceGenerator::new(spec.clone(), seed);
+    match detect_format(args, output)? {
+        Format::Text => trace_io::write_text(generator, writer).map_err(io_err)?,
+        Format::Binary => trace_io::write_binary(generator, writer).map_err(io_err)?,
+    }
+    writeln!(
+        out,
+        "wrote {} accesses ({} pages working set) to {output}",
+        spec.total_accesses(),
+        spec.working_set.value()
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+fn characterize<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
+    args.reject_unknown(&["format", "deep"])?;
+    let (path, trace) = load_trace(args)?;
+    let stats = TraceStats::from_accesses(trace.iter().copied());
+    writeln!(out, "trace {path}:").map_err(io_err)?;
+    writeln!(out, "  accesses          {}", stats.total()).map_err(io_err)?;
+    writeln!(
+        out,
+        "  reads / writes    {} / {} ({:.1}% reads)",
+        stats.reads,
+        stats.writes,
+        stats.read_ratio() * 100.0
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "  working set       {} pages ({} KB)",
+        stats.footprint().value(),
+        stats.working_set_kb()
+    )
+    .map_err(io_err)?;
+    writeln!(out, "  accesses per page {:.2}", stats.accesses_per_page()).map_err(io_err)?;
+    writeln!(
+        out,
+        "  write-dominant    {:.1}% of pages",
+        stats.write_dominant_page_ratio() * 100.0
+    )
+    .map_err(io_err)?;
+    if args.get("deep").is_some_and(|v| v == "true") {
+        let profile = ReuseProfile::from_pages(trace.iter().map(|a| a.page()));
+        writeln!(out, "  reuse analysis:").map_err(io_err)?;
+        if let Some(mean) = profile.mean_distance() {
+            writeln!(out, "    mean reuse distance   {mean:.1} pages").map_err(io_err)?;
+        }
+        for fraction in [0.10f64, 0.50, 0.75, 1.00] {
+            #[allow(
+                clippy::cast_precision_loss,
+                clippy::cast_possible_truncation,
+                clippy::cast_sign_loss
+            )]
+            let capacity = ((profile.distinct_pages() as f64 * fraction).ceil() as u64).max(1);
+            writeln!(
+                out,
+                "    LRU {:>3.0}% of footprint ({capacity} pages): {:.4}% miss",
+                fraction * 100.0,
+                profile.miss_ratio(capacity) * 100.0
+            )
+            .map_err(io_err)?;
+        }
+        if let Some(capacity) = profile.capacity_for_miss_ratio(0.001) {
+            writeln!(
+                out,
+                "    capacity for 0.1% warm-miss ratio: {capacity} pages"
+            )
+            .map_err(io_err)?;
+        }
+    }
+    Ok(())
+}
+
+fn simulate<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
+    args.reject_unknown(&[
+        "policy",
+        "memory-fraction",
+        "dram-fraction",
+        "json",
+        "format",
+    ])?;
+    let policy = parse_policy(args.require("policy")?)?;
+    let report = run_trace_policy(args, policy)?;
+    if args.get("json").is_some_and(|v| v == "true") {
+        let json = serde_json::to_string_pretty(&report)
+            .map_err(|e| Error::invalid_input(format!("serialize report: {e}")))?;
+        writeln!(out, "{json}").map_err(io_err)?;
+    } else {
+        write_report(out, &report)?;
+    }
+    Ok(())
+}
+
+fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
+    args.reject_unknown(&["memory-fraction", "dram-fraction", "format"])?;
+    writeln!(
+        out,
+        "{:<18} {:>8} {:>12} {:>12} {:>14} {:>12}",
+        "policy", "hit%", "migrations", "AMAT(ns)", "energy/req nJ", "NVM writes"
+    )
+    .map_err(io_err)?;
+    for kind in PolicyKind::all() {
+        let report = run_trace_policy(args, kind)?;
+        writeln!(
+            out,
+            "{:<18} {:>7.2}% {:>12} {:>12.0} {:>14.2} {:>12}",
+            report.policy,
+            report.counts.hit_ratio() * 100.0,
+            report.counts.migrations(),
+            report.amat().value(),
+            report.appr().value(),
+            report.nvm_writes.total(),
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Loads a trace and runs one policy over it with paper-style memory
+/// sizing derived from the trace's own footprint.
+fn run_trace_policy(args: &Args, kind: PolicyKind) -> Result<SimulationReport> {
+    let (path, trace) = load_trace(args)?;
+    let stats = TraceStats::from_accesses(trace.iter().copied());
+    if stats.total() == 0 {
+        return Err(Error::invalid_input(format!("trace {path} is empty")));
+    }
+    let memory_fraction: f64 = args.get_parsed_or("memory-fraction", 0.75)?;
+    let dram_fraction: f64 = args.get_parsed_or("dram-fraction", 0.10)?;
+    // Describe the trace as a spec so the standard runner applies: the
+    // working set is the measured footprint; locality fields are unused
+    // because we feed the recorded accesses directly.
+    let spec = WorkloadSpec::new(
+        path.clone(),
+        stats.footprint().value().max(2),
+        stats.reads.max(1),
+        stats.writes,
+        hybridmem_trace::LocalityParams::balanced(),
+    )?;
+    let config = ExperimentConfig {
+        memory_fraction,
+        dram_fraction,
+        ..ExperimentConfig::date2016()
+    };
+    let policy = config.build_policy(kind, &spec)?;
+    let mut simulator = hybridmem_core::HybridSimulator::with_date2016_devices(policy);
+    simulator.run(trace.iter().copied().map(PageAccess::from));
+    Ok(simulator.into_report(path))
+}
+
+fn write_report<W: std::io::Write>(out: &mut W, report: &SimulationReport) -> Result<()> {
+    writeln!(out, "{}", report.text_summary()).map_err(io_err)
+}
+
+/// Resolves `--workload`: a built-in PARSEC name, or a path to a
+/// `WorkloadSpec` JSON file for custom workloads.
+fn load_spec(name_or_path: &str) -> Result<WorkloadSpec> {
+    if parsec::NAMES.contains(&name_or_path) {
+        return parsec::spec(name_or_path);
+    }
+    let text = std::fs::read_to_string(name_or_path).map_err(|e| {
+        Error::invalid_input(format!(
+            "{name_or_path:?} is neither a PARSEC workload ({}) nor a readable spec file: {e}",
+            parsec::NAMES.join(", ")
+        ))
+    })?;
+    let spec: WorkloadSpec = serde_json::from_str(&text)
+        .map_err(|e| Error::invalid_input(format!("invalid WorkloadSpec JSON: {e}")))?;
+    spec.validate()?;
+    Ok(spec)
+}
+
+enum Format {
+    Text,
+    Binary,
+}
+
+fn detect_format(args: &Args, path: &str) -> Result<Format> {
+    match args.get("format") {
+        Some("text") => Ok(Format::Text),
+        Some("binary") => Ok(Format::Binary),
+        Some(other) => Err(Error::invalid_input(format!(
+            "unknown format {other:?}; expected text or binary"
+        ))),
+        None => {
+            if path.ends_with(".txt") || path.ends_with(".text") {
+                Ok(Format::Text)
+            } else {
+                Ok(Format::Binary)
+            }
+        }
+    }
+}
+
+fn load_trace(args: &Args) -> Result<(String, Vec<Access>)> {
+    let path = args
+        .positional(1)
+        .ok_or_else(|| Error::invalid_input("expected a trace file path"))?
+        .to_owned();
+    let file =
+        File::open(&path).map_err(|e| Error::invalid_input(format!("cannot open {path}: {e}")))?;
+    let reader = BufReader::new(file);
+    let trace = match detect_format(args, &path)? {
+        Format::Text => trace_io::read_text(reader)?,
+        Format::Binary => trace_io::read_binary(reader)?,
+    };
+    Ok((path, trace))
+}
+
+fn parse_policy(name: &str) -> Result<PolicyKind> {
+    PolicyKind::all()
+        .into_iter()
+        .find(|kind| kind.name() == name)
+        .ok_or_else(|| {
+            Error::invalid_input(format!(
+                "unknown policy {name:?}; expected one of: {}",
+                PolicyKind::all()
+                    .iter()
+                    .map(|k| k.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+}
+
+fn io_err(e: std::io::Error) -> Error {
+    Error::invalid_input(format!("I/O error: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_capture(tokens: &[&str]) -> (Result<()>, String) {
+        let mut out = Vec::new();
+        let result = run(tokens.iter().map(|s| (*s).to_owned()).collect(), &mut out);
+        (result, String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn no_command_prints_usage() {
+        let (result, text) = run_capture(&[]);
+        assert!(result.is_ok());
+        assert!(text.contains("USAGE"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        let (result, _) = run_capture(&["frobnicate"]);
+        assert!(result.unwrap_err().to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn list_shows_workloads_and_policies() {
+        let (result, text) = run_capture(&["list"]);
+        assert!(result.is_ok());
+        assert!(text.contains("blackscholes"));
+        assert!(text.contains("two-lru"));
+        assert!(text.contains("clock-dwf"));
+    }
+
+    #[test]
+    fn generate_characterize_simulate_roundtrip() {
+        let dir = std::env::temp_dir().join("hybridmem-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        let path = path.to_str().unwrap();
+
+        let (result, text) = run_capture(&[
+            "generate",
+            "--workload",
+            "bodytrack",
+            "--output",
+            path,
+            "--cap",
+            "5000",
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        assert!(text.contains("wrote"));
+
+        let (result, text) = run_capture(&["characterize", path]);
+        assert!(result.is_ok());
+        assert!(text.contains("accesses"), "{text}");
+        assert!(text.contains("working set"));
+
+        let (result, text) = run_capture(&["characterize", path, "--deep", "true"]);
+        assert!(result.is_ok());
+        assert!(text.contains("reuse analysis"), "{text}");
+        assert!(text.contains("miss"));
+
+        let (result, text) = run_capture(&["simulate", path, "--policy", "two-lru"]);
+        assert!(result.is_ok(), "{result:?}");
+        assert!(text.contains("AMAT"));
+        assert!(text.contains("two-lru"));
+
+        let (result, text) =
+            run_capture(&["simulate", path, "--policy", "two-lru", "--json", "true"]);
+        assert!(result.is_ok());
+        assert!(text.contains("\"policy\""));
+
+        let (result, text) = run_capture(&["compare", path]);
+        assert!(result.is_ok(), "{result:?}");
+        assert!(text.contains("clock-pro"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn generate_requires_flags() {
+        let (result, _) = run_capture(&["generate", "--workload", "bodytrack"]);
+        assert!(result.unwrap_err().to_string().contains("--output"));
+        let (result, _) = run_capture(&["generate", "--output", "/tmp/x"]);
+        assert!(result.unwrap_err().to_string().contains("--workload"));
+    }
+
+    #[test]
+    fn bad_policy_lists_alternatives() {
+        let dir = std::env::temp_dir().join("hybridmem-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.trace");
+        let path = path.to_str().unwrap();
+        run_capture(&[
+            "generate",
+            "--workload",
+            "bodytrack",
+            "--output",
+            path,
+            "--cap",
+            "1000",
+        ])
+        .0
+        .unwrap();
+        let (result, _) = run_capture(&["simulate", path, "--policy", "nope"]);
+        let message = result.unwrap_err().to_string();
+        assert!(message.contains("two-lru") && message.contains("nope"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn generate_accepts_custom_spec_json() {
+        let dir = std::env::temp_dir().join("hybridmem-cli-test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json");
+        let spec = WorkloadSpec::new(
+            "custom",
+            128,
+            4_000,
+            1_000,
+            hybridmem_trace::LocalityParams::balanced(),
+        )
+        .unwrap();
+        std::fs::write(&spec_path, serde_json::to_string(&spec).unwrap()).unwrap();
+        let trace_path = dir.join("custom.trace");
+
+        let (result, text) = run_capture(&[
+            "generate",
+            "--workload",
+            spec_path.to_str().unwrap(),
+            "--output",
+            trace_path.to_str().unwrap(),
+            "--cap",
+            "0",
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        assert!(text.contains("5000 accesses"), "{text}");
+
+        // An invalid spec path reports both interpretations.
+        let (result, _) = run_capture(&[
+            "generate",
+            "--workload",
+            "no-such-thing",
+            "--output",
+            "/tmp/x",
+        ]);
+        let message = result.unwrap_err().to_string();
+        assert!(message.contains("blackscholes"), "{message}");
+        let _ = std::fs::remove_file(trace_path);
+        let _ = std::fs::remove_file(spec_path);
+    }
+
+    #[test]
+    fn format_detection() {
+        let args = Args::parse(Vec::new()).unwrap();
+        assert!(matches!(
+            detect_format(&args, "a.txt").unwrap(),
+            Format::Text
+        ));
+        assert!(matches!(
+            detect_format(&args, "a.trace").unwrap(),
+            Format::Binary
+        ));
+        let args = Args::parse(vec!["--format".into(), "nope".into()]).unwrap();
+        assert!(detect_format(&args, "a").is_err());
+    }
+}

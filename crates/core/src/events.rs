@@ -1,0 +1,189 @@
+//! Simulation event observation: a hook for tracing, debugging, and
+//! custom downstream analyses (e.g. the wear-leveling extension replays
+//! migration events; a GUI could animate queue states).
+
+use hybridmem_policy::PolicyAction;
+use hybridmem_types::{MemoryKind, PageAccess};
+
+/// One observable simulation event, emitted in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimEvent {
+    /// A demand request was served by a memory module.
+    Served {
+        /// The request.
+        access: PageAccess,
+        /// Module that serviced it.
+        from: MemoryKind,
+    },
+    /// A demand request missed main memory (the fill arrives as a
+    /// subsequent [`SimEvent::Action`]).
+    Fault {
+        /// The faulting request.
+        access: PageAccess,
+    },
+    /// A physical consequence decided by the policy (migration, fill,
+    /// eviction).
+    Action {
+        /// The action, exactly as the policy reported it.
+        action: PolicyAction,
+    },
+}
+
+/// Observer of [`SimEvent`]s. Implementations must be cheap: the sink is
+/// called inline on the simulation hot path.
+///
+/// # Examples
+///
+/// ```
+/// use hybridmem_core::{EventSink, HybridSimulator, RecordingSink, SimEvent};
+/// use hybridmem_policy::SingleTierPolicy;
+/// use hybridmem_types::{PageAccess, PageCount, PageId};
+///
+/// let policy = SingleTierPolicy::dram_only(PageCount::new(4))?;
+/// let mut sim = HybridSimulator::with_date2016_devices(Box::new(policy));
+/// sim.set_event_sink(Box::new(RecordingSink::new()));
+/// sim.step(PageAccess::read(PageId::new(1)));
+/// sim.step(PageAccess::read(PageId::new(1)));
+///
+/// let sink = sim.take_event_sink().expect("sink was installed");
+/// let events = sink.as_any().downcast_ref::<RecordingSink>().unwrap();
+/// assert!(matches!(events.events()[0], SimEvent::Fault { .. }));
+/// assert!(matches!(events.events().last(), Some(SimEvent::Served { .. })));
+/// # Ok::<(), hybridmem_types::Error>(())
+/// ```
+pub trait EventSink {
+    /// Observes one event.
+    fn record(&mut self, event: SimEvent);
+
+    /// Downcast support so callers can recover their concrete sink from
+    /// [`HybridSimulator::take_event_sink`](crate::HybridSimulator::take_event_sink).
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
+/// An [`EventSink`] that stores every event in memory — convenient for
+/// tests and small traces (it grows unboundedly; do not attach it to
+/// multi-million-access runs).
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    events: Vec<SimEvent>,
+}
+
+impl RecordingSink {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The events observed so far, in order.
+    #[must_use]
+    pub fn events(&self) -> &[SimEvent] {
+        &self.events
+    }
+
+    /// Consumes the recorder, returning its events.
+    #[must_use]
+    pub fn into_events(self) -> Vec<SimEvent> {
+        self.events
+    }
+}
+
+impl EventSink for RecordingSink {
+    fn record(&mut self, event: SimEvent) {
+        self.events.push(event);
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// An [`EventSink`] that only counts events by class — constant memory,
+/// suitable for full-scale runs.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Served demand requests.
+    pub served: u64,
+    /// Page faults.
+    pub faults: u64,
+    /// Policy actions (migrations + fills + evictions).
+    pub actions: u64,
+}
+
+impl CountingSink {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl EventSink for CountingSink {
+    fn record(&mut self, event: SimEvent) {
+        match event {
+            SimEvent::Served { .. } => self.served += 1,
+            SimEvent::Fault { .. } => self.faults += 1,
+            SimEvent::Action { .. } => self.actions += 1,
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridmem_types::PageId;
+
+    #[test]
+    fn recording_sink_keeps_order() {
+        let mut sink = RecordingSink::new();
+        sink.record(SimEvent::Fault {
+            access: PageAccess::read(PageId::new(1)),
+        });
+        sink.record(SimEvent::Served {
+            access: PageAccess::read(PageId::new(1)),
+            from: MemoryKind::Dram,
+        });
+        assert_eq!(sink.events().len(), 2);
+        assert!(matches!(sink.events()[0], SimEvent::Fault { .. }));
+        let events = sink.into_events();
+        assert!(matches!(events[1], SimEvent::Served { .. }));
+    }
+
+    #[test]
+    fn counting_sink_counts_by_class() {
+        let mut sink = CountingSink::new();
+        sink.record(SimEvent::Fault {
+            access: PageAccess::write(PageId::new(2)),
+        });
+        sink.record(SimEvent::Action {
+            action: hybridmem_policy::PolicyAction::FillFromDisk {
+                page: PageId::new(2),
+                into: MemoryKind::Dram,
+            },
+        });
+        sink.record(SimEvent::Served {
+            access: PageAccess::read(PageId::new(2)),
+            from: MemoryKind::Dram,
+        });
+        assert_eq!(
+            sink,
+            CountingSink {
+                served: 1,
+                faults: 1,
+                actions: 1
+            }
+        );
+    }
+
+    #[test]
+    fn sinks_downcast() {
+        let sink: Box<dyn EventSink> = Box::new(CountingSink::new());
+        assert!(sink.as_any().downcast_ref::<CountingSink>().is_some());
+        assert!(sink.as_any().downcast_ref::<RecordingSink>().is_none());
+    }
+}

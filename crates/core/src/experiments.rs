@@ -1,0 +1,388 @@
+//! Experiment runners: the paper's evaluation methodology in one place.
+//!
+//! The paper's setup (Section V-A): "the total memory size is set to 75% of
+//! the total pages and the DRAM size is set to 10% of the total memory
+//! size". [`ExperimentConfig`] captures those ratios (and every other knob)
+//! and [`ExperimentConfig::run`] executes one `(workload, policy)` cell of
+//! the evaluation matrix; [`compare_policies`] runs a whole row.
+
+use hybridmem_policy::{
+    AdaptiveConfig, AdaptiveTwoLruPolicy, ClockDwfPolicy, ClockProPolicy, DramCachePolicy,
+    HybridPolicy, SingleTierPolicy, TwoLruConfig, TwoLruPolicy,
+};
+use hybridmem_trace::{TraceGenerator, WorkloadSpec};
+use hybridmem_types::{Error, PageAccess, PageCount, Result};
+use serde::{Deserialize, Serialize};
+
+use crate::{HybridSimulator, SimulationReport, TimeModel};
+
+/// Which policy to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum PolicyKind {
+    /// The paper's proposed two-LRU migration scheme (Algorithm 1).
+    TwoLru,
+    /// The CLOCK-DWF baseline.
+    ClockDwf,
+    /// DRAM-only LRU memory of the full (DRAM+NVM) capacity.
+    DramOnly,
+    /// NVM-only LRU memory of the full capacity.
+    NvmOnly,
+    /// The adaptive-threshold extension over the proposed scheme.
+    AdaptiveTwoLru,
+    /// CLOCK-Pro-lite: the pre-CLOCK-DWF baseline, adapted to hybrid memory.
+    ClockPro,
+    /// DRAM-as-a-cache over NVM — the other related-work organization.
+    DramCache,
+}
+
+impl PolicyKind {
+    /// All kinds, in reporting order.
+    #[must_use]
+    pub const fn all() -> [Self; 7] {
+        [
+            Self::TwoLru,
+            Self::ClockDwf,
+            Self::ClockPro,
+            Self::DramCache,
+            Self::DramOnly,
+            Self::NvmOnly,
+            Self::AdaptiveTwoLru,
+        ]
+    }
+
+    /// Stable display name (matches [`HybridPolicy::name`]).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Self::TwoLru => "two-lru",
+            Self::ClockDwf => "clock-dwf",
+            Self::DramOnly => "dram-only",
+            Self::NvmOnly => "nvm-only",
+            Self::AdaptiveTwoLru => "two-lru-adaptive",
+            Self::ClockPro => "clock-pro",
+            Self::DramCache => "dram-cache",
+        }
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Full configuration of one experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Main memory capacity as a fraction of the workload footprint
+    /// (paper: 0.75).
+    pub memory_fraction: f64,
+    /// DRAM share of the main memory (paper: 0.10).
+    pub dram_fraction: f64,
+    /// Promotion thresholds/windows of the proposed scheme.
+    pub read_threshold: u32,
+    /// See [`ExperimentConfig::read_threshold`].
+    pub write_threshold: u32,
+    /// `readperc` window fraction.
+    pub read_window: f64,
+    /// `writeperc` window fraction.
+    pub write_window: f64,
+    /// Adaptive-extension controller configuration.
+    pub adaptive: AdaptiveConfig,
+    /// Trace generator seed.
+    pub seed: u64,
+    /// Duration model for static-power proration.
+    pub time_model: TimeModel,
+    /// Fraction of the trace driven as warmup before accounting starts, in
+    /// `[0, 1)`. The paper minimizes cold-start effects by using the
+    /// largest PARSEC inputs; we do it by measuring the steady state only.
+    pub warmup_fraction: f64,
+}
+
+impl ExperimentConfig {
+    /// The paper's setup: 75% memory, 10% DRAM, default thresholds.
+    #[must_use]
+    pub fn date2016() -> Self {
+        Self {
+            memory_fraction: 0.75,
+            dram_fraction: 0.10,
+            read_threshold: TwoLruConfig::DEFAULT_READ_THRESHOLD,
+            write_threshold: TwoLruConfig::DEFAULT_WRITE_THRESHOLD,
+            read_window: TwoLruConfig::DEFAULT_READ_WINDOW,
+            write_window: TwoLruConfig::DEFAULT_WRITE_WINDOW,
+            adaptive: AdaptiveConfig::new(),
+            seed: 42,
+            time_model: TimeModel::date2016(),
+            warmup_fraction: 0.3,
+        }
+    }
+
+    /// Memory sizes for a workload: `(dram_pages, nvm_pages, total_pages)`.
+    ///
+    /// Total memory is `memory_fraction` of the footprint; DRAM is
+    /// `dram_fraction` of that; NVM is the remainder. Every size is at
+    /// least one page.
+    #[must_use]
+    pub fn memory_sizes(&self, spec: &WorkloadSpec) -> (PageCount, PageCount, PageCount) {
+        let total = spec.working_set.scaled(self.memory_fraction);
+        let total = PageCount::new(total.value().max(2));
+        let dram = total.scaled(self.dram_fraction);
+        let nvm = PageCount::new((total.value() - dram.value()).max(1));
+        (dram, nvm, total)
+    }
+
+    /// Builds the policy instance for one workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the derived sizes or the
+    /// configured thresholds are invalid.
+    pub fn build_policy(
+        &self,
+        kind: PolicyKind,
+        spec: &WorkloadSpec,
+    ) -> Result<Box<dyn HybridPolicy>> {
+        let (dram, nvm, total) = self.memory_sizes(spec);
+        let two_lru_config = TwoLruConfig::with_thresholds(
+            dram,
+            nvm,
+            self.read_threshold,
+            self.write_threshold,
+            self.read_window,
+            self.write_window,
+        );
+        Ok(match kind {
+            PolicyKind::TwoLru => Box::new(TwoLruPolicy::new(two_lru_config?)),
+            PolicyKind::ClockDwf => Box::new(ClockDwfPolicy::new(dram, nvm)?),
+            PolicyKind::DramOnly => Box::new(SingleTierPolicy::dram_only(total)?),
+            PolicyKind::NvmOnly => Box::new(SingleTierPolicy::nvm_only(total)?),
+            PolicyKind::AdaptiveTwoLru => {
+                Box::new(AdaptiveTwoLruPolicy::new(two_lru_config?, self.adaptive))
+            }
+            PolicyKind::ClockPro => Box::new(ClockProPolicy::new(dram, nvm)?),
+            PolicyKind::DramCache => Box::new(DramCachePolicy::new(dram, nvm)?),
+        })
+    }
+
+    /// Runs one `(workload, policy)` cell: generates the trace, simulates,
+    /// and returns the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the workload or derived
+    /// configuration is invalid.
+    pub fn run(&self, spec: &WorkloadSpec, kind: PolicyKind) -> Result<SimulationReport> {
+        spec.validate()?;
+        if !(0.0..1.0).contains(&self.warmup_fraction) {
+            return Err(Error::invalid_config(format!(
+                "warmup_fraction must be in [0, 1), got {}",
+                self.warmup_fraction
+            )));
+        }
+        let policy = self.build_policy(kind, spec)?;
+        let mut simulator = HybridSimulator::new(
+            policy,
+            hybridmem_device::MemoryCharacteristics::dram_date2016(),
+            hybridmem_device::MemoryCharacteristics::pcm_date2016(),
+            hybridmem_device::DiskCharacteristics::hdd_date2016(),
+            hybridmem_device::MigrationEngine::new(),
+            self.time_model,
+        );
+        // A scaled-down trace runs against a proportionally scaled memory;
+        // report static power as if at nominal size, over the workload's
+        // true duration density (see DESIGN.md).
+        simulator.set_static_scale(1.0 / spec.scale_factor());
+        simulator.set_density_hint(spec.nominal_density());
+        let mut trace = TraceGenerator::new(spec.clone(), self.seed).map(PageAccess::from);
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let warmup = (spec.total_accesses() as f64 * self.warmup_fraction) as u64;
+        for access in trace.by_ref().take(warmup as usize) {
+            simulator.step(access);
+        }
+        simulator.reset_accounting();
+        simulator.run(trace);
+        Ok(simulator.into_report(spec.name.clone()))
+    }
+
+    /// Runs several policies over the *same* trace (same seed), returning
+    /// reports in the order given.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing run.
+    pub fn compare(
+        &self,
+        spec: &WorkloadSpec,
+        kinds: &[PolicyKind],
+    ) -> Result<Vec<SimulationReport>> {
+        kinds.iter().map(|&kind| self.run(spec, kind)).collect()
+    }
+}
+
+impl Default for ExperimentConfig {
+    /// Defaults to [`ExperimentConfig::date2016`].
+    fn default() -> Self {
+        Self::date2016()
+    }
+}
+
+/// Runs `kinds` over every workload in `specs`, in parallel across
+/// workloads (one OS thread each; the simulator itself is single-threaded
+/// and deterministic).
+///
+/// Returns, for each spec in order, the reports in `kinds` order.
+///
+/// # Errors
+///
+/// Propagates the first failing run.
+///
+/// # Examples
+///
+/// ```
+/// use hybridmem_core::{compare_policies, ExperimentConfig, PolicyKind};
+/// use hybridmem_trace::parsec;
+///
+/// let specs: Vec<_> = ["bodytrack", "raytrace"]
+///     .iter()
+///     .map(|n| parsec::spec(n).map(|s| s.capped(2_000)))
+///     .collect::<Result<_, _>>()?;
+/// let rows = compare_policies(
+///     &specs,
+///     &[PolicyKind::TwoLru, PolicyKind::DramOnly],
+///     &ExperimentConfig::default(),
+/// )?;
+/// assert_eq!(rows.len(), 2);
+/// assert_eq!(rows[0].len(), 2);
+/// # Ok::<(), hybridmem_types::Error>(())
+/// ```
+pub fn compare_policies(
+    specs: &[WorkloadSpec],
+    kinds: &[PolicyKind],
+    config: &ExperimentConfig,
+) -> Result<Vec<Vec<SimulationReport>>> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|spec| scope.spawn(move || config.compare(spec, kinds)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .map_err(|_| Error::invalid_input("simulation thread panicked".to_owned()))?
+            })
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridmem_trace::{parsec, LocalityParams};
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec::new("test", 200, 20_000, 5_000, LocalityParams::balanced()).unwrap()
+    }
+
+    #[test]
+    fn memory_sizes_follow_the_paper_ratios() {
+        let config = ExperimentConfig::date2016();
+        let spec = small_spec();
+        let (dram, nvm, total) = config.memory_sizes(&spec);
+        assert_eq!(total, PageCount::new(150)); // 75% of 200
+        assert_eq!(dram, PageCount::new(15)); // 10% of 150
+        assert_eq!(nvm, PageCount::new(135));
+        assert_eq!(dram + nvm, total);
+    }
+
+    #[test]
+    fn tiny_workloads_get_at_least_one_page_each() {
+        let config = ExperimentConfig::date2016();
+        let spec = WorkloadSpec::new("tiny", 2, 10, 0, LocalityParams::balanced()).unwrap();
+        let (dram, nvm, _) = config.memory_sizes(&spec);
+        assert!(dram.value() >= 1);
+        assert!(nvm.value() >= 1);
+    }
+
+    #[test]
+    fn run_produces_consistent_reports_for_all_policies() {
+        let config = ExperimentConfig::date2016();
+        let spec = small_spec();
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let warmup = (spec.total_accesses() as f64 * config.warmup_fraction) as u64;
+        for kind in PolicyKind::all() {
+            let report = config.run(&spec, kind).unwrap();
+            assert_eq!(report.policy, kind.name(), "{kind}");
+            assert_eq!(report.counts.requests, spec.total_accesses() - warmup);
+            assert_eq!(
+                report.counts.hits() + report.counts.faults,
+                report.counts.requests
+            );
+            assert!(report.amat().value() > 0.0);
+            assert!(report.appr().value() > 0.0);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_report() {
+        let config = ExperimentConfig::date2016();
+        let spec = small_spec();
+        let a = config.run(&spec, PolicyKind::TwoLru).unwrap();
+        let b = config.run(&spec, PolicyKind::TwoLru).unwrap();
+        assert_eq!(a, b);
+        let different = ExperimentConfig { seed: 43, ..config }
+            .run(&spec, PolicyKind::TwoLru)
+            .unwrap();
+        assert_ne!(a, different);
+    }
+
+    #[test]
+    fn dram_only_has_no_nvm_and_no_migrations() {
+        let report = ExperimentConfig::date2016()
+            .run(&small_spec(), PolicyKind::DramOnly)
+            .unwrap();
+        assert_eq!(report.nvm_pages, 0);
+        assert_eq!(report.counts.migrations(), 0);
+        assert_eq!(report.nvm_writes.total(), 0);
+    }
+
+    #[test]
+    fn compare_runs_in_order() {
+        let config = ExperimentConfig::date2016();
+        let reports = config
+            .compare(&small_spec(), &[PolicyKind::ClockDwf, PolicyKind::TwoLru])
+            .unwrap();
+        assert_eq!(reports[0].policy, "clock-dwf");
+        assert_eq!(reports[1].policy, "two-lru");
+    }
+
+    #[test]
+    fn parallel_compare_matches_sequential() {
+        let config = ExperimentConfig::date2016();
+        let specs = vec![
+            small_spec(),
+            parsec::spec("bodytrack").unwrap().capped(3_000),
+        ];
+        let kinds = [PolicyKind::TwoLru, PolicyKind::DramOnly];
+        let parallel = compare_policies(&specs, &kinds, &config).unwrap();
+        for (spec, row) in specs.iter().zip(&parallel) {
+            let sequential = config.compare(spec, &kinds).unwrap();
+            assert_eq!(*row, sequential);
+        }
+    }
+
+    #[test]
+    fn policy_kind_names_are_stable() {
+        assert_eq!(PolicyKind::TwoLru.to_string(), "two-lru");
+        assert_eq!(PolicyKind::all().len(), 7);
+    }
+}

@@ -1,0 +1,53 @@
+//! The hybrid DRAM–NVM memory simulator: the paper's models, the
+//! accounting engine, and the experiment methodology.
+//!
+//! This crate ties the substrates together into the system evaluated in
+//! *"An Operating System Level Data Migration Scheme in Hybrid DRAM-NVM
+//! Memory Architecture"* (Salkhordeh & Asadi, DATE 2016):
+//!
+//! * [`model`] — Table I parameters with Eq. 1 (AMAT), Eq. 2 (APPR), and
+//!   Eq. 3 (prorated static power) in closed form;
+//! * [`HybridSimulator`] — replays page-granular traces through any
+//!   [`HybridPolicy`](hybridmem_policy::HybridPolicy) and charges every
+//!   hit, fault, fill, and migration against the device models;
+//! * [`SimulationReport`] — the measured breakdowns behind every figure
+//!   (power: static/dynamic/page-fault/migration; AMAT: requests vs
+//!   migrations; NVM writes: requests/page-fault/migration);
+//! * [`ExperimentConfig`] / [`compare_policies`] — the paper's evaluation
+//!   methodology (75 % memory, 10 % DRAM) over the PARSEC profiles.
+//!
+//! # Examples
+//!
+//! ```
+//! use hybridmem_core::{ExperimentConfig, PolicyKind};
+//! use hybridmem_trace::parsec;
+//!
+//! let spec = parsec::spec("bodytrack")?.capped(10_000);
+//! let config = ExperimentConfig::default();
+//! let proposed = config.run(&spec, PolicyKind::TwoLru)?;
+//! let clock_dwf = config.run(&spec, PolicyKind::ClockDwf)?;
+//! assert_eq!(proposed.policy, "two-lru");
+//! assert_eq!(clock_dwf.policy, "clock-dwf");
+//! assert!(proposed.appr().value() > 0.0);
+//! # Ok::<(), hybridmem_types::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod events;
+mod experiments;
+pub mod model;
+mod report;
+mod simulator;
+mod sweep;
+
+pub use events::{CountingSink, EventSink, RecordingSink, SimEvent};
+pub use experiments::{compare_policies, ExperimentConfig, PolicyKind};
+pub use model::{AmatComponents, ApprComponents, ModelParams, Probabilities, TimeModel};
+pub use report::{
+    arith_mean, geo_mean, Counts, EnergyBreakdown, LatencyBreakdown, NvmWriteBreakdown,
+    SimulationReport, WearSummary,
+};
+pub use simulator::HybridSimulator;
+pub use sweep::{sweep_dram_fractions, sweep_thresholds, sweep_windows, SweepPoint};

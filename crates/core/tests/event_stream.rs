@@ -1,0 +1,126 @@
+//! Integration tests of the event-observation hook: the emitted stream
+//! must agree exactly with the report's counters.
+
+use hybridmem_core::{
+    CountingSink, ExperimentConfig, HybridSimulator, PolicyKind, RecordingSink, SimEvent,
+};
+use hybridmem_trace::{parsec, TraceGenerator};
+use hybridmem_types::{MemoryKind, PageAccess};
+
+#[test]
+fn event_stream_matches_report_counters() {
+    let spec = parsec::spec("bodytrack").unwrap().capped(10_000);
+    let config = ExperimentConfig::default();
+    let policy = config.build_policy(PolicyKind::TwoLru, &spec).unwrap();
+    let mut sim = HybridSimulator::with_date2016_devices(policy);
+    sim.set_event_sink(Box::new(RecordingSink::new()));
+    sim.run(TraceGenerator::new(spec.clone(), config.seed).map(PageAccess::from));
+
+    let sink = sim.take_event_sink().expect("sink installed");
+    let events = sink
+        .as_any()
+        .downcast_ref::<RecordingSink>()
+        .expect("recording sink")
+        .events()
+        .to_vec();
+    let report = sim.into_report("bodytrack");
+
+    let served = events
+        .iter()
+        .filter(|e| matches!(e, SimEvent::Served { .. }))
+        .count() as u64;
+    let faults = events
+        .iter()
+        .filter(|e| matches!(e, SimEvent::Fault { .. }))
+        .count() as u64;
+    assert_eq!(served, report.counts.hits());
+    assert_eq!(faults, report.counts.faults);
+    assert_eq!(served + faults, report.counts.requests);
+
+    // Action events agree with the action counters.
+    let migrations = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                SimEvent::Action {
+                    action: hybridmem_policy::PolicyAction::Migrate { .. }
+                }
+            )
+        })
+        .count() as u64;
+    assert_eq!(migrations, report.counts.migrations());
+
+    // Served events name the module that the per-module stats credit.
+    let nvm_served = events
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                SimEvent::Served {
+                    from: MemoryKind::Nvm,
+                    ..
+                }
+            )
+        })
+        .count() as u64;
+    assert_eq!(
+        nvm_served,
+        report.counts.nvm_read_hits + report.counts.nvm_write_hits
+    );
+}
+
+#[test]
+fn counting_sink_is_cheap_and_consistent() {
+    let spec = parsec::spec("ferret").unwrap().capped(20_000);
+    let config = ExperimentConfig::default();
+    let policy = config.build_policy(PolicyKind::ClockDwf, &spec).unwrap();
+    let mut sim = HybridSimulator::with_date2016_devices(policy);
+    sim.set_event_sink(Box::new(CountingSink::new()));
+    sim.run(TraceGenerator::new(spec, config.seed).map(PageAccess::from));
+
+    let sink = sim.take_event_sink().expect("sink installed");
+    let counts = *sink
+        .as_any()
+        .downcast_ref::<CountingSink>()
+        .expect("counting sink");
+    let report = sim.into_report("ferret");
+    assert_eq!(counts.served, report.counts.hits());
+    assert_eq!(counts.faults, report.counts.faults);
+    assert!(counts.actions >= report.counts.migrations());
+}
+
+#[test]
+fn sink_survives_accounting_reset() {
+    // Warmup resets accounting but the sink keeps observing — the stream is
+    // the raw history, the report is the steady state.
+    let spec = parsec::spec("x264").unwrap().capped(8_000);
+    let config = ExperimentConfig::default();
+    let policy = config.build_policy(PolicyKind::TwoLru, &spec).unwrap();
+    let mut sim = HybridSimulator::with_date2016_devices(policy);
+    sim.set_event_sink(Box::new(CountingSink::new()));
+
+    let mut trace = TraceGenerator::new(spec.clone(), config.seed).map(PageAccess::from);
+    for access in trace.by_ref().take(2_000) {
+        sim.step(access);
+    }
+    sim.reset_accounting();
+    sim.run(trace);
+
+    let sink = sim.take_event_sink().expect("sink installed");
+    let counts = *sink
+        .as_any()
+        .downcast_ref::<CountingSink>()
+        .expect("counting sink");
+    let report = sim.into_report("x264");
+    assert_eq!(
+        counts.served + counts.faults,
+        spec.total_accesses(),
+        "sink saw the whole run"
+    );
+    assert_eq!(
+        report.counts.requests,
+        spec.total_accesses() - 2_000,
+        "report covers only the post-reset steady state"
+    );
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the device models: accounting linearity,
+//! attribution exhaustiveness, and wear bookkeeping.
+
+use proptest::prelude::*;
+
+use hybridmem_device::{
+    AccessSource, MemoryCharacteristics, MemoryModule, MigrationEngine, WearTracker,
+};
+use hybridmem_types::{AccessKind, MemoryKind, Nanojoules, Nanoseconds, PageCount, PageId};
+
+fn op_strategy() -> impl Strategy<Value = (bool, u8, u16)> {
+    // (is_write, source index, count)
+    (prop::bool::ANY, 0u8..3, 1u16..600)
+}
+
+proptest! {
+    /// Module accounting is linear: the stats equal the sum of every cost
+    /// the module returned, and attribution buckets partition the totals.
+    #[test]
+    fn module_accounting_is_linear(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut module = MemoryModule::new(
+            MemoryKind::Nvm,
+            PageCount::new(64),
+            MemoryCharacteristics::pcm_date2016(),
+        );
+        let mut energy = Nanojoules::ZERO;
+        let mut busy = Nanoseconds::ZERO;
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+        for (is_write, source_index, count) in ops {
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let source = AccessSource::all()[source_index as usize];
+            let cost = module.record_accesses(kind, source, u64::from(count));
+            energy += cost.energy;
+            busy += cost.latency;
+            if is_write { writes += u64::from(count) } else { reads += u64::from(count) }
+        }
+        let stats = module.stats();
+        prop_assert_eq!(stats.total_reads(), reads);
+        prop_assert_eq!(stats.total_writes(), writes);
+        prop_assert!((stats.total_energy().value() - energy.value()).abs() < 1e-6);
+        prop_assert!((stats.total_busy_time().value() - busy.value()).abs() < 1e-6);
+        // Buckets partition the totals.
+        let bucket_sum: u64 = AccessSource::all()
+            .iter()
+            .map(|&s| stats.source(s).accesses())
+            .sum();
+        prop_assert_eq!(bucket_sum, reads + writes);
+    }
+
+    /// Migration costs are symmetric sums of per-direction access costs and
+    /// scale exactly with the page factor.
+    #[test]
+    fn migration_costs_scale_with_page_factor(page_factor in 1u64..2_048) {
+        let mut dram = MemoryModule::new(
+            MemoryKind::Dram, PageCount::new(4), MemoryCharacteristics::dram_date2016());
+        let mut nvm = MemoryModule::new(
+            MemoryKind::Nvm, PageCount::new(4), MemoryCharacteristics::pcm_date2016());
+        let engine = MigrationEngine::with_page_factor(page_factor);
+        let cost = engine.migrate_page(&mut nvm, &mut dram);
+        let pf = page_factor as f64;
+        prop_assert!((cost.latency.value() - pf * 150.0).abs() < 1e-6);
+        prop_assert!((cost.energy.value() - pf * 9.6).abs() < 1e-6);
+        prop_assert_eq!(cost.source_accesses, page_factor);
+        prop_assert_eq!(cost.destination_accesses, page_factor);
+
+        let fill = engine.fill_from_disk(&mut nvm);
+        prop_assert!(fill.latency.is_zero(), "fill latency is disk-overlapped");
+        prop_assert!((fill.energy.value() - pf * 32.0).abs() < 1e-6);
+    }
+
+    /// Wear bookkeeping: the total equals the sum over pages, the maximum
+    /// bounds the mean, and the histogram partitions the touched pages.
+    #[test]
+    fn wear_tracker_is_consistent(
+        writes in prop::collection::vec((0u64..64, 1u64..1_000), 1..150),
+        buckets in 1usize..16,
+    ) {
+        let mut wear = WearTracker::new();
+        let mut expected_total = 0u64;
+        for &(page, count) in &writes {
+            wear.record_page_write(PageId::new(page), count);
+            expected_total += count;
+        }
+        prop_assert_eq!(wear.total_writes(), expected_total);
+        prop_assert!(wear.max_wear() as f64 >= wear.mean_wear());
+        prop_assert!(wear.imbalance() >= 1.0);
+        let histogram = wear.histogram(buckets);
+        prop_assert_eq!(histogram.total_pages(), wear.pages_touched() as u64);
+        prop_assert_eq!(histogram.counts.len(), buckets);
+
+        let lifetime = wear.lifetime(100_000_000, 1e6).expect("writes recorded");
+        prop_assert!(lifetime.seconds > 0.0);
+        prop_assert!(lifetime.hottest_share > 0.0 && lifetime.hottest_share <= 1.0);
+    }
+}

@@ -1,0 +1,341 @@
+//! A generic CLOCK (second-chance) ring with per-frame metadata.
+//!
+//! CLOCK approximates LRU with a circular scan and one reference bit per
+//! frame. CLOCK-DWF builds on two such rings — a plain one for NVM and a
+//! write-history-aware one for DRAM — so the ring is generic over a
+//! metadata type `M` and takes the extra-chance predicate as a closure at
+//! eviction time.
+//!
+//! # Examples
+//!
+//! ```
+//! use hybridmem_policy::ClockRing;
+//! use hybridmem_types::PageId;
+//!
+//! let mut ring: ClockRing<()> = ClockRing::new(2);
+//! ring.insert(PageId::new(1), ());
+//! ring.insert(PageId::new(2), ());
+//! ring.touch(PageId::new(2));
+//!
+//! // Page 1 was never referenced after insertion cleared its bit round 1;
+//! // the scan clears page bits and evicts the first unreferenced frame.
+//! let (victim, ()) = ring.evict_with(|_meta| false);
+//! assert_eq!(victim, PageId::new(1));
+//! ```
+
+use std::collections::HashMap;
+
+use hybridmem_types::PageId;
+
+#[derive(Debug, Clone)]
+struct Frame<M> {
+    page: PageId,
+    referenced: bool,
+    meta: M,
+}
+
+/// A fixed-capacity CLOCK ring mapping pages to frames with metadata `M`.
+///
+/// Frames freed by [`ClockRing::remove`] are reused by later insertions;
+/// the clock hand skips empty slots.
+#[derive(Debug, Clone)]
+pub struct ClockRing<M> {
+    frames: Vec<Option<Frame<M>>>,
+    map: HashMap<PageId, usize>,
+    hand: usize,
+    capacity: usize,
+}
+
+impl<M> ClockRing<M> {
+    /// Creates an empty ring with room for `capacity` pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "clock ring capacity must be at least 1");
+        Self {
+            frames: (0..capacity).map(|_| None).collect(),
+            map: HashMap::with_capacity(capacity),
+            hand: 0,
+            capacity,
+        }
+    }
+
+    /// Number of resident pages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no pages are resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// True when every frame is occupied.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.map.len() == self.capacity
+    }
+
+    /// The configured capacity in pages.
+    #[must_use]
+    pub const fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// True when `page` is resident.
+    #[must_use]
+    pub fn contains(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    /// Current position of the clock hand (a frame index in
+    /// `0..capacity()`); exposed for diagnostics and invariant tests.
+    #[must_use]
+    pub const fn hand(&self) -> usize {
+        self.hand
+    }
+
+    /// Inserts `page` with its metadata into a free frame, with the
+    /// reference bit set (a newly loaded page counts as referenced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is full or the page is already resident; callers
+    /// must evict first — eviction policy is theirs, not the ring's.
+    pub fn insert(&mut self, page: PageId, meta: M) {
+        assert!(
+            !self.is_full(),
+            "clock ring is full; evict before inserting"
+        );
+        assert!(
+            !self.map.contains_key(&page),
+            "page {page} is already in the clock ring"
+        );
+        let idx = self
+            .frames
+            .iter()
+            .position(Option::is_none)
+            .expect("a non-full ring has a free frame");
+        self.frames[idx] = Some(Frame {
+            page,
+            referenced: true,
+            meta,
+        });
+        self.map.insert(page, idx);
+    }
+
+    /// Sets the reference bit of `page` and returns its metadata for
+    /// updating. Returns `None` when the page is not resident.
+    pub fn touch(&mut self, page: PageId) -> Option<&mut M> {
+        let &idx = self.map.get(&page)?;
+        let frame = self.frames[idx].as_mut().expect("mapped frame is occupied");
+        frame.referenced = true;
+        Some(&mut frame.meta)
+    }
+
+    /// Reads the metadata of `page` without touching the reference bit.
+    #[must_use]
+    pub fn meta(&self, page: PageId) -> Option<&M> {
+        let &idx = self.map.get(&page)?;
+        Some(
+            &self.frames[idx]
+                .as_ref()
+                .expect("mapped frame is occupied")
+                .meta,
+        )
+    }
+
+    /// Removes `page` from the ring, returning its metadata.
+    pub fn remove(&mut self, page: PageId) -> Option<M> {
+        let idx = self.map.remove(&page)?;
+        let frame = self.frames[idx].take().expect("mapped frame is occupied");
+        Some(frame.meta)
+    }
+
+    /// Runs the CLOCK scan and evicts one page, returning it with its
+    /// metadata.
+    ///
+    /// At each occupied frame under the hand:
+    ///
+    /// 1. a set reference bit is cleared and the frame skipped (the classic
+    ///    second chance);
+    /// 2. otherwise `extra_chance(&mut meta)` is consulted — returning
+    ///    `true` spares the frame this round (CLOCK-DWF uses this to keep
+    ///    write-dominant pages in DRAM, decaying their write history);
+    /// 3. otherwise the frame is evicted and the hand advances past it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring is empty.
+    pub fn evict_with<F>(&mut self, mut extra_chance: F) -> (PageId, M)
+    where
+        F: FnMut(&mut M) -> bool,
+    {
+        assert!(!self.is_empty(), "cannot evict from an empty clock ring");
+        loop {
+            let idx = self.hand;
+            self.hand = (self.hand + 1) % self.capacity;
+            let Some(frame) = self.frames[idx].as_mut() else {
+                continue;
+            };
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            if extra_chance(&mut frame.meta) {
+                continue;
+            }
+            let frame = self.frames[idx].take().expect("frame checked above");
+            self.map.remove(&frame.page);
+            return (frame.page, frame.meta);
+        }
+    }
+
+    /// Resident pages in frame order (diagnostics/tests).
+    #[must_use]
+    pub fn pages(&self) -> Vec<PageId> {
+        self.frames
+            .iter()
+            .filter_map(|f| f.as_ref().map(|f| f.page))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(n: u64) -> PageId {
+        PageId::new(n)
+    }
+
+    #[test]
+    fn insert_touch_contains() {
+        let mut ring: ClockRing<u32> = ClockRing::new(3);
+        ring.insert(page(1), 10);
+        ring.insert(page(2), 20);
+        assert!(ring.contains(page(1)));
+        assert_eq!(ring.len(), 2);
+        assert!(!ring.is_full());
+        *ring.touch(page(1)).unwrap() += 5;
+        assert_eq!(ring.meta(page(1)), Some(&15));
+        assert!(ring.touch(page(9)).is_none());
+        assert_eq!(ring.meta(page(9)), None);
+    }
+
+    #[test]
+    fn second_chance_order() {
+        let mut ring: ClockRing<()> = ClockRing::new(3);
+        for n in 1..=3 {
+            ring.insert(page(n), ());
+        }
+        // All inserted referenced. First scan clears 1,2,3 then evicts 1.
+        let (v, ()) = ring.evict_with(|_| false);
+        assert_eq!(v, page(1));
+        // 2 and 3 now have cleared bits; hand is past frame 1.
+        let (v, ()) = ring.evict_with(|_| false);
+        assert_eq!(v, page(2));
+    }
+
+    #[test]
+    fn touch_grants_second_chance() {
+        let mut ring: ClockRing<()> = ClockRing::new(3);
+        for n in 1..=3 {
+            ring.insert(page(n), ());
+        }
+        let (_, ()) = ring.evict_with(|_| false); // evicts 1, clears 2 and 3
+        ring.insert(page(4), ());
+        ring.touch(page(2));
+        // Hand at frame 1 (page 2): referenced → cleared, skip; page 3
+        // unreferenced → evicted.
+        let (v, ()) = ring.evict_with(|_| false);
+        assert_eq!(v, page(3));
+        assert!(ring.contains(page(2)));
+    }
+
+    #[test]
+    fn extra_chance_spares_frames_once() {
+        let mut ring: ClockRing<u32> = ClockRing::new(2);
+        ring.insert(page(1), 2);
+        ring.insert(page(2), 0);
+        // Clear all reference bits with one throwaway scan setup: evict with
+        // a predicate that decrements write history and spares while > 0.
+        let (victim, meta) = ring.evict_with(|w| {
+            if *w > 0 {
+                *w -= 1;
+                true
+            } else {
+                false
+            }
+        });
+        // Round 1 clears ref bits; round 2: page 1 spared (2→1), page 2
+        // evicted (history 0).
+        assert_eq!(victim, page(2));
+        assert_eq!(meta, 0);
+        assert_eq!(ring.meta(page(1)), Some(&1));
+    }
+
+    #[test]
+    fn remove_frees_frame_for_reuse() {
+        let mut ring: ClockRing<char> = ClockRing::new(2);
+        ring.insert(page(1), 'a');
+        ring.insert(page(2), 'b');
+        assert!(ring.is_full());
+        assert_eq!(ring.remove(page(1)), Some('a'));
+        assert_eq!(ring.remove(page(1)), None);
+        assert!(!ring.is_full());
+        ring.insert(page(3), 'c');
+        assert!(ring.is_full());
+        let mut pages = ring.pages();
+        pages.sort();
+        assert_eq!(pages, vec![page(2), page(3)]);
+    }
+
+    #[test]
+    fn hand_skips_holes() {
+        let mut ring: ClockRing<()> = ClockRing::new(4);
+        for n in 1..=4 {
+            ring.insert(page(n), ());
+        }
+        ring.remove(page(1));
+        ring.remove(page(3));
+        // Scan must still terminate and evict one of the occupied frames.
+        let (v, ()) = ring.evict_with(|_| false);
+        assert!(v == page(2) || v == page(4));
+        assert_eq!(ring.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "full")]
+    fn insert_into_full_ring_panics() {
+        let mut ring: ClockRing<()> = ClockRing::new(1);
+        ring.insert(page(1), ());
+        ring.insert(page(2), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the clock ring")]
+    fn double_insert_panics() {
+        let mut ring: ClockRing<()> = ClockRing::new(2);
+        ring.insert(page(1), ());
+        ring.insert(page(1), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn evict_from_empty_panics() {
+        let mut ring: ClockRing<()> = ClockRing::new(2);
+        let _ = ring.evict_with(|_| false);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_panics() {
+        let _: ClockRing<()> = ClockRing::new(0);
+    }
+}

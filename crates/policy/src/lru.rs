@@ -1,0 +1,417 @@
+//! A ranked LRU queue: O(log n) touch, evict, and recency-rank queries.
+//!
+//! The proposed migration scheme keeps per-page counters only for pages in
+//! the *top positions* of the NVM LRU queue (Algorithm 1: `readperc` /
+//! `writeperc`). Deciding "is this page within the top k positions?" is a
+//! *recency rank* query, which a plain linked-list LRU answers only in
+//! O(n). [`RankedLru`] answers it in O(log n) using the classic
+//! slot-numbering technique: every touch assigns the page a fresh,
+//! monotonically increasing slot number; a Fenwick (binary indexed) tree
+//! over slot occupancy then yields both rank queries and the
+//! least-recently-used victim in logarithmic time, with periodic O(n log n)
+//! compaction when slot space runs out.
+//!
+//! # Examples
+//!
+//! ```
+//! use hybridmem_policy::RankedLru;
+//! use hybridmem_types::PageId;
+//!
+//! let mut lru = RankedLru::new();
+//! lru.insert(PageId::new(1));
+//! lru.insert(PageId::new(2));
+//! lru.insert(PageId::new(3));
+//! assert_eq!(lru.rank(PageId::new(3)), Some(0)); // most recently used
+//! assert_eq!(lru.rank(PageId::new(1)), Some(2)); // least recently used
+//!
+//! lru.touch(PageId::new(1));
+//! assert_eq!(lru.rank(PageId::new(1)), Some(0));
+//! assert_eq!(lru.evict_lru(), Some(PageId::new(2)));
+//! ```
+
+use std::collections::HashMap;
+
+use hybridmem_types::PageId;
+
+/// Sentinel for "slot unoccupied" in the slot → entry map.
+const EMPTY: usize = usize::MAX;
+
+/// Minimum slot capacity; also the floor after compaction.
+const MIN_SLOTS: usize = 16;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    page: PageId,
+    slot: usize,
+}
+
+/// Fenwick tree over slot occupancy (1-based internally).
+#[derive(Debug, Clone, Default)]
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn with_len(len: usize) -> Self {
+        Self {
+            tree: vec![0; len + 1],
+        }
+    }
+
+    fn add(&mut self, index: usize, delta: i32) {
+        let mut i = index + 1;
+        while i < self.tree.len() {
+            self.tree[i] = self.tree[i].wrapping_add(delta as u32);
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Number of occupied slots in `[0, index]`.
+    fn prefix(&self, index: usize) -> u32 {
+        let mut i = (index + 1).min(self.tree.len() - 1);
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Index of the k-th (1-based) occupied slot, if any.
+    fn select(&self, k: u32) -> Option<usize> {
+        if k == 0 {
+            return None;
+        }
+        let mut remaining = k;
+        let mut pos = 0usize;
+        let mut mask = self.tree.len().next_power_of_two() >> 1;
+        while mask > 0 {
+            let next = pos + mask;
+            if next < self.tree.len() && self.tree[next] < remaining {
+                remaining -= self.tree[next];
+                pos = next;
+            }
+            mask >>= 1;
+        }
+        // pos is now the largest index with prefix < k; the answer is pos
+        // (0-based slot pos, since the tree is 1-based).
+        if pos < self.tree.len() - 1 {
+            Some(pos)
+        } else {
+            None
+        }
+    }
+}
+
+/// An LRU queue over [`PageId`]s with logarithmic recency-rank queries.
+///
+/// Rank 0 is the most recently used page; rank `len() - 1` is the LRU
+/// victim. See the module documentation (in the source) for the data-structure
+/// sketch and complexity analysis.
+#[derive(Debug, Clone, Default)]
+pub struct RankedLru {
+    map: HashMap<PageId, usize>,
+    entries: Vec<Entry>,
+    free: Vec<usize>,
+    slot_to_entry: Vec<usize>,
+    fenwick: Fenwick,
+    next_slot: usize,
+}
+
+impl RankedLru {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            entries: Vec::new(),
+            free: Vec::new(),
+            slot_to_entry: vec![EMPTY; MIN_SLOTS],
+            fenwick: Fenwick::with_len(MIN_SLOTS),
+            next_slot: 0,
+        }
+    }
+
+    /// Creates an empty queue pre-sized for about `capacity` pages.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let slots = (capacity * 4).max(MIN_SLOTS);
+        Self {
+            map: HashMap::with_capacity(capacity),
+            entries: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            slot_to_entry: vec![EMPTY; slots],
+            fenwick: Fenwick::with_len(slots),
+            next_slot: 0,
+        }
+    }
+
+    /// Number of pages in the queue.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the queue holds no pages.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// True when `page` is in the queue.
+    #[must_use]
+    pub fn contains(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    /// Inserts `page` at the MRU position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is already in the queue; use [`RankedLru::touch`]
+    /// for pages that may be present.
+    pub fn insert(&mut self, page: PageId) {
+        assert!(
+            !self.map.contains_key(&page),
+            "page {page} is already in the LRU queue"
+        );
+        let slot = self.take_slot();
+        let idx = if let Some(idx) = self.free.pop() {
+            self.entries[idx] = Entry { page, slot };
+            idx
+        } else {
+            self.entries.push(Entry { page, slot });
+            self.entries.len() - 1
+        };
+        self.slot_to_entry[slot] = idx;
+        self.fenwick.add(slot, 1);
+        self.map.insert(page, idx);
+    }
+
+    /// Moves `page` to the MRU position. Returns true when the page was
+    /// present (and was therefore moved).
+    pub fn touch(&mut self, page: PageId) -> bool {
+        // Remove + reinsert keeps the slot bookkeeping trivially consistent
+        // even when the reinsertion triggers a compaction; both halves are
+        // O(log n) and the freed slab index is reused immediately.
+        if !self.remove(page) {
+            return false;
+        }
+        self.insert(page);
+        true
+    }
+
+    /// Removes and returns the least-recently-used page.
+    pub fn evict_lru(&mut self) -> Option<PageId> {
+        let victim = self.peek_lru()?;
+        self.remove(victim);
+        Some(victim)
+    }
+
+    /// Returns the least-recently-used page without removing it.
+    #[must_use]
+    pub fn peek_lru(&self) -> Option<PageId> {
+        let slot = self.fenwick.select(1)?;
+        let idx = self.slot_to_entry[slot];
+        debug_assert_ne!(idx, EMPTY);
+        Some(self.entries[idx].page)
+    }
+
+    /// Removes `page` from the queue. Returns true when it was present.
+    pub fn remove(&mut self, page: PageId) -> bool {
+        let Some(idx) = self.map.remove(&page) else {
+            return false;
+        };
+        let slot = self.entries[idx].slot;
+        self.fenwick.add(slot, -1);
+        self.slot_to_entry[slot] = EMPTY;
+        self.free.push(idx);
+        true
+    }
+
+    /// Recency rank of `page`: 0 for the MRU page, `len() - 1` for the LRU
+    /// page, `None` when absent.
+    #[must_use]
+    pub fn rank(&self, page: PageId) -> Option<usize> {
+        let &idx = self.map.get(&page)?;
+        let slot = self.entries[idx].slot;
+        // Pages with slots *greater* than ours are more recent.
+        let at_or_before = self.fenwick.prefix(slot);
+        Some(self.map.len() - at_or_before as usize)
+    }
+
+    /// Pages ordered from MRU to LRU. O(n log n); intended for tests,
+    /// debugging, and snapshots rather than per-access use.
+    #[must_use]
+    pub fn pages_by_recency(&self) -> Vec<PageId> {
+        let mut present: Vec<&Entry> = self.map.values().map(|&idx| &self.entries[idx]).collect();
+        present.sort_by_key(|e| std::cmp::Reverse(e.slot));
+        present.iter().map(|e| e.page).collect()
+    }
+
+    /// Allocates a fresh MRU slot, compacting the slot space when full.
+    fn take_slot(&mut self) -> usize {
+        if self.next_slot == self.slot_to_entry.len() {
+            self.compact();
+        }
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        slot
+    }
+
+    /// Renumbers all present pages into slots `0..len` (preserving order)
+    /// and resizes the slot space to 4× the live population.
+    fn compact(&mut self) {
+        let mut live: Vec<usize> = self.map.values().copied().collect();
+        live.sort_by_key(|&idx| self.entries[idx].slot);
+        let new_len = (live.len() * 4).max(MIN_SLOTS);
+        self.slot_to_entry = vec![EMPTY; new_len];
+        self.fenwick = Fenwick::with_len(new_len);
+        for (slot, idx) in live.into_iter().enumerate() {
+            self.entries[idx].slot = slot;
+            self.slot_to_entry[slot] = idx;
+            self.fenwick.add(slot, 1);
+        }
+        self.next_slot = self.map.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(n: u64) -> PageId {
+        PageId::new(n)
+    }
+
+    #[test]
+    fn insert_and_rank_order() {
+        let mut lru = RankedLru::new();
+        for n in 0..5 {
+            lru.insert(page(n));
+        }
+        assert_eq!(lru.len(), 5);
+        for n in 0..5 {
+            assert_eq!(lru.rank(page(n)), Some(4 - n as usize));
+        }
+        assert_eq!(lru.rank(page(99)), None);
+    }
+
+    #[test]
+    fn touch_moves_to_front() {
+        let mut lru = RankedLru::new();
+        for n in 0..4 {
+            lru.insert(page(n));
+        }
+        assert!(lru.touch(page(0)));
+        assert_eq!(lru.rank(page(0)), Some(0));
+        assert_eq!(lru.rank(page(1)), Some(3));
+        assert!(!lru.touch(page(42)));
+    }
+
+    #[test]
+    fn evict_returns_lru_order() {
+        let mut lru = RankedLru::new();
+        for n in 0..4 {
+            lru.insert(page(n));
+        }
+        lru.touch(page(0)); // order (MRU..LRU): 0,3,2,1
+        assert_eq!(lru.evict_lru(), Some(page(1)));
+        assert_eq!(lru.evict_lru(), Some(page(2)));
+        assert_eq!(lru.evict_lru(), Some(page(3)));
+        assert_eq!(lru.evict_lru(), Some(page(0)));
+        assert_eq!(lru.evict_lru(), None);
+        assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut lru = RankedLru::new();
+        lru.insert(page(1));
+        lru.insert(page(2));
+        assert_eq!(lru.peek_lru(), Some(page(1)));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn remove_arbitrary_pages() {
+        let mut lru = RankedLru::new();
+        for n in 0..6 {
+            lru.insert(page(n));
+        }
+        assert!(lru.remove(page(3)));
+        assert!(!lru.remove(page(3)));
+        assert!(!lru.contains(page(3)));
+        assert_eq!(lru.len(), 5);
+        assert_eq!(
+            lru.pages_by_recency(),
+            vec![page(5), page(4), page(2), page(1), page(0)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the LRU queue")]
+    fn double_insert_panics() {
+        let mut lru = RankedLru::new();
+        lru.insert(page(1));
+        lru.insert(page(1));
+    }
+
+    #[test]
+    fn compaction_preserves_order() {
+        let mut lru = RankedLru::new();
+        for n in 0..8 {
+            lru.insert(page(n));
+        }
+        // Force many slot allocations to trigger several compactions.
+        for round in 0..100 {
+            for n in 0..8 {
+                if (n + round) % 3 != 0 {
+                    lru.touch(page(n));
+                }
+            }
+        }
+        // Replay the same operations on a naive model.
+        let mut model: Vec<u64> = Vec::new();
+        for n in 0..8 {
+            model.retain(|&p| p != n);
+            model.push(n);
+        }
+        for round in 0..100 {
+            for n in 0..8 {
+                if (n + round) % 3 != 0 {
+                    model.retain(|&p| p != n);
+                    model.push(n);
+                }
+            }
+        }
+        model.reverse(); // MRU first
+        let got: Vec<u64> = lru.pages_by_recency().iter().map(|p| p.value()).collect();
+        assert_eq!(got, model);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut a = RankedLru::with_capacity(100);
+        let mut b = RankedLru::new();
+        for n in 0..50 {
+            a.insert(page(n));
+            b.insert(page(n));
+        }
+        assert_eq!(a.pages_by_recency(), b.pages_by_recency());
+    }
+
+    #[test]
+    fn rank_is_dense_and_unique() {
+        let mut lru = RankedLru::new();
+        for n in 0..32 {
+            lru.insert(page(n));
+        }
+        for n in [3u64, 30, 7, 7, 0] {
+            lru.touch(page(n));
+        }
+        let mut ranks: Vec<usize> = (0..32).map(|n| lru.rank(page(n)).unwrap()).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,186 @@
+//! The policy interface: what a page-management policy tells the simulator.
+
+use hybridmem_types::{MemoryKind, PageAccess, PageCount, PageId, Residency};
+use serde::{Deserialize, Serialize};
+
+/// One physical consequence of a policy decision, in the order it happens.
+///
+/// The simulator (`hybridmem-core`) replays these actions against the device
+/// models to charge latency, energy, and NVM wear; the policies themselves
+/// are pure bookkeeping and never touch the devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum PolicyAction {
+    /// `page` is evicted from `from` to disk (page-out). The paper charges
+    /// no memory cost for this: the page leaves via DMA overlapped with the
+    /// disk write.
+    EvictToDisk {
+        /// Page leaving main memory.
+        page: PageId,
+        /// Module the page leaves.
+        from: MemoryKind,
+    },
+    /// `page` moves between the two memory modules: `PageFactor` reads of
+    /// `from` plus `PageFactor` writes of `to` (Eqs. 1–2, migration terms).
+    Migrate {
+        /// Page being migrated.
+        page: PageId,
+        /// Source module.
+        from: MemoryKind,
+        /// Destination module.
+        to: MemoryKind,
+    },
+    /// `page` is filled from disk into `into` after a page fault:
+    /// the OS sees the disk latency; the memory side receives `PageFactor`
+    /// writes (Eq. 2, page-fault terms).
+    FillFromDisk {
+        /// Page being brought in.
+        page: PageId,
+        /// Module receiving the page.
+        into: MemoryKind,
+    },
+}
+
+/// Everything a policy did in response to one page access.
+///
+/// # Examples
+///
+/// ```
+/// use hybridmem_policy::AccessOutcome;
+/// use hybridmem_types::MemoryKind;
+///
+/// let hit = AccessOutcome::hit(MemoryKind::Dram);
+/// assert_eq!(hit.served_from, Some(MemoryKind::Dram));
+/// assert!(!hit.fault);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessOutcome {
+    /// Module that serviced the demand access, or `None` on a page fault
+    /// (the fill itself satisfies the request; Eq. 1 charges only the disk
+    /// latency for misses).
+    pub served_from: Option<MemoryKind>,
+    /// True when the access missed main memory entirely.
+    pub fault: bool,
+    /// Physical actions triggered by the access, in execution order.
+    pub actions: Vec<PolicyAction>,
+}
+
+impl AccessOutcome {
+    /// An outcome for a plain hit in `kind` with no side effects.
+    #[must_use]
+    pub fn hit(kind: MemoryKind) -> Self {
+        Self {
+            served_from: Some(kind),
+            fault: false,
+            actions: Vec::new(),
+        }
+    }
+
+    /// An outcome for a hit in `kind` followed by `actions`
+    /// (e.g. a threshold-triggered migration).
+    #[must_use]
+    pub fn hit_with(kind: MemoryKind, actions: Vec<PolicyAction>) -> Self {
+        Self {
+            served_from: Some(kind),
+            fault: false,
+            actions,
+        }
+    }
+
+    /// An outcome for a page fault resolved by `actions`.
+    #[must_use]
+    pub fn fault_with(actions: Vec<PolicyAction>) -> Self {
+        Self {
+            served_from: None,
+            fault: true,
+            actions,
+        }
+    }
+
+    /// Count of [`PolicyAction::Migrate`] actions in this outcome.
+    #[must_use]
+    pub fn migrations(&self) -> usize {
+        self.actions
+            .iter()
+            .filter(|a| matches!(a, PolicyAction::Migrate { .. }))
+            .count()
+    }
+}
+
+/// A page-placement/migration policy for a (possibly hybrid) main memory.
+///
+/// Implementations: the paper's proposed two-LRU migration scheme
+/// ([`TwoLruPolicy`](crate::TwoLruPolicy)), the CLOCK-DWF baseline
+/// ([`ClockDwfPolicy`](crate::ClockDwfPolicy)), single-tier LRU baselines
+/// ([`SingleTierPolicy`](crate::SingleTierPolicy)), and the
+/// adaptive-threshold extension
+/// ([`AdaptiveTwoLruPolicy`](crate::AdaptiveTwoLruPolicy)).
+///
+/// The trait is object-safe: experiment runners hold policies as
+/// `Box<dyn HybridPolicy>`.
+pub trait HybridPolicy {
+    /// Handles one page-granular access, returning what happened.
+    fn on_access(&mut self, access: PageAccess) -> AccessOutcome;
+
+    /// Where `page` currently lives.
+    fn residency(&self, page: PageId) -> Residency;
+
+    /// Number of pages currently resident in `kind`.
+    fn occupancy(&self, kind: MemoryKind) -> u64;
+
+    /// Configured capacity of `kind` (zero for a module the policy does not
+    /// use, e.g. NVM under the DRAM-only baseline).
+    fn capacity(&self, kind: MemoryKind) -> PageCount;
+
+    /// Short, stable display name (used in reports and figure legends).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_constructors() {
+        let h = AccessOutcome::hit(MemoryKind::Nvm);
+        assert_eq!(h.served_from, Some(MemoryKind::Nvm));
+        assert!(h.actions.is_empty());
+
+        let m = AccessOutcome::hit_with(
+            MemoryKind::Nvm,
+            vec![PolicyAction::Migrate {
+                page: PageId::new(1),
+                from: MemoryKind::Nvm,
+                to: MemoryKind::Dram,
+            }],
+        );
+        assert_eq!(m.migrations(), 1);
+        assert!(!m.fault);
+
+        let f = AccessOutcome::fault_with(vec![PolicyAction::FillFromDisk {
+            page: PageId::new(2),
+            into: MemoryKind::Dram,
+        }]);
+        assert!(f.fault);
+        assert_eq!(f.served_from, None);
+        assert_eq!(f.migrations(), 0);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_boxed(_p: Box<dyn HybridPolicy>) {}
+    }
+
+    #[test]
+    fn actions_serialize() {
+        let a = PolicyAction::Migrate {
+            page: PageId::new(1),
+            from: MemoryKind::Nvm,
+            to: MemoryKind::Dram,
+        };
+        let json = serde_json::to_string(&a).unwrap();
+        assert!(json.contains("migrate"));
+        let back: PolicyAction = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

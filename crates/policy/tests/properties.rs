@@ -1,0 +1,358 @@
+//! Property-based tests for the policy crate's data structures and
+//! policies, checking the invariants called out in `DESIGN.md`.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use hybridmem_policy::{
+    AdaptiveConfig, AdaptiveTwoLruPolicy, ClockDwfPolicy, ClockProPolicy, ClockRing,
+    DramCachePolicy, HybridPolicy, RankedLru, SingleTierPolicy, TwoLruConfig, TwoLruPolicy,
+};
+use hybridmem_types::{AccessKind, MemoryKind, PageAccess, PageCount, PageId, Residency};
+
+/// Operations applied to both `RankedLru` and a naive Vec-backed model.
+#[derive(Debug, Clone)]
+enum LruOp {
+    Touch(u64),
+    Insert(u64),
+    EvictLru,
+    Remove(u64),
+}
+
+fn lru_op_strategy(page_universe: u64) -> impl Strategy<Value = LruOp> {
+    prop_oneof![
+        (0..page_universe).prop_map(LruOp::Touch),
+        (0..page_universe).prop_map(LruOp::Insert),
+        Just(LruOp::EvictLru),
+        (0..page_universe).prop_map(LruOp::Remove),
+    ]
+}
+
+/// Naive LRU model: Vec with MRU at the back.
+#[derive(Default)]
+struct NaiveLru(Vec<u64>);
+
+impl NaiveLru {
+    fn touch(&mut self, p: u64) -> bool {
+        if let Some(pos) = self.0.iter().position(|&x| x == p) {
+            self.0.remove(pos);
+            self.0.push(p);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn insert(&mut self, p: u64) {
+        self.0.push(p);
+    }
+
+    fn evict(&mut self) -> Option<u64> {
+        if self.0.is_empty() {
+            None
+        } else {
+            Some(self.0.remove(0))
+        }
+    }
+
+    fn remove(&mut self, p: u64) -> bool {
+        if let Some(pos) = self.0.iter().position(|&x| x == p) {
+            self.0.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn rank(&self, p: u64) -> Option<usize> {
+        self.0.iter().rev().position(|&x| x == p)
+    }
+
+    fn by_recency(&self) -> Vec<u64> {
+        self.0.iter().rev().copied().collect()
+    }
+}
+
+proptest! {
+    /// `RankedLru` is observationally identical to the naive model under
+    /// arbitrary operation sequences, including rank queries.
+    #[test]
+    fn ranked_lru_matches_naive_model(
+        ops in prop::collection::vec(lru_op_strategy(16), 1..300),
+    ) {
+        let mut lru = RankedLru::new();
+        let mut model = NaiveLru::default();
+        for op in ops {
+            match op {
+                LruOp::Touch(p) => {
+                    prop_assert_eq!(lru.touch(PageId::new(p)), model.touch(p));
+                }
+                LruOp::Insert(p) => {
+                    if !model.0.contains(&p) {
+                        lru.insert(PageId::new(p));
+                        model.insert(p);
+                    }
+                }
+                LruOp::EvictLru => {
+                    prop_assert_eq!(
+                        lru.evict_lru().map(|p| p.value()),
+                        model.evict()
+                    );
+                }
+                LruOp::Remove(p) => {
+                    prop_assert_eq!(lru.remove(PageId::new(p)), model.remove(p));
+                }
+            }
+            prop_assert_eq!(lru.len(), model.0.len());
+            for &p in &model.0 {
+                prop_assert_eq!(lru.rank(PageId::new(p)), model.rank(p));
+            }
+            let got: Vec<u64> = lru.pages_by_recency().iter().map(|p| p.value()).collect();
+            prop_assert_eq!(got, model.by_recency());
+        }
+    }
+
+    /// `SingleTierPolicy` produces exactly the hit/miss/eviction sequence of
+    /// a plain LRU of the same capacity.
+    #[test]
+    fn single_tier_is_plain_lru(
+        capacity in 1u64..12,
+        pages in prop::collection::vec(0u64..24, 1..250),
+    ) {
+        let mut policy = SingleTierPolicy::dram_only(PageCount::new(capacity)).unwrap();
+        let mut model = NaiveLru::default();
+        for p in pages {
+            let out = policy.on_access(PageAccess::read(PageId::new(p)));
+            let model_hit = model.touch(p);
+            prop_assert_eq!(!out.fault, model_hit);
+            if !model_hit {
+                if model.0.len() as u64 >= capacity {
+                    model.evict();
+                }
+                model.insert(p);
+            }
+            prop_assert_eq!(policy.occupancy(MemoryKind::Dram), model.0.len() as u64);
+        }
+    }
+
+    /// Hybrid-policy safety invariants hold for the proposed scheme under
+    /// arbitrary access streams:
+    /// occupancies never exceed capacities; the accessed page is resident
+    /// afterwards; an access faults iff the page was not resident before;
+    /// NVM only ever holds pages once DRAM is full.
+    #[test]
+    fn two_lru_invariants(
+        dram_cap in 1u64..6,
+        nvm_cap in 1u64..12,
+        accesses in prop::collection::vec((0u64..32, prop::bool::ANY), 1..400),
+    ) {
+        let config = TwoLruConfig::new(
+            PageCount::new(dram_cap),
+            PageCount::new(nvm_cap),
+        ).unwrap();
+        let mut policy = TwoLruPolicy::new(config);
+        let mut resident: HashSet<u64> = HashSet::new();
+        for (p, is_write) in accesses {
+            let page = PageId::new(p);
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let was_resident = resident.contains(&p);
+            let out = policy.on_access(PageAccess::new(page, kind));
+
+            prop_assert_eq!(out.fault, !was_resident);
+            prop_assert!(policy.residency(page).is_resident());
+            prop_assert!(policy.occupancy(MemoryKind::Dram) <= dram_cap);
+            prop_assert!(policy.occupancy(MemoryKind::Nvm) <= nvm_cap);
+            if policy.occupancy(MemoryKind::Nvm) > 0 {
+                prop_assert_eq!(
+                    policy.occupancy(MemoryKind::Dram), dram_cap,
+                    "NVM population implies a full DRAM"
+                );
+            }
+
+            // Maintain the external residency model from the outcome.
+            resident.insert(p);
+            for action in &out.actions {
+                if let hybridmem_policy::PolicyAction::EvictToDisk { page, .. } = action {
+                    resident.remove(&page.value());
+                }
+            }
+            prop_assert_eq!(resident.len() as u64,
+                policy.occupancy(MemoryKind::Dram) + policy.occupancy(MemoryKind::Nvm));
+        }
+    }
+
+    /// The same safety invariants for CLOCK-DWF, plus its defining property:
+    /// no demand write is ever serviced by NVM.
+    #[test]
+    fn clock_dwf_invariants(
+        dram_cap in 1u64..6,
+        nvm_cap in 1u64..12,
+        accesses in prop::collection::vec((0u64..32, prop::bool::ANY), 1..400),
+    ) {
+        let mut policy = ClockDwfPolicy::new(
+            PageCount::new(dram_cap),
+            PageCount::new(nvm_cap),
+        ).unwrap();
+        let mut resident: HashSet<u64> = HashSet::new();
+        for (p, is_write) in accesses {
+            let page = PageId::new(p);
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            let was_resident = resident.contains(&p);
+            let out = policy.on_access(PageAccess::new(page, kind));
+
+            prop_assert_eq!(out.fault, !was_resident);
+            if kind.is_write() {
+                prop_assert_ne!(out.served_from, Some(MemoryKind::Nvm));
+                // After a write the page always sits in DRAM.
+                prop_assert_eq!(policy.residency(page), Residency::InMemory(MemoryKind::Dram));
+            }
+            prop_assert!(policy.occupancy(MemoryKind::Dram) <= dram_cap);
+            prop_assert!(policy.occupancy(MemoryKind::Nvm) <= nvm_cap);
+
+            resident.insert(p);
+            for action in &out.actions {
+                if let hybridmem_policy::PolicyAction::EvictToDisk { page, .. } = action {
+                    resident.remove(&page.value());
+                }
+            }
+            prop_assert_eq!(resident.len() as u64,
+                policy.occupancy(MemoryKind::Dram) + policy.occupancy(MemoryKind::Nvm));
+        }
+    }
+
+    /// The clock ring never exceeds capacity, evicts only resident pages,
+    /// and forgets evicted pages.
+    #[test]
+    fn clock_ring_invariants(
+        capacity in 1usize..8,
+        ops in prop::collection::vec((0u64..16, prop::bool::ANY), 1..200),
+    ) {
+        let mut ring: ClockRing<u32> = ClockRing::new(capacity);
+        for (p, evict_first) in ops {
+            let page = PageId::new(p);
+            if ring.contains(page) {
+                ring.touch(page);
+                continue;
+            }
+            if ring.is_full() || (evict_first && !ring.is_empty()) {
+                let (victim, _) = ring.evict_with(|m| {
+                    if *m > 0 { *m -= 1; true } else { false }
+                });
+                prop_assert!(!ring.contains(victim));
+            }
+            if !ring.is_full() {
+                ring.insert(page, 2);
+            }
+            prop_assert!(ring.len() <= ring.capacity());
+            prop_assert!(ring.hand() < ring.capacity());
+        }
+    }
+
+    /// The proposed scheme only stores promotion counters for NVM-resident
+    /// pages (the "housekeeping information" of Fig. 3 lives in the NVM
+    /// queue alone).
+    #[test]
+    fn counters_only_exist_for_nvm_pages(
+        accesses in prop::collection::vec((0u64..16, prop::bool::ANY), 1..300),
+    ) {
+        let config = TwoLruConfig::new(PageCount::new(2), PageCount::new(6)).unwrap();
+        let mut policy = TwoLruPolicy::new(config);
+        for (p, is_write) in accesses {
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            policy.on_access(PageAccess::new(PageId::new(p), kind));
+            for q in 0..16u64 {
+                let page = PageId::new(q);
+                if policy.counters_of(page).is_some() {
+                    prop_assert_eq!(
+                        policy.residency(page),
+                        Residency::InMemory(MemoryKind::Nvm),
+                        "page {} has counters but is not NVM-resident", q
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Shared safety invariants every hybrid policy must uphold: bounded
+/// occupancy, fault-iff-not-resident, and the accessed page resident
+/// afterwards.
+fn check_policy_invariants(
+    policy: &mut dyn HybridPolicy,
+    dram_cap: u64,
+    nvm_cap: u64,
+    accesses: &[(u64, bool)],
+) -> Result<(), TestCaseError> {
+    let mut resident: HashSet<u64> = HashSet::new();
+    for &(p, is_write) in accesses {
+        let page = PageId::new(p);
+        let kind = if is_write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        let was_resident = resident.contains(&p);
+        let out = policy.on_access(PageAccess::new(page, kind));
+        prop_assert_eq!(out.fault, !was_resident, "page {}", p);
+        prop_assert!(policy.residency(page).is_resident());
+        prop_assert!(policy.occupancy(MemoryKind::Dram) <= dram_cap);
+        prop_assert!(policy.occupancy(MemoryKind::Nvm) <= nvm_cap);
+        resident.insert(p);
+        for action in &out.actions {
+            if let hybridmem_policy::PolicyAction::EvictToDisk { page, .. } = action {
+                resident.remove(&page.value());
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// CLOCK-Pro-lite upholds the shared safety invariants.
+    #[test]
+    fn clock_pro_invariants(
+        dram_cap in 1u64..6,
+        nvm_cap in 1u64..12,
+        accesses in prop::collection::vec((0u64..32, prop::bool::ANY), 1..400),
+    ) {
+        let mut policy = ClockProPolicy::new(
+            PageCount::new(dram_cap), PageCount::new(nvm_cap)).unwrap();
+        check_policy_invariants(&mut policy, dram_cap, nvm_cap, &accesses)?;
+    }
+
+    /// The DRAM-cache architecture upholds the shared safety invariants;
+    /// note its DRAM holds *copies*, so the resident set is tracked by the
+    /// NVM backing store alone.
+    #[test]
+    fn dram_cache_invariants(
+        dram_cap in 1u64..6,
+        nvm_cap in 1u64..12,
+        accesses in prop::collection::vec((0u64..32, prop::bool::ANY), 1..400),
+    ) {
+        let mut policy = DramCachePolicy::new(
+            PageCount::new(dram_cap), PageCount::new(nvm_cap)).unwrap();
+        check_policy_invariants(&mut policy, dram_cap, nvm_cap, &accesses)?;
+    }
+
+    /// The adaptive extension upholds the shared safety invariants and its
+    /// thresholds stay within the configured cap.
+    #[test]
+    fn adaptive_two_lru_invariants(
+        dram_cap in 1u64..6,
+        nvm_cap in 1u64..12,
+        accesses in prop::collection::vec((0u64..32, prop::bool::ANY), 1..400),
+    ) {
+        let config = TwoLruConfig::new(
+            PageCount::new(dram_cap), PageCount::new(nvm_cap)).unwrap();
+        let adaptive = AdaptiveConfig { adjust_interval: 4, ..AdaptiveConfig::default() };
+        let mut policy = AdaptiveTwoLruPolicy::new(config, adaptive);
+        check_policy_invariants(&mut policy, dram_cap, nvm_cap, &accesses)?;
+        let (read, write) = policy.thresholds();
+        prop_assert!(read >= 1 && read <= adaptive.max_threshold);
+        prop_assert!(write >= 1 && write <= adaptive.max_threshold);
+        let stats = policy.stats();
+        prop_assert!(stats.raises + stats.lowers
+            <= stats.beneficial_promotions + stats.wasted_promotions);
+    }
+}

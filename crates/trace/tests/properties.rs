@@ -1,0 +1,145 @@
+//! Property-based tests for the trace crate: generator budget exactness,
+//! determinism, domain bounds, scaling invariants, and I/O roundtrips.
+
+use proptest::prelude::*;
+
+use hybridmem_trace::{io, LocalityParams, PhaseParams, TraceGenerator, TraceStats, WorkloadSpec};
+use hybridmem_types::{Access, AccessKind, Address, CoreId, ACCESS_GRANULARITY};
+
+fn locality_strategy() -> impl Strategy<Value = LocalityParams> {
+    (
+        0.0f64..=1.0,   // reuse
+        0.1f64..=3.0,   // theta
+        0.01f64..=1.0,  // depth fraction
+        0.0f64..=0.3,   // sequential
+        1.0f64..=512.0, // skew
+        0.1f64..=1.0,   // span
+        0.0f64..=10.0,  // damping/boost
+        0.0f64..=1.0,   // write hot fraction
+        1.0f64..=20.0,  // write hot multiplier
+        prop::option::of((100u64..5_000, 0.01f64..=1.0, 0.1f64..=1.0)),
+    )
+        .prop_map(
+            |(reuse, theta, depth, seq, skew, span, damping, hot_frac, hot_mult, phase)| {
+                LocalityParams {
+                    reuse_probability: reuse,
+                    stack_theta: theta,
+                    stack_depth_fraction: depth,
+                    sequential_probability: seq,
+                    popularity_skew: skew,
+                    popularity_span: span,
+                    cold_write_damping: damping,
+                    write_hot_fraction: hot_frac,
+                    write_hot_multiplier: hot_mult,
+                    phase: phase.map(|(length, footprint, intensity)| PhaseParams {
+                        length,
+                        footprint_fraction: footprint,
+                        intensity,
+                    }),
+                }
+            },
+        )
+}
+
+fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    (2u64..2_000, 0u64..5_000, 0u64..5_000, locality_strategy()).prop_filter_map(
+        "at least one access",
+        |(wss, reads, writes, locality)| {
+            WorkloadSpec::new("prop", wss, reads.max(1), writes, locality).ok()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The generator emits exactly the requested number of reads and
+    /// writes, for any valid spec — the deficit controller is exact.
+    #[test]
+    fn budgets_are_exact(spec in spec_strategy(), seed in 0u64..1_000) {
+        let stats: TraceStats = TraceGenerator::new(spec.clone(), seed).collect();
+        prop_assert_eq!(stats.reads, spec.reads);
+        prop_assert_eq!(stats.writes, spec.writes);
+    }
+
+    /// Every page stays inside the working set; every address is
+    /// access-aligned; every core is within the configured count.
+    #[test]
+    fn domains_are_respected(spec in spec_strategy(), seed in 0u64..1_000) {
+        for access in TraceGenerator::new(spec.clone(), seed) {
+            prop_assert!(access.page().value() < spec.working_set.value());
+            prop_assert_eq!(access.address.value() % ACCESS_GRANULARITY as u64, 0);
+            prop_assert!(access.core.index() < spec.cores);
+        }
+    }
+
+    /// Same (spec, seed) ⇒ identical trace; different seeds almost always
+    /// differ (compared only when the trace has room to differ).
+    #[test]
+    fn deterministic_in_seed(spec in spec_strategy(), seed in 0u64..1_000) {
+        let a: Vec<Access> = TraceGenerator::new(spec.clone(), seed).collect();
+        let b: Vec<Access> = TraceGenerator::new(spec.clone(), seed).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Scaling preserves the write ratio (within rounding) and the
+    /// nominal bookkeeping used for static power.
+    #[test]
+    fn scaling_preserves_shape(spec in spec_strategy(), factor in 0.05f64..1.0) {
+        let scaled = spec.scaled(factor);
+        prop_assert_eq!(scaled.nominal_working_set, spec.nominal_working_set);
+        prop_assert_eq!(scaled.nominal_accesses, spec.nominal_accesses);
+        prop_assert!(scaled.working_set <= spec.working_set);
+        prop_assert!(scaled.total_accesses() <= spec.total_accesses() + 1);
+        if spec.writes > 20 && spec.reads > 20 && factor > 0.2 {
+            prop_assert!((scaled.write_ratio() - spec.write_ratio()).abs() < 0.1);
+        }
+    }
+
+    /// `capped` never exceeds the requested volume by more than rounding
+    /// and keeps at least the footprint floor.
+    #[test]
+    fn capped_bounds_hold(spec in spec_strategy(), cap in 10u64..10_000) {
+        let capped = spec.capped(cap);
+        if spec.total_accesses() > cap {
+            // Rounding each of reads/writes up can add at most 1 each.
+            prop_assert!(capped.total_accesses() <= cap + 2);
+            let floor = WorkloadSpec::MIN_CAPPED_FOOTPRINT.min(spec.working_set.value());
+            prop_assert!(capped.working_set.value() >= floor.min(spec.working_set.value()));
+        } else {
+            prop_assert_eq!(capped, spec);
+        }
+    }
+
+    /// Text and binary formats both roundtrip arbitrary access sequences.
+    #[test]
+    fn io_roundtrips(
+        accesses in prop::collection::vec(
+            (0u64..1u64 << 40, prop::bool::ANY, 0u16..64).prop_map(|(addr, write, core)| {
+                let kind = if write { AccessKind::Write } else { AccessKind::Read };
+                Access::new(Address::new(addr), kind, CoreId::new(core))
+            }),
+            0..200,
+        )
+    ) {
+        let mut text = Vec::new();
+        io::write_text(accesses.iter().copied(), &mut text).unwrap();
+        prop_assert_eq!(&io::read_text(text.as_slice()).unwrap(), &accesses);
+
+        let mut binary = Vec::new();
+        io::write_binary(accesses.iter().copied(), &mut binary).unwrap();
+        prop_assert_eq!(binary.len(), accesses.len() * io::BINARY_RECORD_SIZE);
+        prop_assert_eq!(&io::read_binary(binary.as_slice()).unwrap(), &accesses);
+    }
+
+    /// Trace statistics are consistent with themselves.
+    #[test]
+    fn stats_are_internally_consistent(spec in spec_strategy(), seed in 0u64..100) {
+        let stats: TraceStats = TraceGenerator::new(spec.clone(), seed).collect();
+        prop_assert_eq!(stats.total(), spec.total_accesses());
+        let per_page_total: u64 = stats.per_page.values().map(|(r, w)| r + w).sum();
+        prop_assert_eq!(per_page_total, stats.total());
+        let ratio = stats.read_ratio();
+        prop_assert!((0.0..=1.0).contains(&ratio));
+    }
+}

@@ -1,0 +1,107 @@
+//! The shared error type for fallible `hybridmem` constructors.
+
+use std::fmt;
+
+/// Convenience alias for results carrying [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by `hybridmem` configuration and parsing.
+///
+/// # Examples
+///
+/// ```
+/// use hybridmem_types::Error;
+///
+/// let err = Error::invalid_config("dram_fraction must be in (0, 1]");
+/// assert!(err.to_string().contains("dram_fraction"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A configuration value was out of its valid domain.
+    InvalidConfig {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A trace record could not be parsed.
+    ParseTrace {
+        /// Line or record number (1-based) where parsing failed.
+        record: u64,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A simulation was driven with an input it cannot accept
+    /// (e.g. an access to a page outside the configured address space).
+    InvalidInput {
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl Error {
+    /// Creates an [`Error::InvalidConfig`].
+    #[must_use]
+    pub fn invalid_config(reason: impl Into<String>) -> Self {
+        Self::InvalidConfig {
+            reason: reason.into(),
+        }
+    }
+
+    /// Creates an [`Error::ParseTrace`].
+    #[must_use]
+    pub fn parse_trace(record: u64, reason: impl Into<String>) -> Self {
+        Self::ParseTrace {
+            record,
+            reason: reason.into(),
+        }
+    }
+
+    /// Creates an [`Error::InvalidInput`].
+    #[must_use]
+    pub fn invalid_input(reason: impl Into<String>) -> Self {
+        Self::InvalidInput {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Self::ParseTrace { record, reason } => {
+                write!(f, "trace parse error at record {record}: {reason}")
+            }
+            Self::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_specific() {
+        let e = Error::invalid_config("capacity must be non-zero");
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration: capacity must be non-zero"
+        );
+        let e = Error::parse_trace(12, "expected R or W");
+        assert_eq!(
+            e.to_string(),
+            "trace parse error at record 12: expected R or W"
+        );
+        let e = Error::invalid_input("page beyond footprint");
+        assert_eq!(e.to_string(), "invalid input: page beyond footprint");
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_bounds::<Error>();
+    }
+}

@@ -1,0 +1,158 @@
+//! Memory-tier vocabulary: module kinds and page residency.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One of the two main-memory modules in the hybrid architecture.
+///
+/// The paper assumes "separate memory modules for DRAM and NVM that
+/// communicate through Direct Memory Access (DMA)" (Section II), at the same
+/// level of the memory hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use hybridmem_types::MemoryKind;
+///
+/// assert_eq!(MemoryKind::Dram.other(), MemoryKind::Nvm);
+/// assert_eq!(format!("{}", MemoryKind::Nvm), "NVM");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum MemoryKind {
+    /// The DRAM module: fast, symmetric, high static (refresh) power.
+    Dram,
+    /// The NVM (PCM) module: slower asymmetric access, negligible static
+    /// power, limited write endurance.
+    Nvm,
+}
+
+impl MemoryKind {
+    /// Returns the other module — the migration target of this one.
+    #[must_use]
+    pub const fn other(self) -> Self {
+        match self {
+            Self::Dram => Self::Nvm,
+            Self::Nvm => Self::Dram,
+        }
+    }
+
+    /// Both kinds, DRAM first (the search order of Algorithm 1).
+    #[must_use]
+    pub const fn all() -> [Self; 2] {
+        [Self::Dram, Self::Nvm]
+    }
+}
+
+impl fmt::Display for MemoryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Dram => f.write_str("DRAM"),
+            Self::Nvm => f.write_str("NVM"),
+        }
+    }
+}
+
+/// Where a page currently lives.
+///
+/// A page is resident in exactly one place at any time; the simulator's
+/// page table maintains this as an invariant (checked by property tests).
+///
+/// # Examples
+///
+/// ```
+/// use hybridmem_types::{MemoryKind, Residency};
+///
+/// let r = Residency::InMemory(MemoryKind::Dram);
+/// assert!(r.is_resident());
+/// assert_eq!(r.memory(), Some(MemoryKind::Dram));
+/// assert!(!Residency::OnDisk.is_resident());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Residency {
+    /// The page is resident in the given main-memory module.
+    InMemory(MemoryKind),
+    /// The page has been evicted to (or never left) secondary storage.
+    OnDisk,
+}
+
+impl Residency {
+    /// Returns true when the page is in either memory module.
+    #[must_use]
+    pub const fn is_resident(self) -> bool {
+        matches!(self, Self::InMemory(_))
+    }
+
+    /// Returns the memory module holding the page, if resident.
+    #[must_use]
+    pub const fn memory(self) -> Option<MemoryKind> {
+        match self {
+            Self::InMemory(kind) => Some(kind),
+            Self::OnDisk => None,
+        }
+    }
+}
+
+impl From<MemoryKind> for Residency {
+    fn from(kind: MemoryKind) -> Self {
+        Self::InMemory(kind)
+    }
+}
+
+impl fmt::Display for Residency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InMemory(kind) => write!(f, "in {kind}"),
+            Self::OnDisk => f.write_str("on disk"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_is_an_involution() {
+        for kind in MemoryKind::all() {
+            assert_eq!(kind.other().other(), kind);
+            assert_ne!(kind.other(), kind);
+        }
+    }
+
+    #[test]
+    fn residency_queries() {
+        assert!(Residency::InMemory(MemoryKind::Nvm).is_resident());
+        assert_eq!(
+            Residency::InMemory(MemoryKind::Nvm).memory(),
+            Some(MemoryKind::Nvm)
+        );
+        assert_eq!(Residency::OnDisk.memory(), None);
+        assert_eq!(
+            Residency::from(MemoryKind::Dram),
+            Residency::InMemory(MemoryKind::Dram)
+        );
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(format!("{}", MemoryKind::Dram), "DRAM");
+        assert_eq!(
+            format!("{}", Residency::InMemory(MemoryKind::Nvm)),
+            "in NVM"
+        );
+        assert_eq!(format!("{}", Residency::OnDisk), "on disk");
+    }
+
+    #[test]
+    fn serde_uses_snake_case() {
+        assert_eq!(
+            serde_json::to_string(&MemoryKind::Dram).unwrap(),
+            "\"dram\""
+        );
+        let r: Residency = serde_json::from_str("{\"in_memory\":\"nvm\"}").unwrap();
+        assert_eq!(r, Residency::InMemory(MemoryKind::Nvm));
+    }
+}

@@ -1,0 +1,228 @@
+//! Physical-quantity newtypes for latency and energy.
+//!
+//! The paper's models work in nanoseconds (Table IV latencies) and
+//! nanojoules (Table IV dynamic energies); these newtypes keep the two
+//! dimensions from being mixed while supporting the arithmetic the models
+//! need (sums, scaling by probabilities and by `PageFactor`).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a quantity from a raw value.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `value` is NaN.
+            #[must_use]
+            pub fn new(value: f64) -> Self {
+                assert!(!value.is_nan(), concat!(stringify!($name), " cannot be NaN"));
+                Self(value)
+            }
+
+            /// Returns the raw value.
+            #[must_use]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns true when the value is exactly zero.
+            #[must_use]
+            pub fn is_zero(self) -> bool {
+                self.0 == 0.0
+            }
+
+            /// Returns the ratio `self / other` as a dimensionless number.
+            ///
+            /// This is how normalized figures (e.g. "AMAT normalized to
+            /// DRAM-only") are computed.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            #[doc = concat!("use hybridmem_types::", stringify!($name), ";")]
+            #[doc = concat!("let a = ", stringify!($name), "::new(10.0);")]
+            #[doc = concat!("let b = ", stringify!($name), "::new(4.0);")]
+            /// assert!((a.ratio_to(b) - 2.5).abs() < 1e-12);
+            /// ```
+            #[must_use]
+            pub fn ratio_to(self, other: Self) -> f64 {
+                self.0 / other.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!("{:.4} ", $unit), self.0)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(value: f64) -> Self {
+                Self::new(value)
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(value: $name) -> f64 {
+                value.0
+            }
+        }
+    };
+}
+
+quantity!(
+    /// A latency or duration in nanoseconds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hybridmem_types::Nanoseconds;
+    ///
+    /// let dram_read = Nanoseconds::new(50.0);
+    /// let nvm_write = Nanoseconds::new(350.0);
+    /// assert_eq!((dram_read + nvm_write).value(), 400.0);
+    /// assert_eq!((dram_read * 2.0).value(), 100.0);
+    /// ```
+    Nanoseconds,
+    "ns"
+);
+
+quantity!(
+    /// An energy in nanojoules.
+    ///
+    /// The paper's Table I labels per-access power values with "ηj"
+    /// (nanojoule energy per request); APPR (Eq. 2) is therefore an energy
+    /// per request, which we model with this type.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hybridmem_types::Nanojoules;
+    ///
+    /// let read = Nanojoules::new(6.4);
+    /// let write = Nanojoules::new(32.0);
+    /// assert!(((read + write).value() - 38.4).abs() < 1e-12);
+    /// ```
+    Nanojoules,
+    "nJ"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_constants() {
+        assert!(Nanoseconds::ZERO.is_zero());
+        let a = Nanoseconds::new(100.0);
+        let b = Nanoseconds::new(50.0);
+        assert_eq!((a - b).value(), 50.0);
+        assert_eq!((a / 4.0).value(), 25.0);
+        assert_eq!((0.5 * a).value(), 50.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.value(), 150.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Nanojoules = (1..=4).map(|i| Nanojoules::new(f64::from(i))).sum();
+        assert_eq!(total.value(), 10.0);
+    }
+
+    #[test]
+    fn ratio_to_gives_normalized_value() {
+        let hybrid = Nanojoules::new(3.0);
+        let dram_only = Nanojoules::new(6.0);
+        assert_eq!(hybrid.ratio_to(dram_only), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be NaN")]
+    fn nan_rejected() {
+        let _ = Nanoseconds::new(f64::NAN);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let q = Nanojoules::from(3.25);
+        assert_eq!(f64::from(q), 3.25);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(format!("{}", Nanoseconds::new(50.0)), "50.0000 ns");
+        assert_eq!(format!("{}", Nanojoules::new(6.4)), "6.4000 nJ");
+    }
+
+    #[test]
+    fn serde_transparent() {
+        assert_eq!(
+            serde_json::to_string(&Nanoseconds::new(1.5)).unwrap(),
+            "1.5"
+        );
+        let q: Nanojoules = serde_json::from_str("2.25").unwrap();
+        assert_eq!(q.value(), 2.25);
+    }
+}

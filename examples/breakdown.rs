@@ -1,0 +1,87 @@
+//! Inspect the full per-component breakdown (energy, latency, NVM writes)
+//! of every policy on one workload — the raw material of the paper's
+//! stacked-bar figures.
+//!
+//! ```text
+//! cargo run --release --example breakdown [workload] [max_accesses]
+//! ```
+
+use hybridmem::sim::{ExperimentConfig, PolicyKind, SimulationReport};
+use hybridmem::trace::parsec;
+use hybridmem::types::Error;
+
+fn main() -> Result<(), Error> {
+    let mut args = std::env::args().skip(1);
+    let workload = args.next().unwrap_or_else(|| "canneal".to_owned());
+    let cap: u64 = args
+        .next()
+        .map(|s| s.parse().expect("max_accesses must be an integer"))
+        .unwrap_or(300_000);
+
+    let spec = parsec::spec(&workload)?.capped(cap);
+    let config = ExperimentConfig::default();
+    println!(
+        "workload {workload}: {} accesses, wss {} (nominal {}), write ratio {:.1}%",
+        spec.total_accesses(),
+        spec.working_set.value(),
+        spec.nominal_working_set.value(),
+        spec.write_ratio() * 100.0
+    );
+
+    for kind in [
+        PolicyKind::DramOnly,
+        PolicyKind::NvmOnly,
+        PolicyKind::ClockDwf,
+        PolicyKind::TwoLru,
+        PolicyKind::AdaptiveTwoLru,
+    ] {
+        let r = config.run(&spec, kind)?;
+        print_report(&r);
+    }
+    Ok(())
+}
+
+fn print_report(r: &SimulationReport) {
+    let n = r.counts.requests as f64;
+    println!("\n=== {} ===", r.policy);
+    println!(
+        "  requests {} | hits D(r/w) {}/{} N(r/w) {}/{} | faults {} ({:.4}%)",
+        r.counts.requests,
+        r.counts.dram_read_hits,
+        r.counts.dram_write_hits,
+        r.counts.nvm_read_hits,
+        r.counts.nvm_write_hits,
+        r.counts.faults,
+        r.counts.faults as f64 / n * 100.0
+    );
+    println!(
+        "  migrations: to-DRAM {} to-NVM {} | fills D {} N {} | evictions {}",
+        r.counts.migrations_to_dram,
+        r.counts.migrations_to_nvm,
+        r.counts.fills_to_dram,
+        r.counts.fills_to_nvm,
+        r.counts.evictions_to_disk
+    );
+    println!(
+        "  energy/req (nJ): static {:.2} dynamic {:.2} fills {:.2} migrations {:.2} | total {:.2}",
+        r.energy.static_energy.value() / n,
+        r.energy.dynamic.value() / n,
+        r.energy.page_faults.value() / n,
+        r.energy.migrations.value() / n,
+        r.appr().value()
+    );
+    println!(
+        "  latency/req (ns): requests {:.1} faults {:.1} migrations {:.1} | AMAT {:.1}",
+        r.latency.requests.value() / n,
+        r.latency.faults.value() / n,
+        r.latency.migrations.value() / n,
+        r.amat().value()
+    );
+    println!(
+        "  NVM writes: requests {} fills {} migrations {} | total {}",
+        r.nvm_writes.requests,
+        r.nvm_writes.page_faults,
+        r.nvm_writes.migrations,
+        r.nvm_writes.total()
+    );
+}

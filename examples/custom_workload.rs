@@ -1,0 +1,99 @@
+//! Build a custom workload from scratch, persist its trace to disk, reload
+//! it, and evaluate the migration policies on it — the full public-API tour
+//! for users bringing their own workloads instead of the PARSEC profiles.
+//!
+//! ```text
+//! cargo run --release --example custom_workload [trace_path]
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use hybridmem::policy::{ClockDwfPolicy, HybridPolicy, TwoLruConfig, TwoLruPolicy};
+use hybridmem::sim::HybridSimulator;
+use hybridmem::trace::{io, LocalityParams, PhaseParams, TraceGenerator, TraceStats, WorkloadSpec};
+use hybridmem::types::{PageAccess, PageCount};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/custom_workload.trace".to_owned());
+
+    // 1. Describe the workload: a 64 MB key-value-store-like footprint,
+    //    strongly skewed reads with a write-hot index region and periodic
+    //    compaction bursts.
+    let spec = WorkloadSpec::new(
+        "kv-store",
+        16_384, // 64 MB of 4 KB pages
+        800_000,
+        200_000,
+        LocalityParams {
+            reuse_probability: 0.85,
+            popularity_skew: 24.0,
+            popularity_span: 0.5,
+            sequential_probability: 0.002,
+            cold_write_damping: 0.1,
+            write_hot_fraction: 0.1,
+            write_hot_multiplier: 6.0,
+            phase: Some(PhaseParams {
+                length: 250_000,
+                footprint_fraction: 0.04,
+                intensity: 0.3,
+            }),
+            ..LocalityParams::balanced()
+        },
+    )?;
+
+    // 2. Generate and persist the trace (binary format; text also works).
+    let writer = BufWriter::new(File::create(&trace_path)?);
+    io::write_binary(TraceGenerator::new(spec.clone(), 1234), writer)?;
+    println!("wrote trace to {trace_path}");
+
+    // 3. Reload and characterize it.
+    let reader = BufReader::new(File::open(&trace_path)?);
+    let trace = io::read_binary(reader)?;
+    let stats = TraceStats::from_accesses(trace.iter().copied());
+    println!(
+        "reloaded {} accesses: footprint {} KB, {:.1}% reads, {:.1} accesses/page, {:.1}% write-dominant pages",
+        stats.total(),
+        stats.working_set_kb(),
+        stats.read_ratio() * 100.0,
+        stats.accesses_per_page(),
+        stats.write_dominant_page_ratio() * 100.0,
+    );
+
+    // 4. Size a hybrid memory per the paper's rule (75% of footprint, 10%
+    //    DRAM) and evaluate both migration policies on the same trace.
+    let total = PageCount::new(spec.working_set.value() * 3 / 4);
+    let dram = PageCount::new((total.value() / 10).max(1));
+    let nvm = PageCount::new(total.value() - dram.value());
+    println!(
+        "\nmemory: {} pages = {} DRAM + {} NVM\n",
+        total.value(),
+        dram.value(),
+        nvm.value()
+    );
+
+    let policies: Vec<Box<dyn HybridPolicy>> = vec![
+        Box::new(TwoLruPolicy::new(TwoLruConfig::new(dram, nvm)?)),
+        Box::new(ClockDwfPolicy::new(dram, nvm)?),
+    ];
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>12}",
+        "policy", "hit%", "migrations", "AMAT(ns)", "NVM writes"
+    );
+    for policy in policies {
+        let mut simulator = HybridSimulator::with_date2016_devices(policy);
+        simulator.run(trace.iter().copied().map(PageAccess::from));
+        let report = simulator.into_report(spec.name.clone());
+        println!(
+            "{:<12} {:>7.2}% {:>12} {:>12.0} {:>12}",
+            report.policy,
+            report.counts.hit_ratio() * 100.0,
+            report.counts.migrations(),
+            report.amat().value(),
+            report.nvm_writes.total(),
+        );
+    }
+    Ok(())
+}

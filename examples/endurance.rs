@@ -1,0 +1,97 @@
+//! Endurance deep-dive: NVM wear and lifetime under each policy.
+//!
+//! The paper's endurance analysis stops at write counts (Figs. 2c/4b); this
+//! example extends it to per-page wear distributions and lifetime
+//! estimates, using the device crate's [`WearTracker`]-derived statistics.
+//!
+//! ```text
+//! cargo run --release --example endurance [workload] [max_accesses]
+//! ```
+
+use hybridmem::device::DEFAULT_PCM_CELL_ENDURANCE;
+use hybridmem::sim::{ExperimentConfig, PolicyKind, SimulationReport};
+use hybridmem::trace::parsec;
+use hybridmem::types::Error;
+
+fn main() -> Result<(), Error> {
+    let mut args = std::env::args().skip(1);
+    let workload = args.next().unwrap_or_else(|| "vips".to_owned());
+    let cap: u64 = args
+        .next()
+        .map(|s| s.parse().expect("max_accesses must be an integer"))
+        .unwrap_or(400_000);
+
+    let spec = parsec::spec(&workload)?.capped(cap);
+    let config = ExperimentConfig::default();
+    println!(
+        "workload {workload}: {} accesses, {:.1}% writes\n",
+        spec.total_accesses(),
+        spec.write_ratio() * 100.0
+    );
+    println!(
+        "{:<18} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "policy", "NVM writes", "max wear", "mean wear", "imbalance", "est. lifetime"
+    );
+
+    for kind in [
+        PolicyKind::NvmOnly,
+        PolicyKind::ClockPro,
+        PolicyKind::ClockDwf,
+        PolicyKind::TwoLru,
+        PolicyKind::AdaptiveTwoLru,
+    ] {
+        let report = config.run(&spec, kind)?;
+        print_row(&report);
+    }
+
+    println!(
+        "\nLifetime = cell endurance ({DEFAULT_PCM_CELL_ENDURANCE} writes) \
+         divided by the hottest\npage's write rate, assuming the measured \
+         traffic mix is stationary and no\nwear leveling. The proposed \
+         scheme extends lifetime by both writing less\nand spreading writes \
+         more evenly than CLOCK-DWF. Absolute lifetimes are\nshort because \
+         the capped trace compresses hours of traffic into a fraction\nof a \
+         second of simulated time."
+    );
+    Ok(())
+}
+
+/// Formats a duration with a unit matched to its magnitude.
+fn human_duration(seconds: f64) -> String {
+    if seconds >= 365.25 * 24.0 * 3600.0 {
+        format!("{:.1} years", seconds / (365.25 * 24.0 * 3600.0))
+    } else if seconds >= 24.0 * 3600.0 {
+        format!("{:.1} days", seconds / (24.0 * 3600.0))
+    } else if seconds >= 3600.0 {
+        format!("{:.1} hours", seconds / 3600.0)
+    } else {
+        format!("{seconds:.0} s")
+    }
+}
+
+fn print_row(report: &SimulationReport) {
+    // Reconstruct the write rate from the duration model: writes per
+    // simulated second of workload time.
+    let writes_per_second = if report.duration_ns > 0.0 {
+        report.nvm_writes.total() as f64 / (report.duration_ns * 1e-9)
+    } else {
+        0.0
+    };
+    let lifetime = if report.wear.max_page_wear > 0 && writes_per_second > 0.0 {
+        let hottest_share =
+            report.wear.max_page_wear as f64 / report.nvm_writes.total().max(1) as f64;
+        let seconds = DEFAULT_PCM_CELL_ENDURANCE as f64 / (writes_per_second * hottest_share);
+        human_duration(seconds)
+    } else {
+        "unbounded".to_owned()
+    };
+    println!(
+        "{:<18} {:>12} {:>12} {:>12.1} {:>12.2} {:>14}",
+        report.policy,
+        report.nvm_writes.total(),
+        report.wear.max_page_wear,
+        report.wear.mean_page_wear,
+        report.wear.imbalance,
+        lifetime,
+    );
+}

@@ -1,0 +1,139 @@
+//! Hand-computed accounting scenarios: the simulator's energy and latency
+//! totals are checked against pen-and-paper sums over short, fully
+//! understood access sequences (all Table IV constants).
+
+use hybridmem::policy::{ClockDwfPolicy, SingleTierPolicy, TwoLruConfig, TwoLruPolicy};
+use hybridmem::sim::HybridSimulator;
+use hybridmem::types::{PageAccess, PageCount, PageId, PAGE_FACTOR};
+
+const PF: f64 = PAGE_FACTOR as f64;
+const DISK_NS: f64 = 5e6;
+
+fn page(n: u64) -> PageId {
+    PageId::new(n)
+}
+
+#[test]
+fn dram_only_sequence_accounts_exactly() {
+    // Capacity 2. Sequence: fault 1, fault 2, hit 1 (read), write-hit 2,
+    // fault 3 (evicts LRU = 1), hit 3.
+    let policy = SingleTierPolicy::dram_only(PageCount::new(2)).unwrap();
+    let mut sim = HybridSimulator::with_date2016_devices(Box::new(policy));
+    sim.step(PageAccess::read(page(1)));
+    sim.step(PageAccess::read(page(2)));
+    sim.step(PageAccess::read(page(1)));
+    sim.step(PageAccess::write(page(2)));
+    sim.step(PageAccess::read(page(3)));
+    sim.step(PageAccess::read(page(3)));
+    let report = sim.into_report("scenario");
+
+    assert_eq!(report.counts.requests, 6);
+    assert_eq!(report.counts.faults, 3);
+    assert_eq!(report.counts.evictions_to_disk, 1);
+    // Latency: 3 faults × 5 ms disk + 3 hits × 50 ns.
+    let expected_latency = 3.0 * DISK_NS + 3.0 * 50.0;
+    assert!((report.latency.total().value() - expected_latency).abs() < 1e-6);
+    // Energy (dynamic): 3 hits × 3.2 nJ; fills: 3 × PF × 3.2 nJ.
+    assert!((report.energy.dynamic.value() - 3.0 * 3.2).abs() < 1e-9);
+    assert!((report.energy.page_faults.value() - 3.0 * PF * 3.2).abs() < 1e-6);
+    assert!(report.energy.migrations.is_zero());
+}
+
+#[test]
+fn two_lru_promotion_sequence_accounts_exactly() {
+    // DRAM 1, NVM 4; thresholds (1, 1), windows (1.0, 1.0): the second hit
+    // of any NVM page promotes it (counter 2 > threshold 1).
+    let config =
+        TwoLruConfig::with_thresholds(PageCount::new(1), PageCount::new(4), 1, 1, 1.0, 1.0)
+            .unwrap();
+    let mut sim = HybridSimulator::with_date2016_devices(Box::new(TwoLruPolicy::new(config)));
+
+    sim.step(PageAccess::read(page(1))); // fault → DRAM
+    sim.step(PageAccess::read(page(2))); // fault → DRAM, demote 1 → NVM
+    sim.step(PageAccess::read(page(1))); // NVM hit, counter 1
+    sim.step(PageAccess::read(page(1))); // NVM hit, counter 2 → promote (swap with 2)
+    let report = sim.into_report("scenario");
+
+    assert_eq!(report.counts.faults, 2);
+    assert_eq!(report.counts.nvm_read_hits, 2);
+    assert_eq!(report.counts.migrations_to_nvm, 2); // demotion + swap-back
+    assert_eq!(report.counts.migrations_to_dram, 1); // the promotion
+
+    // Latency: 2 faults (disk) + 2 NVM read hits (100 ns each)
+    //        + demotion PF·(50+350) + swap [PF·(50+350) + PF·(100+50)].
+    let expected_latency = 2.0 * DISK_NS + 2.0 * 100.0 + PF * 400.0 + PF * 400.0 + PF * 150.0;
+    assert!(
+        (report.latency.total().value() - expected_latency).abs() < 1e-6,
+        "got {}, expected {}",
+        report.latency.total().value(),
+        expected_latency
+    );
+
+    // Migration energy: 2 × PF·(3.2 + 32) [D→N] + 1 × PF·(6.4 + 3.2) [N→D].
+    let expected_migration_energy = 2.0 * PF * 35.2 + PF * 9.6;
+    assert!((report.energy.migrations.value() - expected_migration_energy).abs() < 1e-6);
+
+    // NVM writes: 2 migrations into NVM × PF each; zero demand writes.
+    assert_eq!(report.nvm_writes.migrations, 2 * PAGE_FACTOR);
+    assert_eq!(report.nvm_writes.requests, 0);
+    assert_eq!(report.nvm_writes.page_faults, 0);
+
+    // Wear: page 1 was demoted once (PF) and page 2 swapped in once (PF).
+    assert_eq!(report.wear.max_page_wear, PAGE_FACTOR);
+    assert!((report.wear.mean_page_wear - PF).abs() < 1e-9);
+}
+
+#[test]
+fn clock_dwf_write_storm_accounts_exactly() {
+    // DRAM 1, NVM 2. Read faults land in NVM once DRAM is full; every write
+    // to an NVM page is a swap. Alternate writes between two NVM pages to
+    // force the Section III "migration storm".
+    let policy = ClockDwfPolicy::new(PageCount::new(1), PageCount::new(2)).unwrap();
+    let mut sim = HybridSimulator::with_date2016_devices(Box::new(policy));
+
+    sim.step(PageAccess::read(page(1))); // DRAM (free)
+    sim.step(PageAccess::read(page(2))); // NVM
+    sim.step(PageAccess::read(page(3))); // NVM
+    let storms = 10u64;
+    for i in 0..storms {
+        // Writes alternate 2,3,2,3,... — each one hits an NVM page and
+        // triggers a swap pair.
+        sim.step(PageAccess::write(page(2 + i % 2)));
+    }
+    let report = sim.into_report("scenario");
+
+    assert_eq!(report.counts.migrations_to_dram, storms);
+    assert_eq!(report.counts.migrations_to_nvm, storms);
+    assert_eq!(report.counts.nvm_write_hits, 0);
+    // Each swap pair: PF·(100+50) + PF·(50+350) ns.
+    let swap_latency = storms as f64 * (PF * 150.0 + PF * 400.0);
+    assert!((report.latency.migrations.value() - swap_latency).abs() < 1e-6);
+    // NVM writes come only from fills (2 read faults to NVM) + swap-backs.
+    assert_eq!(report.nvm_writes.total(), (2 + storms) * PAGE_FACTOR);
+    // Every demand write was served by DRAM at 50 ns.
+    assert_eq!(report.counts.dram_write_hits, storms);
+}
+
+#[test]
+fn static_energy_is_exactly_eq3() {
+    // DRAM-only, capacity 10 pages; 4 requests over footprint 2.
+    let policy = SingleTierPolicy::dram_only(PageCount::new(10)).unwrap();
+    let mut sim = HybridSimulator::with_date2016_devices(Box::new(policy));
+    for _ in 0..2 {
+        sim.step(PageAccess::read(page(0)));
+        sim.step(PageAccess::read(page(1)));
+    }
+    let report = sim.into_report("scenario");
+
+    // Duration = footprint·250µs + requests·50ns; static power =
+    // 10 pages × 3814.697… nJ/s.
+    let duration_s = (2.0 * 250_000.0 + 4.0 * 50.0) * 1e-9;
+    let st_per_page = 4096.0 / (1u64 << 30) as f64 * 1e9;
+    let expected = 10.0 * st_per_page * duration_s;
+    assert!(
+        (report.energy.static_energy.value() - expected).abs() < 1e-6,
+        "got {}, expected {expected}",
+        report.energy.static_energy.value()
+    );
+    assert!((report.duration_ns - duration_s * 1e9).abs() < 1e-6);
+}

@@ -1,0 +1,112 @@
+//! Architecture-level integration tests: the orderings between the three
+//! hybrid organizations the paper discusses — migration-based (proposed,
+//! CLOCK-DWF), caching-based (DRAM-cache), and the CLOCK-Pro admission
+//! ladder.
+
+use hybridmem::sim::{ExperimentConfig, PolicyKind, SimulationReport};
+use hybridmem::trace::parsec;
+
+/// Reduced volume under debug builds so `cargo test` stays fast;
+/// release runs use the full volume.
+const CAP: u64 = if cfg!(debug_assertions) {
+    40_000
+} else {
+    120_000
+};
+
+fn run(name: &str, kind: PolicyKind) -> SimulationReport {
+    let spec = parsec::spec(name).unwrap().capped(CAP);
+    ExperimentConfig::default().run(&spec, kind).unwrap()
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "volume-sensitive; run with --release")]
+fn dram_cache_copies_far_more_than_the_proposed_scheme() {
+    // The paper's critique of caching architectures: every admission is a
+    // page copy, so copy traffic dwarfs threshold-gated migration.
+    for name in ["bodytrack", "ferret", "x264"] {
+        let cache = run(name, PolicyKind::DramCache);
+        let proposed = run(name, PolicyKind::TwoLru);
+        assert!(
+            cache.counts.migrations() > 5 * proposed.counts.migrations(),
+            "{name}: cache copies {} vs proposed migrations {}",
+            cache.counts.migrations(),
+            proposed.counts.migrations()
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "volume-sensitive; run with --release")]
+fn dram_cache_keeps_all_pages_in_nvm() {
+    let report = run("bodytrack", PolicyKind::DramCache);
+    // Inclusive architecture: NVM occupancy is bounded by its capacity and
+    // DRAM holds at most its capacity of copies.
+    assert!(
+        report.counts.fills_to_nvm > 0,
+        "all fills land in the backing store"
+    );
+    assert_eq!(report.counts.fills_to_dram, 0);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "volume-sensitive; run with --release")]
+fn clock_pro_and_dram_cache_lose_to_clock_dwf_on_power() {
+    // The baseline ladder's left half: the pre-CLOCK-DWF organizations are
+    // strictly worse on these workloads (the reason CLOCK-DWF was the
+    // state of the art the paper had to beat).
+    for name in ["bodytrack", "freqmine", "x264"] {
+        let dwf = run(name, PolicyKind::ClockDwf);
+        let pro = run(name, PolicyKind::ClockPro);
+        let cache = run(name, PolicyKind::DramCache);
+        let dwf_power = dwf.energy.total().value();
+        assert!(
+            pro.energy.total().value() > dwf_power,
+            "{name}: clock-pro should trail clock-dwf"
+        );
+        assert!(
+            cache.energy.total().value() > dwf_power,
+            "{name}: dram-cache should trail clock-dwf"
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "volume-sensitive; run with --release")]
+fn adaptive_never_does_worse_than_static_on_migration_heavy_workloads() {
+    for name in ["canneal", "raytrace", "vips", "streamcluster"] {
+        let fixed = run(name, PolicyKind::TwoLru);
+        let adaptive = run(name, PolicyKind::AdaptiveTwoLru);
+        assert!(
+            adaptive.counts.migrations() <= fixed.counts.migrations(),
+            "{name}: adaptive migrations {} vs static {}",
+            adaptive.counts.migrations(),
+            fixed.counts.migrations()
+        );
+        assert!(
+            adaptive.energy.total().value() <= fixed.energy.total().value() * 1.001,
+            "{name}: adaptive power must not regress"
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "volume-sensitive; run with --release")]
+fn every_policy_reports_consistent_totals() {
+    for kind in PolicyKind::all() {
+        let report = run("bodytrack", kind);
+        assert_eq!(
+            report.counts.hits() + report.counts.faults,
+            report.counts.requests,
+            "{kind:?}"
+        );
+        assert_eq!(
+            report.counts.reads + report.counts.writes,
+            report.counts.requests,
+            "{kind:?}"
+        );
+        // Module accounting and top-level counters agree on demand traffic.
+        let demand = report.dram_stats.request.accesses() + report.nvm_stats.request.accesses();
+        assert_eq!(demand, report.counts.hits(), "{kind:?}");
+    }
+}

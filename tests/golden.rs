@@ -1,0 +1,53 @@
+//! Golden-file regression tests: the full `SimulationReport` of a fixed
+//! `(workload, policy, seed)` cell is pinned byte-for-byte. Any behavioral
+//! change to the trace generator, the policies, or the accounting shows up
+//! here as a diff — in a reproduction repository, silent drift is a bug
+//! even when all invariants still hold.
+//!
+//! To intentionally re-baseline after a deliberate change, regenerate the
+//! files (see the commented recipe at the bottom) and explain the change in
+//! `CHANGELOG.md`.
+
+use hybridmem::sim::{ExperimentConfig, PolicyKind, SimulationReport};
+use hybridmem::trace::parsec;
+
+fn run(kind: PolicyKind) -> SimulationReport {
+    let spec = parsec::spec("bodytrack").unwrap().capped(20_000);
+    ExperimentConfig::default().run(&spec, kind).unwrap()
+}
+
+fn check_against_golden(kind: PolicyKind, file: &str) {
+    let fresh = run(kind);
+    let golden_text = std::fs::read_to_string(format!("tests/data/{file}"))
+        .expect("golden file exists; regenerate per the module docs if missing");
+    let golden: SimulationReport = serde_json::from_str(&golden_text).expect("golden file parses");
+    assert_eq!(
+        fresh, golden,
+        "behavior drifted from the golden baseline in {file}; if the change \
+         is intentional, regenerate the golden files and document it"
+    );
+}
+
+#[test]
+fn two_lru_matches_golden_baseline() {
+    check_against_golden(PolicyKind::TwoLru, "golden_bodytrack_two_lru.json");
+}
+
+#[test]
+fn clock_dwf_matches_golden_baseline() {
+    check_against_golden(PolicyKind::ClockDwf, "golden_bodytrack_clock_dwf.json");
+}
+
+// Regeneration recipe (from the repository root):
+//
+// ```rust,ignore
+// let spec = parsec::spec("bodytrack")?.capped(20_000);
+// let config = ExperimentConfig::default();
+// for (kind, name) in [(PolicyKind::TwoLru, "two_lru"), (PolicyKind::ClockDwf, "clock_dwf")] {
+//     let report = config.run(&spec, kind)?;
+//     std::fs::write(
+//         format!("tests/data/golden_bodytrack_{name}.json"),
+//         serde_json::to_string_pretty(&report)?,
+//     )?;
+// }
+// ```

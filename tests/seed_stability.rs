@@ -1,0 +1,92 @@
+//! Seed-stability integration tests: the paper's qualitative conclusions
+//! must not be artefacts of one random trace — the orderings hold across
+//! generator seeds.
+
+use hybridmem::sim::{geo_mean, ExperimentConfig, PolicyKind};
+use hybridmem::trace::parsec;
+
+const SEEDS: [u64; 3] = [42, 1337, 987_654_321];
+/// Reduced volume under debug builds so `cargo test` stays fast;
+/// release runs use the full volume.
+const CAP: u64 = if cfg!(debug_assertions) {
+    40_000
+} else {
+    120_000
+};
+
+fn suite_gmean(seed: u64, metric: impl Fn(&[hybridmem::sim::SimulationReport]) -> f64) -> f64 {
+    let config = ExperimentConfig {
+        seed,
+        ..ExperimentConfig::default()
+    };
+    let mut values = Vec::new();
+    for name in parsec::NAMES {
+        let spec = parsec::spec(name).unwrap().capped(CAP);
+        let reports = config
+            .compare(
+                &spec,
+                &[
+                    PolicyKind::TwoLru,
+                    PolicyKind::ClockDwf,
+                    PolicyKind::DramOnly,
+                    PolicyKind::NvmOnly,
+                ],
+            )
+            .unwrap();
+        values.push(metric(&reports));
+    }
+    geo_mean(&values)
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "volume-sensitive; run with --release")]
+fn proposed_beats_clock_dwf_on_power_for_every_seed() {
+    for seed in SEEDS {
+        let ratio = suite_gmean(seed, |r| {
+            r[0].energy.total().value() / r[1].energy.total().value()
+        });
+        assert!(
+            ratio < 1.0,
+            "seed {seed}: proposed/CLOCK-DWF power G-Mean = {ratio:.3}"
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "volume-sensitive; run with --release")]
+fn proposed_reduces_nvm_writes_for_every_seed() {
+    for seed in SEEDS {
+        let ratio = suite_gmean(seed, |r| {
+            r[0].nvm_writes.total().max(1) as f64 / r[1].nvm_writes.total().max(1) as f64
+        });
+        assert!(
+            ratio < 0.85,
+            "seed {seed}: proposed/CLOCK-DWF NVM-write G-Mean = {ratio:.3}"
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "volume-sensitive; run with --release")]
+fn hybrid_static_power_saving_is_seed_independent() {
+    // The static saving is structural (memory sizing), so it must be
+    // essentially identical across seeds.
+    let mut ratios = Vec::new();
+    for seed in SEEDS {
+        ratios.push(suite_gmean(seed, |r| {
+            r[0].energy.static_energy.value() / r[2].energy.static_energy.value()
+        }));
+    }
+    for ratio in &ratios {
+        assert!(
+            (*ratio - 0.19).abs() < 0.02,
+            "hybrid/DRAM static ratio should be ~0.19, got {ratio:.3}"
+        );
+    }
+    let spread = ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(
+        spread < 0.01,
+        "static ratio must not vary with seed: {ratios:?}"
+    );
+}
