@@ -8,6 +8,7 @@
 //! --cap N      max accesses per workload (default 1_000_000; 0 = full scale)
 //! --seed N     trace generator seed (default 42)
 //! --out DIR    also write machine-readable JSON results into DIR
+//! --threads N  worker threads for the evaluation matrix (default 0 = auto)
 //! ```
 //!
 //! Tables are printed in the same row/series layout the paper uses, with
@@ -20,7 +21,8 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use hybridmem_core::{
-    arith_mean, compare_policies, geo_mean, ExperimentConfig, PolicyKind, SimulationReport,
+    arith_mean, compare_policies_timed, geo_mean, ExperimentConfig, MatrixTiming, PolicyKind,
+    SimulationReport,
 };
 use hybridmem_trace::{parsec, WorkloadSpec};
 use hybridmem_types::Result;
@@ -35,6 +37,9 @@ pub struct SuiteOptions {
     pub seed: u64,
     /// Directory for machine-readable JSON results, when given.
     pub out_dir: Option<PathBuf>,
+    /// Worker threads for the evaluation matrix (`0` = one per available
+    /// hardware thread).
+    pub threads: usize,
 }
 
 impl SuiteOptions {
@@ -50,11 +55,7 @@ impl SuiteOptions {
     /// Panics with a usage message on malformed arguments.
     #[must_use]
     pub fn from_args() -> Self {
-        let mut options = Self {
-            cap: Self::DEFAULT_CAP,
-            seed: 42,
-            out_dir: None,
-        };
+        let mut options = Self::default();
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
             let mut value = || {
@@ -65,7 +66,12 @@ impl SuiteOptions {
                 "--cap" => options.cap = value().parse().expect("--cap expects an integer"),
                 "--seed" => options.seed = value().parse().expect("--seed expects an integer"),
                 "--out" => options.out_dir = Some(PathBuf::from(value())),
-                other => panic!("unknown flag {other}; expected --cap/--seed/--out"),
+                "--threads" => {
+                    options.threads = value().parse().expect("--threads expects an integer");
+                }
+                other => {
+                    panic!("unknown flag {other}; expected --cap/--seed/--out/--threads");
+                }
             }
         }
         options
@@ -95,7 +101,10 @@ impl SuiteOptions {
             .collect()
     }
 
-    /// Runs `kinds` over all 12 workloads (parallel across workloads).
+    /// Runs `kinds` over all 12 workloads on the work-stealing cell pool
+    /// (`--threads` workers; 0 = auto), then records the run's throughput
+    /// into `throughput.json` (see [`ThroughputSummary`]) so successive
+    /// runs leave a perf trajectory.
     ///
     /// # Errors
     ///
@@ -105,8 +114,37 @@ impl SuiteOptions {
         kinds: &[PolicyKind],
     ) -> Result<Vec<(WorkloadSpec, Vec<SimulationReport>)>> {
         let specs = self.specs();
-        let rows = compare_policies(&specs, kinds, &self.config())?;
+        let (rows, timing) = compare_policies_timed(&specs, kinds, &self.config(), self.threads)?;
+        let summary = ThroughputSummary::from_matrix(&specs, kinds, &timing);
+        self.write_throughput(&summary);
         Ok(specs.into_iter().zip(rows).collect())
+    }
+
+    /// Writes the throughput summary to `<out_dir or "results">/throughput.json`.
+    ///
+    /// Best-effort: a read-only working directory must not fail an exhibit
+    /// regeneration, so failures are reported on stderr and swallowed.
+    fn write_throughput(&self, summary: &ThroughputSummary) {
+        let dir = self
+            .out_dir
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("results"));
+        let path = dir.join("throughput.json");
+        let result = fs::create_dir_all(&dir)
+            .map_err(|e| format!("mkdir {dir:?}: {e}"))
+            .and_then(|()| {
+                serde_json::to_string_pretty(summary).map_err(|e| format!("serialize: {e}"))
+            })
+            .and_then(|json| fs::write(&path, json).map_err(|e| format!("write {path:?}: {e}")));
+        match result {
+            Ok(()) => println!(
+                "throughput: {:.0} accesses/sec on {} threads (wrote {})",
+                summary.accesses_per_second,
+                summary.workers,
+                path.display()
+            ),
+            Err(e) => eprintln!("warning: could not record throughput: {e}"),
+        }
     }
 
     /// Writes `value` as pretty JSON into `out_dir/name.json` when an
@@ -136,6 +174,81 @@ impl Default for SuiteOptions {
             cap: Self::DEFAULT_CAP,
             seed: 42,
             out_dir: None,
+            threads: 0,
+        }
+    }
+}
+
+/// Throughput of one policy across the whole matrix run.
+#[derive(Debug, Clone, Serialize)]
+pub struct PolicyThroughput {
+    /// Policy name (stable, as in reports).
+    pub policy: String,
+    /// Total trace accesses simulated under this policy (warmup included).
+    pub accesses: u64,
+    /// Worker-seconds spent in this policy's cells.
+    pub seconds: f64,
+    /// `accesses / seconds`.
+    pub accesses_per_second: f64,
+}
+
+/// One matrix run's throughput record, written to
+/// `results/throughput.json` by [`SuiteOptions::run_matrix`] so future
+/// changes can track the perf trajectory (`BENCH_*.json` style).
+#[derive(Debug, Clone, Serialize)]
+pub struct ThroughputSummary {
+    /// Worker threads the cell pool used.
+    pub workers: usize,
+    /// End-to-end wall-clock of the matrix, seconds.
+    pub wall_seconds: f64,
+    /// Total trace accesses simulated across every cell.
+    pub total_accesses: u64,
+    /// `total_accesses / wall_seconds` — the headline number.
+    pub accesses_per_second: f64,
+    /// Per-policy breakdown (worker-seconds, not wall-clock).
+    pub per_policy: Vec<PolicyThroughput>,
+}
+
+impl ThroughputSummary {
+    /// Derives the summary from a timed matrix run.
+    #[must_use]
+    pub fn from_matrix(
+        specs: &[WorkloadSpec],
+        kinds: &[PolicyKind],
+        timing: &MatrixTiming,
+    ) -> Self {
+        #[allow(clippy::cast_precision_loss)]
+        let per_policy: Vec<PolicyThroughput> = kinds
+            .iter()
+            .enumerate()
+            .map(|(kind_index, kind)| {
+                let accesses: u64 = specs.iter().map(WorkloadSpec::total_accesses).sum();
+                let seconds: f64 = timing.cell_seconds.iter().map(|row| row[kind_index]).sum();
+                PolicyThroughput {
+                    policy: kind.name().to_owned(),
+                    accesses,
+                    seconds,
+                    accesses_per_second: if seconds > 0.0 {
+                        accesses as f64 / seconds
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        let total_accesses: u64 = per_policy.iter().map(|p| p.accesses).sum();
+        #[allow(clippy::cast_precision_loss)]
+        let accesses_per_second = if timing.wall_seconds > 0.0 {
+            total_accesses as f64 / timing.wall_seconds
+        } else {
+            0.0
+        };
+        Self {
+            workers: timing.workers,
+            wall_seconds: timing.wall_seconds,
+            total_accesses,
+            accesses_per_second,
+            per_policy,
         }
     }
 }
@@ -228,7 +341,36 @@ mod tests {
         assert_eq!(o.cap, SuiteOptions::DEFAULT_CAP);
         assert_eq!(o.seed, 42);
         assert!(o.out_dir.is_none());
+        assert_eq!(o.threads, 0, "auto thread count by default");
         assert_eq!(o.config().seed, 42);
+    }
+
+    #[test]
+    fn throughput_summary_math() {
+        let specs = vec![
+            parsec::spec("bodytrack").unwrap().capped(1_000),
+            parsec::spec("raytrace").unwrap().capped(1_000),
+        ];
+        let kinds = [PolicyKind::TwoLru, PolicyKind::DramOnly];
+        let timing = MatrixTiming {
+            wall_seconds: 2.0,
+            workers: 4,
+            cell_seconds: vec![vec![0.5, 0.25], vec![0.5, 0.25]],
+        };
+        let summary = ThroughputSummary::from_matrix(&specs, &kinds, &timing);
+        let per_policy_accesses: u64 = specs.iter().map(WorkloadSpec::total_accesses).sum();
+        assert_eq!(summary.workers, 4);
+        assert_eq!(summary.total_accesses, per_policy_accesses * 2);
+        assert_eq!(summary.per_policy.len(), 2);
+        assert_eq!(summary.per_policy[0].policy, "two-lru");
+        assert!((summary.per_policy[0].seconds - 1.0).abs() < 1e-12);
+        assert!((summary.per_policy[1].seconds - 0.5).abs() < 1e-12);
+        #[allow(clippy::cast_precision_loss)]
+        let expected = per_policy_accesses as f64 / 1.0;
+        assert!((summary.per_policy[0].accesses_per_second - expected).abs() < 1e-6);
+        #[allow(clippy::cast_precision_loss)]
+        let headline = (per_policy_accesses * 2) as f64 / 2.0;
+        assert!((summary.accesses_per_second - headline).abs() < 1e-6);
     }
 
     #[test]

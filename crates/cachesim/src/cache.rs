@@ -5,11 +5,15 @@ use serde::{Deserialize, Serialize};
 
 use crate::CacheGeometry;
 
-/// A line resident in a set: its tag and dirty bit.
+/// A line resident in a set: its tag, dirty bit, and recency stamp.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Line {
     tag: u64,
     dirty: bool,
+    /// Value of the cache's access tick when this line was last touched.
+    /// Ticks are unique per access, so the resident line with the smallest
+    /// stamp is exactly the LRU way — no positional ordering needed.
+    last_used: u64,
 }
 
 /// What happened on one cache access.
@@ -84,8 +88,13 @@ impl CacheStats {
 #[derive(Debug, Clone)]
 pub struct SetAssociativeCache {
     geometry: CacheGeometry,
-    /// `sets[s]` is ordered MRU-first.
+    /// `sets[s]` holds resident lines in arbitrary slot order; recency
+    /// lives in each line's `last_used` stamp, so a hit updates one line
+    /// in place instead of rotating the whole set (`Vec::remove` +
+    /// `insert(0)` was O(associativity) data movement per hit).
     sets: Vec<Vec<Line>>,
+    /// Monotonic access counter stamped into `Line::last_used`.
+    tick: u64,
     stats: CacheStats,
 }
 
@@ -98,6 +107,7 @@ impl SetAssociativeCache {
         Self {
             geometry,
             sets: vec![Vec::with_capacity(geometry.associativity as usize); sets],
+            tick: 0,
             stats: CacheStats::default(),
         }
     }
@@ -138,11 +148,12 @@ impl SetAssociativeCache {
         let sets = self.geometry.sets();
         let line_size = u64::from(self.geometry.line_size);
         let associativity = self.geometry.associativity as usize;
+        self.tick += 1;
+        let tick = self.tick;
         let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|l| l.tag == tag) {
-            let mut line = set.remove(pos);
+        if let Some(line) = set.iter_mut().find(|l| l.tag == tag) {
             line.dirty |= kind.is_write();
-            set.insert(0, line);
+            line.last_used = tick;
             self.stats.hits += 1;
             return CacheAccessResult {
                 hit: true,
@@ -150,28 +161,35 @@ impl SetAssociativeCache {
             };
         }
         self.stats.misses += 1;
-        let mut evicted = None;
-        if set.len() == associativity {
-            let victim = set.pop().expect("full set has a victim");
-            if victim.dirty {
-                self.stats.writebacks += 1;
-            }
-            let line = victim.tag * sets + set_idx as u64;
-            evicted = Some(EvictedLine {
-                address: Address::new(line * line_size),
-                dirty: victim.dirty,
-            });
+        let incoming = Line {
+            tag,
+            dirty: kind.is_write(),
+            last_used: tick,
+        };
+        if set.len() < associativity {
+            set.push(incoming);
+            return CacheAccessResult {
+                hit: false,
+                evicted: None,
+            };
         }
-        set.insert(
-            0,
-            Line {
-                tag,
-                dirty: kind.is_write(),
-            },
-        );
+        let victim_pos = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| l.last_used)
+            .map(|(pos, _)| pos)
+            .expect("full set has a victim");
+        let victim = std::mem::replace(&mut set[victim_pos], incoming);
+        if victim.dirty {
+            self.stats.writebacks += 1;
+        }
+        let line = victim.tag * sets + set_idx as u64;
         CacheAccessResult {
             hit: false,
-            evicted,
+            evicted: Some(EvictedLine {
+                address: Address::new(line * line_size),
+                dirty: victim.dirty,
+            }),
         }
     }
 
@@ -188,7 +206,8 @@ impl SetAssociativeCache {
         let (set_idx, tag) = self.set_and_tag(address);
         let set = &mut self.sets[set_idx];
         let pos = set.iter().position(|l| l.tag == tag)?;
-        let line = set.remove(pos);
+        // Slot order carries no meaning, so the O(1) removal is safe.
+        let line = set.swap_remove(pos);
         self.stats.invalidations += 1;
         Some(line.dirty)
     }
@@ -206,6 +225,10 @@ impl SetAssociativeCache {
         let line_size = u64::from(self.geometry.line_size);
         let mut drained = Vec::with_capacity(self.resident_lines());
         for (set_idx, set) in self.sets.iter_mut().enumerate() {
+            // Emit each set MRU-first, matching the positional ordering
+            // this cache historically kept, so flush-time write-back
+            // streams are unchanged.
+            set.sort_unstable_by(|a, b| b.last_used.cmp(&a.last_used));
             for line in set.drain(..) {
                 let number = line.tag * sets_count + set_idx as u64;
                 drained.push(EvictedLine {
@@ -308,6 +331,61 @@ mod tests {
         for i in 0..100u64 {
             c.access(Address::new(i * 64), AccessKind::Read);
             assert!(c.resident_lines() <= 4);
+        }
+    }
+
+    #[test]
+    fn drain_is_mru_first_per_set() {
+        let mut c = tiny();
+        c.access(Address::new(128), AccessKind::Write); // set 0, older
+        c.access(Address::new(0), AccessKind::Read); // set 0, newer
+        c.access(Address::new(0), AccessKind::Read);
+        let drained = c.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].address, Address::new(0), "MRU drains first");
+        assert_eq!(drained[1].address, Address::new(128));
+        assert!(drained[1].dirty);
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn matches_reference_lru_order() {
+        // Deterministic pseudo-random stream (LCG) cross-checked against a
+        // positional MRU-first reference model: the timestamp scheme must
+        // hit, miss, and evict identically.
+        let mut c = tiny();
+        let mut reference: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+        let mut state = 0x2545_F491_4F6C_DD1D_u64;
+        for _ in 0..2_000 {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let line = (state >> 33) % 16;
+            let kind = if state & 1 == 0 {
+                AccessKind::Read
+            } else {
+                AccessKind::Write
+            };
+            let res = c.access(Address::new(line * 64), kind);
+            #[allow(clippy::cast_possible_truncation)]
+            let (set, tag) = ((line % 2) as usize, line / 2);
+            let model = &mut reference[set];
+            if let Some(pos) = model.iter().position(|&t| t == tag) {
+                let t = model.remove(pos);
+                model.insert(0, t);
+                assert!(res.hit);
+                assert!(res.evicted.is_none());
+            } else {
+                assert!(!res.hit);
+                if model.len() == 2 {
+                    let victim = model.pop().expect("full model set");
+                    let evicted = res.evicted.expect("full set evicts");
+                    assert_eq!(evicted.address.value(), (victim * 2 + set as u64) * 64);
+                } else {
+                    assert!(res.evicted.is_none());
+                }
+                model.insert(0, tag);
+            }
         }
     }
 

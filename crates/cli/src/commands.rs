@@ -2,6 +2,8 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use hybridmem_core::{ExperimentConfig, PolicyKind, SimulationReport};
 use hybridmem_trace::{
@@ -28,7 +30,8 @@ COMMANDS:
     simulate <trace> --policy P        run one policy over a trace file
              [--memory-fraction F] [--dram-fraction F] [--json]
     compare <trace>                    run all policies over a trace file
-             [--memory-fraction F] [--dram-fraction F]
+             [--memory-fraction F] [--dram-fraction F] [--threads N]
+             (--threads 0, the default, uses all available cores)
 
 Trace files use the formats documented in hybridmem-trace: text
 (`R 0x1000 0` per line) or binary (11-byte records). `--format` defaults
@@ -195,15 +198,22 @@ fn simulate<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
 }
 
 fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
-    args.reject_unknown(&["memory-fraction", "dram-fraction", "format"])?;
+    args.reject_unknown(&["memory-fraction", "dram-fraction", "format", "threads"])?;
+    let threads: usize = args.get_parsed_or("threads", 0)?;
+    let (path, trace) = load_trace(args)?;
+    let (spec, config) = trace_experiment(args, &path, &trace)?;
+    // Decode once; every policy replays the same immutable buffer instead
+    // of re-reading the trace file per policy.
+    let pages: Vec<PageAccess> = trace.iter().copied().map(PageAccess::from).collect();
+    let kinds = PolicyKind::all();
+    let reports = run_policy_cells(&config, &spec, &path, &kinds, &pages, threads)?;
     writeln!(
         out,
         "{:<18} {:>8} {:>12} {:>12} {:>14} {:>12}",
         "policy", "hit%", "migrations", "AMAT(ns)", "energy/req nJ", "NVM writes"
     )
     .map_err(io_err)?;
-    for kind in PolicyKind::all() {
-        let report = run_trace_policy(args, kind)?;
+    for report in &reports {
         writeln!(
             out,
             "{:<18} {:>7.2}% {:>12} {:>12.0} {:>14.2} {:>12}",
@@ -219,21 +229,23 @@ fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
     Ok(())
 }
 
-/// Loads a trace and runs one policy over it with paper-style memory
-/// sizing derived from the trace's own footprint.
-fn run_trace_policy(args: &Args, kind: PolicyKind) -> Result<SimulationReport> {
-    let (path, trace) = load_trace(args)?;
+/// Describes a loaded trace as a `WorkloadSpec` plus paper-style
+/// configuration so the standard runner applies: the working set is the
+/// measured footprint; locality fields are unused because the recorded
+/// accesses are fed directly.
+fn trace_experiment(
+    args: &Args,
+    path: &str,
+    trace: &[Access],
+) -> Result<(WorkloadSpec, ExperimentConfig)> {
     let stats = TraceStats::from_accesses(trace.iter().copied());
     if stats.total() == 0 {
         return Err(Error::invalid_input(format!("trace {path} is empty")));
     }
     let memory_fraction: f64 = args.get_parsed_or("memory-fraction", 0.75)?;
     let dram_fraction: f64 = args.get_parsed_or("dram-fraction", 0.10)?;
-    // Describe the trace as a spec so the standard runner applies: the
-    // working set is the measured footprint; locality fields are unused
-    // because we feed the recorded accesses directly.
     let spec = WorkloadSpec::new(
-        path.clone(),
+        path.to_owned(),
         stats.footprint().value().max(2),
         stats.reads.max(1),
         stats.writes,
@@ -244,10 +256,73 @@ fn run_trace_policy(args: &Args, kind: PolicyKind) -> Result<SimulationReport> {
         dram_fraction,
         ..ExperimentConfig::date2016()
     };
-    let policy = config.build_policy(kind, &spec)?;
+    Ok((spec, config))
+}
+
+/// Runs one policy over an already-decoded trace buffer.
+fn simulate_policy_cell(
+    config: &ExperimentConfig,
+    spec: &WorkloadSpec,
+    path: &str,
+    kind: PolicyKind,
+    pages: &[PageAccess],
+) -> Result<SimulationReport> {
+    let policy = config.build_policy(kind, spec)?;
     let mut simulator = hybridmem_core::HybridSimulator::with_date2016_devices(policy);
-    simulator.run(trace.iter().copied().map(PageAccess::from));
-    Ok(simulator.into_report(path))
+    simulator.run_slice(pages);
+    Ok(simulator.into_report(path.to_owned()))
+}
+
+/// Runs every policy over the shared trace buffer on a worker pool of
+/// `threads` OS threads (0 = all available cores), writing results into
+/// per-cell slots so the output order — and the first error reported —
+/// match the serial loop exactly.
+fn run_policy_cells(
+    config: &ExperimentConfig,
+    spec: &WorkloadSpec,
+    path: &str,
+    kinds: &[PolicyKind],
+    pages: &[PageAccess],
+    threads: usize,
+) -> Result<Vec<SimulationReport>> {
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+    .min(kinds.len())
+    .max(1);
+    let next_cell = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<SimulationReport>>>> =
+        kinds.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let worker = || loop {
+            let index = next_cell.fetch_add(1, Ordering::Relaxed);
+            let Some(kind) = kinds.get(index) else { break };
+            let result = simulate_policy_cell(config, spec, path, *kind, pages);
+            *slots[index].lock().expect("cell slot poisoned") = Some(result);
+        };
+        for _ in 0..workers {
+            scope.spawn(worker);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("cell slot poisoned")
+                .expect("every cell was claimed by a worker")
+        })
+        .collect()
+}
+
+/// Loads a trace and runs one policy over it with paper-style memory
+/// sizing derived from the trace's own footprint.
+fn run_trace_policy(args: &Args, kind: PolicyKind) -> Result<SimulationReport> {
+    let (path, trace) = load_trace(args)?;
+    let (spec, config) = trace_experiment(args, &path, &trace)?;
+    let pages: Vec<PageAccess> = trace.iter().copied().map(PageAccess::from).collect();
+    simulate_policy_cell(&config, &spec, &path, kind, &pages)
 }
 
 fn write_report<W: std::io::Write>(out: &mut W, report: &SimulationReport) -> Result<()> {
@@ -403,6 +478,10 @@ mod tests {
         let (result, text) = run_capture(&["compare", path]);
         assert!(result.is_ok(), "{result:?}");
         assert!(text.contains("clock-pro"));
+
+        let (result, threaded) = run_capture(&["compare", path, "--threads", "2"]);
+        assert!(result.is_ok(), "{result:?}");
+        assert_eq!(threaded, text, "worker pool must not change the table");
         let _ = std::fs::remove_file(path);
     }
 

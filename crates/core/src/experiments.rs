@@ -6,6 +6,10 @@
 //! and [`ExperimentConfig::run`] executes one `(workload, policy)` cell of
 //! the evaluation matrix; [`compare_policies`] runs a whole row.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
 use hybridmem_policy::{
     AdaptiveConfig, AdaptiveTwoLruPolicy, ClockDwfPolicy, ClockProPolicy, DramCachePolicy,
     HybridPolicy, SingleTierPolicy, TwoLruConfig, TwoLruPolicy,
@@ -14,7 +18,7 @@ use hybridmem_trace::{TraceGenerator, WorkloadSpec};
 use hybridmem_types::{Error, PageAccess, PageCount, Result};
 use serde::{Deserialize, Serialize};
 
-use crate::{HybridSimulator, SimulationReport, TimeModel};
+use crate::{HybridSimulator, SimulationReport, TimeModel, TraceCache};
 
 /// Which policy to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -165,14 +169,9 @@ impl ExperimentConfig {
         })
     }
 
-    /// Runs one `(workload, policy)` cell: generates the trace, simulates,
-    /// and returns the report.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`Error::InvalidConfig`] when the workload or derived
-    /// configuration is invalid.
-    pub fn run(&self, spec: &WorkloadSpec, kind: PolicyKind) -> Result<SimulationReport> {
+    /// Validates the cell inputs shared by [`ExperimentConfig::run`] and
+    /// [`ExperimentConfig::run_cached`].
+    fn validate_cell(&self, spec: &WorkloadSpec) -> Result<()> {
         spec.validate()?;
         if !(0.0..1.0).contains(&self.warmup_fraction) {
             return Err(Error::invalid_config(format!(
@@ -180,6 +179,11 @@ impl ExperimentConfig {
                 self.warmup_fraction
             )));
         }
+        Ok(())
+    }
+
+    /// Builds the configured simulator for one cell.
+    fn build_simulator(&self, kind: PolicyKind, spec: &WorkloadSpec) -> Result<HybridSimulator> {
         let policy = self.build_policy(kind, spec)?;
         let mut simulator = HybridSimulator::new(
             policy,
@@ -194,14 +198,37 @@ impl ExperimentConfig {
         // true duration density (see DESIGN.md).
         simulator.set_static_scale(1.0 / spec.scale_factor());
         simulator.set_density_hint(spec.nominal_density());
-        let mut trace = TraceGenerator::new(spec.clone(), self.seed).map(PageAccess::from);
+        Ok(simulator)
+    }
+
+    /// Number of leading trace accesses driven as warmup.
+    fn warmup_len(&self, spec: &WorkloadSpec) -> usize {
         #[allow(
             clippy::cast_precision_loss,
             clippy::cast_possible_truncation,
             clippy::cast_sign_loss
         )]
-        let warmup = (spec.total_accesses() as f64 * self.warmup_fraction) as u64;
-        for access in trace.by_ref().take(warmup as usize) {
+        {
+            (spec.total_accesses() as f64 * self.warmup_fraction) as usize
+        }
+    }
+
+    /// Runs one `(workload, policy)` cell: generates the trace, simulates,
+    /// and returns the report.
+    ///
+    /// Streams the trace straight out of the generator without
+    /// materializing it; see [`ExperimentConfig::run_cached`] for the
+    /// shared-trace variant the matrix runners use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the workload or derived
+    /// configuration is invalid.
+    pub fn run(&self, spec: &WorkloadSpec, kind: PolicyKind) -> Result<SimulationReport> {
+        self.validate_cell(spec)?;
+        let mut simulator = self.build_simulator(kind, spec)?;
+        let mut trace = TraceGenerator::new(spec.clone(), self.seed).map(PageAccess::from);
+        for access in trace.by_ref().take(self.warmup_len(spec)) {
             simulator.step(access);
         }
         simulator.reset_accounting();
@@ -209,8 +236,43 @@ impl ExperimentConfig {
         Ok(simulator.into_report(spec.name.clone()))
     }
 
+    /// Runs one cell against a trace shared through `cache`, so sibling
+    /// cells (other policies on the same workload, other sweep points on
+    /// the same trace) replay the identical buffer instead of regenerating
+    /// it.
+    ///
+    /// Produces a report byte-identical to [`ExperimentConfig::run`]: the
+    /// generator is deterministic, so materializing the trace first changes
+    /// only where the accesses come from, not what they are. Falls back to
+    /// the streaming path when the trace alone would exceed the cache
+    /// budget (full-scale uncapped workloads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the workload or derived
+    /// configuration is invalid.
+    pub fn run_cached(
+        &self,
+        spec: &WorkloadSpec,
+        kind: PolicyKind,
+        cache: &TraceCache,
+    ) -> Result<SimulationReport> {
+        self.validate_cell(spec)?;
+        let Some(trace) = cache.try_get(spec, self.seed) else {
+            return self.run(spec, kind);
+        };
+        let mut simulator = self.build_simulator(kind, spec)?;
+        let warmup = self.warmup_len(spec).min(trace.len());
+        simulator.run_slice(&trace[..warmup]);
+        simulator.reset_accounting();
+        simulator.run_slice(&trace[warmup..]);
+        Ok(simulator.into_report(spec.name.clone()))
+    }
+
     /// Runs several policies over the *same* trace (same seed), returning
-    /// reports in the order given.
+    /// reports in the order given. The trace is materialized once in the
+    /// process-wide [`TraceCache`] and shared across the policies (and any
+    /// later run touching the same `(spec, seed)`).
     ///
     /// # Errors
     ///
@@ -220,7 +282,11 @@ impl ExperimentConfig {
         spec: &WorkloadSpec,
         kinds: &[PolicyKind],
     ) -> Result<Vec<SimulationReport>> {
-        kinds.iter().map(|&kind| self.run(spec, kind)).collect()
+        let cache = TraceCache::global();
+        kinds
+            .iter()
+            .map(|&kind| self.run_cached(spec, kind, cache))
+            .collect()
     }
 }
 
@@ -231,15 +297,36 @@ impl Default for ExperimentConfig {
     }
 }
 
-/// Runs `kinds` over every workload in `specs`, in parallel across
-/// workloads (one OS thread each; the simulator itself is single-threaded
-/// and deterministic).
+/// Wall-clock and per-cell timings of one parallel matrix run, reported by
+/// [`compare_policies_timed`] so harnesses can derive throughput
+/// (accesses/second) per policy.
 ///
-/// Returns, for each spec in order, the reports in `kinds` order.
+/// Timings are measurement artefacts: they vary run to run and are *not*
+/// part of the deterministic [`SimulationReport`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatrixTiming {
+    /// End-to-end wall-clock of the whole matrix, in seconds.
+    pub wall_seconds: f64,
+    /// Number of worker threads the pool actually used.
+    pub workers: usize,
+    /// `cell_seconds[spec_index][kind_index]`: time one worker spent on
+    /// that cell (including any wait for the shared trace to materialize).
+    pub cell_seconds: Vec<Vec<f64>>,
+}
+
+/// Runs `kinds` over every workload in `specs` on a work-stealing worker
+/// pool, with automatic thread-count selection (see
+/// [`compare_policies_threaded`] with `threads = 0`).
+///
+/// Returns, for each spec in order, the reports in `kinds` order. Output
+/// is byte-identical to running every cell serially: cells are
+/// independent deterministic simulations and results are assembled by
+/// cell index, not completion order.
 ///
 /// # Errors
 ///
-/// Propagates the first failing run.
+/// Propagates the failing run with the lowest cell index (the same error
+/// the serial path would hit first).
 ///
 /// # Examples
 ///
@@ -265,19 +352,118 @@ pub fn compare_policies(
     kinds: &[PolicyKind],
     config: &ExperimentConfig,
 ) -> Result<Vec<Vec<SimulationReport>>> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = specs
-            .iter()
-            .map(|spec| scope.spawn(move || config.compare(spec, kinds)))
-            .collect();
+    compare_policies_threaded(specs, kinds, config, 0)
+}
+
+/// [`compare_policies`] with an explicit worker count.
+///
+/// `threads = 0` selects `available_parallelism()`; any request is capped
+/// at the number of `(workload, policy)` cells so idle workers are never
+/// spawned. Each worker pulls the next unclaimed cell off a shared atomic
+/// index (work stealing at cell granularity — no static partitioning, so
+/// one slow workload cannot strand the rest of the pool) and writes its
+/// report into the cell's pre-assigned slot.
+///
+/// # Errors
+///
+/// Propagates the failing run with the lowest cell index.
+pub fn compare_policies_threaded(
+    specs: &[WorkloadSpec],
+    kinds: &[PolicyKind],
+    config: &ExperimentConfig,
+    threads: usize,
+) -> Result<Vec<Vec<SimulationReport>>> {
+    Ok(compare_policies_timed(specs, kinds, config, threads)?.0)
+}
+
+/// [`compare_policies_threaded`], additionally reporting wall-clock and
+/// per-cell timings for throughput tracking.
+///
+/// # Errors
+///
+/// Propagates the failing run with the lowest cell index.
+#[allow(clippy::missing_panics_doc)] // internal invariants only
+pub fn compare_policies_timed(
+    specs: &[WorkloadSpec],
+    kinds: &[PolicyKind],
+    config: &ExperimentConfig,
+    threads: usize,
+) -> Result<(Vec<Vec<SimulationReport>>, MatrixTiming)> {
+    type CellSlot = Mutex<Option<(Result<SimulationReport>, f64)>>;
+
+    let started = Instant::now();
+    let cells = specs.len() * kinds.len();
+    if cells == 0 {
+        return Ok((
+            specs.iter().map(|_| Vec::new()).collect(),
+            MatrixTiming {
+                wall_seconds: started.elapsed().as_secs_f64(),
+                workers: 0,
+                cell_seconds: specs.iter().map(|_| Vec::new()).collect(),
+            },
+        ));
+    }
+    let available = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let workers = if threads == 0 { available } else { threads }
+        .min(cells)
+        .max(1);
+
+    let cache = TraceCache::global();
+    let next_cell = AtomicUsize::new(0);
+    let slots: Vec<CellSlot> = (0..cells).map(|_| Mutex::new(None)).collect();
+
+    let panicked = std::thread::scope(|scope| {
+        let worker = || loop {
+            let index = next_cell.fetch_add(1, Ordering::Relaxed);
+            if index >= cells {
+                break;
+            }
+            let spec = &specs[index / kinds.len()];
+            let kind = kinds[index % kinds.len()];
+            let cell_started = Instant::now();
+            let result = config.run_cached(spec, kind, cache);
+            let elapsed = cell_started.elapsed().as_secs_f64();
+            *slots[index].lock().expect("cell slot poisoned") = Some((result, elapsed));
+        };
+        let handles: Vec<_> = (0..workers).map(|_| scope.spawn(worker)).collect();
         handles
             .into_iter()
-            .map(|h| {
-                h.join()
-                    .map_err(|_| Error::invalid_input("simulation thread panicked".to_owned()))?
-            })
-            .collect()
-    })
+            .fold(false, |panicked, handle| panicked | handle.join().is_err())
+    });
+    if panicked {
+        return Err(Error::invalid_input(
+            "simulation thread panicked".to_owned(),
+        ));
+    }
+
+    // Assemble by cell index: output order (and the first-error choice)
+    // never depends on which worker finished when.
+    let mut rows = Vec::with_capacity(specs.len());
+    let mut cell_seconds = Vec::with_capacity(specs.len());
+    let mut slots = slots.into_iter();
+    for _ in specs {
+        let mut row = Vec::with_capacity(kinds.len());
+        let mut times = Vec::with_capacity(kinds.len());
+        for _ in kinds {
+            let slot = slots.next().expect("one slot per cell");
+            let (result, seconds) = slot
+                .into_inner()
+                .expect("cell slot poisoned")
+                .expect("every cell index below `cells` was claimed");
+            row.push(result?);
+            times.push(seconds);
+        }
+        rows.push(row);
+        cell_seconds.push(times);
+    }
+    let timing = MatrixTiming {
+        wall_seconds: started.elapsed().as_secs_f64(),
+        workers,
+        cell_seconds,
+    };
+    Ok((rows, timing))
 }
 
 #[cfg(test)]
@@ -378,6 +564,110 @@ mod tests {
             let sequential = config.compare(spec, &kinds).unwrap();
             assert_eq!(*row, sequential);
         }
+    }
+
+    #[test]
+    fn cached_run_matches_streaming_run() {
+        let config = ExperimentConfig::date2016();
+        let spec = small_spec();
+        let cache = TraceCache::new(64 << 20);
+        for kind in PolicyKind::all() {
+            let streamed = config.run(&spec, kind).unwrap();
+            let cached = config.run_cached(&spec, kind, &cache).unwrap();
+            assert_eq!(streamed, cached, "{kind}");
+        }
+        assert_eq!(cache.len(), 1, "seven policies shared one trace");
+    }
+
+    #[test]
+    fn oversized_trace_falls_back_to_streaming() {
+        let config = ExperimentConfig::date2016();
+        let spec = small_spec();
+        let tiny_cache = TraceCache::new(16);
+        let report = config
+            .run_cached(&spec, PolicyKind::TwoLru, &tiny_cache)
+            .unwrap();
+        assert!(tiny_cache.is_empty());
+        assert_eq!(report, config.run(&spec, PolicyKind::TwoLru).unwrap());
+    }
+
+    #[test]
+    fn threaded_compare_is_byte_identical_to_serial() {
+        // The ISSUE-level determinism guarantee: a multi-threaded matrix
+        // run serializes to exactly the bytes the serial path produces.
+        let config = ExperimentConfig::date2016();
+        let specs = vec![
+            small_spec(),
+            parsec::spec("bodytrack").unwrap().capped(3_000),
+            parsec::spec("raytrace").unwrap().capped(2_500),
+        ];
+        let kinds = PolicyKind::all();
+        let serial: Vec<Vec<SimulationReport>> = specs
+            .iter()
+            .map(|spec| config.compare(spec, &kinds).unwrap())
+            .collect();
+        let threaded = compare_policies_threaded(&specs, &kinds, &config, 8).unwrap();
+        let serial_json = serde_json::to_string(&serial).unwrap();
+        let threaded_json = serde_json::to_string(&threaded).unwrap();
+        assert_eq!(serial_json, threaded_json);
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_results() {
+        let config = ExperimentConfig::date2016();
+        let specs = vec![
+            small_spec(),
+            parsec::spec("bodytrack").unwrap().capped(2_000),
+        ];
+        let kinds = [
+            PolicyKind::TwoLru,
+            PolicyKind::ClockDwf,
+            PolicyKind::DramOnly,
+        ];
+        let one = compare_policies_threaded(&specs, &kinds, &config, 1).unwrap();
+        for threads in [2, 3, 8, 64] {
+            let many = compare_policies_threaded(&specs, &kinds, &config, threads).unwrap();
+            assert_eq!(one, many, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn timed_compare_reports_sane_timings() {
+        let config = ExperimentConfig::date2016();
+        let specs = vec![small_spec()];
+        let kinds = [PolicyKind::TwoLru, PolicyKind::DramOnly];
+        let (rows, timing) = compare_policies_timed(&specs, &kinds, &config, 2).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(timing.cell_seconds.len(), 1);
+        assert_eq!(timing.cell_seconds[0].len(), 2);
+        assert!(timing.workers >= 1 && timing.workers <= 2);
+        assert!(timing.wall_seconds >= 0.0);
+        assert!(timing.cell_seconds[0].iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn empty_matrix_is_well_formed() {
+        let config = ExperimentConfig::date2016();
+        let rows = compare_policies_threaded(&[small_spec()], &[], &config, 4).unwrap();
+        assert_eq!(rows, vec![Vec::new()]);
+        let none = compare_policies_threaded(&[], &PolicyKind::all(), &config, 4).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn first_error_matches_serial_order() {
+        let config = ExperimentConfig {
+            warmup_fraction: 2.0, // invalid: every cell fails
+            ..ExperimentConfig::date2016()
+        };
+        let specs = vec![
+            small_spec(),
+            parsec::spec("bodytrack").unwrap().capped(1_000),
+        ];
+        let kinds = [PolicyKind::TwoLru, PolicyKind::DramOnly];
+        let err = compare_policies_threaded(&specs, &kinds, &config, 4).unwrap_err();
+        let serial_err = config.run(&specs[0], kinds[0]).unwrap_err();
+        assert_eq!(err.to_string(), serial_err.to_string());
     }
 
     #[test]

@@ -41,9 +41,13 @@ pub mod model;
 mod report;
 mod simulator;
 mod sweep;
+mod trace_cache;
 
 pub use events::{CountingSink, EventSink, RecordingSink, SimEvent};
-pub use experiments::{compare_policies, ExperimentConfig, PolicyKind};
+pub use experiments::{
+    compare_policies, compare_policies_threaded, compare_policies_timed, ExperimentConfig,
+    MatrixTiming, PolicyKind,
+};
 pub use model::{AmatComponents, ApprComponents, ModelParams, Probabilities, TimeModel};
 pub use report::{
     arith_mean, geo_mean, Counts, EnergyBreakdown, LatencyBreakdown, NvmWriteBreakdown,
@@ -51,3 +55,4 @@ pub use report::{
 };
 pub use simulator::HybridSimulator;
 pub use sweep::{sweep_dram_fractions, sweep_thresholds, sweep_windows, SweepPoint};
+pub use trace_cache::{TraceCache, DEFAULT_BUDGET_BYTES};

@@ -51,7 +51,7 @@ pub struct HybridSimulator {
     energy_page_faults_nj: f64,
     energy_migrations_nj: f64,
     nvm_writes: NvmWriteBreakdown,
-    footprint: std::collections::HashSet<hybridmem_types::PageId>,
+    footprint: hybridmem_types::FxHashSet<hybridmem_types::PageId>,
     static_scale: f64,
     density_hint: Option<f64>,
     event_sink: Option<Box<dyn EventSink>>,
@@ -92,7 +92,7 @@ impl HybridSimulator {
             energy_page_faults_nj: 0.0,
             energy_migrations_nj: 0.0,
             nvm_writes: NvmWriteBreakdown::default(),
-            footprint: std::collections::HashSet::new(),
+            footprint: hybridmem_types::FxHashSet::default(),
             static_scale: 1.0,
             density_hint: None,
             event_sink: None,
@@ -289,6 +289,15 @@ impl HybridSimulator {
     /// Runs a whole trace.
     pub fn run<I: IntoIterator<Item = PageAccess>>(&mut self, trace: I) {
         for access in trace {
+            self.step(access);
+        }
+    }
+
+    /// Replays a materialized trace slice without cloning or re-generating
+    /// it — the replay path for traces shared through
+    /// [`TraceCache`](crate::TraceCache).
+    pub fn run_slice(&mut self, trace: &[PageAccess]) {
+        for &access in trace {
             self.step(access);
         }
     }

@@ -1,11 +1,15 @@
 //! Parameter-sweep helpers: programmatic access to the ablation studies
 //! (`abl_thresholds`, `abl_window`, `abl_dram_ratio` build on these).
+//!
+//! Sweep points vary only the policy configuration, never the trace, so
+//! every point replays the one trace materialized in the process-wide
+//! [`TraceCache`] instead of regenerating it per point.
 
 use hybridmem_trace::WorkloadSpec;
 use hybridmem_types::Result;
 use serde::{Deserialize, Serialize};
 
-use crate::{ExperimentConfig, PolicyKind, SimulationReport};
+use crate::{ExperimentConfig, PolicyKind, SimulationReport, TraceCache};
 
 /// One point of a sweep: the varied configuration plus the paired
 /// `(proposed, baseline)` reports it produced.
@@ -81,8 +85,8 @@ pub fn sweep_thresholds(
                 write_threshold,
                 ..*base
             };
-            let subject = config.run(spec, PolicyKind::TwoLru)?;
-            let baseline = config.run(spec, PolicyKind::DramOnly)?;
+            let subject = config.run_cached(spec, PolicyKind::TwoLru, TraceCache::global())?;
+            let baseline = config.run_cached(spec, PolicyKind::DramOnly, TraceCache::global())?;
             Ok(SweepPoint {
                 parameter: format!("thresholds=({read_threshold},{write_threshold})"),
                 subject,
@@ -111,8 +115,8 @@ pub fn sweep_windows(
                 write_window,
                 ..*base
             };
-            let subject = config.run(spec, PolicyKind::TwoLru)?;
-            let baseline = config.run(spec, PolicyKind::DramOnly)?;
+            let subject = config.run_cached(spec, PolicyKind::TwoLru, TraceCache::global())?;
+            let baseline = config.run_cached(spec, PolicyKind::DramOnly, TraceCache::global())?;
             Ok(SweepPoint {
                 parameter: format!("windows=({read_window:.2},{write_window:.2})"),
                 subject,
@@ -139,8 +143,8 @@ pub fn sweep_dram_fractions(
                 dram_fraction,
                 ..*base
             };
-            let subject = config.run(spec, PolicyKind::TwoLru)?;
-            let baseline = config.run(spec, PolicyKind::DramOnly)?;
+            let subject = config.run_cached(spec, PolicyKind::TwoLru, TraceCache::global())?;
+            let baseline = config.run_cached(spec, PolicyKind::DramOnly, TraceCache::global())?;
             Ok(SweepPoint {
                 parameter: format!("dram_fraction={dram_fraction:.2}"),
                 subject,

@@ -1,0 +1,330 @@
+//! A process-wide cache of materialized traces, shared across experiment
+//! cells.
+//!
+//! The evaluation matrix runs many `(workload, policy)` cells, and every
+//! cell of one workload replays the *same* deterministic trace:
+//! [`TraceGenerator`] is a pure function of `(spec, seed)`. Without a
+//! cache, `ExperimentConfig::compare` regenerates each workload's trace
+//! once per policy (7× for the full matrix) and every ablation sweep
+//! regenerates it once per sweep point. [`TraceCache`] materializes each
+//! trace once into an `Arc<[PageAccess]>` and hands the same immutable
+//! buffer to every cell, including cells running concurrently on the
+//! worker pool (see [`compare_policies`](crate::compare_policies)).
+//!
+//! # Keying
+//!
+//! Entries are keyed by a stable fingerprint: the FxHash of the spec's
+//! canonical JSON serialization plus the generator seed. The full
+//! `(spec, seed)` pair is stored alongside each entry and verified on
+//! lookup, so a fingerprint collision degrades to a cache miss rather
+//! than silently replaying the wrong workload.
+//!
+//! # Memory bounds
+//!
+//! The cache holds at most `budget_bytes` of trace data (the byte cost of
+//! a trace is known up front: `total_accesses × size_of::<PageAccess>()`).
+//! Inserting past the budget evicts least-recently-used entries first. A
+//! single trace larger than the whole budget is never materialized —
+//! [`TraceCache::try_get`] returns `None` and callers fall back to
+//! streaming generation, so full-scale (uncapped) runs cannot exhaust
+//! memory through the cache.
+//!
+//! Trace *generation* happens outside the cache lock: concurrent workers
+//! asking for the same workload block on a per-entry [`OnceLock`] (one
+//! generates, the rest wait), while workers asking for different
+//! workloads generate in parallel.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use hybridmem_trace::{TraceGenerator, WorkloadSpec};
+use hybridmem_types::{fx_hash_one, FxHashMap, PageAccess};
+
+/// Default byte budget of the global cache: enough for the full default
+/// 1M-access × 12-workload suite (~192 MB) with headroom for sweeps.
+pub const DEFAULT_BUDGET_BYTES: usize = 1 << 30;
+
+/// One cached trace: generated lazily, at most once, by whichever worker
+/// gets there first.
+struct TraceSlot {
+    spec: WorkloadSpec,
+    seed: u64,
+    trace: OnceLock<Arc<[PageAccess]>>,
+}
+
+impl TraceSlot {
+    /// The materialized trace, generating it on first call. Concurrent
+    /// callers block until the winning generator finishes.
+    fn materialize(&self) -> Arc<[PageAccess]> {
+        Arc::clone(self.trace.get_or_init(|| {
+            TraceGenerator::new(self.spec.clone(), self.seed)
+                .map(PageAccess::from)
+                .collect()
+        }))
+    }
+}
+
+struct Entry {
+    slot: Arc<TraceSlot>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: FxHashMap<u64, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// A byte-budgeted, LRU-evicting cache of materialized traces.
+///
+/// # Examples
+///
+/// ```
+/// use hybridmem_core::TraceCache;
+/// use hybridmem_trace::parsec;
+///
+/// let cache = TraceCache::new(64 << 20);
+/// let spec = parsec::spec("bodytrack")?.capped(5_000);
+/// let first = cache.try_get(&spec, 42).expect("fits the budget");
+/// let second = cache.try_get(&spec, 42).expect("cached");
+/// assert!(std::sync::Arc::ptr_eq(&first, &second), "same buffer, not a copy");
+/// assert_eq!(first.len() as u64, spec.total_accesses());
+/// # Ok::<(), hybridmem_types::Error>(())
+/// ```
+pub struct TraceCache {
+    inner: Mutex<Inner>,
+    budget_bytes: usize,
+}
+
+impl TraceCache {
+    /// Creates a cache bounded to `budget_bytes` of trace data.
+    #[must_use]
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                entries: FxHashMap::default(),
+                bytes: 0,
+                tick: 0,
+            }),
+            budget_bytes,
+        }
+    }
+
+    /// The process-wide cache used by
+    /// [`ExperimentConfig::compare`](crate::ExperimentConfig::compare), the
+    /// parallel matrix runner, and the sweep helpers, with
+    /// [`DEFAULT_BUDGET_BYTES`] of capacity.
+    #[must_use]
+    pub fn global() -> &'static Self {
+        static GLOBAL: OnceLock<TraceCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| Self::new(DEFAULT_BUDGET_BYTES))
+    }
+
+    /// Stable fingerprint of a `(spec, seed)` cell.
+    fn fingerprint(spec: &WorkloadSpec, seed: u64) -> u64 {
+        // JSON is the spec's canonical form (field order is declaration
+        // order, stable across runs and platforms); hashing it sidesteps
+        // WorkloadSpec's lack of `Hash` (it holds f64 fields).
+        let canonical = serde_json::to_string(spec).unwrap_or_default();
+        fx_hash_one(&(canonical, seed))
+    }
+
+    /// Byte cost of materializing `spec`'s trace, known before generating.
+    fn cost_bytes(spec: &WorkloadSpec) -> usize {
+        usize::try_from(spec.total_accesses())
+            .unwrap_or(usize::MAX)
+            .saturating_mul(std::mem::size_of::<PageAccess>())
+    }
+
+    /// The materialized trace for `(spec, seed)`, generating and caching
+    /// it on first use, or `None` when the trace alone would exceed the
+    /// cache budget (callers then stream the generator instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned by a panicking generator.
+    #[must_use]
+    pub fn try_get(&self, spec: &WorkloadSpec, seed: u64) -> Option<Arc<[PageAccess]>> {
+        let cost = Self::cost_bytes(spec);
+        if cost > self.budget_bytes {
+            return None;
+        }
+        let key = Self::fingerprint(spec, seed);
+        let slot = {
+            let mut guard = self.inner.lock().expect("trace cache poisoned");
+            let inner = &mut *guard;
+            inner.tick += 1;
+            let tick = inner.tick;
+            // Fingerprint collisions verify the full key; a mismatch is
+            // treated as a miss and replaces the stale entry.
+            let hit = match inner.entries.get_mut(&key) {
+                Some(entry) if entry.slot.spec == *spec && entry.slot.seed == seed => {
+                    entry.last_used = tick;
+                    Some(Arc::clone(&entry.slot))
+                }
+                _ => None,
+            };
+            match hit {
+                Some(slot) => slot,
+                None => {
+                    if let Some(stale) = inner.entries.remove(&key) {
+                        inner.bytes -= stale.bytes;
+                    }
+                    while inner.bytes + cost > self.budget_bytes {
+                        let victim = inner
+                            .entries
+                            .iter()
+                            .min_by_key(|(_, entry)| entry.last_used)
+                            .map(|(&k, _)| k)
+                            .expect("over budget implies a resident entry");
+                        let evicted = inner.entries.remove(&victim).expect("victim resident");
+                        inner.bytes -= evicted.bytes;
+                    }
+                    let slot = Arc::new(TraceSlot {
+                        spec: spec.clone(),
+                        seed,
+                        trace: OnceLock::new(),
+                    });
+                    inner.bytes += cost;
+                    inner.entries.insert(
+                        key,
+                        Entry {
+                            slot: Arc::clone(&slot),
+                            bytes: cost,
+                            last_used: tick,
+                        },
+                    );
+                    slot
+                }
+            }
+        };
+        // Generate outside the lock: same-trace callers serialize on the
+        // slot's OnceLock; different traces generate concurrently.
+        Some(slot.materialize())
+    }
+
+    /// Number of resident traces (diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("trace cache poisoned")
+            .entries
+            .len()
+    }
+
+    /// True when no traces are resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of trace data currently accounted against the budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().expect("trace cache poisoned").bytes
+    }
+}
+
+impl std::fmt::Debug for TraceCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceCache")
+            .field("budget_bytes", &self.budget_bytes)
+            .field("resident_bytes", &self.resident_bytes())
+            .field("traces", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridmem_trace::parsec;
+
+    fn spec(cap: u64) -> WorkloadSpec {
+        parsec::spec("bodytrack").unwrap().capped(cap)
+    }
+
+    #[test]
+    fn caches_and_shares_one_buffer() {
+        let cache = TraceCache::new(64 << 20);
+        let s = spec(4_000);
+        let a = cache.try_get(&s, 42).unwrap();
+        let b = cache.try_get(&s, 42).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.resident_bytes(), TraceCache::cost_bytes(&s));
+    }
+
+    #[test]
+    fn matches_streaming_generation_exactly() {
+        let s = spec(3_000);
+        let cached = TraceCache::new(64 << 20).try_get(&s, 7).unwrap();
+        let streamed: Vec<PageAccess> = TraceGenerator::new(s.clone(), 7)
+            .map(PageAccess::from)
+            .collect();
+        assert_eq!(&cached[..], &streamed[..]);
+    }
+
+    #[test]
+    fn different_seeds_are_distinct_entries() {
+        let cache = TraceCache::new(64 << 20);
+        let s = spec(2_000);
+        let a = cache.try_get(&s, 1).unwrap();
+        let b = cache.try_get(&s, 2).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_ne!(&a[..], &b[..]);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn oversized_trace_is_refused_not_materialized() {
+        let cache = TraceCache::new(1024);
+        assert!(cache.try_get(&spec(10_000), 42).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn evicts_least_recently_used_under_pressure() {
+        let s1 = spec(2_000);
+        let s2 = parsec::spec("raytrace").unwrap().capped(2_000);
+        let s3 = parsec::spec("canneal").unwrap().capped(2_000);
+        let per_trace = TraceCache::cost_bytes(&s1);
+        // Budget fits exactly two traces of this size.
+        let cache = TraceCache::new(per_trace * 2 + per_trace / 2);
+        cache.try_get(&s1, 42).unwrap();
+        cache.try_get(&s2, 42).unwrap();
+        cache.try_get(&s1, 42).unwrap(); // refresh s1 → s2 is now LRU
+        cache.try_get(&s3, 42).unwrap(); // evicts s2
+        assert_eq!(cache.len(), 2);
+        let s1_again = cache.try_get(&s1, 42).unwrap();
+        let s1_expected: Vec<PageAccess> = TraceGenerator::new(s1.clone(), 42)
+            .map(PageAccess::from)
+            .collect();
+        assert_eq!(&s1_again[..], &s1_expected[..], "s1 survived the eviction");
+    }
+
+    #[test]
+    fn concurrent_access_yields_one_shared_buffer() {
+        let cache = TraceCache::new(64 << 20);
+        let s = spec(5_000);
+        let traces: Vec<Arc<[PageAccess]>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| cache.try_get(&s, 42).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for trace in &traces[1..] {
+            assert!(Arc::ptr_eq(&traces[0], trace));
+        }
+        assert_eq!(cache.len(), 1, "one entry despite 8 concurrent callers");
+    }
+}

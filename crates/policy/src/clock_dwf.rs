@@ -37,7 +37,7 @@ use hybridmem_types::{
     AccessKind, Error, MemoryKind, PageAccess, PageCount, PageId, Residency, Result,
 };
 
-use crate::{AccessOutcome, ClockRing, HybridPolicy, PolicyAction};
+use crate::{AccessOutcome, ActionList, ClockRing, HybridPolicy, PolicyAction};
 
 /// Per-frame metadata of the DRAM ring: the page's write history.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -93,7 +93,7 @@ impl ClockDwfPolicy {
     /// Frees one DRAM frame by demoting the scan victim to NVM, evicting an
     /// NVM page to disk first when NVM is also full. Returns the actions in
     /// execution order.
-    fn make_dram_room(&mut self, actions: &mut Vec<PolicyAction>) {
+    fn make_dram_room(&mut self, actions: &mut ActionList) {
         debug_assert!(self.dram.is_full());
         if self.nvm.is_full() {
             let (out, ()) = self.nvm.evict_with(|()| false);
@@ -113,7 +113,7 @@ impl ClockDwfPolicy {
 
     /// Handles a write hit on an NVM page: unconditional migration to DRAM.
     fn on_nvm_write_hit(&mut self, page: PageId) -> AccessOutcome {
-        let mut actions = Vec::with_capacity(2);
+        let mut actions = ActionList::new();
         self.nvm.remove(page);
         if self.dram.is_full() {
             // The promotion frees an NVM slot, so the demoted DRAM victim
@@ -140,7 +140,7 @@ impl ClockDwfPolicy {
     /// Handles a page fault: writes fill DRAM; reads fill NVM unless DRAM
     /// still has free frames.
     fn on_fault(&mut self, page: PageId, kind: AccessKind) -> AccessOutcome {
-        let mut actions = Vec::with_capacity(3);
+        let mut actions = ActionList::new();
         let into = match kind {
             AccessKind::Write => MemoryKind::Dram,
             AccessKind::Read => {

@@ -39,7 +39,7 @@ use std::collections::{HashSet, VecDeque};
 
 use hybridmem_types::{Error, MemoryKind, PageAccess, PageCount, PageId, Residency, Result};
 
-use crate::{AccessOutcome, ClockRing, HybridPolicy, PolicyAction};
+use crate::{AccessOutcome, ActionList, ClockRing, HybridPolicy, PolicyAction};
 
 /// Per-frame state of a cold (NVM-resident) page.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -111,7 +111,7 @@ impl ClockProPolicy {
 
     /// Evicts one cold page to disk; its test period ends unrewarded, so it
     /// becomes a ghost (CLOCK-Pro's non-resident cold page).
-    fn evict_cold(&mut self, actions: &mut Vec<PolicyAction>) {
+    fn evict_cold(&mut self, actions: &mut ActionList) {
         let (victim, _meta) = self.cold.evict_with(|meta| {
             // The scan ends test periods instead of granting extra chances.
             meta.in_test = false;
@@ -126,7 +126,7 @@ impl ClockProPolicy {
 
     /// Makes room in the hot ring by demoting its scan victim to cold
     /// (a DRAM→NVM migration), evicting a cold page first when needed.
-    fn demote_hot_victim(&mut self, actions: &mut Vec<PolicyAction>) {
+    fn demote_hot_victim(&mut self, actions: &mut ActionList) {
         debug_assert!(self.hot.is_full());
         if self.cold.is_full() {
             self.evict_cold(actions);
@@ -141,7 +141,7 @@ impl ClockProPolicy {
     }
 
     /// Promotes `page` from the cold to the hot ring (NVM→DRAM migration).
-    fn promote(&mut self, page: PageId, actions: &mut Vec<PolicyAction>) {
+    fn promote(&mut self, page: PageId, actions: &mut ActionList) {
         self.cold.remove(page);
         if self.hot.is_full() {
             // The promotion freed a cold slot, so the demotion fits.
@@ -176,7 +176,7 @@ impl HybridPolicy for ClockProPolicy {
                 .expect("page is in the cold ring by precondition");
             if meta.in_test {
                 // Re-reference within the test period: the page is hot.
-                let mut actions = Vec::with_capacity(2);
+                let mut actions = ActionList::new();
                 self.promote(page, &mut actions);
                 return AccessOutcome::hit_with(MemoryKind::Nvm, actions);
             }
@@ -185,7 +185,7 @@ impl HybridPolicy for ClockProPolicy {
         }
 
         // Page fault. A ghost hit proves reuse across eviction: admit hot.
-        let mut actions = Vec::with_capacity(3);
+        let mut actions = ActionList::new();
         if self.forget_ghost(page) {
             if self.hot.is_full() {
                 self.demote_hot_victim(&mut actions);

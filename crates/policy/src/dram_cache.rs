@@ -33,7 +33,7 @@ use std::collections::HashMap;
 
 use hybridmem_types::{Error, MemoryKind, PageAccess, PageCount, PageId, Residency, Result};
 
-use crate::{AccessOutcome, HybridPolicy, PolicyAction, RankedLru};
+use crate::{AccessOutcome, ActionList, HybridPolicy, PolicyAction, RankedLru};
 
 /// DRAM-cache-over-NVM policy. See the module documentation (in the
 /// source) for the architecture and cost mapping.
@@ -73,7 +73,7 @@ impl DramCachePolicy {
     }
 
     /// Drops the cache's LRU copy, writing it back first when dirty.
-    fn evict_cache_copy(&mut self, actions: &mut Vec<PolicyAction>) {
+    fn evict_cache_copy(&mut self, actions: &mut ActionList) {
         let victim = self.cache.evict_lru().expect("a full cache has a victim");
         if self.dirty.remove(&victim) == Some(true) {
             actions.push(PolicyAction::Migrate {
@@ -86,7 +86,7 @@ impl DramCachePolicy {
     }
 
     /// Admits `page` (already NVM-resident) into the DRAM cache.
-    fn admit(&mut self, page: PageId, dirty: bool, actions: &mut Vec<PolicyAction>) {
+    fn admit(&mut self, page: PageId, dirty: bool, actions: &mut ActionList) {
         if self.cache.len() as u64 >= self.dram_capacity.value() {
             self.evict_cache_copy(actions);
         }
@@ -114,13 +114,13 @@ impl HybridPolicy for DramCachePolicy {
         if self.nvm.contains(page) {
             self.nvm.touch(page);
             // Allocate-on-access: the miss in the cache costs a page copy.
-            let mut actions = Vec::with_capacity(2);
+            let mut actions = ActionList::new();
             self.admit(page, access.kind.is_write(), &mut actions);
             return AccessOutcome::hit_with(MemoryKind::Nvm, actions);
         }
 
         // Page fault: fill the NVM backing store, then cache the page.
-        let mut actions = Vec::with_capacity(4);
+        let mut actions = ActionList::new();
         if self.nvm.len() as u64 >= self.nvm_capacity.value() {
             let out = self.nvm.evict_lru().expect("a full NVM has a victim");
             // The evicted page's cache copy (if any) dies with it; any

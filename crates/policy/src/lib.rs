@@ -62,5 +62,5 @@ pub use dram_cache::DramCachePolicy;
 pub use lru::RankedLru;
 pub use single::SingleTierPolicy;
 pub use single_clock::SingleTierClockPolicy;
-pub use traits::{AccessOutcome, HybridPolicy, PolicyAction};
+pub use traits::{AccessOutcome, ActionList, HybridPolicy, PolicyAction, MAX_ACTIONS_PER_ACCESS};
 pub use two_lru::{TwoLruConfig, TwoLruPolicy};

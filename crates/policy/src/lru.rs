@@ -29,9 +29,7 @@
 //! assert_eq!(lru.evict_lru(), Some(PageId::new(2)));
 //! ```
 
-use std::collections::HashMap;
-
-use hybridmem_types::PageId;
+use hybridmem_types::{FxBuildHasher, FxHashMap, PageId};
 
 /// Sentinel for "slot unoccupied" in the slot → entry map.
 const EMPTY: usize = usize::MAX;
@@ -110,7 +108,7 @@ impl Fenwick {
 /// sketch and complexity analysis.
 #[derive(Debug, Clone, Default)]
 pub struct RankedLru {
-    map: HashMap<PageId, usize>,
+    map: FxHashMap<PageId, usize>,
     entries: Vec<Entry>,
     free: Vec<usize>,
     slot_to_entry: Vec<usize>,
@@ -123,7 +121,7 @@ impl RankedLru {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             entries: Vec::new(),
             free: Vec::new(),
             slot_to_entry: vec![EMPTY; MIN_SLOTS],
@@ -137,7 +135,7 @@ impl RankedLru {
     pub fn with_capacity(capacity: usize) -> Self {
         let slots = (capacity * 4).max(MIN_SLOTS);
         Self {
-            map: HashMap::with_capacity(capacity),
+            map: FxHashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default()),
             entries: Vec::with_capacity(capacity),
             free: Vec::new(),
             slot_to_entry: vec![EMPTY; slots],

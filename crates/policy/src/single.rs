@@ -21,7 +21,7 @@
 
 use hybridmem_types::{Error, MemoryKind, PageAccess, PageCount, PageId, Residency, Result};
 
-use crate::{AccessOutcome, HybridPolicy, PolicyAction, RankedLru};
+use crate::{AccessOutcome, ActionList, HybridPolicy, PolicyAction, RankedLru};
 
 /// An LRU-managed main memory made of a single technology.
 #[derive(Debug, Clone)]
@@ -81,7 +81,7 @@ impl HybridPolicy for SingleTierPolicy {
         if self.lru.touch(access.page) {
             return AccessOutcome::hit(self.kind);
         }
-        let mut actions = Vec::with_capacity(2);
+        let mut actions = ActionList::new();
         if self.lru.len() as u64 >= self.capacity.value() {
             let victim = self.lru.evict_lru().expect("a full queue has a victim");
             actions.push(PolicyAction::EvictToDisk {

@@ -21,7 +21,7 @@
 
 use hybridmem_types::{Error, MemoryKind, PageAccess, PageCount, PageId, Residency, Result};
 
-use crate::{AccessOutcome, ClockRing, HybridPolicy, PolicyAction};
+use crate::{AccessOutcome, ActionList, ClockRing, HybridPolicy, PolicyAction};
 
 /// CLOCK-managed single-tier main memory.
 #[derive(Debug, Clone)]
@@ -63,7 +63,7 @@ impl HybridPolicy for SingleTierClockPolicy {
         if self.ring.touch(access.page).is_some() {
             return AccessOutcome::hit(self.kind);
         }
-        let mut actions = Vec::with_capacity(2);
+        let mut actions = ActionList::new();
         if self.ring.is_full() {
             let (victim, ()) = self.ring.evict_with(|()| false);
             actions.push(PolicyAction::EvictToDisk {

@@ -41,6 +41,220 @@ pub enum PolicyAction {
     },
 }
 
+/// Maximum number of [`PolicyAction`]s one access can trigger.
+///
+/// The worst case across every policy in the repository is four — a
+/// [`DramCachePolicy`](crate::DramCachePolicy) fault on full tiers evicts
+/// the NVM victim, fills the page, writes back a dirty cache copy, and
+/// admits the new page. Exceeding the bound panics rather than silently
+/// truncating.
+pub const MAX_ACTIONS_PER_ACCESS: usize = 4;
+
+/// An inline, fixed-capacity list of [`PolicyAction`]s.
+///
+/// Policies produce an [`AccessOutcome`] for every one of millions of
+/// trace accesses; a heap-allocated `Vec` on that path costs an
+/// allocation/deallocation pair per access. `ActionList` stores up to
+/// [`MAX_ACTIONS_PER_ACCESS`] actions inline (the type is `Copy`) and
+/// dereferences to `&[PolicyAction]`, so consumers iterate it exactly like
+/// the `Vec` it replaces.
+///
+/// # Panics
+///
+/// [`ActionList::push`] panics when the list is full — a policy emitting
+/// more than [`MAX_ACTIONS_PER_ACCESS`] actions per access is a logic bug,
+/// not a capacity-planning problem.
+///
+/// # Examples
+///
+/// ```
+/// use hybridmem_policy::{ActionList, PolicyAction};
+/// use hybridmem_types::{MemoryKind, PageId};
+///
+/// let mut actions = ActionList::new();
+/// actions.push(PolicyAction::FillFromDisk {
+///     page: PageId::new(1),
+///     into: MemoryKind::Dram,
+/// });
+/// assert_eq!(actions.len(), 1);
+/// assert!(matches!(actions[0], PolicyAction::FillFromDisk { .. }));
+/// ```
+#[derive(Clone, Copy)]
+pub struct ActionList {
+    slots: [PolicyAction; MAX_ACTIONS_PER_ACCESS],
+    len: u8,
+}
+
+/// Placeholder occupying unused slots; never observable through the public
+/// API (every accessor is bounded by `len`).
+const UNUSED_SLOT: PolicyAction = PolicyAction::EvictToDisk {
+    page: PageId::new(0),
+    from: MemoryKind::Dram,
+};
+
+impl ActionList {
+    /// An empty list.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            slots: [UNUSED_SLOT; MAX_ACTIONS_PER_ACCESS],
+            len: 0,
+        }
+    }
+
+    /// Appends an action, preserving insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the list already holds [`MAX_ACTIONS_PER_ACCESS`]
+    /// actions.
+    #[inline]
+    pub fn push(&mut self, action: PolicyAction) {
+        assert!(
+            (self.len as usize) < MAX_ACTIONS_PER_ACCESS,
+            "ActionList overflow: a policy emitted more than \
+             {MAX_ACTIONS_PER_ACCESS} actions for one access"
+        );
+        self.slots[self.len as usize] = action;
+        self.len += 1;
+    }
+
+    /// The live actions as a slice, in insertion order.
+    #[inline]
+    #[must_use]
+    pub fn as_slice(&self) -> &[PolicyAction] {
+        &self.slots[..self.len as usize]
+    }
+}
+
+impl Default for ActionList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for ActionList {
+    type Target = [PolicyAction];
+
+    #[inline]
+    fn deref(&self) -> &Self::Target {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a ActionList {
+    type Item = &'a PolicyAction;
+    type IntoIter = std::slice::Iter<'a, PolicyAction>;
+
+    #[inline]
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl std::fmt::Debug for ActionList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for ActionList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for ActionList {}
+
+impl PartialEq<[PolicyAction]> for ActionList {
+    fn eq(&self, other: &[PolicyAction]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<PolicyAction>> for ActionList {
+    fn eq(&self, other: &Vec<PolicyAction>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<ActionList> for Vec<PolicyAction> {
+    fn eq(&self, other: &ActionList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[PolicyAction; N]> for ActionList {
+    fn eq(&self, other: &[PolicyAction; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl FromIterator<PolicyAction> for ActionList {
+    /// Collects actions in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the iterator yields more than
+    /// [`MAX_ACTIONS_PER_ACCESS`] actions.
+    fn from_iter<I: IntoIterator<Item = PolicyAction>>(iter: I) -> Self {
+        let mut list = Self::new();
+        for action in iter {
+            list.push(action);
+        }
+        list
+    }
+}
+
+impl From<Vec<PolicyAction>> for ActionList {
+    /// Converts from a `Vec` (convenience for tests and call sites built
+    /// before the inline list existed).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the vector holds more than [`MAX_ACTIONS_PER_ACCESS`]
+    /// actions.
+    fn from(actions: Vec<PolicyAction>) -> Self {
+        actions.into_iter().collect()
+    }
+}
+
+impl<const N: usize> From<[PolicyAction; N]> for ActionList {
+    /// Converts from a fixed-size array (panics at runtime when
+    /// `N > MAX_ACTIONS_PER_ACCESS`).
+    fn from(actions: [PolicyAction; N]) -> Self {
+        actions.into_iter().collect()
+    }
+}
+
+impl Serialize for ActionList {
+    /// Serializes as a sequence, exactly like the `Vec<PolicyAction>` it
+    /// replaced (so existing JSON artefacts keep their shape).
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.as_slice())
+    }
+}
+
+impl<'de> Deserialize<'de> for ActionList {
+    /// Deserializes from a sequence, rejecting more than
+    /// [`MAX_ACTIONS_PER_ACCESS`] elements.
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        let actions = Vec::<PolicyAction>::deserialize(deserializer)?;
+        if actions.len() > MAX_ACTIONS_PER_ACCESS {
+            return Err(serde::de::Error::custom(format!(
+                "ActionList holds at most {MAX_ACTIONS_PER_ACCESS} actions, got {}",
+                actions.len()
+            )));
+        }
+        Ok(actions.into_iter().collect())
+    }
+}
+
 /// Everything a policy did in response to one page access.
 ///
 /// # Examples
@@ -62,7 +276,7 @@ pub struct AccessOutcome {
     /// True when the access missed main memory entirely.
     pub fault: bool,
     /// Physical actions triggered by the access, in execution order.
-    pub actions: Vec<PolicyAction>,
+    pub actions: ActionList,
 }
 
 impl AccessOutcome {
@@ -72,28 +286,28 @@ impl AccessOutcome {
         Self {
             served_from: Some(kind),
             fault: false,
-            actions: Vec::new(),
+            actions: ActionList::new(),
         }
     }
 
     /// An outcome for a hit in `kind` followed by `actions`
     /// (e.g. a threshold-triggered migration).
     #[must_use]
-    pub fn hit_with(kind: MemoryKind, actions: Vec<PolicyAction>) -> Self {
+    pub fn hit_with(kind: MemoryKind, actions: impl Into<ActionList>) -> Self {
         Self {
             served_from: Some(kind),
             fault: false,
-            actions,
+            actions: actions.into(),
         }
     }
 
     /// An outcome for a page fault resolved by `actions`.
     #[must_use]
-    pub fn fault_with(actions: Vec<PolicyAction>) -> Self {
+    pub fn fault_with(actions: impl Into<ActionList>) -> Self {
         Self {
             served_from: None,
             fault: true,
-            actions,
+            actions: actions.into(),
         }
     }
 
@@ -139,6 +353,69 @@ pub trait HybridPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn evict(page: u64) -> PolicyAction {
+        PolicyAction::EvictToDisk {
+            page: PageId::new(page),
+            from: MemoryKind::Nvm,
+        }
+    }
+
+    #[test]
+    fn action_list_preserves_insertion_order() {
+        let mut list = ActionList::new();
+        assert!(list.is_empty());
+        for page in 1..=4u64 {
+            list.push(evict(page));
+        }
+        assert_eq!(list.len(), 4);
+        let pages: Vec<u64> = list
+            .iter()
+            .map(|a| match a {
+                PolicyAction::EvictToDisk { page, .. } => page.value(),
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(pages, vec![1, 2, 3, 4]);
+        // Iteration by reference (the simulator's loop shape) sees the
+        // same order.
+        let mut seen = Vec::new();
+        for action in &list {
+            seen.push(*action);
+        }
+        assert_eq!(list, seen);
+    }
+
+    #[test]
+    #[should_panic(expected = "ActionList overflow")]
+    fn action_list_panics_on_overflow() {
+        let mut list = ActionList::new();
+        for page in 0..=MAX_ACTIONS_PER_ACCESS as u64 {
+            list.push(evict(page));
+        }
+    }
+
+    #[test]
+    fn action_list_compares_against_vecs_and_arrays() {
+        let list: ActionList = vec![evict(1), evict(2)].into();
+        assert_eq!(list, vec![evict(1), evict(2)]);
+        assert_eq!(vec![evict(1), evict(2)], list);
+        assert_eq!(list, [evict(1), evict(2)]);
+        assert_ne!(list, ActionList::new());
+        assert_eq!(format!("{list:?}"), format!("{:?}", [evict(1), evict(2)]));
+    }
+
+    #[test]
+    fn action_list_serde_round_trip_matches_vec_shape() {
+        let list: ActionList = vec![evict(7)].into();
+        let json = serde_json::to_string(&list).unwrap();
+        let as_vec = serde_json::to_string(&vec![evict(7)]).unwrap();
+        assert_eq!(json, as_vec, "wire format must match the old Vec");
+        let back: ActionList = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, list);
+        let too_many = serde_json::to_string(&vec![evict(1); 5]).unwrap();
+        assert!(serde_json::from_str::<ActionList>(&too_many).is_err());
+    }
 
     #[test]
     fn outcome_constructors() {

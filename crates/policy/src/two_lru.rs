@@ -43,14 +43,12 @@
 //! # Ok::<(), hybridmem_types::Error>(())
 //! ```
 
-use std::collections::HashMap;
-
 use hybridmem_types::{
-    AccessKind, Error, MemoryKind, PageAccess, PageCount, PageId, Residency, Result,
+    AccessKind, Error, FxHashMap, MemoryKind, PageAccess, PageCount, PageId, Residency, Result,
 };
 use serde::{Deserialize, Serialize};
 
-use crate::{AccessOutcome, HybridPolicy, PolicyAction, RankedLru};
+use crate::{AccessOutcome, ActionList, HybridPolicy, PolicyAction, RankedLru};
 
 /// Configuration of the proposed two-LRU migration scheme.
 ///
@@ -190,7 +188,7 @@ pub struct TwoLruPolicy {
     config: TwoLruConfig,
     dram: RankedLru,
     nvm: RankedLru,
-    counters: HashMap<PageId, PageCounters>,
+    counters: FxHashMap<PageId, PageCounters>,
 }
 
 impl TwoLruPolicy {
@@ -202,7 +200,7 @@ impl TwoLruPolicy {
             config,
             dram: RankedLru::with_capacity(config.dram_capacity.value() as usize),
             nvm: RankedLru::with_capacity(config.nvm_capacity.value() as usize),
-            counters: HashMap::new(),
+            counters: FxHashMap::default(),
         }
     }
 
@@ -273,7 +271,7 @@ impl TwoLruPolicy {
 
         // Promote to DRAM; when DRAM is full this is a swap with DRAM's LRU
         // victim, which lands in the NVM slot the promotion frees.
-        let mut actions = Vec::with_capacity(2);
+        let mut actions = ActionList::new();
         self.nvm.remove(page);
         self.counters.remove(&page);
         if self.dram.len() as u64 >= self.config.dram_capacity.value() {
@@ -301,7 +299,7 @@ impl TwoLruPolicy {
     /// demoting DRAM's victim to NVM and evicting NVM's victim to disk as
     /// needed.
     fn on_fault(&mut self, page: PageId) -> AccessOutcome {
-        let mut actions = Vec::with_capacity(3);
+        let mut actions = ActionList::new();
         if self.dram.len() as u64 >= self.config.dram_capacity.value() {
             if self.nvm.len() as u64 >= self.config.nvm_capacity.value() {
                 let out = self.nvm.evict_lru().expect("a full NVM queue has a victim");

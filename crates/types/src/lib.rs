@@ -37,6 +37,7 @@
 
 mod access;
 mod error;
+mod hash;
 mod ids;
 mod memory;
 mod quantity;
@@ -44,6 +45,7 @@ mod sizes;
 
 pub use access::{Access, AccessKind, PageAccess};
 pub use error::{Error, Result};
+pub use hash::{fx_hash_one, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{Address, CoreId, PageId};
 pub use memory::{MemoryKind, Residency};
 pub use quantity::{Nanojoules, Nanoseconds};
