@@ -275,10 +275,9 @@ impl StackedBar {
 /// the same summary bars the paper appends to each figure.
 pub fn print_stacked_figure(title: &str, bars: &[StackedBar]) {
     println!("\n=== {title} ===");
-    let components: Vec<&str> = bars
-        .first()
-        .map(|b| b.components.iter().map(|(n, _)| n.as_str()).collect())
-        .unwrap_or_default();
+    let components: Vec<&str> = bars.first().map_or_else(Vec::new, |b| {
+        b.components.iter().map(|(n, _)| n.as_str()).collect()
+    });
     print!("{:<16}", "workload");
     for name in &components {
         print!(" {name:>12}");

@@ -391,7 +391,7 @@ pub fn compare_policies_timed(
 ) -> Result<(Vec<Vec<SimulationReport>>, MatrixTiming)> {
     type CellSlot = Mutex<Option<(Result<SimulationReport>, f64)>>;
 
-    let started = Instant::now();
+    let started = Instant::now(); // xtask:allow(timing) — measures wall clock, never affects results
     let cells = specs.len() * kinds.len();
     if cells == 0 {
         return Ok((
@@ -403,9 +403,8 @@ pub fn compare_policies_timed(
             },
         ));
     }
-    let available = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let available =
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let workers = if threads == 0 { available } else { threads }
         .min(cells)
         .max(1);
@@ -422,7 +421,7 @@ pub fn compare_policies_timed(
             }
             let spec = &specs[index / kinds.len()];
             let kind = kinds[index % kinds.len()];
-            let cell_started = Instant::now();
+            let cell_started = Instant::now(); // xtask:allow(timing) — per-cell wall clock only
             let result = config.run_cached(spec, kind, cache);
             let elapsed = cell_started.elapsed().as_secs_f64();
             *slots[index].lock().expect("cell slot poisoned") = Some((result, elapsed));

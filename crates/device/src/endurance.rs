@@ -7,7 +7,7 @@
 //! per-page view needed to estimate device lifetime, since lifetime is
 //! bounded by the *most*-written page absent wear leveling.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hybridmem_types::PageId;
 use serde::{Deserialize, Serialize};
@@ -34,7 +34,10 @@ pub const DEFAULT_PCM_CELL_ENDURANCE: u64 = 100_000_000;
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WearTracker {
-    writes: HashMap<PageId, u64>,
+    /// A `BTreeMap` so a serialized tracker lists pages in sorted order
+    /// (the struct derives `Serialize`; hash-map order would make the
+    /// serialized form depend on insertion history).
+    writes: BTreeMap<PageId, u64>,
     total: u64,
 }
 

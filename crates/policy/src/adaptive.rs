@@ -32,9 +32,7 @@
 //! # Ok::<(), hybridmem_types::Error>(())
 //! ```
 
-use std::collections::HashMap;
-
-use hybridmem_types::{MemoryKind, PageAccess, PageCount, PageId, Residency};
+use hybridmem_types::{FxHashMap, MemoryKind, PageAccess, PageCount, PageId, Residency};
 use serde::{Deserialize, Serialize};
 
 use crate::{AccessOutcome, HybridPolicy, PolicyAction, TwoLruConfig, TwoLruPolicy};
@@ -100,7 +98,7 @@ pub struct AdaptiveTwoLruPolicy {
     baseline_read: u32,
     baseline_write: u32,
     /// DRAM hit counts of pages promoted from NVM and still in DRAM.
-    promoted: HashMap<PageId, u64>,
+    promoted: FxHashMap<PageId, u64>,
     /// Outcomes (beneficial?) of promotions completed since last adjustment.
     window_beneficial: u32,
     window_wasted: u32,
@@ -116,7 +114,7 @@ impl AdaptiveTwoLruPolicy {
             baseline_write: config.write_threshold,
             inner: TwoLruPolicy::new(config),
             adaptive,
-            promoted: HashMap::new(),
+            promoted: FxHashMap::default(),
             window_beneficial: 0,
             window_wasted: 0,
             stats: AdaptiveStats::default(),

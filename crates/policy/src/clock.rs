@@ -23,9 +23,7 @@
 //! assert_eq!(victim, PageId::new(1));
 //! ```
 
-use std::collections::HashMap;
-
-use hybridmem_types::PageId;
+use hybridmem_types::{FxBuildHasher, FxHashMap, PageId};
 
 #[derive(Debug, Clone)]
 struct Frame<M> {
@@ -41,7 +39,7 @@ struct Frame<M> {
 #[derive(Debug, Clone)]
 pub struct ClockRing<M> {
     frames: Vec<Option<Frame<M>>>,
-    map: HashMap<PageId, usize>,
+    map: FxHashMap<PageId, usize>,
     hand: usize,
     capacity: usize,
 }
@@ -57,7 +55,7 @@ impl<M> ClockRing<M> {
         assert!(capacity > 0, "clock ring capacity must be at least 1");
         Self {
             frames: (0..capacity).map(|_| None).collect(),
-            map: HashMap::with_capacity(capacity),
+            map: FxHashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default()),
             hand: 0,
             capacity,
         }

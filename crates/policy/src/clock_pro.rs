@@ -35,9 +35,11 @@
 //! # Ok::<(), hybridmem_types::Error>(())
 //! ```
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
-use hybridmem_types::{Error, MemoryKind, PageAccess, PageCount, PageId, Residency, Result};
+use hybridmem_types::{
+    Error, FxHashSet, MemoryKind, PageAccess, PageCount, PageId, Residency, Result,
+};
 
 use crate::{AccessOutcome, ActionList, ClockRing, HybridPolicy, PolicyAction};
 
@@ -57,7 +59,7 @@ pub struct ClockProPolicy {
     /// Recently evicted pages ("non-resident cold pages" in CLOCK-Pro);
     /// bounded FIFO + membership set.
     ghost_queue: VecDeque<PageId>,
-    ghost_set: HashSet<PageId>,
+    ghost_set: FxHashSet<PageId>,
     ghost_capacity: usize,
     dram_capacity: PageCount,
     nvm_capacity: PageCount,
@@ -82,7 +84,7 @@ impl ClockProPolicy {
             hot: ClockRing::new(dram_capacity.value() as usize),
             cold: ClockRing::new(nvm_capacity.value() as usize),
             ghost_queue: VecDeque::new(),
-            ghost_set: HashSet::new(),
+            ghost_set: FxHashSet::default(),
             ghost_capacity: nvm_capacity.value() as usize,
             dram_capacity,
             nvm_capacity,

@@ -29,9 +29,9 @@
 //! # Ok::<(), hybridmem_types::Error>(())
 //! ```
 
-use std::collections::HashMap;
-
-use hybridmem_types::{Error, MemoryKind, PageAccess, PageCount, PageId, Residency, Result};
+use hybridmem_types::{
+    Error, FxHashMap, MemoryKind, PageAccess, PageCount, PageId, Residency, Result,
+};
 
 use crate::{AccessOutcome, ActionList, HybridPolicy, PolicyAction, RankedLru};
 
@@ -44,7 +44,7 @@ pub struct DramCachePolicy {
     /// Cached subset; invariant: `cache ⊆ nvm`.
     cache: RankedLru,
     /// Dirty bits of cached copies.
-    dirty: HashMap<PageId, bool>,
+    dirty: FxHashMap<PageId, bool>,
     dram_capacity: PageCount,
     nvm_capacity: PageCount,
 }
@@ -66,7 +66,7 @@ impl DramCachePolicy {
         Ok(Self {
             nvm: RankedLru::with_capacity(nvm_capacity.value() as usize),
             cache: RankedLru::with_capacity(dram_capacity.value() as usize),
-            dirty: HashMap::new(),
+            dirty: FxHashMap::default(),
             dram_capacity,
             nvm_capacity,
         })

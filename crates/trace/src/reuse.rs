@@ -23,9 +23,7 @@
 //! # Ok::<(), hybridmem_types::Error>(())
 //! ```
 
-use std::collections::HashMap;
-
-use hybridmem_types::PageId;
+use hybridmem_types::{FxHashMap, PageId};
 
 /// Exact page-granular reuse-distance profile of one access stream.
 #[derive(Debug, Clone, Default)]
@@ -148,7 +146,7 @@ impl ReuseProfile {
 /// occupancy (with periodic compaction).
 #[derive(Debug, Default)]
 struct DistanceStack {
-    last_stamp: HashMap<PageId, usize>,
+    last_stamp: FxHashMap<PageId, usize>,
     /// `occupied[t]` = 1 when some page's most recent access is stamp `t`.
     tree: Vec<u64>,
     next_stamp: usize,

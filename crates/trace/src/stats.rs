@@ -1,6 +1,6 @@
 //! Trace statistics: the measurements behind the regenerated Table III.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hybridmem_types::{Access, PageCount, PageId, PAGE_SIZE};
 use serde::{Deserialize, Serialize};
@@ -25,7 +25,11 @@ pub struct TraceStats {
     /// Number of write requests observed.
     pub writes: u64,
     /// Per-page access counts `(reads, writes)`.
-    pub per_page: HashMap<PageId, (u64, u64)>,
+    ///
+    /// A `BTreeMap` so serialized statistics list pages in a stable,
+    /// sorted order (hash-map iteration order would leak the hasher
+    /// state into the serialized output).
+    pub per_page: BTreeMap<PageId, (u64, u64)>,
 }
 
 impl TraceStats {

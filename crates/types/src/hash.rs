@@ -111,10 +111,10 @@ pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// A `HashMap` using [`FxHasher`]. Drop-in replacement for hot-path maps
 /// keyed by small trusted values.
-pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>; // xtask:allow(default_hasher)
 
 /// A `HashSet` using [`FxHasher`].
-pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>; // xtask:allow(default_hasher)
 
 /// Hashes one `Hash` value to a stable `u64` fingerprint with [`FxHasher`].
 ///

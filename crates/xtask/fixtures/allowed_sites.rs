@@ -1,0 +1,22 @@
+//! Fixture: every hazard below carries an `xtask:allow(...)` annotation
+//! (trailing or on the preceding line), so the rule engine reports no
+//! violations. This is the documented workflow for legitimate timing /
+//! rng / hashing sites.
+//!
+//! Not compiled into any crate; consumed by xtask's rule-engine tests.
+
+use std::time::Instant;
+
+fn wall_clock_throughput(work: impl FnOnce()) -> f64 {
+    let started = Instant::now(); // xtask:allow(timing)
+    work();
+    started.elapsed().as_secs_f64()
+}
+
+fn entropy_seed() -> u64 {
+    // xtask:allow(rng)
+    rand::thread_rng().gen()
+}
+
+// xtask:allow(default_hasher)
+type UnkeyedMap = std::collections::HashMap<u64, u64, FxBuildHasher>;

@@ -1,0 +1,9 @@
+//! Fixture: the `default_hasher` rule fires exactly once — a bare
+//! `HashMap` construction (randomly keyed SipHash, nondeterministic
+//! iteration order across processes).
+//!
+//! Not compiled into any crate; consumed by xtask's rule-engine tests.
+
+fn footprint() -> usize {
+    std::collections::HashMap::<u64, u64>::new().len()
+}

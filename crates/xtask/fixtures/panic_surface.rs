@@ -1,0 +1,28 @@
+//! Fixture: the panic audit counts exactly one `.unwrap()`, two
+//! `.expect(…)`, and three index expressions here — and nothing from the
+//! doc comments, the `vec![…]` macro, the pattern/type brackets, or the
+//! `#[cfg(test)]` module.
+//!
+//! Not compiled into any crate; consumed by xtask's panic-audit tests.
+
+/// Doc mentions don't count: `x.unwrap()`, `y.expect("…")`, `z[0]`.
+fn surface(values: &[u64]) -> u64 {
+    let first = values.first().copied().unwrap();
+    let pair: [u64; 2] = [values[0], values[1]];
+    let sum = make_vec().last().copied().expect("vec is non-empty");
+    let [a, b] = pair;
+    a + b + sum + lookup().expect("lookup succeeds")[2]
+}
+
+fn make_vec() -> Vec<u64> {
+    vec![1, 2, 3]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_in_tests_do_not_count() {
+        let v = super::make_vec();
+        assert_eq!(v.first().copied().unwrap(), v[0]);
+    }
+}

@@ -1,0 +1,9 @@
+//! Fixture: the `rng` rule fires exactly once — a `thread_rng()` call
+//! (entropy-seeded randomness; simulation randomness must come from an
+//! explicit seed).
+//!
+//! Not compiled into any crate; consumed by xtask's rule-engine tests.
+
+fn roll() -> u64 {
+    rand::thread_rng().gen()
+}

@@ -1,0 +1,13 @@
+//! Fixture: the `serialized_unordered` rule fires exactly once — an
+//! `FxHashMap` field inside a `#[derive(Serialize)]` struct. The hasher
+//! is deterministic, but serde still serializes the map in iteration
+//! order, which depends on insertion history and capacity; serialized
+//! reports need a `BTreeMap`.
+//!
+//! Not compiled into any crate; consumed by xtask's rule-engine tests.
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerPageReport {
+    pub total: u64,
+    pub per_page: FxHashMap<u64, (u64, u64)>,
+}

@@ -1,0 +1,13 @@
+//! Fixture: the `timing` rule fires exactly once — an unannotated
+//! `Instant::now()` call (wall-clock reads must not feed simulation
+//! state).
+//!
+//! Not compiled into any crate; consumed by xtask's rule-engine tests.
+
+use std::time::Instant;
+
+fn elapsed_secs(work: impl FnOnce()) -> f64 {
+    let started = Instant::now();
+    work();
+    started.elapsed().as_secs_f64()
+}

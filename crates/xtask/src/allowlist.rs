@@ -1,0 +1,161 @@
+//! Reading and writing `panic-allowlist.toml`.
+//!
+//! The file is deliberately restricted to one shape so it can be parsed
+//! without a TOML dependency (xtask builds on a bare toolchain):
+//!
+//! ```toml
+//! [files]
+//! "crates/policy/src/clock.rs" = { unwrap = 0, expect = 5, index = 12 }
+//! ```
+//!
+//! Comment lines (`#`) and blank lines are ignored; everything else must
+//! match the pattern above exactly, and paths must be sorted (the writer
+//! emits them sorted, so any hand edit that preserves order round-trips).
+
+use std::collections::BTreeMap;
+
+use crate::panic_audit::FileCounts;
+
+/// Parses allowlist text into per-file counts.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on any shape violation.
+pub fn parse(text: &str) -> Result<BTreeMap<String, FileCounts>, String> {
+    let mut out = BTreeMap::new();
+    let mut in_files = false;
+    for (number, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[files]" {
+            in_files = true;
+            continue;
+        }
+        if !in_files {
+            return Err(format!(
+                "line {}: expected `[files]` before entries, got `{line}`",
+                number + 1
+            ));
+        }
+        let (path, counts) = parse_entry(line)
+            .ok_or_else(|| format!("line {}: malformed allowlist entry `{line}`", number + 1))?;
+        if out.insert(path.clone(), counts).is_some() {
+            return Err(format!("line {}: duplicate entry for `{path}`", number + 1));
+        }
+    }
+    Ok(out)
+}
+
+/// Parses one `"path" = { unwrap = N, expect = N, index = N }` line.
+fn parse_entry(line: &str) -> Option<(String, FileCounts)> {
+    let rest = line.strip_prefix('"')?;
+    let (path, rest) = rest.split_once('"')?;
+    let rest = rest.trim().strip_prefix('=')?.trim();
+    let body = rest.strip_prefix('{')?.trim().strip_suffix('}')?.trim();
+    let mut counts = FileCounts::default();
+    let mut seen = [false; 3];
+    for part in body.split(',') {
+        let (key, value) = part.split_once('=')?;
+        let value: usize = value.trim().parse().ok()?;
+        let slot = match key.trim() {
+            "unwrap" => {
+                counts.unwrap = value;
+                0
+            }
+            "expect" => {
+                counts.expect = value;
+                1
+            }
+            "index" => {
+                counts.index = value;
+                2
+            }
+            _ => return None,
+        };
+        if seen[slot] {
+            return None;
+        }
+        seen[slot] = true;
+    }
+    seen.iter().all(|&s| s).then(|| (path.to_owned(), counts))
+}
+
+/// Renders per-file counts as allowlist text (sorted, zero-count files
+/// omitted).
+pub fn render(counts: &BTreeMap<String, FileCounts>) -> String {
+    let mut out = String::from(
+        "# Panic-surface allowlist, checked by `cargo xtask lint`.\n\
+         #\n\
+         # Every non-test library file with a panic-capable construct\n\
+         # (`.unwrap()`, `.expect(…)`, or index expressions `x[…]`) is\n\
+         # recorded here with its exact counts. The lint fails when a\n\
+         # count drifts from reality in either direction, so changing the\n\
+         # panic surface is always an explicit, reviewed edit. After a\n\
+         # deliberate change, regenerate with:\n\
+         #\n\
+         #     cargo xtask lint --update-panic-allowlist\n\
+         #\n\
+         # Prefer `expect(\"invariant message\")` over `unwrap()`, and\n\
+         # propagating `Result` over both; see DESIGN.md.\n\
+         \n\
+         [files]\n",
+    );
+    for (path, c) in counts {
+        if !c.is_zero() {
+            out.push_str(&format!("\"{path}\" = {{ {c} }}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let counts: BTreeMap<String, FileCounts> = [
+            (
+                "crates/a/src/lib.rs".to_owned(),
+                FileCounts {
+                    unwrap: 1,
+                    expect: 2,
+                    index: 3,
+                },
+            ),
+            ("crates/b/src/lib.rs".to_owned(), FileCounts::default()),
+        ]
+        .into();
+        let text = render(&counts);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.len(), 1, "zero-count files are omitted");
+        assert_eq!(parsed["crates/a/src/lib.rs"].expect, 2);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(
+            parse("[files]\n\"a.rs\" = { unwrap = 1 }").is_err(),
+            "missing keys"
+        );
+        assert!(
+            parse("\"a.rs\" = { unwrap = 1, expect = 0, index = 0 }").is_err(),
+            "no header"
+        );
+        assert!(parse("[files]\n\"a.rs\" = { unwrap = x, expect = 0, index = 0 }").is_err());
+        let dup = "[files]\n\
+                   \"a.rs\" = { unwrap = 1, expect = 0, index = 0 }\n\
+                   \"a.rs\" = { unwrap = 1, expect = 0, index = 0 }";
+        assert!(parse(dup).is_err(), "duplicate entry");
+    }
+
+    #[test]
+    fn ignores_comments_and_blanks() {
+        let text = "# header\n\n[files]\n# entry comment\n\"a.rs\" = { unwrap = 4, expect = 5, index = 6 }\n";
+        let parsed = parse(text).unwrap();
+        assert_eq!(parsed["a.rs"].unwrap, 4);
+        assert_eq!(parsed["a.rs"].index, 6);
+    }
+}

@@ -1,0 +1,467 @@
+//! A lossy Rust lexer for static analysis.
+//!
+//! Produces a token stream of identifiers, numbers, and single-character
+//! punctuation with 1-based line numbers. Comments and every kind of
+//! literal (strings, raw strings, byte strings, chars) are stripped, so
+//! rules never false-positive on prose; `xtask:allow(rule)` annotations
+//! inside comments are collected so legitimate sites can opt out of a
+//! rule (see [`Lexed::allows`]).
+
+use std::collections::BTreeMap;
+
+/// Kind of a surviving token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (kept only so neighbors stay adjacent).
+    Number,
+    /// One punctuation character.
+    Punct,
+}
+
+/// One token of the stripped source.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token text (for [`TokenKind::Punct`], a single character).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// True when this is the identifier `text`.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True when this is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The stripped token stream.
+    pub tokens: Vec<Token>,
+    /// `line -> rules` allowed by `xtask:allow(rule, ...)` comments on
+    /// that line. An annotation excuses findings on its own line and on
+    /// the line directly below it (so it can trail the code or sit on
+    /// the preceding line).
+    pub allows: BTreeMap<usize, Vec<String>>,
+}
+
+impl Lexed {
+    /// True when `rule` findings on `line` are excused by an annotation.
+    pub fn allows(&self, line: usize, rule: &str) -> bool {
+        [line, line.saturating_sub(1)].iter().any(|l| {
+            self.allows
+                .get(l)
+                .is_some_and(|rules| rules.iter().any(|r| r == rule || r == "all"))
+        })
+    }
+}
+
+/// Lexes `source`, stripping comments and literals.
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let n = chars.len();
+    let mut out = Lexed::default();
+    let mut line = 1;
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            record_allows(&mut out, line, &collect(&chars[start..i]));
+        } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let (start, start_line) = (i, line);
+            i += 2;
+            let mut depth = 1usize;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            record_allows(&mut out, start_line, &collect(&chars[start..i]));
+        } else if c == '"' {
+            i = skip_string(&chars, i, &mut line);
+        } else if let Some(end) = raw_or_byte_literal_end(&chars, i, &mut line) {
+            i = end;
+        } else if c == '\'' {
+            i = skip_char_or_lifetime(&chars, i, &mut line);
+        } else if c == '_' || c.is_alphabetic() {
+            let start = i;
+            while i < n && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: collect(&chars[start..i]),
+                line,
+            });
+        } else if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < n && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                i += 1;
+            }
+            // A fractional part: `.` followed by a digit (`0..8` is a
+            // range, not a float).
+            if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                    i += 1;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Number,
+                text: collect(&chars[start..i]),
+                line,
+            });
+        } else {
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+fn collect(chars: &[char]) -> String {
+    chars.iter().collect()
+}
+
+/// Records every `xtask:allow(rule, ...)` annotation found in a comment.
+fn record_allows(out: &mut Lexed, line: usize, comment: &str) {
+    const MARKER: &str = "xtask:allow(";
+    let mut rest = comment;
+    while let Some(pos) = rest.find(MARKER) {
+        rest = &rest[pos + MARKER.len()..];
+        let Some(close) = rest.find(')') else { break };
+        let rules = out.allows.entry(line).or_default();
+        for rule in rest[..close].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                rules.push(rule.to_owned());
+            }
+        }
+        rest = &rest[close..];
+    }
+}
+
+/// Skips a `"..."` string starting at the opening quote; returns the
+/// index one past the closing quote.
+fn skip_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+/// Detects and skips `r"…"`, `r#"…"#`, `b"…"`, `br"…"`, `b'…'` literals
+/// starting at `i`. Returns `None` when `i` starts a plain identifier
+/// (including raw identifiers like `r#type`).
+fn raw_or_byte_literal_end(chars: &[char], i: usize, line: &mut usize) -> Option<usize> {
+    let n = chars.len();
+    let mut j = match chars[i] {
+        'r' => i + 1,
+        'b' if i + 1 < n && chars[i + 1] == '\'' => {
+            return Some(skip_char_or_lifetime(chars, i + 1, line));
+        }
+        'b' if i + 1 < n && chars[i + 1] == '"' => {
+            return Some(skip_string(chars, i + 1, line));
+        }
+        'b' if i + 2 < n && chars[i + 1] == 'r' && (chars[i + 2] == '"' || chars[i + 2] == '#') => {
+            i + 2
+        }
+        _ => return None,
+    };
+    let mut hashes = 0usize;
+    while j < n && chars[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= n || chars[j] != '"' {
+        return None; // `r#ident` or plain identifier starting with r/b
+    }
+    j += 1;
+    while j < n {
+        if chars[j] == '\n' {
+            *line += 1;
+            j += 1;
+        } else if chars[j] == '"'
+            && chars[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            return Some(j + 1 + hashes);
+        } else {
+            j += 1;
+        }
+    }
+    Some(j)
+}
+
+/// Skips a char literal (`'x'`, `'\n'`, `'\u{1F600}'`) or a lifetime
+/// (`'a`, `'static`), starting at the quote.
+fn skip_char_or_lifetime(chars: &[char], i: usize, line: &mut usize) -> usize {
+    let n = chars.len();
+    if i + 1 >= n {
+        return i + 1;
+    }
+    let next = chars[i + 1];
+    if next == '\\' {
+        // Escaped char literal: scan to the closing quote.
+        let mut j = i + 2;
+        while j < n && chars[j] != '\'' {
+            if chars[j] == '\\' {
+                j += 1;
+            }
+            j += 1;
+        }
+        return (j + 1).min(n);
+    }
+    if next == '_' || next.is_alphabetic() {
+        let mut j = i + 1;
+        while j < n && (chars[j] == '_' || chars[j].is_alphanumeric()) {
+            j += 1;
+        }
+        if j < n && chars[j] == '\'' && j == i + 2 {
+            return j + 1; // 'x' — a single-char literal
+        }
+        return j; // 'lifetime — no closing quote
+    }
+    // Non-alphabetic char literal like '0' or '.'.
+    let mut j = i + 1;
+    if chars[j] == '\n' {
+        *line += 1;
+    }
+    j += 1;
+    if j < n && chars[j] == '\'' {
+        j += 1;
+    }
+    j
+}
+
+/// Removes `#[cfg(test)]` items (typically `mod tests { … }`) from a
+/// token stream, so rules and the panic audit see only non-test code.
+pub fn strip_cfg_test(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(tokens, i) {
+            i = skip_attr(tokens, i);
+            // Skip any further attributes stacked on the same item.
+            while i < tokens.len() && tokens[i].is_punct('#') {
+                i = skip_attr(tokens, i);
+            }
+            i = skip_item(tokens, i);
+        } else {
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+/// True when `tokens[i..]` starts with exactly `#[cfg(test)]`.
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let pat: [&dyn Fn(&Token) -> bool; 7] = [
+        &|t| t.is_punct('#'),
+        &|t| t.is_punct('['),
+        &|t| t.is_ident("cfg"),
+        &|t| t.is_punct('('),
+        &|t| t.is_ident("test"),
+        &|t| t.is_punct(')'),
+        &|t| t.is_punct(']'),
+    ];
+    pat.iter()
+        .enumerate()
+        .all(|(k, check)| tokens.get(i + k).is_some_and(check))
+}
+
+/// Skips one `#[...]` attribute starting at the `#`; returns the index
+/// one past its closing `]`.
+fn skip_attr(tokens: &[Token], mut i: usize) -> usize {
+    i += 1; // '#'
+    if i < tokens.len() && tokens[i].is_punct('!') {
+        i += 1;
+    }
+    if i >= tokens.len() || !tokens[i].is_punct('[') {
+        return i;
+    }
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct('[') {
+            depth += 1;
+        } else if tokens[i].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skips one item starting at `i`: either up to and including the
+/// matching `}` of its first top-level brace block, or past the
+/// terminating `;` for brace-less items.
+fn skip_item(tokens: &[Token], mut i: usize) -> usize {
+    let mut depth = 0isize;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            depth -= 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        } else if t.is_punct(';') && depth == 0 {
+            return i + 1;
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        lex(source)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let source = r##"
+            // HashMap in a line comment
+            /* HashMap in a /* nested */ block comment */
+            fn f() -> &'static str { "HashMap::new()" }
+            const R: &str = r#"thread_rng"#;
+        "##;
+        let names = idents(source);
+        assert!(!names.iter().any(|n| n == "HashMap" || n == "thread_rng"));
+        assert!(names.iter().any(|n| n == "fn"));
+        assert!(names.iter().any(|n| n == "str"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        // Lifetimes and char literals are consumed without emitting
+        // tokens; surrounding code still lexes cleanly.
+        let names = idents("fn f<'a>(x: &'a str) -> char { 'x' } const C: char = '\\n';");
+        assert_eq!(
+            names,
+            vec!["fn", "f", "x", "str", "char", "const", "C", "char"]
+        );
+        let names = idents("let v = ['('; 3]; let w: &'static str = s;");
+        assert_eq!(names, vec!["let", "v", "let", "w", "str", "s"]);
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let lexed = lex("a\nb\n  c");
+        let lines: Vec<usize> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn annotations_are_collected_and_scoped() {
+        let lexed = lex("let a = 1; // xtask:allow(timing, rng)\nlet b = 2;\nlet c = 3;");
+        assert!(lexed.allows(1, "timing"));
+        assert!(lexed.allows(1, "rng"));
+        assert!(lexed.allows(2, "timing"), "annotation covers the next line");
+        assert!(!lexed.allows(3, "timing"));
+        assert!(!lexed.allows(1, "default_hasher"));
+    }
+
+    #[test]
+    fn cfg_test_modules_are_stripped() {
+        let source = "
+            fn keep() {}
+            #[cfg(test)]
+            mod tests {
+                fn gone() { let m = std::collections::HashMap::new(); }
+            }
+            fn also_kept() {}
+        ";
+        let lexed = lex(source);
+        let stripped = strip_cfg_test(&lexed.tokens);
+        let names: Vec<&str> = stripped
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(names.contains(&"keep"));
+        assert!(names.contains(&"also_kept"));
+        assert!(!names.contains(&"gone"));
+        assert!(!names.contains(&"HashMap"));
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item() {
+        let source = "#[cfg(test)] use helper::thing; fn kept() {}";
+        let lexed = lex(source);
+        let stripped = strip_cfg_test(&lexed.tokens);
+        let names: Vec<&str> = stripped.iter().map(|t| t.text.as_str()).collect();
+        assert!(!names.contains(&"helper"));
+        assert!(names.contains(&"kept"));
+    }
+
+    #[test]
+    fn cfg_attr_is_not_treated_as_cfg_test() {
+        let source = "#![cfg_attr(test, allow(clippy::unwrap_used))] fn kept() {}";
+        let lexed = lex(source);
+        let stripped = strip_cfg_test(&lexed.tokens);
+        assert!(stripped.iter().any(|t| t.is_ident("kept")));
+    }
+}

@@ -1,0 +1,280 @@
+//! `cargo xtask` — in-repo automation for the hybridmem workspace.
+//!
+//! The only subcommand today is `lint`, a source-level static-analysis
+//! pass with two halves:
+//!
+//! * **Determinism rules** over the simulation crates (`types`, `trace`,
+//!   `cachesim`, `device`, `policy`, `core`): no default-hasher
+//!   `HashMap`/`HashSet`, no unordered collections in serialized types,
+//!   no wall-clock or entropy reads outside `xtask:allow(...)`-annotated
+//!   sites. See [`rules`] for the rationale; PR 1's serial ≡ parallel
+//!   byte-identity guarantee depends on these staying true.
+//! * **Panic-surface audit** over all non-test library code: per-file
+//!   `.unwrap()` / `.expect(…)` / index-expression counts must exactly
+//!   match `crates/xtask/panic-allowlist.toml` (see [`panic_audit`]).
+//!
+//! Run `cargo xtask lint` locally or in CI; run
+//! `cargo xtask lint --update-panic-allowlist` after a deliberate change
+//! to the panic surface.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+mod allowlist;
+mod lexer;
+mod panic_audit;
+mod rules;
+mod scan;
+
+use panic_audit::FileCounts;
+use rules::Violation;
+
+/// Path of the allowlist, relative to the workspace root.
+const ALLOWLIST_PATH: &str = "crates/xtask/panic-allowlist.toml";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut update_allowlist = false;
+    let mut command = None;
+    for arg in &args {
+        match arg.as_str() {
+            "--update-panic-allowlist" => update_allowlist = true,
+            "lint" if command.is_none() => command = Some("lint"),
+            other => {
+                eprintln!("unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if command != Some("lint") {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    match run(update_allowlist) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(message) => {
+            eprintln!("xtask: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: cargo xtask lint [--update-panic-allowlist]
+
+Checks (see DESIGN.md, \"Static analysis & enforced invariants\"):
+  determinism     no default-hasher maps, no unordered serialized
+                  collections, no wall-clock/entropy reads in the
+                  simulation crates (annotate legitimate sites with
+                  `// xtask:allow(rule)`)
+  panic surface   per-file unwrap/expect/index counts must match
+                  crates/xtask/panic-allowlist.toml exactly";
+
+/// Runs the lint against the enclosing workspace. Returns `Ok(true)`
+/// when everything is clean.
+fn run(update_allowlist: bool) -> Result<bool, String> {
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = scan::find_workspace_root(&cwd)?;
+
+    let violations = determinism_violations(&root)?;
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    println!(
+        "determinism: {} source file(s) in {} crate(s), {} violation(s)",
+        rules::SIM_CRATES
+            .iter()
+            .map(|c| scan::rust_sources(&root.join("crates").join(c).join("src")).len())
+            .sum::<usize>(),
+        rules::SIM_CRATES.len(),
+        violations.len()
+    );
+
+    let measured = measure_panic_surface(&root)?;
+    if update_allowlist {
+        let text = allowlist::render(&measured);
+        std::fs::write(root.join(ALLOWLIST_PATH), text)
+            .map_err(|e| format!("writing {ALLOWLIST_PATH}: {e}"))?;
+        println!("panic surface: rewrote {ALLOWLIST_PATH}");
+    }
+    let allowed = load_allowlist(&root)?;
+    let divergences = panic_audit::compare(&measured, &allowed);
+    for d in &divergences {
+        eprintln!("{d}");
+    }
+    let mut totals = FileCounts::default();
+    for counts in measured.values() {
+        totals += *counts;
+    }
+    println!(
+        "panic surface: {} file(s) audited, {} allowlisted ({totals}), {} divergence(s)",
+        measured.len(),
+        allowed.len(),
+        divergences.len()
+    );
+
+    Ok(violations.is_empty() && divergences.is_empty())
+}
+
+/// Runs the determinism rules over every non-test source file of the
+/// simulation crates.
+fn determinism_violations(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut violations = Vec::new();
+    for crate_name in rules::SIM_CRATES {
+        let src = root.join("crates").join(crate_name).join("src");
+        if !src.is_dir() {
+            return Err(format!(
+                "missing simulation crate source dir {}",
+                src.display()
+            ));
+        }
+        for file in scan::rust_sources(&src) {
+            let source = std::fs::read_to_string(&file)
+                .map_err(|e| format!("reading {}: {e}", file.display()))?;
+            let lexed = lexer::lex(&source);
+            let tokens = lexer::strip_cfg_test(&lexed.tokens);
+            violations.extend(rules::determinism_violations(
+                &scan::relative(root, &file),
+                &lexed,
+                &tokens,
+            ));
+        }
+    }
+    Ok(violations)
+}
+
+/// Measures the panic surface of all non-test library code: every
+/// crate's `src/` tree (excluding `src/bin/` regenerator binaries and
+/// xtask itself) plus the root facade crate.
+fn measure_panic_surface(root: &Path) -> Result<BTreeMap<String, FileCounts>, String> {
+    let mut roots = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    let mut entries: Vec<_> = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("reading {}: {e}", crates_dir.display()))?
+        .flatten()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for crate_dir in entries {
+        let is_xtask = crate_dir.file_name().is_some_and(|n| n == "xtask");
+        if crate_dir.is_dir() && !is_xtask {
+            roots.push(crate_dir.join("src"));
+        }
+    }
+
+    let mut measured = BTreeMap::new();
+    for src in roots {
+        for file in scan::rust_sources(&src) {
+            let rel = scan::relative(root, &file);
+            if rel.split('/').any(|part| part == "bin") {
+                continue; // regenerator binaries are harnesses, not library code
+            }
+            let source = std::fs::read_to_string(&file)
+                .map_err(|e| format!("reading {}: {e}", file.display()))?;
+            let lexed = lexer::lex(&source);
+            let tokens = lexer::strip_cfg_test(&lexed.tokens);
+            measured.insert(rel, panic_audit::count(&tokens));
+        }
+    }
+    Ok(measured)
+}
+
+/// Loads and parses the checked-in allowlist.
+fn load_allowlist(root: &Path) -> Result<BTreeMap<String, FileCounts>, String> {
+    let path = root.join(ALLOWLIST_PATH);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("reading {ALLOWLIST_PATH}: {e} (run `cargo xtask lint --update-panic-allowlist` to seed it)"))?;
+    allowlist::parse(&text).map_err(|e| format!("{ALLOWLIST_PATH}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workspace_root() -> std::path::PathBuf {
+        let cwd = std::env::current_dir().unwrap();
+        scan::find_workspace_root(&cwd).unwrap()
+    }
+
+    fn check_fixture(name: &str) -> Vec<Violation> {
+        let path = workspace_root().join("crates/xtask/fixtures").join(name);
+        let source = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("fixture {}: {e}", path.display()));
+        let lexed = lexer::lex(&source);
+        let tokens = lexer::strip_cfg_test(&lexed.tokens);
+        rules::determinism_violations(name, &lexed, &tokens)
+    }
+
+    #[test]
+    fn each_rule_fixture_fires_exactly_once() {
+        for rule in ["default_hasher", "serialized_unordered", "timing", "rng"] {
+            let violations = check_fixture(&format!("{rule}.rs"));
+            assert_eq!(
+                violations.len(),
+                1,
+                "{rule}.rs should yield exactly one violation, got {violations:?}"
+            );
+            assert_eq!(violations[0].rule, rule, "{violations:?}");
+        }
+    }
+
+    #[test]
+    fn allowlist_annotation_fixture_is_clean() {
+        let violations = check_fixture("allowed_sites.rs");
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn panic_fixture_counts_are_exact() {
+        let path = workspace_root().join("crates/xtask/fixtures/panic_surface.rs");
+        let source = std::fs::read_to_string(path).unwrap();
+        let lexed = lexer::lex(&source);
+        let counts = panic_audit::count(&lexer::strip_cfg_test(&lexed.tokens));
+        assert_eq!(
+            counts,
+            FileCounts {
+                unwrap: 1,
+                expect: 2,
+                index: 3
+            },
+            "fixture documents one unwrap, two expects, three index sites"
+        );
+    }
+
+    #[test]
+    fn real_workspace_has_no_determinism_violations() {
+        let violations = determinism_violations(&workspace_root()).unwrap();
+        assert!(violations.is_empty(), "{violations:#?}");
+    }
+
+    #[test]
+    fn real_workspace_panic_surface_matches_allowlist() {
+        let root = workspace_root();
+        let measured = measure_panic_surface(&root).unwrap();
+        let allowed = load_allowlist(&root).unwrap();
+        let divergences = panic_audit::compare(&measured, &allowed);
+        assert!(divergences.is_empty(), "{divergences:#?}");
+    }
+
+    #[test]
+    fn allowlist_is_smaller_than_the_audited_surface() {
+        // ISSUE acceptance: strictly fewer allowlist entries than the
+        // ~175 unwrap() sites counted workspace-wide (tests included)
+        // when the issue was filed — i.e. the allowlist only records
+        // deliberate non-test sites, not the long tail of test code.
+        let allowed = load_allowlist(&workspace_root()).unwrap();
+        assert!(
+            allowed.len() < 175,
+            "allowlist has {} entries",
+            allowed.len()
+        );
+        let unwraps: usize = allowed.values().map(|c| c.unwrap).sum();
+        assert_eq!(unwraps, 0, "non-test library code is unwrap-free");
+    }
+}

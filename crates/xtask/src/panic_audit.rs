@@ -1,0 +1,240 @@
+//! The panic-surface audit.
+//!
+//! Counts the three panic-capable constructs — `.unwrap()`, `.expect(…)`,
+//! and slice/array indexing `x[…]` — in every non-test library source
+//! file and compares the per-file counts against the checked-in
+//! `crates/xtask/panic-allowlist.toml`. The build fails when a file
+//! appears that is not in the allowlist, when an allowlisted file
+//! disappears or goes to zero, and when any recorded count drifts from
+//! reality **in either direction** — shrinking the panic surface must
+//! also be recorded, so the allowlist always states the exact current
+//! surface and every new `unwrap` is a deliberate, reviewed decision.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{Token, TokenKind};
+
+/// Per-file counts of panic-capable constructs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FileCounts {
+    /// `.unwrap()` call sites.
+    pub unwrap: usize,
+    /// `.expect(…)` call sites.
+    pub expect: usize,
+    /// Index expressions `x[…]` (slice, array, or map indexing).
+    pub index: usize,
+}
+
+impl FileCounts {
+    /// True when no panic-capable construct was counted.
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+impl std::ops::AddAssign for FileCounts {
+    fn add_assign(&mut self, rhs: Self) {
+        self.unwrap += rhs.unwrap;
+        self.expect += rhs.expect;
+        self.index += rhs.index;
+    }
+}
+
+impl std::fmt::Display for FileCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unwrap = {}, expect = {}, index = {}",
+            self.unwrap, self.expect, self.index
+        )
+    }
+}
+
+/// Reserved words that can directly precede a `[` that is *not* an index
+/// expression (patterns like `let [a, b] = …`, `for [x, y] in …`).
+const KEYWORDS: [&str; 24] = [
+    "as", "break", "const", "continue", "crate", "else", "enum", "fn", "for", "if", "impl", "in",
+    "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return", "use", "where", "while",
+];
+
+/// Counts panic-capable constructs in a stripped, test-free token stream.
+pub fn count(tokens: &[Token]) -> FileCounts {
+    let mut counts = FileCounts::default();
+    for (i, t) in tokens.iter().enumerate() {
+        match t.kind {
+            TokenKind::Ident if t.text == "unwrap" || t.text == "expect" => {
+                let method_call = i > 0
+                    && tokens[i - 1].is_punct('.')
+                    && tokens.get(i + 1).is_some_and(|n| n.is_punct('('));
+                if method_call {
+                    if t.text == "unwrap" {
+                        counts.unwrap += 1;
+                    } else {
+                        counts.expect += 1;
+                    }
+                }
+            }
+            TokenKind::Punct if t.text == "[" && i > 0 => {
+                let prev = &tokens[i - 1];
+                let indexable = match prev.kind {
+                    TokenKind::Ident => !KEYWORDS.contains(&prev.text.as_str()),
+                    TokenKind::Punct => prev.text == ")" || prev.text == "]",
+                    TokenKind::Number => false,
+                };
+                if indexable {
+                    counts.index += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    counts
+}
+
+/// One audit finding (a divergence between reality and the allowlist).
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Workspace-relative path.
+    pub file: String,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.file, self.message)
+    }
+}
+
+/// Compares measured per-file counts against the allowlist. Files with
+/// all-zero counts are expected to be absent from the allowlist.
+pub fn compare(
+    measured: &BTreeMap<String, FileCounts>,
+    allowed: &BTreeMap<String, FileCounts>,
+) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    for (file, counts) in measured {
+        match allowed.get(file) {
+            None if counts.is_zero() => {}
+            None => out.push(Divergence {
+                file: file.clone(),
+                message: format!(
+                    "new panic surface ({counts}) not in the allowlist; if \
+                     deliberate, run `cargo xtask lint --update-panic-allowlist`"
+                ),
+            }),
+            Some(entry) if entry == counts => {}
+            Some(entry) => out.push(Divergence {
+                file: file.clone(),
+                message: format!(
+                    "panic surface drifted: allowlist records ({entry}) but \
+                     the source has ({counts}); update the allowlist to match"
+                ),
+            }),
+        }
+    }
+    for file in allowed.keys() {
+        let gone = match measured.get(file) {
+            None => true,
+            Some(counts) => counts.is_zero(),
+        };
+        if gone {
+            out.push(Divergence {
+                file: file.clone(),
+                message: "stale allowlist entry: file is gone or now \
+                          panic-free; remove the entry"
+                    .to_owned(),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_cfg_test};
+
+    fn counts(source: &str) -> FileCounts {
+        let lexed = lex(source);
+        count(&strip_cfg_test(&lexed.tokens))
+    }
+
+    #[test]
+    fn counts_unwrap_and_expect_calls() {
+        let c = counts("fn f() { a.unwrap(); b.expect(\"msg\"); c.unwrap_or(0); }");
+        assert_eq!(c.unwrap, 1, "unwrap_or is not unwrap");
+        assert_eq!(c.expect, 1);
+    }
+
+    #[test]
+    fn counts_index_expressions_not_patterns_or_types() {
+        let c = counts(
+            "fn f(v: &[u8], m: &Map) -> u8 {\n\
+               let [a, b] = [v[0], v[1]];\n\
+               let t: [u8; 4] = make();\n\
+               let x = vec![1, 2];\n\
+               let y = calls()[2];\n\
+               #[allow(dead_code)]\n\
+               let z = m.field[3];\n\
+               a + b\n\
+             }",
+        );
+        // v[0], v[1], calls()[2], m.field[3] — not `let [a, b]`, not the
+        // `[u8; 4]` type, not `vec![…]`, not the attribute brackets.
+        assert_eq!(c.index, 4);
+    }
+
+    #[test]
+    fn test_modules_and_doc_comments_do_not_count() {
+        let c = counts(
+            "/// Example: `x.unwrap()` and a doc test:\n\
+             /// ```\n\
+             /// thing().unwrap();\n\
+             /// ```\n\
+             fn f() {}\n\
+             #[cfg(test)]\n\
+             mod tests { fn t() { thing().unwrap(); arr[0]; } }",
+        );
+        assert!(c.is_zero());
+    }
+
+    #[test]
+    fn compare_flags_drift_in_both_directions() {
+        let mk = |u, e, x| FileCounts {
+            unwrap: u,
+            expect: e,
+            index: x,
+        };
+        let measured: BTreeMap<String, FileCounts> = [
+            ("a.rs".to_owned(), mk(1, 0, 0)), // drifted up
+            ("b.rs".to_owned(), mk(0, 1, 2)), // matches
+            ("c.rs".to_owned(), mk(0, 0, 0)), // clean, no entry needed
+            ("d.rs".to_owned(), mk(0, 0, 1)), // new, unlisted
+        ]
+        .into();
+        let allowed: BTreeMap<String, FileCounts> = [
+            ("a.rs".to_owned(), mk(0, 0, 0)),
+            ("b.rs".to_owned(), mk(0, 1, 2)),
+            ("e.rs".to_owned(), mk(1, 0, 0)), // stale
+        ]
+        .into();
+        let diverged = compare(&measured, &allowed);
+        let files: Vec<&str> = diverged.iter().map(|d| d.file.as_str()).collect();
+        assert_eq!(files, vec!["a.rs", "d.rs", "e.rs"]);
+    }
+
+    #[test]
+    fn matching_surface_is_clean() {
+        let measured: BTreeMap<String, FileCounts> = [(
+            "a.rs".to_owned(),
+            FileCounts {
+                unwrap: 0,
+                expect: 3,
+                index: 7,
+            },
+        )]
+        .into();
+        assert!(compare(&measured, &measured.clone()).is_empty());
+    }
+}

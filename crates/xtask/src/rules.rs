@@ -1,0 +1,342 @@
+//! The determinism rule set.
+//!
+//! PR 1 made serial and parallel evaluation runs byte-identical; these
+//! rules keep that invariant machine-checked. They run over the stripped
+//! token stream of every non-test source file in the simulation crates
+//! (see [`SIM_CRATES`]) and reject the known nondeterminism hazards:
+//!
+//! * `default_hasher` — bare `HashMap`/`HashSet`. The default SipHash
+//!   hasher is randomly keyed per process, so iteration order varies run
+//!   to run. Simulation crates must use the deterministic
+//!   `FxHashMap`/`FxHashSet` aliases from `hybridmem-types` (or a
+//!   `BTreeMap`/`BTreeSet` where order matters).
+//! * `serialized_unordered` — a hash map/set field inside a
+//!   `#[derive(Serialize)]` type. Serde serializes maps in iteration
+//!   order, so such a field makes the serialized report depend on
+//!   insertion history (or, with the default hasher, on the process).
+//!   Use `BTreeMap`/`BTreeSet` for serialized collections.
+//! * `timing` — `Instant::now` / `SystemTime`: wall-clock reads feeding
+//!   simulation state would make results timing-dependent.
+//! * `rng` — `thread_rng` / `from_entropy` / `rand::random` / `OsRng`:
+//!   entropy-seeded randomness. Simulation randomness must flow from an
+//!   explicit seed (`SeedableRng::seed_from_u64`).
+//!
+//! A legitimate site opts out with a `// xtask:allow(rule)` comment on
+//! the same line or the line above (e.g. the wall-clock throughput
+//! timers in `crates/core/src/experiments.rs`).
+
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// Crates whose sources must be deterministic: everything that runs
+/// inside a simulation. The CLI and bench harnesses measure wall-clock
+/// time on purpose and are exempt.
+pub const SIM_CRATES: [&str; 6] = ["types", "trace", "cachesim", "device", "policy", "core"];
+
+/// One rule finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the finding.
+    pub line: usize,
+    /// Rule identifier (the name `xtask:allow(...)` takes).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Names of the unordered hash collections (std and the in-repo Fx
+/// aliases) that must not appear in serialized types.
+const UNORDERED: [&str; 4] = ["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
+
+/// Runs every determinism rule over one file's stripped token stream.
+///
+/// `tokens` must already have `#[cfg(test)]` items removed; `lexed`
+/// provides the annotation table of the same file.
+pub fn determinism_violations(file: &str, lexed: &Lexed, tokens: &[Token]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    default_hasher(file, lexed, tokens, &mut violations);
+    serialized_unordered(file, lexed, tokens, &mut violations);
+    timing_and_rng(file, lexed, tokens, &mut violations);
+    violations
+}
+
+fn push_unless_allowed(
+    out: &mut Vec<Violation>,
+    lexed: &Lexed,
+    file: &str,
+    line: usize,
+    rule: &'static str,
+    message: String,
+) {
+    if !lexed.allows(line, rule) {
+        out.push(Violation {
+            file: file.to_owned(),
+            line,
+            rule,
+            message,
+        });
+    }
+}
+
+/// Rule `default_hasher`: any bare `HashMap`/`HashSet` identifier.
+fn default_hasher(file: &str, lexed: &Lexed, tokens: &[Token], out: &mut Vec<Violation>) {
+    for t in tokens {
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            push_unless_allowed(
+                out,
+                lexed,
+                file,
+                t.line,
+                "default_hasher",
+                format!(
+                    "bare `{}` (randomly keyed default hasher); use \
+                     `Fx{}` from hybridmem-types, or a BTree collection",
+                    t.text, t.text
+                ),
+            );
+        }
+    }
+}
+
+/// Rule `serialized_unordered`: a hash collection in the body of a type
+/// that derives `Serialize`.
+fn serialized_unordered(file: &str, lexed: &Lexed, tokens: &[Token], out: &mut Vec<Violation>) {
+    let mut i = 0;
+    while i < tokens.len() {
+        let Some(after_attr) = serialize_derive_end(tokens, i) else {
+            i += 1;
+            continue;
+        };
+        let mut j = after_attr;
+        // Skip further attributes stacked between the derive and the item.
+        while j < tokens.len() && tokens[j].is_punct('#') {
+            j = skip_balanced(tokens, j + 1, '[', ']');
+        }
+        // Find the item body: the first top-level brace or paren group
+        // after the `struct`/`enum` keyword.
+        while j < tokens.len()
+            && !(tokens[j].is_punct('{') || tokens[j].is_punct('(') || tokens[j].is_punct(';'))
+        {
+            j += 1;
+        }
+        if j < tokens.len() && !tokens[j].is_punct(';') {
+            let (open, close) = if tokens[j].is_punct('{') {
+                ('{', '}')
+            } else {
+                ('(', ')')
+            };
+            let end = skip_balanced(tokens, j, open, close);
+            for t in &tokens[j..end.min(tokens.len())] {
+                if UNORDERED.iter().any(|name| t.is_ident(name)) {
+                    push_unless_allowed(
+                        out,
+                        lexed,
+                        file,
+                        t.line,
+                        "serialized_unordered",
+                        format!(
+                            "`{}` field in a `#[derive(Serialize)]` type \
+                             serializes in unordered iteration order; use a \
+                             BTree collection for serialized fields",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            i = end;
+        } else {
+            i = j + 1;
+        }
+    }
+}
+
+/// If `tokens[i..]` starts a `#[derive(...)]` attribute whose list names
+/// `Serialize`, returns the index one past the attribute's closing `]`.
+fn serialize_derive_end(tokens: &[Token], i: usize) -> Option<usize> {
+    if !(tokens.get(i)?.is_punct('#')
+        && tokens.get(i + 1)?.is_punct('[')
+        && tokens.get(i + 2)?.is_ident("derive")
+        && tokens.get(i + 3)?.is_punct('('))
+    {
+        return None;
+    }
+    let end = skip_balanced(tokens, i + 1, '[', ']');
+    tokens[i + 4..end.min(tokens.len())]
+        .iter()
+        .any(|t| t.is_ident("Serialize"))
+        .then_some(end)
+}
+
+/// Rules `timing` and `rng`: wall-clock and entropy sources.
+fn timing_and_rng(file: &str, lexed: &Lexed, tokens: &[Token], out: &mut Vec<Violation>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let timing = match t.text.as_str() {
+            "Instant" if path_call(tokens, i, "now") => Some("`Instant::now()`"),
+            "SystemTime" => Some("`SystemTime`"),
+            _ => None,
+        };
+        if let Some(what) = timing {
+            push_unless_allowed(
+                out,
+                lexed,
+                file,
+                t.line,
+                "timing",
+                format!("{what} reads the wall clock inside a simulation crate"),
+            );
+            continue;
+        }
+        let rng = match t.text.as_str() {
+            "thread_rng" | "from_entropy" | "OsRng" | "getrandom" => Some(t.text.as_str()),
+            "rand" if path_call(tokens, i, "random") => Some("rand::random"),
+            _ => None,
+        };
+        if let Some(what) = rng {
+            push_unless_allowed(
+                out,
+                lexed,
+                file,
+                t.line,
+                "rng",
+                format!(
+                    "`{what}` draws entropy-seeded randomness; derive all \
+                     simulation randomness from an explicit seed"
+                ),
+            );
+        }
+    }
+}
+
+/// True when `tokens[i]` is followed by `::segment`.
+fn path_call(tokens: &[Token], i: usize, segment: &str) -> bool {
+    tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        && tokens.get(i + 3).is_some_and(|t| t.is_ident(segment))
+}
+
+/// Skips a balanced `open`…`close` group; `i` must be at or before the
+/// opening token. Returns the index one past the matching closer.
+fn skip_balanced(tokens: &[Token], mut i: usize, open: char, close: char) -> usize {
+    while i < tokens.len() && !tokens[i].is_punct(open) {
+        i += 1;
+    }
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_punct(open) {
+            depth += 1;
+        } else if tokens[i].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_cfg_test};
+
+    fn check(source: &str) -> Vec<Violation> {
+        let lexed = lex(source);
+        let tokens = strip_cfg_test(&lexed.tokens);
+        determinism_violations("test.rs", &lexed, &tokens)
+    }
+
+    #[test]
+    fn bare_hashmap_fires_default_hasher() {
+        let v = check("fn f() -> usize { std::collections::HashMap::<u32, u32>::new().len() }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "default_hasher");
+    }
+
+    #[test]
+    fn fx_map_is_fine_outside_serialized_types() {
+        assert!(check("fn f() { let m: FxHashMap<u32, u32> = FxHashMap::default(); }").is_empty());
+    }
+
+    #[test]
+    fn serialized_fx_map_fires() {
+        let v = check(
+            "#[derive(Debug, Serialize, Deserialize)]\n\
+             pub struct Report { pub per_page: FxHashMap<u64, u64> }",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "serialized_unordered");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn serialized_btreemap_is_fine() {
+        assert!(check(
+            "#[derive(Serialize)]\n\
+             pub struct Report { pub per_page: BTreeMap<u64, u64> }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unserialized_struct_with_fx_map_is_fine() {
+        assert!(check("#[derive(Debug, Clone)]\nstruct S { m: FxHashMap<u64, u64> }").is_empty());
+    }
+
+    #[test]
+    fn instant_now_fires_timing() {
+        let v = check("fn f() { let t = Instant::now(); }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "timing");
+    }
+
+    #[test]
+    fn instant_import_alone_is_fine() {
+        assert!(check("use std::time::Instant;").is_empty());
+    }
+
+    #[test]
+    fn thread_rng_fires_rng() {
+        let v = check("fn f() { let r = rand::thread_rng(); }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "rng");
+    }
+
+    #[test]
+    fn seeded_rng_is_fine() {
+        assert!(check("fn f() { let r = StdRng::seed_from_u64(42); }").is_empty());
+    }
+
+    #[test]
+    fn annotation_excuses_the_site() {
+        assert!(check("fn f() { let t = Instant::now(); } // xtask:allow(timing)").is_empty());
+        assert!(check("// xtask:allow(timing)\nfn f() { let t = Instant::now(); }").is_empty());
+        let wrong_rule = check("fn f() { let t = Instant::now(); } // xtask:allow(rng)");
+        assert_eq!(wrong_rule.len(), 1);
+    }
+
+    #[test]
+    fn hazards_in_test_modules_are_ignored() {
+        let source = "#[cfg(test)]\nmod tests {\n  fn f() { let m = HashMap::new(); }\n}";
+        assert!(check(source).is_empty());
+    }
+
+    #[test]
+    fn mentions_in_comments_and_strings_are_ignored() {
+        assert!(check("// a HashMap here\nfn f() -> &'static str { \"SystemTime\" }").is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! Workspace discovery and deterministic source-file enumeration.
+
+use std::path::{Path, PathBuf};
+
+/// Finds the workspace root by walking upward from `start` until a
+/// `Cargo.toml` declaring `[workspace]` is found.
+///
+/// # Errors
+///
+/// Returns a message when no ancestor of `start` is a workspace root.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).unwrap_or_default();
+            if text.contains("[workspace]") {
+                return Ok(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    Err(format!("no workspace root found above {}", start.display()))
+}
+
+/// All `.rs` files under `dir`, recursively, in a stable sorted order
+/// (the lint's own output must be deterministic).
+pub fn rust_sources(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Workspace-relative path with forward slashes (stable across hosts).
+pub fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_workspace() {
+        let cwd = std::env::current_dir().unwrap();
+        let root = find_workspace_root(&cwd).unwrap();
+        assert!(root.join("Cargo.toml").is_file());
+        assert!(root.join("crates/xtask").is_dir());
+    }
+
+    #[test]
+    fn sources_are_sorted_and_rs_only() {
+        let cwd = std::env::current_dir().unwrap();
+        let root = find_workspace_root(&cwd).unwrap();
+        let files = rust_sources(&root.join("crates/xtask/src"));
+        assert!(files.len() >= 5);
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+        assert!(files
+            .iter()
+            .all(|f| f.extension().is_some_and(|e| e == "rs")));
+    }
+
+    #[test]
+    fn relative_paths_use_forward_slashes() {
+        let root = Path::new("/ws");
+        let rel = relative(root, Path::new("/ws/crates/a/src/lib.rs"));
+        assert_eq!(rel, "crates/a/src/lib.rs");
+    }
+}
