@@ -5,10 +5,12 @@
 //! §4 for the index). All binaries accept the same flags:
 //!
 //! ```text
-//! --cap N      max accesses per workload (default 1_000_000; 0 = full scale)
-//! --seed N     trace generator seed (default 42)
-//! --out DIR    also write machine-readable JSON results into DIR
-//! --threads N  worker threads for the evaluation matrix (default 0 = auto)
+//! --cap N             max accesses per workload (default 1_000_000; 0 = full scale)
+//! --seed N            trace generator seed (default 42)
+//! --out DIR           also write machine-readable JSON results into DIR
+//! --threads N         worker threads for the evaluation matrix (default 0 = auto)
+//! --metrics-out FILE  write per-window interval records as JSONL
+//! --metrics-window N  accesses per metrics window (default 10_000; 0 = one window)
 //! ```
 //!
 //! Tables are printed in the same row/series layout the paper uses, with
@@ -21,11 +23,12 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use hybridmem_core::{
-    arith_mean, compare_policies_timed, geo_mean, ExperimentConfig, MatrixTiming, PolicyKind,
-    SimulationReport,
+    arith_mean, compare_policies_observed, compare_policies_timed, geo_mean, write_jsonl,
+    ExperimentConfig, MatrixTiming, PolicyKind, SimulationReport, TraceCache, TraceCacheStats,
 };
+use hybridmem_metrics::{MetricsRegistry, MetricsSnapshot};
 use hybridmem_trace::{parsec, WorkloadSpec};
-use hybridmem_types::Result;
+use hybridmem_types::{Error, Result};
 use serde::Serialize;
 
 /// Command-line options shared by every regenerator binary.
@@ -40,6 +43,12 @@ pub struct SuiteOptions {
     /// Worker threads for the evaluation matrix (`0` = one per available
     /// hardware thread).
     pub threads: usize,
+    /// When given, [`SuiteOptions::run_matrix`] attaches a windowed
+    /// collector to every cell and writes the interval records here as
+    /// JSON Lines (spec-major, policies in `kinds` order).
+    pub metrics_out: Option<PathBuf>,
+    /// Accesses per metrics window (`0` = one whole-run window per cell).
+    pub metrics_window: u64,
 }
 
 impl SuiteOptions {
@@ -69,8 +78,17 @@ impl SuiteOptions {
                 "--threads" => {
                     options.threads = value().parse().expect("--threads expects an integer");
                 }
+                "--metrics-out" => options.metrics_out = Some(PathBuf::from(value())),
+                "--metrics-window" => {
+                    options.metrics_window = value()
+                        .parse()
+                        .expect("--metrics-window expects an integer");
+                }
                 other => {
-                    panic!("unknown flag {other}; expected --cap/--seed/--out/--threads");
+                    panic!(
+                        "unknown flag {other}; expected \
+                         --cap/--seed/--out/--threads/--metrics-out/--metrics-window"
+                    );
                 }
             }
         }
@@ -114,10 +132,90 @@ impl SuiteOptions {
         kinds: &[PolicyKind],
     ) -> Result<Vec<(WorkloadSpec, Vec<SimulationReport>)>> {
         let specs = self.specs();
-        let (rows, timing) = compare_policies_timed(&specs, kinds, &self.config(), self.threads)?;
-        let summary = ThroughputSummary::from_matrix(&specs, kinds, &timing);
+        let config = self.config();
+        let (rows, timing, cell_metrics) = if let Some(path) = &self.metrics_out {
+            let (cells, timing) = compare_policies_observed(
+                &specs,
+                kinds,
+                &config,
+                self.threads,
+                self.metrics_window,
+            )?;
+            let (rows, aggregate) = self.write_interval_metrics(path, cells)?;
+            (rows, timing, Some(aggregate))
+        } else {
+            let (rows, timing) = compare_policies_timed(&specs, kinds, &config, self.threads)?;
+            (rows, timing, None)
+        };
+        let mut summary = ThroughputSummary::from_matrix(&specs, kinds, &timing);
+        summary.trace_cache = TraceCache::global().stats();
+        summary.metrics = Self::aggregate_metrics(&timing, cell_metrics);
         self.write_throughput(&summary);
         Ok(specs.into_iter().zip(rows).collect())
+    }
+
+    /// Writes every cell's interval records to `path` as JSON Lines
+    /// (spec-major, policies in `kinds` order — the matrix's own order),
+    /// returning the plain report rows plus the merged cell metrics.
+    ///
+    /// Unlike `throughput.json`, an unwritable metrics file is a hard
+    /// error: the caller asked for this artefact explicitly.
+    fn write_interval_metrics(
+        &self,
+        path: &Path,
+        cells: Vec<Vec<hybridmem_core::ObservedRun>>,
+    ) -> Result<(Vec<Vec<SimulationReport>>, MetricsSnapshot)> {
+        let file = fs::File::create(path)
+            .map_err(|e| Error::invalid_input(format!("cannot create {}: {e}", path.display())))?;
+        let mut writer = std::io::BufWriter::new(file);
+        let mut aggregate = MetricsSnapshot::default();
+        let mut rows = Vec::with_capacity(cells.len());
+        for row in cells {
+            let mut reports = Vec::with_capacity(row.len());
+            for cell in row {
+                write_jsonl(&mut writer, &cell.records)
+                    .map_err(|e| Error::invalid_input(format!("write {}: {e}", path.display())))?;
+                aggregate.absorb(&cell.metrics);
+                reports.push(cell.report);
+            }
+            rows.push(reports);
+        }
+        std::io::Write::flush(&mut writer)
+            .map_err(|e| Error::invalid_input(format!("write {}: {e}", path.display())))?;
+        println!("wrote interval metrics to {}", path.display());
+        Ok((rows, aggregate))
+    }
+
+    /// Merges scheduler telemetry, trace-cache counters, and (when the
+    /// observed path ran) the per-cell collector metrics into one snapshot.
+    fn aggregate_metrics(
+        timing: &MatrixTiming,
+        cell_metrics: Option<MetricsSnapshot>,
+    ) -> MetricsSnapshot {
+        let mut registry = MetricsRegistry::new();
+        registry.add(
+            "scheduler.cells",
+            timing.cells_per_worker.iter().sum::<u64>(),
+        );
+        #[allow(clippy::cast_precision_loss)]
+        {
+            registry.set_gauge("scheduler.workers", timing.workers as f64);
+            registry.set_gauge("scheduler.peak_in_flight", timing.peak_in_flight as f64);
+        }
+        registry.set_gauge("scheduler.wall_seconds", timing.wall_seconds);
+        for &count in &timing.cells_per_worker {
+            registry.observe("scheduler.cells_per_worker", count);
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        for seconds in timing.cell_seconds.iter().flatten() {
+            registry.observe("scheduler.cell_micros", (seconds * 1e6).max(0.0) as u64);
+        }
+        TraceCache::global().export_into(&mut registry);
+        let mut snapshot = registry.snapshot();
+        if let Some(cells) = cell_metrics {
+            snapshot.absorb(&cells);
+        }
+        snapshot
     }
 
     /// Writes the throughput summary to `<out_dir or "results">/throughput.json`.
@@ -175,6 +273,8 @@ impl Default for SuiteOptions {
             seed: 42,
             out_dir: None,
             threads: 0,
+            metrics_out: None,
+            metrics_window: 10_000,
         }
     }
 }
@@ -207,6 +307,13 @@ pub struct ThroughputSummary {
     pub accesses_per_second: f64,
     /// Per-policy breakdown (worker-seconds, not wall-clock).
     pub per_policy: Vec<PolicyThroughput>,
+    /// Shared trace-cache statistics at the end of the run
+    /// ([`TraceCache::stats`]).
+    pub trace_cache: TraceCacheStats,
+    /// Aggregated metrics: scheduler telemetry, trace-cache counters, and
+    /// — when `--metrics-out` ran the observed path — the merged per-cell
+    /// collector metrics.
+    pub metrics: MetricsSnapshot,
 }
 
 impl ThroughputSummary {
@@ -249,6 +356,8 @@ impl ThroughputSummary {
             total_accesses,
             accesses_per_second,
             per_policy,
+            trace_cache: TraceCacheStats::default(),
+            metrics: MetricsSnapshot::default(),
         }
     }
 }
@@ -341,6 +450,8 @@ mod tests {
         assert_eq!(o.seed, 42);
         assert!(o.out_dir.is_none());
         assert_eq!(o.threads, 0, "auto thread count by default");
+        assert!(o.metrics_out.is_none(), "metrics are opt-in");
+        assert_eq!(o.metrics_window, 10_000);
         assert_eq!(o.config().seed, 42);
     }
 
@@ -355,6 +466,8 @@ mod tests {
             wall_seconds: 2.0,
             workers: 4,
             cell_seconds: vec![vec![0.5, 0.25], vec![0.5, 0.25]],
+            cells_per_worker: vec![1, 1, 1, 1],
+            peak_in_flight: 3,
         };
         let summary = ThroughputSummary::from_matrix(&specs, &kinds, &timing);
         let per_policy_accesses: u64 = specs.iter().map(WorkloadSpec::total_accesses).sum();
@@ -370,6 +483,34 @@ mod tests {
         #[allow(clippy::cast_precision_loss)]
         let headline = (per_policy_accesses * 2) as f64 / 2.0;
         assert!((summary.accesses_per_second - headline).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aggregate_metrics_carries_scheduler_telemetry() {
+        let timing = MatrixTiming {
+            wall_seconds: 2.0,
+            workers: 4,
+            cell_seconds: vec![vec![0.5, 0.25], vec![0.5, 0.25]],
+            cells_per_worker: vec![2, 1, 1, 0],
+            peak_in_flight: 3,
+        };
+        let snapshot = SuiteOptions::aggregate_metrics(&timing, None);
+        assert_eq!(snapshot.counters["scheduler.cells"], 4);
+        assert!((snapshot.gauges["scheduler.workers"] - 4.0).abs() < f64::EPSILON);
+        assert!((snapshot.gauges["scheduler.peak_in_flight"] - 3.0).abs() < f64::EPSILON);
+        let per_worker = &snapshot.histograms["scheduler.cells_per_worker"];
+        assert_eq!(per_worker.count, 4);
+        assert_eq!(per_worker.sum, 4);
+        let micros = &snapshot.histograms["scheduler.cell_micros"];
+        assert_eq!(micros.count, 4);
+        assert_eq!(micros.sum, 1_500_000);
+
+        // Cell metrics absorb on top of the scheduler's.
+        let mut registry = MetricsRegistry::new();
+        registry.add("sim.accesses", 10);
+        let merged = SuiteOptions::aggregate_metrics(&timing, Some(registry.snapshot()));
+        assert_eq!(merged.counters["sim.accesses"], 10);
+        assert_eq!(merged.counters["scheduler.cells"], 4);
     }
 
     #[test]

@@ -5,7 +5,10 @@ use std::io::{BufReader, BufWriter};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use hybridmem_core::{ExperimentConfig, PolicyKind, SimulationReport};
+use hybridmem_core::{
+    write_jsonl, ExperimentConfig, HybridSimulator, IntervalRecord, PolicyKind, SimulationReport,
+    WindowedCollector,
+};
 use hybridmem_trace::{
     io as trace_io, parsec, ReuseProfile, TraceGenerator, TraceStats, WorkloadSpec,
 };
@@ -31,7 +34,15 @@ COMMANDS:
              [--memory-fraction F] [--dram-fraction F] [--json]
     compare <trace>                    run all policies over a trace file
              [--memory-fraction F] [--dram-fraction F] [--threads N]
-             (--threads 0, the default, uses all available cores)
+             [--metrics-out FILE] [--metrics-window N]
+             (--threads 0, the default, uses all available cores;
+              --metrics-out writes per-window interval records as JSONL,
+              one window every N accesses, default 10000)
+    observe <workload>                 stream windowed interval records (JSONL)
+             [--policy P] [--cap N] [--seed N] [--window N]
+             [--memory-fraction F] [--dram-fraction F] [--warmup F]
+             (--window 0 emits one whole-run record at the end;
+              --workload accepts a PARSEC name or a WorkloadSpec JSON path)
 
 Trace files use the formats documented in hybridmem-trace: text
 (`R 0x1000 0` per line) or binary (11-byte records). `--format` defaults
@@ -57,6 +68,7 @@ pub fn run<W: std::io::Write>(raw: Vec<String>, out: &mut W) -> Result<()> {
         "characterize" => characterize(&args, out),
         "simulate" => simulate(&args, out),
         "compare" => compare(&args, out),
+        "observe" => observe(&args, out),
         "help" | "--help" | "-h" => {
             write_usage(out);
             Ok(())
@@ -198,22 +210,55 @@ fn simulate<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
 }
 
 fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
-    args.reject_unknown(&["memory-fraction", "dram-fraction", "format", "threads"])?;
+    args.reject_unknown(&[
+        "memory-fraction",
+        "dram-fraction",
+        "format",
+        "threads",
+        "metrics-out",
+        "metrics-window",
+    ])?;
     let threads: usize = args.get_parsed_or("threads", 0)?;
+    let metrics_window: u64 = args.get_parsed_or("metrics-window", 10_000)?;
     let (path, trace) = load_trace(args)?;
     let (spec, config) = trace_experiment(args, &path, &trace)?;
     // Decode once; every policy replays the same immutable buffer instead
     // of re-reading the trace file per policy.
     let pages: Vec<PageAccess> = trace.iter().copied().map(PageAccess::from).collect();
     let kinds = PolicyKind::all();
-    let reports = run_policy_cells(&config, &spec, &path, &kinds, &pages, threads)?;
+    if let Some(metrics_path) = args.get("metrics-out") {
+        let cells = run_policy_cells(&kinds, threads, |kind| {
+            observe_policy_cell(&config, &spec, &path, kind, &pages, metrics_window)
+        })?;
+        write_compare_table(out, cells.iter().map(|(report, _)| report))?;
+        let file = File::create(metrics_path)
+            .map_err(|e| Error::invalid_input(format!("cannot create {metrics_path}: {e}")))?;
+        let mut writer = BufWriter::new(file);
+        for (_, records) in &cells {
+            write_jsonl(&mut writer, records).map_err(io_err)?;
+        }
+        std::io::Write::flush(&mut writer).map_err(io_err)?;
+        writeln!(out, "wrote interval metrics to {metrics_path}").map_err(io_err)?;
+    } else {
+        let reports = run_policy_cells(&kinds, threads, |kind| {
+            simulate_policy_cell(&config, &spec, &path, kind, &pages)
+        })?;
+        write_compare_table(out, reports.iter())?;
+    }
+    Ok(())
+}
+
+fn write_compare_table<'a, W: std::io::Write>(
+    out: &mut W,
+    reports: impl Iterator<Item = &'a SimulationReport>,
+) -> Result<()> {
     writeln!(
         out,
         "{:<18} {:>8} {:>12} {:>12} {:>14} {:>12}",
         "policy", "hit%", "migrations", "AMAT(ns)", "energy/req nJ", "NVM writes"
     )
     .map_err(io_err)?;
-    for report in &reports {
+    for report in reports {
         writeln!(
             out,
             "{:<18} {:>7.2}% {:>12} {:>12.0} {:>14.2} {:>12}",
@@ -227,6 +272,83 @@ fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
         .map_err(io_err)?;
     }
     Ok(())
+}
+
+/// Streams windowed interval records to `out` as JSON Lines while a
+/// generated workload runs: completed windows are drained and written as
+/// soon as they close, so long runs produce output incrementally.
+fn observe<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
+    args.reject_unknown(&[
+        "policy",
+        "cap",
+        "seed",
+        "window",
+        "memory-fraction",
+        "dram-fraction",
+        "warmup",
+    ])?;
+    let workload = args
+        .positional(1)
+        .ok_or_else(|| Error::invalid_input("expected a workload name or spec path"))?;
+    let spec = load_spec(workload)?;
+    let cap: u64 = args.get_parsed_or("cap", 1_000_000)?;
+    let spec = if cap == 0 { spec } else { spec.capped(cap) };
+    let kind = parse_policy(args.get_or("policy", "two-lru"))?;
+    let seed: u64 = args.get_parsed_or("seed", 42)?;
+    let window: u64 = args.get_parsed_or("window", 10_000)?;
+    let warmup: f64 = args.get_parsed_or("warmup", 0.0)?;
+    if !(0.0..1.0).contains(&warmup) {
+        return Err(Error::invalid_input(format!(
+            "--warmup must be in [0, 1), got {warmup}"
+        )));
+    }
+    let config = ExperimentConfig {
+        memory_fraction: args.get_parsed_or("memory-fraction", 0.75)?,
+        dram_fraction: args.get_parsed_or("dram-fraction", 0.10)?,
+        seed,
+        warmup_fraction: warmup,
+        ..ExperimentConfig::date2016()
+    };
+    let policy = config.build_policy(kind, &spec)?;
+    let mut simulator = HybridSimulator::with_date2016_devices(policy);
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    let warmup_len = (spec.total_accesses() as f64 * warmup) as u64;
+    simulator.set_event_sink(Box::new(WindowedCollector::new(
+        spec.name.clone(),
+        kind.name(),
+        window,
+        warmup_len,
+    )));
+    for access in TraceGenerator::new(spec.clone(), seed).map(PageAccess::from) {
+        simulator.step(access);
+        let records = drain_observed(&mut simulator, false)?;
+        if !records.is_empty() {
+            write_jsonl(out, &records).map_err(io_err)?;
+        }
+    }
+    let records = drain_observed(&mut simulator, true)?;
+    write_jsonl(out, &records).map_err(io_err)?;
+    Ok(())
+}
+
+/// Drains completed interval records from the simulator's installed
+/// [`WindowedCollector`], closing the partial window when `finish`.
+fn drain_observed(simulator: &mut HybridSimulator, finish: bool) -> Result<Vec<IntervalRecord>> {
+    let sink = simulator
+        .event_sink_mut()
+        .ok_or_else(|| Error::invalid_input("observe lost its event sink"))?;
+    let collector = sink
+        .as_any_mut()
+        .downcast_mut::<WindowedCollector>()
+        .ok_or_else(|| Error::invalid_input("observe sink has the wrong type"))?;
+    if finish {
+        collector.finish();
+    }
+    Ok(collector.drain())
 }
 
 /// Describes a loaded trace as a `WorkloadSpec` plus paper-style
@@ -268,23 +390,53 @@ fn simulate_policy_cell(
     pages: &[PageAccess],
 ) -> Result<SimulationReport> {
     let policy = config.build_policy(kind, spec)?;
-    let mut simulator = hybridmem_core::HybridSimulator::with_date2016_devices(policy);
+    let mut simulator = HybridSimulator::with_date2016_devices(policy);
     simulator.run_slice(pages);
     Ok(simulator.into_report(path.to_owned()))
+}
+
+/// [`simulate_policy_cell`] with a [`WindowedCollector`] attached,
+/// additionally returning the cell's interval records. Window indices are
+/// trace positions, so the records do not depend on how the cells around
+/// this one are scheduled.
+fn observe_policy_cell(
+    config: &ExperimentConfig,
+    spec: &WorkloadSpec,
+    path: &str,
+    kind: PolicyKind,
+    pages: &[PageAccess],
+    window: u64,
+) -> Result<(SimulationReport, Vec<IntervalRecord>)> {
+    let policy = config.build_policy(kind, spec)?;
+    let mut simulator = HybridSimulator::with_date2016_devices(policy);
+    simulator.set_event_sink(Box::new(WindowedCollector::new(
+        path,
+        kind.name(),
+        window,
+        0,
+    )));
+    simulator.run_slice(pages);
+    let mut sink = simulator
+        .take_event_sink()
+        .ok_or_else(|| Error::invalid_input("observed cell lost its event sink"))?;
+    let collector = sink
+        .as_any_mut()
+        .downcast_mut::<WindowedCollector>()
+        .ok_or_else(|| Error::invalid_input("observed cell sink has the wrong type"))?;
+    collector.finish();
+    let records = collector.drain();
+    Ok((simulator.into_report(path.to_owned()), records))
 }
 
 /// Runs every policy over the shared trace buffer on a worker pool of
 /// `threads` OS threads (0 = all available cores), writing results into
 /// per-cell slots so the output order — and the first error reported —
 /// match the serial loop exactly.
-fn run_policy_cells(
-    config: &ExperimentConfig,
-    spec: &WorkloadSpec,
-    path: &str,
+fn run_policy_cells<T: Send>(
     kinds: &[PolicyKind],
-    pages: &[PageAccess],
     threads: usize,
-) -> Result<Vec<SimulationReport>> {
+    run: impl Fn(PolicyKind) -> Result<T> + Sync,
+) -> Result<Vec<T>> {
     let workers = if threads == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     } else {
@@ -293,13 +445,12 @@ fn run_policy_cells(
     .min(kinds.len())
     .max(1);
     let next_cell = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<SimulationReport>>>> =
-        kinds.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<T>>>> = kinds.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         let worker = || loop {
             let index = next_cell.fetch_add(1, Ordering::Relaxed);
             let Some(kind) = kinds.get(index) else { break };
-            let result = simulate_policy_cell(config, spec, path, *kind, pages);
+            let result = run(*kind);
             *slots[index].lock().expect("cell slot poisoned") = Some(result);
         };
         for _ in 0..workers {
@@ -483,6 +634,111 @@ mod tests {
         assert!(result.is_ok(), "{result:?}");
         assert_eq!(threaded, text, "worker pool must not change the table");
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn compare_metrics_out_writes_deterministic_jsonl() {
+        let dir = std::env::temp_dir().join("hybridmem-cli-metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("m.trace");
+        let trace_path = trace_path.to_str().unwrap();
+        run_capture(&[
+            "generate",
+            "--workload",
+            "bodytrack",
+            "--output",
+            trace_path,
+            "--cap",
+            "4000",
+        ])
+        .0
+        .unwrap();
+
+        let jsonl_1 = dir.join("metrics-1.jsonl");
+        let (result, _) = run_capture(&[
+            "compare",
+            trace_path,
+            "--metrics-out",
+            jsonl_1.to_str().unwrap(),
+            "--metrics-window",
+            "1000",
+            "--threads",
+            "1",
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        let text = std::fs::read_to_string(&jsonl_1).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // 4000 accesses / 1000-access windows = 4 records per policy.
+        assert_eq!(lines.len(), 4 * PolicyKind::all().len());
+        let first: IntervalRecord = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.policy, "two-lru", "records follow kinds order");
+        assert_eq!(first.accesses, 1000);
+
+        let jsonl_4 = dir.join("metrics-4.jsonl");
+        let (result, _) = run_capture(&[
+            "compare",
+            trace_path,
+            "--metrics-out",
+            jsonl_4.to_str().unwrap(),
+            "--metrics-window",
+            "1000",
+            "--threads",
+            "4",
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        assert_eq!(
+            text,
+            std::fs::read_to_string(&jsonl_4).unwrap(),
+            "metrics JSONL must be byte-identical at any thread count"
+        );
+        for p in [jsonl_1, jsonl_4] {
+            let _ = std::fs::remove_file(p);
+        }
+        let _ = std::fs::remove_file(trace_path);
+    }
+
+    #[test]
+    fn observe_streams_one_record_per_window() {
+        let (result, text) =
+            run_capture(&["observe", "bodytrack", "--cap", "3000", "--window", "1000"]);
+        assert!(result.is_ok(), "{result:?}");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for (interval, line) in lines.iter().enumerate() {
+            let record: IntervalRecord = serde_json::from_str(line).unwrap();
+            assert_eq!(record.interval, interval as u64);
+            assert_eq!(record.accesses, 1000);
+            assert_eq!(record.policy, "two-lru");
+            assert_eq!(record.workload, "bodytrack");
+        }
+
+        // Window 0: one whole-run record; a warmup prefix shrinks it.
+        let (result, text) = run_capture(&[
+            "observe",
+            "bodytrack",
+            "--cap",
+            "3000",
+            "--window",
+            "0",
+            "--warmup",
+            "0.5",
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1);
+        let record: IntervalRecord = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(record.accesses, 1500);
+        assert_eq!(record.start_access, 1500);
+    }
+
+    #[test]
+    fn observe_rejects_bad_warmup_and_unknown_policy() {
+        let (result, _) = run_capture(&["observe", "bodytrack", "--warmup", "1.5"]);
+        assert!(result.unwrap_err().to_string().contains("--warmup"));
+        let (result, _) = run_capture(&["observe", "bodytrack", "--policy", "nope"]);
+        assert!(result.unwrap_err().to_string().contains("nope"));
+        let (result, _) = run_capture(&["observe"]);
+        assert!(result.unwrap_err().to_string().contains("workload"));
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Simulation event observation: a hook for tracing, debugging, and
 //! custom downstream analyses (e.g. the wear-leveling extension replays
-//! migration events; a GUI could animate queue states).
+//! migration events; the windowed metrics collector in [`crate::observe`]
+//! aggregates them into interval records; a GUI could animate queue
+//! states).
 
 use hybridmem_policy::PolicyAction;
 use hybridmem_types::{MemoryKind, PageAccess};
@@ -59,42 +61,120 @@ pub trait EventSink {
     /// Downcast support so callers can recover their concrete sink from
     /// [`HybridSimulator::take_event_sink`](crate::HybridSimulator::take_event_sink).
     fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable downcast support, for sinks that are drained in place
+    /// while still installed (see
+    /// [`HybridSimulator::event_sink_mut`](crate::HybridSimulator::event_sink_mut)).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 }
 
-/// An [`EventSink`] that stores every event in memory — convenient for
-/// tests and small traces (it grows unboundedly; do not attach it to
-/// multi-million-access runs).
+/// An [`EventSink`] that stores events in memory.
+///
+/// The default ([`RecordingSink::new`]) grows without bound — convenient
+/// for tests and small traces. [`RecordingSink::bounded`] caps memory
+/// with a ring buffer that keeps only the most recent events, so an
+/// observer can be left attached to a multi-million-access run without
+/// risk of exhausting memory.
 #[derive(Debug, Default)]
 pub struct RecordingSink {
     events: Vec<SimEvent>,
+    /// `None` = unbounded; `Some(cap)` = ring buffer of `cap` slots.
+    capacity: Option<usize>,
+    /// Oldest retained event's position in `events` (always 0 until the
+    /// ring wraps).
+    start: usize,
 }
 
 impl RecordingSink {
-    /// Creates an empty recorder.
+    /// Creates an empty, unbounded recorder.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// The events observed so far, in order.
+    /// Creates a recorder that retains at most `capacity` events,
+    /// discarding the oldest once full (a capacity of 0 is treated
+    /// as 1).
+    #[must_use]
+    pub fn bounded(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            events: Vec::with_capacity(capacity),
+            capacity: Some(capacity),
+            start: 0,
+        }
+    }
+
+    /// The retention limit, or `None` when unbounded.
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Number of events currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded (or everything was discarded).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Raw storage slice. For an unbounded recorder this is chronological;
+    /// once a bounded recorder has wrapped, storage order is unspecified —
+    /// use [`RecordingSink::iter`] or [`RecordingSink::into_events`] for
+    /// oldest-to-newest order.
     #[must_use]
     pub fn events(&self) -> &[SimEvent] {
         &self.events
     }
 
-    /// Consumes the recorder, returning its events.
+    /// Retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &SimEvent> {
+        let (newer, older) = self.events.split_at(self.start);
+        older.iter().chain(newer.iter())
+    }
+
+    /// Consumes the recorder, returning the retained events oldest first.
     #[must_use]
-    pub fn into_events(self) -> Vec<SimEvent> {
+    pub fn into_events(mut self) -> Vec<SimEvent> {
+        self.events.rotate_left(self.start);
         self.events
+    }
+
+    /// Drains the retained events oldest first, leaving the recorder
+    /// empty but reusable (the capacity bound is kept). Useful when the
+    /// sink is only reachable behind a `dyn EventSink` downcast, where
+    /// [`RecordingSink::into_events`] cannot take ownership.
+    #[must_use]
+    pub fn take_events(&mut self) -> Vec<SimEvent> {
+        self.events.rotate_left(self.start);
+        self.start = 0;
+        std::mem::take(&mut self.events)
     }
 }
 
 impl EventSink for RecordingSink {
     fn record(&mut self, event: SimEvent) {
-        self.events.push(event);
+        match self.capacity {
+            Some(capacity) if self.events.len() == capacity => {
+                if let Some(slot) = self.events.get_mut(self.start) {
+                    *slot = event;
+                }
+                self.start = (self.start + 1) % capacity;
+            }
+            _ => self.events.push(event),
+        }
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
 }
@@ -131,12 +211,30 @@ impl EventSink for CountingSink {
     fn as_any(&self) -> &dyn std::any::Any {
         self
     }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use hybridmem_types::PageId;
+
+    fn read_event(page: u64) -> SimEvent {
+        SimEvent::Served {
+            access: PageAccess::read(PageId::new(page)),
+            from: MemoryKind::Dram,
+        }
+    }
+
+    fn served_page(event: &SimEvent) -> u64 {
+        match event {
+            SimEvent::Served { access, .. } => access.page.value(),
+            other => panic!("expected Served, got {other:?}"),
+        }
+    }
 
     #[test]
     fn recording_sink_keeps_order() {
@@ -152,6 +250,77 @@ mod tests {
         assert!(matches!(sink.events()[0], SimEvent::Fault { .. }));
         let events = sink.into_events();
         assert!(matches!(events[1], SimEvent::Served { .. }));
+    }
+
+    #[test]
+    fn unbounded_sink_has_no_capacity() {
+        let sink = RecordingSink::new();
+        assert_eq!(sink.capacity(), None);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn bounded_sink_keeps_most_recent_events() {
+        let mut sink = RecordingSink::bounded(3);
+        assert_eq!(sink.capacity(), Some(3));
+        for page in 0..5 {
+            sink.record(read_event(page));
+        }
+        assert_eq!(sink.len(), 3);
+        let pages: Vec<u64> = sink.iter().map(served_page).collect();
+        assert_eq!(pages, vec![2, 3, 4], "oldest events were discarded");
+        let owned: Vec<u64> = sink.into_events().iter().map(served_page).collect();
+        assert_eq!(owned, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn bounded_sink_below_capacity_behaves_like_unbounded() {
+        let mut sink = RecordingSink::bounded(8);
+        for page in 0..3 {
+            sink.record(read_event(page));
+        }
+        assert_eq!(sink.len(), 3);
+        let pages: Vec<u64> = sink.iter().map(served_page).collect();
+        assert_eq!(pages, vec![0, 1, 2]);
+        assert_eq!(sink.events().len(), 3, "no wrap: storage is chronological");
+    }
+
+    #[test]
+    fn bounded_sink_capacity_zero_is_clamped_to_one() {
+        let mut sink = RecordingSink::bounded(0);
+        assert_eq!(sink.capacity(), Some(1));
+        sink.record(read_event(1));
+        sink.record(read_event(2));
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.iter().map(served_page).next(), Some(2));
+    }
+
+    #[test]
+    fn bounded_sink_wraps_repeatedly() {
+        let mut sink = RecordingSink::bounded(2);
+        for page in 0..7 {
+            sink.record(read_event(page));
+        }
+        let pages: Vec<u64> = sink.iter().map(served_page).collect();
+        assert_eq!(pages, vec![5, 6]);
+    }
+
+    #[test]
+    fn take_events_drains_in_order_and_keeps_the_bound() {
+        let mut sink = RecordingSink::bounded(3);
+        for page in 0..5 {
+            sink.record(read_event(page));
+        }
+        let drained: Vec<u64> = sink.take_events().iter().map(served_page).collect();
+        assert_eq!(drained, vec![2, 3, 4]);
+        assert!(sink.is_empty());
+        assert_eq!(sink.capacity(), Some(3), "the bound survives the drain");
+
+        for page in 10..12 {
+            sink.record(read_event(page));
+        }
+        let refilled: Vec<u64> = sink.take_events().iter().map(served_page).collect();
+        assert_eq!(refilled, vec![10, 11], "the recorder is reusable");
     }
 
     #[test]
@@ -182,8 +351,9 @@ mod tests {
 
     #[test]
     fn sinks_downcast() {
-        let sink: Box<dyn EventSink> = Box::new(CountingSink::new());
+        let mut sink: Box<dyn EventSink> = Box::new(CountingSink::new());
         assert!(sink.as_any().downcast_ref::<CountingSink>().is_some());
         assert!(sink.as_any().downcast_ref::<RecordingSink>().is_none());
+        assert!(sink.as_any_mut().downcast_mut::<CountingSink>().is_some());
     }
 }

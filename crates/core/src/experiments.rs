@@ -6,7 +6,7 @@
 //! and [`ExperimentConfig::run`] executes one `(workload, policy)` cell of
 //! the evaluation matrix; [`compare_policies`] runs a whole row.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -18,7 +18,9 @@ use hybridmem_trace::{TraceGenerator, WorkloadSpec};
 use hybridmem_types::{Error, PageAccess, PageCount, Result};
 use serde::{Deserialize, Serialize};
 
-use crate::{HybridSimulator, SimulationReport, TimeModel, TraceCache};
+use crate::{
+    HybridSimulator, ObservedRun, SimulationReport, TimeModel, TraceCache, WindowedCollector,
+};
 
 /// Which policy to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -269,6 +271,108 @@ impl ExperimentConfig {
         Ok(simulator.into_report(spec.name.clone()))
     }
 
+    /// [`ExperimentConfig::run`] with a [`WindowedCollector`] attached:
+    /// returns the usual report plus per-window [`IntervalRecord`]s and a
+    /// metrics snapshot (see [`crate::observe`]).
+    ///
+    /// The collector is installed *before* warmup so occupancy gauges
+    /// track the true resident set, but interval 0 starts at the first
+    /// steady-state access — window indices are trace positions, so the
+    /// records are identical however the matrix around this cell is
+    /// scheduled. A `window` of 0 produces a single whole-run record.
+    ///
+    /// [`IntervalRecord`]: crate::IntervalRecord
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the workload or derived
+    /// configuration is invalid.
+    pub fn run_observed(
+        &self,
+        spec: &WorkloadSpec,
+        kind: PolicyKind,
+        window: u64,
+    ) -> Result<ObservedRun> {
+        self.validate_cell(spec)?;
+        let mut simulator = self.build_simulator(kind, spec)?;
+        simulator.set_event_sink(Box::new(self.collector(spec, kind, window)));
+        let mut trace = TraceGenerator::new(spec.clone(), self.seed).map(PageAccess::from);
+        for access in trace.by_ref().take(self.warmup_len(spec)) {
+            simulator.step(access);
+        }
+        simulator.reset_accounting();
+        simulator.run(trace);
+        Self::finish_observed(simulator, spec)
+    }
+
+    /// [`ExperimentConfig::run_observed`] over a trace shared through
+    /// `cache` (the observed matrix path); falls back to the streaming
+    /// variant when the trace exceeds the cache budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the workload or derived
+    /// configuration is invalid.
+    pub fn run_observed_cached(
+        &self,
+        spec: &WorkloadSpec,
+        kind: PolicyKind,
+        cache: &TraceCache,
+        window: u64,
+    ) -> Result<ObservedRun> {
+        self.validate_cell(spec)?;
+        let Some(trace) = cache.try_get(spec, self.seed) else {
+            return self.run_observed(spec, kind, window);
+        };
+        let mut simulator = self.build_simulator(kind, spec)?;
+        simulator.set_event_sink(Box::new(self.collector(spec, kind, window)));
+        let warmup = self.warmup_len(spec).min(trace.len());
+        simulator.run_slice(&trace[..warmup]);
+        simulator.reset_accounting();
+        simulator.run_slice(&trace[warmup..]);
+        Self::finish_observed(simulator, spec)
+    }
+
+    /// Builds the per-cell [`WindowedCollector`].
+    fn collector(&self, spec: &WorkloadSpec, kind: PolicyKind, window: u64) -> WindowedCollector {
+        WindowedCollector::new(
+            spec.name.clone(),
+            kind.name(),
+            window,
+            self.warmup_len(spec) as u64,
+        )
+    }
+
+    /// Recovers the collector from a finished observed run and assembles
+    /// the [`ObservedRun`].
+    fn finish_observed(mut simulator: HybridSimulator, spec: &WorkloadSpec) -> Result<ObservedRun> {
+        let mut sink = simulator
+            .take_event_sink()
+            .ok_or_else(|| Error::invalid_input("observed run lost its event sink".to_owned()))?;
+        let collector = sink
+            .as_any_mut()
+            .downcast_mut::<WindowedCollector>()
+            .ok_or_else(|| Error::invalid_input("observed run sink has wrong type".to_owned()))?;
+        collector.finish();
+        // Fold the policy's own window statistics (two-LRU counter
+        // resets/promotions) into the cell's metrics when available.
+        if let Some(any) = simulator.policy().as_any() {
+            if let Some(two_lru) = any.downcast_ref::<TwoLruPolicy>() {
+                two_lru.export_metrics(collector.registry_mut());
+            } else if let Some(adaptive) = any.downcast_ref::<AdaptiveTwoLruPolicy>() {
+                adaptive.two_lru().export_metrics(collector.registry_mut());
+            }
+        }
+        let records = collector.drain();
+        let metrics = collector.snapshot();
+        let report = simulator.into_report(spec.name.clone());
+        Ok(ObservedRun {
+            report,
+            records,
+            metrics,
+        })
+    }
+
     /// Runs several policies over the *same* trace (same seed), returning
     /// reports in the order given. The trace is materialized once in the
     /// process-wide [`TraceCache`] and shared across the policies (and any
@@ -312,6 +416,11 @@ pub struct MatrixTiming {
     /// `cell_seconds[spec_index][kind_index]`: time one worker spent on
     /// that cell (including any wait for the shared trace to materialize).
     pub cell_seconds: Vec<Vec<f64>>,
+    /// `cells_per_worker[worker]`: cells each worker claimed off the
+    /// shared queue — the work-stealing balance (sums to the cell count).
+    pub cells_per_worker: Vec<u64>,
+    /// Most cells that were ever simulating simultaneously (≤ `workers`).
+    pub peak_in_flight: usize,
 }
 
 /// Runs `kinds` over every workload in `specs` on a work-stealing worker
@@ -389,8 +498,52 @@ pub fn compare_policies_timed(
     config: &ExperimentConfig,
     threads: usize,
 ) -> Result<(Vec<Vec<SimulationReport>>, MatrixTiming)> {
-    type CellSlot = Mutex<Option<(Result<SimulationReport>, f64)>>;
+    let cache = TraceCache::global();
+    run_cell_matrix(specs, kinds, threads, |spec, kind| {
+        config.run_cached(spec, kind, cache)
+    })
+}
 
+/// The observed variant of [`compare_policies_timed`]: every cell runs
+/// with a [`WindowedCollector`] of the given `window`, so each
+/// [`ObservedRun`] carries its interval records and metrics alongside
+/// the report. Like the plain matrix, the per-cell payloads are
+/// byte-identical at any thread count; only [`MatrixTiming`] (a
+/// measurement artefact) varies.
+///
+/// # Errors
+///
+/// Propagates the failing run with the lowest cell index.
+pub fn compare_policies_observed(
+    specs: &[WorkloadSpec],
+    kinds: &[PolicyKind],
+    config: &ExperimentConfig,
+    threads: usize,
+    window: u64,
+) -> Result<(Vec<Vec<ObservedRun>>, MatrixTiming)> {
+    let cache = TraceCache::global();
+    run_cell_matrix(specs, kinds, threads, |spec, kind| {
+        config.run_observed_cached(spec, kind, cache, window)
+    })
+}
+
+/// The shared work-stealing engine behind the matrix runners: runs `run`
+/// on every `(spec, kind)` cell across a worker pool and assembles the
+/// results by cell index, so output order never depends on scheduling.
+/// Also measures the scheduler itself — per-cell wall time, how many
+/// cells each worker claimed, and the peak number of cells in flight —
+/// into the returned [`MatrixTiming`].
+#[allow(clippy::missing_panics_doc)] // internal invariants only
+fn run_cell_matrix<T, F>(
+    specs: &[WorkloadSpec],
+    kinds: &[PolicyKind],
+    threads: usize,
+    run: F,
+) -> Result<(Vec<Vec<T>>, MatrixTiming)>
+where
+    T: Send,
+    F: Fn(&WorkloadSpec, PolicyKind) -> Result<T> + Sync,
+{
     let started = Instant::now(); // xtask:allow(timing) — measures wall clock, never affects results
     let cells = specs.len() * kinds.len();
     if cells == 0 {
@@ -400,33 +553,45 @@ pub fn compare_policies_timed(
                 wall_seconds: started.elapsed().as_secs_f64(),
                 workers: 0,
                 cell_seconds: specs.iter().map(|_| Vec::new()).collect(),
+                cells_per_worker: Vec::new(),
+                peak_in_flight: 0,
             },
         ));
     }
-    let available =
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let workers = if threads == 0 { available } else { threads }
         .min(cells)
         .max(1);
 
-    let cache = TraceCache::global();
     let next_cell = AtomicUsize::new(0);
-    let slots: Vec<CellSlot> = (0..cells).map(|_| Mutex::new(None)).collect();
+    let in_flight = AtomicUsize::new(0);
+    let peak_in_flight = AtomicUsize::new(0);
+    let claimed: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+    let slots: Vec<Mutex<Option<(Result<T>, f64)>>> =
+        (0..cells).map(|_| Mutex::new(None)).collect();
 
     let panicked = std::thread::scope(|scope| {
-        let worker = || loop {
+        let worker = |id: usize| loop {
             let index = next_cell.fetch_add(1, Ordering::Relaxed);
             if index >= cells {
                 break;
             }
+            if let Some(count) = claimed.get(id) {
+                count.fetch_add(1, Ordering::Relaxed);
+            }
+            let depth = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+            peak_in_flight.fetch_max(depth, Ordering::Relaxed);
             let spec = &specs[index / kinds.len()];
             let kind = kinds[index % kinds.len()];
             let cell_started = Instant::now(); // xtask:allow(timing) — per-cell wall clock only
-            let result = config.run_cached(spec, kind, cache);
+            let result = run(spec, kind);
             let elapsed = cell_started.elapsed().as_secs_f64();
             *slots[index].lock().expect("cell slot poisoned") = Some((result, elapsed));
+            in_flight.fetch_sub(1, Ordering::Relaxed);
         };
-        let handles: Vec<_> = (0..workers).map(|_| scope.spawn(worker)).collect();
+        let handles: Vec<_> = (0..workers)
+            .map(|id| scope.spawn(move || worker(id)))
+            .collect();
         handles
             .into_iter()
             .fold(false, |panicked, handle| panicked | handle.join().is_err())
@@ -461,6 +626,11 @@ pub fn compare_policies_timed(
         wall_seconds: started.elapsed().as_secs_f64(),
         workers,
         cell_seconds,
+        cells_per_worker: claimed
+            .iter()
+            .map(|count| count.load(Ordering::Relaxed))
+            .collect(),
+        peak_in_flight: peak_in_flight.load(Ordering::Relaxed),
     };
     Ok((rows, timing))
 }
@@ -642,6 +812,13 @@ mod tests {
         assert!(timing.workers >= 1 && timing.workers <= 2);
         assert!(timing.wall_seconds >= 0.0);
         assert!(timing.cell_seconds[0].iter().all(|&s| s >= 0.0));
+        assert_eq!(timing.cells_per_worker.len(), timing.workers);
+        assert_eq!(
+            timing.cells_per_worker.iter().sum::<u64>(),
+            2,
+            "every cell is claimed exactly once"
+        );
+        assert!(timing.peak_in_flight >= 1 && timing.peak_in_flight <= timing.workers);
     }
 
     #[test]
@@ -667,6 +844,65 @@ mod tests {
         let err = compare_policies_threaded(&specs, &kinds, &config, 4).unwrap_err();
         let serial_err = config.run(&specs[0], kinds[0]).unwrap_err();
         assert_eq!(err.to_string(), serial_err.to_string());
+    }
+
+    #[test]
+    fn observed_run_report_matches_plain_run() {
+        let config = ExperimentConfig::date2016();
+        let spec = small_spec();
+        let observed = config
+            .run_observed(&spec, PolicyKind::TwoLru, 1_000)
+            .unwrap();
+        let plain = config.run(&spec, PolicyKind::TwoLru).unwrap();
+        assert_eq!(observed.report, plain, "observation must not perturb");
+        let windowed_accesses: u64 = observed.records.iter().map(|r| r.accesses).sum();
+        assert_eq!(windowed_accesses, plain.counts.requests);
+        assert_eq!(
+            observed.metrics.counters["sim.accesses"],
+            plain.counts.requests
+        );
+        assert!(
+            observed
+                .metrics
+                .counters
+                .contains_key("two_lru.read_promotions")
+                && observed
+                    .metrics
+                    .gauges
+                    .contains_key("two_lru.tracked_pages"),
+            "two-LRU window stats are folded into the cell metrics"
+        );
+    }
+
+    #[test]
+    fn observed_cached_matches_observed_streaming() {
+        let config = ExperimentConfig::date2016();
+        let spec = small_spec();
+        let cache = TraceCache::new(64 << 20);
+        let streamed = config
+            .run_observed(&spec, PolicyKind::ClockDwf, 500)
+            .unwrap();
+        let cached = config
+            .run_observed_cached(&spec, PolicyKind::ClockDwf, &cache, 500)
+            .unwrap();
+        assert_eq!(streamed.report, cached.report);
+        assert_eq!(streamed.records, cached.records);
+        assert_eq!(streamed.metrics, cached.metrics);
+    }
+
+    #[test]
+    fn observed_matrix_reports_match_plain_matrix() {
+        let config = ExperimentConfig::date2016();
+        let specs = vec![small_spec()];
+        let kinds = [PolicyKind::TwoLru, PolicyKind::DramOnly];
+        let (observed, _) = compare_policies_observed(&specs, &kinds, &config, 2, 2_000).unwrap();
+        let plain = compare_policies_threaded(&specs, &kinds, &config, 2).unwrap();
+        for (row_observed, row_plain) in observed.iter().zip(&plain) {
+            for (cell, report) in row_observed.iter().zip(row_plain) {
+                assert_eq!(&cell.report, report);
+                assert!(!cell.records.is_empty());
+            }
+        }
     }
 
     #[test]

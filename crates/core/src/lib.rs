@@ -14,7 +14,11 @@
 //!   (power: static/dynamic/page-fault/migration; AMAT: requests vs
 //!   migrations; NVM writes: requests/page-fault/migration);
 //! * [`ExperimentConfig`] / [`compare_policies`] — the paper's evaluation
-//!   methodology (75 % memory, 10 % DRAM) over the PARSEC profiles.
+//!   methodology (75 % memory, 10 % DRAM) over the PARSEC profiles;
+//! * [`observe`] — windowed telemetry: a [`WindowedCollector`] event sink
+//!   slices runs into per-N-accesses [`IntervalRecord`]s (tier hits,
+//!   migrations, occupancy, interval AMAT/APPR) serialized as
+//!   deterministic JSONL.
 //!
 //! # Examples
 //!
@@ -40,6 +44,7 @@
 mod events;
 mod experiments;
 pub mod model;
+pub mod observe;
 mod report;
 mod simulator;
 mod sweep;
@@ -47,14 +52,15 @@ mod trace_cache;
 
 pub use events::{CountingSink, EventSink, RecordingSink, SimEvent};
 pub use experiments::{
-    compare_policies, compare_policies_threaded, compare_policies_timed, ExperimentConfig,
-    MatrixTiming, PolicyKind,
+    compare_policies, compare_policies_observed, compare_policies_threaded, compare_policies_timed,
+    ExperimentConfig, MatrixTiming, PolicyKind,
 };
 pub use model::{AmatComponents, ApprComponents, ModelParams, Probabilities, TimeModel};
+pub use observe::{write_jsonl, IntervalRecord, ObservedRun, WindowedCollector};
 pub use report::{
     arith_mean, geo_mean, Counts, EnergyBreakdown, LatencyBreakdown, NvmWriteBreakdown,
     SimulationReport, WearSummary,
 };
 pub use simulator::HybridSimulator;
 pub use sweep::{sweep_dram_fractions, sweep_thresholds, sweep_windows, SweepPoint};
-pub use trace_cache::{TraceCache, DEFAULT_BUDGET_BYTES};
+pub use trace_cache::{TraceCache, TraceCacheStats, DEFAULT_BUDGET_BYTES};

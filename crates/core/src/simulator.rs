@@ -111,6 +111,14 @@ impl HybridSimulator {
         self.event_sink.take()
     }
 
+    /// Mutable access to the installed sink without removing it —
+    /// downcast via [`EventSink::as_any_mut`] to drain a collector
+    /// incrementally while the run continues (the `observe` streaming
+    /// path).
+    pub fn event_sink_mut(&mut self) -> Option<&mut dyn EventSink> {
+        self.event_sink.as_deref_mut()
+    }
+
     #[inline]
     fn emit(&mut self, event: SimEvent) {
         if let Some(sink) = &mut self.event_sink {

@@ -34,10 +34,13 @@
 //! generates, the rest wait), while workers asking for different
 //! workloads generate in parallel.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use hybridmem_metrics::MetricsRegistry;
 use hybridmem_trace::{TraceGenerator, WorkloadSpec};
 use hybridmem_types::{fx_hash_one, FxHashMap, PageAccess};
+use serde::{Deserialize, Serialize};
 
 /// Default byte budget of the global cache: enough for the full default
 /// 1M-access × 12-workload suite (~192 MB) with headroom for sweeps.
@@ -73,6 +76,28 @@ struct Inner {
     entries: FxHashMap<u64, Entry>,
     bytes: usize,
     tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Point-in-time effectiveness counters of a [`TraceCache`], exposed by
+/// [`TraceCache::stats`] and surfaced in `results/throughput.json`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceCacheStats {
+    /// Lookups served from a resident entry.
+    pub hits: u64,
+    /// Lookups that had to generate (or re-generate) the trace.
+    pub misses: u64,
+    /// Entries evicted by the LRU budget loop.
+    pub evictions: u64,
+    /// Lookups refused because one trace alone exceeds the budget
+    /// (callers fall back to streaming generation).
+    pub oversize_rejections: u64,
+    /// Traces currently resident.
+    pub resident_traces: u64,
+    /// Bytes currently accounted against the budget.
+    pub resident_bytes: u64,
 }
 
 /// A byte-budgeted, LRU-evicting cache of materialized traces.
@@ -94,6 +119,9 @@ struct Inner {
 pub struct TraceCache {
     inner: Mutex<Inner>,
     budget_bytes: usize,
+    /// Counted outside the mutex — the oversize check rejects before
+    /// locking, so this must not require the lock either.
+    oversize_rejections: AtomicU64,
 }
 
 impl TraceCache {
@@ -105,8 +133,12 @@ impl TraceCache {
                 entries: FxHashMap::default(),
                 bytes: 0,
                 tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
             }),
             budget_bytes,
+            oversize_rejections: AtomicU64::new(0),
         }
     }
 
@@ -147,6 +179,7 @@ impl TraceCache {
     pub fn try_get(&self, spec: &WorkloadSpec, seed: u64) -> Option<Arc<[PageAccess]>> {
         let cost = Self::cost_bytes(spec);
         if cost > self.budget_bytes {
+            self.oversize_rejections.fetch_add(1, Ordering::Relaxed);
             return None;
         }
         let key = Self::fingerprint(spec, seed);
@@ -165,8 +198,12 @@ impl TraceCache {
                 _ => None,
             };
             match hit {
-                Some(slot) => slot,
+                Some(slot) => {
+                    inner.hits += 1;
+                    slot
+                }
                 None => {
+                    inner.misses += 1;
                     if let Some(stale) = inner.entries.remove(&key) {
                         inner.bytes -= stale.bytes;
                     }
@@ -179,6 +216,7 @@ impl TraceCache {
                             .expect("over budget implies a resident entry");
                         let evicted = inner.entries.remove(&victim).expect("victim resident");
                         inner.bytes -= evicted.bytes;
+                        inner.evictions += 1;
                     }
                     let slot = Arc::new(TraceSlot {
                         spec: spec.clone(),
@@ -231,6 +269,43 @@ impl TraceCache {
     #[must_use]
     pub fn resident_bytes(&self) -> usize {
         self.inner.lock().expect("trace cache poisoned").bytes
+    }
+
+    /// Snapshot of the cache's effectiveness counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    #[must_use]
+    pub fn stats(&self) -> TraceCacheStats {
+        let inner = self.inner.lock().expect("trace cache poisoned");
+        TraceCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            oversize_rejections: self.oversize_rejections.load(Ordering::Relaxed),
+            resident_traces: inner.entries.len() as u64,
+            resident_bytes: inner.bytes as u64,
+        }
+    }
+
+    /// Exports the current [`TraceCacheStats`] into `registry` under
+    /// `trace_cache.*` names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache mutex was poisoned.
+    pub fn export_into(&self, registry: &mut MetricsRegistry) {
+        let stats = self.stats();
+        registry.add("trace_cache.hits", stats.hits);
+        registry.add("trace_cache.misses", stats.misses);
+        registry.add("trace_cache.evictions", stats.evictions);
+        registry.add("trace_cache.oversize_rejections", stats.oversize_rejections);
+        #[allow(clippy::cast_precision_loss)]
+        {
+            registry.set_gauge("trace_cache.resident_traces", stats.resident_traces as f64);
+            registry.set_gauge("trace_cache.resident_bytes", stats.resident_bytes as f64);
+        }
     }
 }
 
@@ -310,6 +385,40 @@ mod tests {
             .map(PageAccess::from)
             .collect();
         assert_eq!(&s1_again[..], &s1_expected[..], "s1 survived the eviction");
+    }
+
+    #[test]
+    fn stats_track_hits_misses_evictions_and_oversize() {
+        let s1 = spec(2_000);
+        let s2 = parsec::spec("raytrace").unwrap().capped(2_000);
+        let per_trace = TraceCache::cost_bytes(&s1);
+        let cache = TraceCache::new(per_trace + per_trace / 2);
+        assert_eq!(cache.stats(), TraceCacheStats::default());
+
+        cache.try_get(&s1, 42).unwrap(); // miss
+        cache.try_get(&s1, 42).unwrap(); // hit
+        cache.try_get(&s2, 42).unwrap(); // miss + evicts s1
+        assert!(cache.try_get(&spec(1_000_000), 42).is_none()); // oversize
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.oversize_rejections, 1);
+        assert_eq!(stats.resident_traces, 1);
+        assert_eq!(stats.resident_bytes, per_trace as u64);
+    }
+
+    #[test]
+    fn stats_export_under_trace_cache_names() {
+        let cache = TraceCache::new(64 << 20);
+        cache.try_get(&spec(1_500), 42).unwrap();
+        cache.try_get(&spec(1_500), 42).unwrap();
+        let mut registry = MetricsRegistry::new();
+        cache.export_into(&mut registry);
+        assert_eq!(registry.counter("trace_cache.hits"), 1);
+        assert_eq!(registry.counter("trace_cache.misses"), 1);
+        assert!((registry.gauge("trace_cache.resident_traces") - 1.0).abs() < f64::EPSILON);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Integration tests of the windowed observability pipeline: interval
+//! records must tile the steady state exactly, sum back to the report's
+//! counters, and serialize to byte-identical JSONL at any thread count.
+
+use hybridmem_core::{
+    compare_policies_observed, write_jsonl, ExperimentConfig, IntervalRecord, PolicyKind,
+};
+use hybridmem_trace::parsec;
+
+#[test]
+fn windows_tile_the_steady_state_and_sum_to_the_report() {
+    let spec = parsec::spec("bodytrack").unwrap().capped(10_000);
+    let config = ExperimentConfig::default();
+    let window = 1_000u64;
+    let observed = config
+        .run_observed(&spec, PolicyKind::TwoLru, window)
+        .unwrap();
+    let report = &observed.report;
+    let records = &observed.records;
+    let requests = report.counts.requests;
+    assert!(
+        requests > window,
+        "the capped run must span several windows"
+    );
+
+    // One record per full window plus one for the remainder.
+    assert_eq!(records.len() as u64, requests.div_ceil(window));
+
+    // Interval 0 starts exactly where the steady state does, the records
+    // are contiguous, and the last one ends at the end of the trace.
+    let warmup = spec.total_accesses() - requests;
+    assert_eq!(records[0].start_access, warmup);
+    for pair in records.windows(2) {
+        assert_eq!(pair[0].end_access, pair[1].start_access);
+    }
+    let last = records.last().unwrap();
+    assert_eq!(last.end_access, spec.total_accesses());
+    for record in &records[..records.len() - 1] {
+        assert_eq!(record.accesses, window);
+    }
+    let remainder = requests % window;
+    let expected_tail = if remainder == 0 { window } else { remainder };
+    assert_eq!(last.accesses, expected_tail);
+
+    // Summing any per-window counter reproduces the end-of-run report.
+    let sum = |field: fn(&IntervalRecord) -> u64| records.iter().map(field).sum::<u64>();
+    assert_eq!(sum(|r| r.accesses), requests);
+    assert_eq!(sum(|r| r.faults), report.counts.faults);
+    assert_eq!(sum(|r| r.dram_read_hits), report.counts.dram_read_hits);
+    assert_eq!(sum(|r| r.dram_write_hits), report.counts.dram_write_hits);
+    assert_eq!(sum(|r| r.nvm_read_hits), report.counts.nvm_read_hits);
+    assert_eq!(sum(|r| r.nvm_write_hits), report.counts.nvm_write_hits);
+    assert_eq!(
+        sum(|r| r.migrations_to_dram),
+        report.counts.migrations_to_dram
+    );
+    assert_eq!(
+        sum(|r| r.migrations_to_nvm),
+        report.counts.migrations_to_nvm
+    );
+    assert_eq!(sum(|r| r.fills_to_dram), report.counts.fills_to_dram);
+    assert_eq!(sum(|r| r.fills_to_nvm), report.counts.fills_to_nvm);
+    assert_eq!(
+        sum(|r| r.evictions_to_disk),
+        report.counts.evictions_to_disk
+    );
+
+    // Every window balances: faults are resolved by fills in-window.
+    for record in records {
+        assert_eq!(
+            record.faults,
+            record.fills_to_dram + record.fills_to_nvm,
+            "interval {}: fills must balance faults",
+            record.interval
+        );
+    }
+
+    // The cumulative metrics snapshot agrees with the records.
+    let counter = |name: &str| observed.metrics.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(counter("sim.intervals"), records.len() as u64);
+    assert_eq!(counter("sim.accesses"), requests);
+    assert_eq!(counter("sim.faults"), report.counts.faults);
+}
+
+#[test]
+fn window_zero_gives_one_whole_run_record_matching_the_report() {
+    let spec = parsec::spec("canneal").unwrap().capped(8_000);
+    let config = ExperimentConfig::default();
+    let observed = config.run_observed(&spec, PolicyKind::TwoLru, 0).unwrap();
+    let report = &observed.report;
+    assert_eq!(observed.records.len(), 1);
+    let record = &observed.records[0];
+    assert_eq!(record.accesses, report.counts.requests);
+    assert_eq!(record.faults, report.counts.faults);
+    assert!((record.hit_ratio - report.counts.hit_ratio()).abs() < 1e-12);
+
+    // With the whole steady state as one interval, the closed-form Eq. 1
+    // evaluated on the measured probabilities must agree with the
+    // simulator's accumulated latency per request.
+    let amat = report.amat().value();
+    assert!(
+        (record.amat_ns - amat).abs() <= 1e-6 * amat,
+        "interval AMAT {} vs report AMAT {amat}",
+        record.amat_ns
+    );
+    // `appr_nj` is deliberately dynamic-only (Eq. 2), while the report's
+    // APPR folds in the Eq. 3 static share — it must be strictly smaller.
+    assert!(record.appr_nj < report.appr().value());
+}
+
+#[test]
+fn interval_jsonl_is_byte_identical_across_thread_counts() {
+    let specs = vec![
+        parsec::spec("bodytrack").unwrap().capped(4_000),
+        parsec::spec("ferret").unwrap().capped(4_000),
+    ];
+    let kinds = [PolicyKind::TwoLru, PolicyKind::ClockDwf];
+    let config = ExperimentConfig::default();
+
+    let serialize = |threads: usize| {
+        let (cells, _timing) =
+            compare_policies_observed(&specs, &kinds, &config, threads, 500).unwrap();
+        let mut bytes = Vec::new();
+        for row in &cells {
+            for cell in row {
+                write_jsonl(&mut bytes, &cell.records).unwrap();
+            }
+        }
+        bytes
+    };
+
+    let serial = serialize(1);
+    let parallel = serialize(4);
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, parallel,
+        "interval JSONL must not depend on thread count"
+    );
+}

@@ -1,0 +1,301 @@
+//! A fixed-footprint, deterministic histogram over `u64` samples.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets: one for zero plus one per power of two (`2^0..2^63`).
+const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// Bucket 0 holds exact zeros; bucket `k` (for `k ≥ 1`) holds samples in
+/// `[2^(k-1), 2^k)`. The layout is fixed, so observing samples in any
+/// order produces the same histogram — there is no rebalancing and no
+/// allocation after construction, which keeps [`Histogram::observe`]
+/// cheap enough for simulation hot paths.
+///
+/// # Examples
+///
+/// ```
+/// use hybridmem_metrics::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [0, 1, 5, 5, 900] {
+///     h.observe(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.sum(), 911);
+/// assert_eq!(h.min(), Some(0));
+/// assert_eq!(h.max(), Some(900));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Bucket index of a sample: 0 for zero, `floor(log2(value)) + 1`
+    /// otherwise (always < `BUCKETS`).
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[Self::bucket_index(value)] += 1;
+    }
+
+    /// Number of samples observed.
+    #[must_use]
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub const fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, or `None` when empty.
+    #[must_use]
+    pub const fn min(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.min)
+        }
+    }
+
+    /// Largest sample, or `None` when empty.
+    #[must_use]
+    pub const fn max(&self) -> Option<u64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.max)
+        }
+    }
+
+    /// Arithmetic mean of the samples; 0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges another histogram into this one, bucket by bucket.
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+    }
+
+    /// A serializable export: summary statistics plus the non-empty
+    /// buckets in ascending upper-bound order.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(index, &count)| BucketCount {
+                upper: Self::bucket_upper(index),
+                count,
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min().unwrap_or(0),
+            max: self.max().unwrap_or(0),
+            buckets,
+        }
+    }
+
+    /// Inclusive upper bound of a bucket: 0 for the zero bucket,
+    /// `2^index - 1` otherwise (saturating at `u64::MAX`).
+    fn bucket_upper(index: usize) -> u64 {
+        match index {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << index) - 1,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One non-empty bucket of a [`HistogramSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BucketCount {
+    /// Inclusive upper bound of the bucket's value range.
+    pub upper: u64,
+    /// Samples that fell in the bucket.
+    pub count: u64,
+}
+
+/// Serializable export of a [`Histogram`]: kept as an ordered bucket list
+/// (not a map) so serialization is layout-stable and compact.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples (saturating).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Non-empty buckets, ascending by `upper`.
+    pub buckets: Vec<BucketCount>,
+}
+
+impl HistogramSnapshot {
+    /// Rebuilds a mergeable [`Histogram`] from the snapshot.
+    #[must_use]
+    pub fn to_histogram(&self) -> Histogram {
+        let mut histogram = Histogram {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { u64::MAX } else { self.min },
+            max: self.max,
+            buckets: [0; BUCKETS],
+        };
+        for bucket in &self.buckets {
+            histogram.buckets[Histogram::bucket_index(bucket.upper)] += bucket.count;
+        }
+        histogram
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert!((h.mean() - 0.0).abs() < f64::EPSILON);
+        assert!(h.snapshot().buckets.is_empty());
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper(0), 0);
+        assert_eq!(Histogram::bucket_upper(2), 3);
+        assert_eq!(Histogram::bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn observe_tracks_summary_statistics() {
+        let mut h = Histogram::new();
+        for v in [7, 0, 100, 3] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 110);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(100));
+        assert!((h.mean() - 27.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_buckets() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 900, 900] {
+            h.observe(v);
+        }
+        let snapshot = h.snapshot();
+        assert_eq!(snapshot.count, 6);
+        // Buckets: zero, [1,1], [2,3]×2, [512,1023]×2.
+        assert_eq!(snapshot.buckets.len(), 4);
+        assert_eq!(snapshot.buckets[2], BucketCount { upper: 3, count: 2 });
+        let rebuilt = snapshot.to_histogram();
+        assert_eq!(rebuilt.count(), 6);
+        assert_eq!(rebuilt.snapshot().buckets.len(), 4);
+    }
+
+    #[test]
+    fn merge_is_observation_order_independent() {
+        let mut all = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for (i, v) in [5u64, 0, 19, 3, 3, 77, 1024].iter().enumerate() {
+            all.observe(*v);
+            if i % 2 == 0 {
+                left.observe(*v);
+            } else {
+                right.observe(*v);
+            }
+        }
+        let mut merged = right.clone();
+        merged.merge(&left);
+        assert_eq!(merged, all);
+        merged.merge(&Histogram::new());
+        assert_eq!(merged, all, "merging an empty histogram is a no-op");
+    }
+
+    #[test]
+    fn snapshot_serializes_deterministically() {
+        let mut h = Histogram::new();
+        h.observe(4);
+        h.observe(9);
+        let a = serde_json::to_string(&h.snapshot()).unwrap();
+        let mut again = Histogram::new();
+        again.observe(4);
+        again.observe(9);
+        assert_eq!(a, serde_json::to_string(&again.snapshot()).unwrap());
+        let parsed: HistogramSnapshot = serde_json::from_str(&a).unwrap();
+        assert_eq!(parsed, h.snapshot());
+    }
+}

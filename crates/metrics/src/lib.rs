@@ -1,0 +1,49 @@
+//! Deterministic metrics primitives for the hybridmem observability layer.
+//!
+//! Every instrumented subsystem — the simulator's windowed event collector,
+//! the [`TraceCache`](../hybridmem_core/struct.TraceCache.html), the
+//! parallel matrix scheduler, and the two-LRU policy's counter windows —
+//! reports through the same three primitives, keyed by `&'static str`
+//! names:
+//!
+//! * **counters** — monotone `u64` event tallies (`sim.faults`,
+//!   `trace_cache.hits`, …);
+//! * **gauges** — point-in-time `f64` levels (`sim.dram_occupancy`, …);
+//! * **histograms** — log2-bucketed `u64` distributions
+//!   ([`Histogram`]; `scheduler.cell_micros`, …).
+//!
+//! The crate is deliberately zero-dependency beyond `serde` and fully
+//! deterministic: all storage is `BTreeMap`-backed, so iteration and
+//! serialization order depend only on the metric names, never on insertion
+//! history or hasher state — the property `cargo xtask lint` enforces
+//! across the simulation crates (this one included). There is no global
+//! registry, no wall-clock, and no interior mutability: a
+//! [`MetricsRegistry`] is a plain value owned by whoever is measuring, and
+//! a [`MetricsSnapshot`] is its serializable export.
+//!
+//! # Examples
+//!
+//! ```
+//! use hybridmem_metrics::MetricsRegistry;
+//!
+//! let mut registry = MetricsRegistry::new();
+//! registry.add("sim.faults", 3);
+//! registry.inc("sim.faults");
+//! registry.set_gauge("sim.dram_occupancy", 12.0);
+//! registry.observe("sim.window.faults", 3);
+//!
+//! assert_eq!(registry.counter("sim.faults"), 4);
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counters["sim.faults"], 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+mod histogram;
+mod registry;
+
+pub use histogram::{BucketCount, Histogram, HistogramSnapshot};
+pub use registry::{MetricsRegistry, MetricsSnapshot};

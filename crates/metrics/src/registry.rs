@@ -1,0 +1,234 @@
+//! The metric registry: named counters, gauges, and histograms.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// A collection of named metrics owned by whoever is measuring.
+///
+/// Names are `&'static str` so instrumentation sites pay no allocation
+/// and the metric namespace is enumerable from the source. Storage is
+/// `BTreeMap`, so iteration and [`MetricsRegistry::snapshot`] order
+/// depend only on the names themselves.
+///
+/// Reading a metric that was never written returns the zero value
+/// (0 for counters, 0.0 for gauges, empty histogram snapshot) rather
+/// than an error: absence and zero are indistinguishable by design,
+/// which keeps call sites branch-free.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero first.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Increments the named counter by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of the named counter (0 if never written).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the named gauge to `value`, replacing any previous level.
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Current value of the named gauge (0.0 if never written).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Records `value` into the named histogram, creating it if absent.
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(Histogram::new)
+            .observe(value);
+    }
+
+    /// The named histogram, if any sample has been observed.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// True when no metric has ever been written.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serializable export of every metric in name order.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(&name, &value)| (name.to_owned(), value))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(&name, &value)| (name.to_owned(), value))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(&name, histogram)| (name.to_owned(), histogram.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable export of a [`MetricsRegistry`].
+///
+/// Snapshots from independent measurements (e.g. per-cell registries in
+/// the experiment matrix) can be combined with
+/// [`MetricsSnapshot::absorb`]; because every map is a `BTreeMap`, the
+/// merged result — and its JSON — is independent of absorption order
+/// for counters and histograms.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotone event tallies by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time levels by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Log2-bucketed distributions by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Merges `other` into `self`: counters and histogram buckets are
+    /// summed; gauges are overwritten by `other` (last writer wins, so
+    /// absorb in a meaningful order when gauge levels matter).
+    pub fn absorb(&mut self, other: &Self) {
+        for (name, &value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, &value) in &other.gauges {
+            self.gauges.insert(name.clone(), value);
+        }
+        for (name, snapshot) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(existing) => {
+                    let mut merged = existing.to_histogram();
+                    merged.merge(&snapshot.to_histogram());
+                    *existing = merged.snapshot();
+                }
+                None => {
+                    self.histograms.insert(name.clone(), snapshot.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut registry = MetricsRegistry::new();
+        assert_eq!(registry.counter("sim.faults"), 0);
+        registry.inc("sim.faults");
+        registry.add("sim.faults", 9);
+        assert_eq!(registry.counter("sim.faults"), 10);
+        assert!(!registry.is_empty());
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut registry = MetricsRegistry::new();
+        assert!((registry.gauge("sim.dram_occupancy") - 0.0).abs() < f64::EPSILON);
+        registry.set_gauge("sim.dram_occupancy", 7.0);
+        registry.set_gauge("sim.dram_occupancy", 3.5);
+        assert!((registry.gauge("sim.dram_occupancy") - 3.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn histograms_record_samples() {
+        let mut registry = MetricsRegistry::new();
+        assert!(registry.histogram("scheduler.cell_micros").is_none());
+        registry.observe("scheduler.cell_micros", 100);
+        registry.observe("scheduler.cell_micros", 300);
+        let histogram = registry.histogram("scheduler.cell_micros").unwrap();
+        assert_eq!(histogram.count(), 2);
+        assert_eq!(histogram.sum(), 400);
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered_json() {
+        let mut registry = MetricsRegistry::new();
+        registry.inc("z.last");
+        registry.inc("a.first");
+        registry.set_gauge("m.middle", 1.0);
+        let json = serde_json::to_string(&registry.snapshot()).unwrap();
+        let a = json.find("a.first").unwrap();
+        let z = json.find("z.last").unwrap();
+        assert!(a < z, "counters must serialize in name order");
+        let parsed: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, registry.snapshot());
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_histograms_and_overwrites_gauges() {
+        let mut left = MetricsRegistry::new();
+        left.add("sim.faults", 5);
+        left.set_gauge("sim.dram_occupancy", 1.0);
+        left.observe("scheduler.cell_micros", 8);
+
+        let mut right = MetricsRegistry::new();
+        right.add("sim.faults", 7);
+        right.add("sim.hits", 2);
+        right.set_gauge("sim.dram_occupancy", 9.0);
+        right.observe("scheduler.cell_micros", 32);
+
+        let mut merged = left.snapshot();
+        merged.absorb(&right.snapshot());
+        assert_eq!(merged.counters["sim.faults"], 12);
+        assert_eq!(merged.counters["sim.hits"], 2);
+        assert!((merged.gauges["sim.dram_occupancy"] - 9.0).abs() < f64::EPSILON);
+        let histogram = &merged.histograms["scheduler.cell_micros"];
+        assert_eq!(histogram.count, 2);
+        assert_eq!(histogram.sum, 40);
+    }
+
+    #[test]
+    fn absorb_order_does_not_change_counter_or_histogram_totals() {
+        let mut a = MetricsRegistry::new();
+        a.add("sim.faults", 3);
+        a.observe("h", 4);
+        let mut b = MetricsRegistry::new();
+        b.add("sim.faults", 11);
+        b.observe("h", 700);
+
+        let mut ab = a.snapshot();
+        ab.absorb(&b.snapshot());
+        let mut ba = b.snapshot();
+        ba.absorb(&a.snapshot());
+        assert_eq!(ab.counters, ba.counters);
+        assert_eq!(ab.histograms, ba.histograms);
+    }
+}

@@ -127,6 +127,13 @@ impl AdaptiveTwoLruPolicy {
         &self.stats
     }
 
+    /// The wrapped [`TwoLruPolicy`], for reading its counter-window
+    /// statistics ([`TwoLruPolicy::stats`], [`TwoLruPolicy::export_metrics`]).
+    #[must_use]
+    pub const fn two_lru(&self) -> &TwoLruPolicy {
+        &self.inner
+    }
+
     /// The currently active `(read_threshold, write_threshold)`.
     #[must_use]
     pub fn thresholds(&self) -> (u32, u32) {
@@ -226,6 +233,10 @@ impl HybridPolicy for AdaptiveTwoLruPolicy {
 
     fn name(&self) -> &'static str {
         "two-lru-adaptive"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -337,5 +348,18 @@ mod tests {
         let p = policy(1, 4, AdaptiveConfig::default());
         assert_eq!(*p.stats(), AdaptiveStats::default());
         assert_eq!(p.name(), "two-lru-adaptive");
+    }
+
+    #[test]
+    fn exposes_inner_two_lru_and_its_stats() {
+        let mut p = policy(1, 16, AdaptiveConfig::default());
+        for i in 0..10 {
+            p.on_access(PageAccess::read(page(i)));
+        }
+        promote(&mut p, page(0));
+        assert_eq!(p.two_lru().stats().write_promotions, 1);
+        let dynamic: &dyn HybridPolicy = &p;
+        let any = dynamic.as_any().expect("adaptive exposes itself");
+        assert!(any.downcast_ref::<AdaptiveTwoLruPolicy>().is_some());
     }
 }

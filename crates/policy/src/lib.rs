@@ -65,4 +65,4 @@ pub use lru::RankedLru;
 pub use single::SingleTierPolicy;
 pub use single_clock::SingleTierClockPolicy;
 pub use traits::{AccessOutcome, ActionList, HybridPolicy, PolicyAction, MAX_ACTIONS_PER_ACCESS};
-pub use two_lru::{TwoLruConfig, TwoLruPolicy};
+pub use two_lru::{TwoLruConfig, TwoLruPolicy, TwoLruStats};

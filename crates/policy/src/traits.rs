@@ -348,6 +348,14 @@ pub trait HybridPolicy {
 
     /// Short, stable display name (used in reports and figure legends).
     fn name(&self) -> &'static str;
+
+    /// The concrete policy as `Any`, for observability code that wants to
+    /// read policy-specific statistics off a `dyn HybridPolicy` (e.g. the
+    /// two-LRU counter-window stats). Policies with nothing to expose keep
+    /// the default `None`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 #[cfg(test)]

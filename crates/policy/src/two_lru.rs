@@ -43,6 +43,7 @@
 //! # Ok::<(), hybridmem_types::Error>(())
 //! ```
 
+use hybridmem_metrics::MetricsRegistry;
 use hybridmem_types::{
     AccessKind, Error, FxHashMap, MemoryKind, PageAccess, PageCount, PageId, Residency, Result,
 };
@@ -179,6 +180,25 @@ struct PageCounters {
     writes: u32,
 }
 
+/// Counter-window statistics of the two-LRU scheme, for observability.
+///
+/// Window *resets* count only resets that discarded progress: a lazy
+/// boundary reset that zeroes an already-zero counter is invisible to the
+/// algorithm and is not counted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwoLruStats {
+    /// Read counters zeroed (from a nonzero value) because the page slid
+    /// past the read-window boundary.
+    pub read_window_resets: u64,
+    /// Write counters zeroed (from a nonzero value) because the page slid
+    /// past the write-window boundary.
+    pub write_window_resets: u64,
+    /// NVM→DRAM promotions triggered by a read crossing `read_threshold`.
+    pub read_promotions: u64,
+    /// NVM→DRAM promotions triggered by a write crossing `write_threshold`.
+    pub write_promotions: u64,
+}
+
 /// The proposed two-LRU migration policy (Algorithm 1).
 ///
 /// See the module documentation (in the source) for the scheme and the lazy-reset
@@ -189,6 +209,7 @@ pub struct TwoLruPolicy {
     dram: RankedLru,
     nvm: RankedLru,
     counters: FxHashMap<PageId, PageCounters>,
+    stats: TwoLruStats,
 }
 
 impl TwoLruPolicy {
@@ -201,6 +222,7 @@ impl TwoLruPolicy {
             dram: RankedLru::with_capacity(config.dram_capacity.value() as usize),
             nvm: RankedLru::with_capacity(config.nvm_capacity.value() as usize),
             counters: FxHashMap::default(),
+            stats: TwoLruStats::default(),
         }
     }
 
@@ -237,6 +259,55 @@ impl TwoLruPolicy {
         self.counters.get(&page).map(|c| (c.reads, c.writes))
     }
 
+    /// Counter-window statistics accumulated so far.
+    #[must_use]
+    pub const fn stats(&self) -> &TwoLruStats {
+        &self.stats
+    }
+
+    /// Pages currently inside the read-counter window (bounded by the NVM
+    /// queue's occupancy while it is still filling).
+    #[must_use]
+    pub fn read_window_occupancy(&self) -> usize {
+        self.config.read_window_pages().min(self.nvm.len())
+    }
+
+    /// Pages currently inside the write-counter window.
+    #[must_use]
+    pub fn write_window_occupancy(&self) -> usize {
+        self.config.write_window_pages().min(self.nvm.len())
+    }
+
+    /// NVM-resident pages that currently carry read/write counters.
+    #[must_use]
+    pub fn tracked_pages(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Exports the counter-window statistics into `registry` under the
+    /// `two_lru.*` namespace: counters `read_window_resets`,
+    /// `write_window_resets`, `read_promotions`, `write_promotions`; gauges
+    /// `read_window_occupancy`, `write_window_occupancy`, `tracked_pages`.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn export_metrics(&self, registry: &mut MetricsRegistry) {
+        registry.add("two_lru.read_window_resets", self.stats.read_window_resets);
+        registry.add(
+            "two_lru.write_window_resets",
+            self.stats.write_window_resets,
+        );
+        registry.add("two_lru.read_promotions", self.stats.read_promotions);
+        registry.add("two_lru.write_promotions", self.stats.write_promotions);
+        registry.set_gauge(
+            "two_lru.read_window_occupancy",
+            self.read_window_occupancy() as f64,
+        );
+        registry.set_gauge(
+            "two_lru.write_window_occupancy",
+            self.write_window_occupancy() as f64,
+        );
+        registry.set_gauge("two_lru.tracked_pages", self.tracked_pages() as f64);
+    }
+
     /// Handles a hit in the NVM queue (Algorithm 1, lines 6–25).
     fn on_nvm_hit(&mut self, page: PageId, kind: AccessKind) -> AccessOutcome {
         let rank = self
@@ -248,10 +319,17 @@ impl TwoLruPolicy {
         let counters = self.counters.entry(page).or_default();
         // Lazy boundary reset (see module docs): a rank at or past a window
         // means the page crossed that window's boundary since its last hit.
+        // Only resets that discard accumulated progress count as resets.
         if rank >= self.config.read_window_pages() {
+            if counters.reads != 0 {
+                self.stats.read_window_resets += 1;
+            }
             counters.reads = 0;
         }
         if rank >= self.config.write_window_pages() {
+            if counters.writes != 0 {
+                self.stats.write_window_resets += 1;
+            }
             counters.writes = 0;
         }
         let hot = match kind {
@@ -267,6 +345,10 @@ impl TwoLruPolicy {
 
         if !hot {
             return AccessOutcome::hit(MemoryKind::Nvm);
+        }
+        match kind {
+            AccessKind::Read => self.stats.read_promotions += 1,
+            AccessKind::Write => self.stats.write_promotions += 1,
         }
 
         // Promote to DRAM; when DRAM is full this is a swap with DRAM's LRU
@@ -369,6 +451,10 @@ impl HybridPolicy for TwoLruPolicy {
 
     fn name(&self) -> &'static str {
         "two-lru"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 
@@ -662,5 +748,73 @@ mod tests {
         assert_eq!(p.name(), "two-lru");
         assert_eq!(p.capacity(MemoryKind::Dram), PageCount::new(2));
         assert_eq!(p.capacity(MemoryKind::Nvm), PageCount::new(4));
+    }
+
+    #[test]
+    fn stats_count_promotions_by_triggering_kind() {
+        let mut p = policy(1, 10);
+        fill(&mut p, 0, 11);
+        // Three reads of one NVM page promote it (threshold 2).
+        for _ in 0..3 {
+            p.on_access(PageAccess::read(page(5)));
+        }
+        assert_eq!(p.stats().read_promotions, 1);
+        assert_eq!(p.stats().write_promotions, 0);
+        // Five writes of another NVM page promote it (threshold 4).
+        for _ in 0..5 {
+            p.on_access(PageAccess::write(page(6)));
+        }
+        assert_eq!(p.stats().write_promotions, 1);
+    }
+
+    #[test]
+    fn stats_count_only_lossy_window_resets() {
+        // NVM capacity 10 → read window 1 page.
+        let mut p = policy(1, 10);
+        fill(&mut p, 0, 11);
+        let target = page(5);
+        p.on_access(PageAccess::read(target));
+        let after_first = p.stats().read_window_resets;
+        p.on_access(PageAccess::read(target));
+        // Push target out of the read window, then hit it again: the reset
+        // discards two accumulated reads, so it counts.
+        p.on_access(PageAccess::read(page(6)));
+        p.on_access(PageAccess::read(target));
+        assert_eq!(p.stats().read_window_resets, after_first + 1);
+    }
+
+    #[test]
+    fn window_occupancy_is_bounded_by_nvm_occupancy() {
+        let mut p = policy(1, 10); // write window = 3 pages
+        assert_eq!(p.write_window_occupancy(), 0, "empty NVM queue");
+        fill(&mut p, 0, 3); // 1 DRAM page + 2 NVM pages
+        assert_eq!(p.write_window_occupancy(), 2);
+        fill(&mut p, 3, 8);
+        assert_eq!(p.write_window_occupancy(), 3);
+        assert_eq!(p.read_window_occupancy(), 1);
+        assert!(p.tracked_pages() <= p.occupancy(MemoryKind::Nvm) as usize);
+    }
+
+    #[test]
+    fn export_metrics_uses_two_lru_namespace() {
+        let mut p = policy(1, 10);
+        fill(&mut p, 0, 11);
+        for _ in 0..3 {
+            p.on_access(PageAccess::read(page(5)));
+        }
+        let mut registry = MetricsRegistry::new();
+        p.export_metrics(&mut registry);
+        assert_eq!(registry.counter("two_lru.read_promotions"), 1);
+        assert_eq!(registry.counter("two_lru.write_promotions"), 0);
+        assert!(registry.gauge("two_lru.tracked_pages") >= 0.0);
+        assert!(registry.gauge("two_lru.read_window_occupancy") >= 1.0);
+    }
+
+    #[test]
+    fn as_any_downcasts_to_concrete_policy() {
+        let p = policy(2, 4);
+        let dynamic: &dyn HybridPolicy = &p;
+        let any = dynamic.as_any().expect("two-LRU exposes itself");
+        assert!(any.downcast_ref::<TwoLruPolicy>().is_some());
     }
 }

@@ -4,7 +4,7 @@
 //! pass with two halves:
 //!
 //! * **Determinism rules** over the simulation crates (`types`, `trace`,
-//!   `cachesim`, `device`, `policy`, `core`): no default-hasher
+//!   `cachesim`, `device`, `policy`, `core`, `metrics`): no default-hasher
 //!   `HashMap`/`HashSet`, no unordered collections in serialized types,
 //!   no wall-clock or entropy reads outside `xtask:allow(...)`-annotated
 //!   sites. See [`rules`] for the rationale; PR 1's serial ≡ parallel

@@ -30,7 +30,9 @@ use crate::lexer::{Lexed, Token, TokenKind};
 /// Crates whose sources must be deterministic: everything that runs
 /// inside a simulation. The CLI and bench harnesses measure wall-clock
 /// time on purpose and are exempt.
-pub const SIM_CRATES: [&str; 6] = ["types", "trace", "cachesim", "device", "policy", "core"];
+pub const SIM_CRATES: [&str; 7] = [
+    "types", "trace", "cachesim", "device", "policy", "core", "metrics",
+];
 
 /// One rule finding.
 #[derive(Debug, Clone)]

@@ -21,6 +21,7 @@
 //! | [`device`] | `hybridmem-device` | Table IV DRAM/PCM models, DMA, endurance |
 //! | [`policy`] | `hybridmem-policy` | two-LRU scheme, CLOCK-DWF, baselines, adaptive extension |
 //! | [`sim`] | `hybridmem-core` | simulator, Eq. 1–3 models, experiment runners |
+//! | [`metrics`] | `hybridmem-metrics` | deterministic counters/gauges/histograms for telemetry |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@
 pub use hybridmem_cachesim as cachesim;
 pub use hybridmem_core as sim;
 pub use hybridmem_device as device;
+pub use hybridmem_metrics as metrics;
 pub use hybridmem_policy as policy;
 pub use hybridmem_trace as trace;
 pub use hybridmem_types as types;
