@@ -11,6 +11,9 @@
 //! --threads N         worker threads for the evaluation matrix (default 0 = auto)
 //! --metrics-out FILE  write per-window interval records as JSONL
 //! --metrics-window N  accesses per metrics window (default 10_000; 0 = one window)
+//! --ledger-out FILE   write per-page journey ledgers as JSONL (one report per cell)
+//! --ledger-top N      detailed pages retained per ledger (default 64)
+//! --profile-out FILE  write a Chrome trace-event span profile (Perfetto-loadable)
 //! ```
 //!
 //! Tables are printed in the same row/series layout the paper uses, with
@@ -23,10 +26,11 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use hybridmem_core::{
-    arith_mean, compare_policies_observed, compare_policies_timed, geo_mean, write_jsonl,
-    ExperimentConfig, MatrixTiming, PolicyKind, SimulationReport, TraceCache, TraceCacheStats,
+    arith_mean, compare_policies_instrumented, compare_policies_timed, geo_mean, write_jsonl,
+    write_ledger_jsonl, ExperimentConfig, Instrumentation, LedgerOptions, MatrixTiming, PolicyKind,
+    SimulationReport, TraceCache, TraceCacheStats,
 };
-use hybridmem_metrics::{MetricsRegistry, MetricsSnapshot};
+use hybridmem_metrics::{MetricsRegistry, MetricsSnapshot, SpanProfiler};
 use hybridmem_trace::{parsec, WorkloadSpec};
 use hybridmem_types::{Error, Result};
 use serde::Serialize;
@@ -49,6 +53,16 @@ pub struct SuiteOptions {
     pub metrics_out: Option<PathBuf>,
     /// Accesses per metrics window (`0` = one whole-run window per cell).
     pub metrics_window: u64,
+    /// When given, [`SuiteOptions::run_matrix`] attaches a page ledger to
+    /// every cell and writes the journey reports here as JSON Lines
+    /// (spec-major, policies in `kinds` order).
+    pub ledger_out: Option<PathBuf>,
+    /// Detailed pages retained per ledger report.
+    pub ledger_top: usize,
+    /// When given, [`SuiteOptions::run_matrix`] records harness spans and
+    /// writes them here as Chrome trace-event JSON (Perfetto-loadable).
+    /// Wall-clock: a measurement artefact, never compared for determinism.
+    pub profile_out: Option<PathBuf>,
 }
 
 impl SuiteOptions {
@@ -84,10 +98,16 @@ impl SuiteOptions {
                         .parse()
                         .expect("--metrics-window expects an integer");
                 }
+                "--ledger-out" => options.ledger_out = Some(PathBuf::from(value())),
+                "--ledger-top" => {
+                    options.ledger_top = value().parse().expect("--ledger-top expects an integer");
+                }
+                "--profile-out" => options.profile_out = Some(PathBuf::from(value())),
                 other => {
                     panic!(
                         "unknown flag {other}; expected \
-                         --cap/--seed/--out/--threads/--metrics-out/--metrics-window"
+                         --cap/--seed/--out/--threads/--metrics-out/--metrics-window\
+                         /--ledger-out/--ledger-top/--profile-out"
                     );
                 }
             }
@@ -133,20 +153,31 @@ impl SuiteOptions {
     ) -> Result<Vec<(WorkloadSpec, Vec<SimulationReport>)>> {
         let specs = self.specs();
         let config = self.config();
-        let (rows, timing, cell_metrics) = if let Some(path) = &self.metrics_out {
-            let (cells, timing) = compare_policies_observed(
+        let instrumentation = self.instrumentation();
+        let profiler = self.profile_out.as_ref().map(|_| SpanProfiler::new());
+        let (rows, timing, cell_metrics) = if instrumentation.is_empty() && profiler.is_none() {
+            let (rows, timing) = compare_policies_timed(&specs, kinds, &config, self.threads)?;
+            (rows, timing, None)
+        } else {
+            let (cells, timing) = compare_policies_instrumented(
                 &specs,
                 kinds,
                 &config,
                 self.threads,
-                self.metrics_window,
+                instrumentation,
+                profiler.as_ref(),
             )?;
-            let (rows, aggregate) = self.write_interval_metrics(path, cells)?;
-            (rows, timing, Some(aggregate))
-        } else {
-            let (rows, timing) = compare_policies_timed(&specs, kinds, &config, self.threads)?;
-            (rows, timing, None)
+            let (rows, aggregate) = self.write_instrumented_outputs(cells)?;
+            (rows, timing, aggregate)
         };
+        if let (Some(path), Some(profiler)) = (&self.profile_out, &profiler) {
+            let mut writer = create_jsonl_writer(path)?;
+            profiler
+                .write_chrome_trace(&mut writer)
+                .and_then(|()| std::io::Write::flush(&mut writer))
+                .map_err(|e| Error::invalid_input(format!("write {}: {e}", path.display())))?;
+            println!("wrote span profile to {}", path.display());
+        }
         let mut summary = ThroughputSummary::from_matrix(&specs, kinds, &timing);
         summary.trace_cache = TraceCache::global().stats();
         summary.metrics = Self::aggregate_metrics(&timing, cell_metrics);
@@ -154,35 +185,79 @@ impl SuiteOptions {
         Ok(specs.into_iter().zip(rows).collect())
     }
 
-    /// Writes every cell's interval records to `path` as JSON Lines
+    /// Which sinks [`SuiteOptions::run_matrix`] attaches to every cell,
+    /// derived from the output flags: a window when `--metrics-out` was
+    /// given, a ledger when `--ledger-out` was.
+    #[must_use]
+    pub fn instrumentation(&self) -> Instrumentation {
+        let mut instrumentation = Instrumentation::default();
+        if self.metrics_out.is_some() {
+            instrumentation.window = Some(self.metrics_window);
+        }
+        if self.ledger_out.is_some() {
+            instrumentation = instrumentation.with_ledger(LedgerOptions {
+                top_k: self.ledger_top,
+                ..LedgerOptions::default()
+            });
+        }
+        instrumentation
+    }
+
+    /// Writes each requested JSONL artefact — interval records to
+    /// `--metrics-out`, ledger reports to `--ledger-out` — cell by cell
     /// (spec-major, policies in `kinds` order — the matrix's own order),
-    /// returning the plain report rows plus the merged cell metrics.
+    /// returning the plain report rows plus the merged cell metrics when
+    /// interval metrics ran.
     ///
-    /// Unlike `throughput.json`, an unwritable metrics file is a hard
-    /// error: the caller asked for this artefact explicitly.
-    fn write_interval_metrics(
+    /// Unlike `throughput.json`, an unwritable artefact is a hard error:
+    /// the caller asked for it explicitly.
+    fn write_instrumented_outputs(
         &self,
-        path: &Path,
-        cells: Vec<Vec<hybridmem_core::ObservedRun>>,
-    ) -> Result<(Vec<Vec<SimulationReport>>, MetricsSnapshot)> {
-        let file = fs::File::create(path)
-            .map_err(|e| Error::invalid_input(format!("cannot create {}: {e}", path.display())))?;
-        let mut writer = std::io::BufWriter::new(file);
-        let mut aggregate = MetricsSnapshot::default();
+        cells: Vec<Vec<hybridmem_core::InstrumentedRun>>,
+    ) -> Result<(Vec<Vec<SimulationReport>>, Option<MetricsSnapshot>)> {
+        let mut metrics_writer = match &self.metrics_out {
+            Some(path) => Some((create_jsonl_writer(path)?, path)),
+            None => None,
+        };
+        let mut ledger_writer = match &self.ledger_out {
+            Some(path) => Some((create_jsonl_writer(path)?, path)),
+            None => None,
+        };
+        let mut aggregate = self.metrics_out.is_some().then(MetricsSnapshot::default);
         let mut rows = Vec::with_capacity(cells.len());
         for row in cells {
             let mut reports = Vec::with_capacity(row.len());
             for cell in row {
-                write_jsonl(&mut writer, &cell.records)
-                    .map_err(|e| Error::invalid_input(format!("write {}: {e}", path.display())))?;
-                aggregate.absorb(&cell.metrics);
+                if let Some((writer, path)) = &mut metrics_writer {
+                    write_jsonl(writer, &cell.records).map_err(|e| {
+                        Error::invalid_input(format!("write {}: {e}", path.display()))
+                    })?;
+                }
+                if let Some(aggregate) = &mut aggregate {
+                    aggregate.absorb(&cell.metrics);
+                }
+                if let Some((writer, path)) = &mut ledger_writer {
+                    let report = cell.ledger.as_ref().ok_or_else(|| {
+                        Error::invalid_input("instrumented cell lost its page ledger")
+                    })?;
+                    write_ledger_jsonl(writer, report).map_err(|e| {
+                        Error::invalid_input(format!("write {}: {e}", path.display()))
+                    })?;
+                }
                 reports.push(cell.report);
             }
             rows.push(reports);
         }
-        std::io::Write::flush(&mut writer)
-            .map_err(|e| Error::invalid_input(format!("write {}: {e}", path.display())))?;
-        println!("wrote interval metrics to {}", path.display());
+        if let Some((writer, path)) = &mut metrics_writer {
+            std::io::Write::flush(writer)
+                .map_err(|e| Error::invalid_input(format!("write {}: {e}", path.display())))?;
+            println!("wrote interval metrics to {}", path.display());
+        }
+        if let Some((writer, path)) = &mut ledger_writer {
+            std::io::Write::flush(writer)
+                .map_err(|e| Error::invalid_input(format!("write {}: {e}", path.display())))?;
+            println!("wrote page ledger to {}", path.display());
+        }
         Ok((rows, aggregate))
     }
 
@@ -275,8 +350,18 @@ impl Default for SuiteOptions {
             threads: 0,
             metrics_out: None,
             metrics_window: 10_000,
+            ledger_out: None,
+            ledger_top: 64,
+            profile_out: None,
         }
     }
+}
+
+/// Creates a buffered writer for an explicitly requested JSONL artefact.
+fn create_jsonl_writer(path: &Path) -> Result<std::io::BufWriter<fs::File>> {
+    let file = fs::File::create(path)
+        .map_err(|e| Error::invalid_input(format!("cannot create {}: {e}", path.display())))?;
+    Ok(std::io::BufWriter::new(file))
 }
 
 /// Throughput of one policy across the whole matrix run.
@@ -452,7 +537,32 @@ mod tests {
         assert_eq!(o.threads, 0, "auto thread count by default");
         assert!(o.metrics_out.is_none(), "metrics are opt-in");
         assert_eq!(o.metrics_window, 10_000);
+        assert!(o.ledger_out.is_none(), "the ledger is opt-in");
+        assert_eq!(o.ledger_top, 64);
+        assert!(o.profile_out.is_none(), "profiling is opt-in");
+        assert!(
+            o.instrumentation().is_empty(),
+            "no flags must mean no sinks"
+        );
         assert_eq!(o.config().seed, 42);
+    }
+
+    #[test]
+    fn instrumentation_follows_the_output_flags() {
+        let o = SuiteOptions {
+            metrics_out: Some(PathBuf::from("m.jsonl")),
+            ledger_out: Some(PathBuf::from("l.jsonl")),
+            ledger_top: 8,
+            metrics_window: 500,
+            ..SuiteOptions::default()
+        };
+        let instrumentation = o.instrumentation();
+        assert_eq!(instrumentation.window, Some(500));
+        assert_eq!(
+            instrumentation.ledger.map(|l| l.top_k),
+            Some(8),
+            "--ledger-top must reach the ledger options"
+        );
     }
 
     #[test]

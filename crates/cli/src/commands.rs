@@ -6,13 +6,15 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use hybridmem_core::{
-    write_jsonl, ExperimentConfig, HybridSimulator, IntervalRecord, PolicyKind, SimulationReport,
-    WindowedCollector,
+    write_jsonl, write_ledger_jsonl, EventSink, ExperimentConfig, FanoutSink, HybridSimulator,
+    IntervalRecord, LedgerOptions, LedgerReport, PageEvent, PageLedger, PolicyKind,
+    SimulationReport, WindowedCollector,
 };
+use hybridmem_metrics::SpanProfiler;
 use hybridmem_trace::{
     io as trace_io, parsec, ReuseProfile, TraceGenerator, TraceStats, WorkloadSpec,
 };
-use hybridmem_types::{Access, Error, PageAccess, Result};
+use hybridmem_types::{Access, Error, PageAccess, PageId, Result};
 
 use crate::Args;
 
@@ -35,14 +37,25 @@ COMMANDS:
     compare <trace>                    run all policies over a trace file
              [--memory-fraction F] [--dram-fraction F] [--threads N]
              [--metrics-out FILE] [--metrics-window N]
+             [--ledger-out FILE] [--ledger-top N] [--profile-out FILE]
              (--threads 0, the default, uses all available cores;
               --metrics-out writes per-window interval records as JSONL,
-              one window every N accesses, default 10000)
+              one window every N accesses, default 10000;
+              --ledger-out writes per-page journey ledgers as JSONL,
+              keeping the top N pages per policy, default 64;
+              --profile-out writes a Chrome trace-event JSON span profile,
+              loadable at https://ui.perfetto.dev)
     observe <workload>                 stream windowed interval records (JSONL)
              [--policy P] [--cap N] [--seed N] [--window N]
              [--memory-fraction F] [--dram-fraction F] [--warmup F]
              (--window 0 emits one whole-run record at the end;
               --workload accepts a PARSEC name or a WorkloadSpec JSON path)
+    ledger <workload>                  per-page journey ledger (top-K pages)
+             [--policy P] [--cap N] [--seed N] [--top K] [--max-events N]
+             [--memory-fraction F] [--dram-fraction F] [--json]
+    trace-page <workload> <page>       one page's full journey
+             [--policy P] [--cap N] [--seed N] [--max-events N]
+             [--memory-fraction F] [--dram-fraction F] [--json]
 
 Trace files use the formats documented in hybridmem-trace: text
 (`R 0x1000 0` per line) or binary (11-byte records). `--format` defaults
@@ -69,6 +82,8 @@ pub fn run<W: std::io::Write>(raw: Vec<String>, out: &mut W) -> Result<()> {
         "simulate" => simulate(&args, out),
         "compare" => compare(&args, out),
         "observe" => observe(&args, out),
+        "ledger" => ledger(&args, out),
+        "trace-page" => trace_page(&args, out),
         "help" | "--help" | "-h" => {
             write_usage(out);
             Ok(())
@@ -217,35 +232,71 @@ fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
         "threads",
         "metrics-out",
         "metrics-window",
+        "ledger-out",
+        "ledger-top",
+        "profile-out",
     ])?;
     let threads: usize = args.get_parsed_or("threads", 0)?;
     let metrics_window: u64 = args.get_parsed_or("metrics-window", 10_000)?;
+    let ledger_top: usize = args.get_parsed_or("ledger-top", 64)?;
     let (path, trace) = load_trace(args)?;
     let (spec, config) = trace_experiment(args, &path, &trace)?;
     // Decode once; every policy replays the same immutable buffer instead
     // of re-reading the trace file per policy.
     let pages: Vec<PageAccess> = trace.iter().copied().map(PageAccess::from).collect();
     let kinds = PolicyKind::all();
+    let window = args.get("metrics-out").map(|_| metrics_window);
+    let ledger = args.get("ledger-out").map(|_| LedgerOptions {
+        top_k: ledger_top,
+        ..LedgerOptions::default()
+    });
+    // Wall-clock span profile of the worker pool; sits outside the
+    // determinism boundary and never feeds back into results.
+    let profiler = args.get("profile-out").map(|_| SpanProfiler::new());
+    let cells = run_policy_cells(&kinds, threads, |kind, worker| {
+        let _span = profiler.as_ref().map(|p| {
+            p.span(
+                "scheduler",
+                format!("cell {}", kind.name()),
+                worker as u64 + 1,
+            )
+        });
+        instrumented_policy_cell(&config, &spec, &path, kind, &pages, window, ledger)
+    })?;
+    write_compare_table(out, cells.iter().map(|cell| &cell.report))?;
     if let Some(metrics_path) = args.get("metrics-out") {
-        let cells = run_policy_cells(&kinds, threads, |kind| {
-            observe_policy_cell(&config, &spec, &path, kind, &pages, metrics_window)
-        })?;
-        write_compare_table(out, cells.iter().map(|(report, _)| report))?;
-        let file = File::create(metrics_path)
-            .map_err(|e| Error::invalid_input(format!("cannot create {metrics_path}: {e}")))?;
-        let mut writer = BufWriter::new(file);
-        for (_, records) in &cells {
-            write_jsonl(&mut writer, records).map_err(io_err)?;
+        let mut writer = create_out(metrics_path)?;
+        for cell in &cells {
+            write_jsonl(&mut writer, &cell.records).map_err(io_err)?;
         }
         std::io::Write::flush(&mut writer).map_err(io_err)?;
         writeln!(out, "wrote interval metrics to {metrics_path}").map_err(io_err)?;
-    } else {
-        let reports = run_policy_cells(&kinds, threads, |kind| {
-            simulate_policy_cell(&config, &spec, &path, kind, &pages)
-        })?;
-        write_compare_table(out, reports.iter())?;
+    }
+    if let Some(ledger_path) = args.get("ledger-out") {
+        let mut writer = create_out(ledger_path)?;
+        for cell in &cells {
+            let report = cell
+                .ledger
+                .as_ref()
+                .ok_or_else(|| Error::invalid_input("compare cell lost its page ledger"))?;
+            write_ledger_jsonl(&mut writer, report).map_err(io_err)?;
+        }
+        std::io::Write::flush(&mut writer).map_err(io_err)?;
+        writeln!(out, "wrote page ledger to {ledger_path}").map_err(io_err)?;
+    }
+    if let (Some(profile_path), Some(profiler)) = (args.get("profile-out"), profiler.as_ref()) {
+        let mut writer = create_out(profile_path)?;
+        profiler.write_chrome_trace(&mut writer).map_err(io_err)?;
+        std::io::Write::flush(&mut writer).map_err(io_err)?;
+        writeln!(out, "wrote span profile to {profile_path}").map_err(io_err)?;
     }
     Ok(())
+}
+
+fn create_out(path: &str) -> Result<BufWriter<File>> {
+    let file = File::create(path)
+        .map_err(|e| Error::invalid_input(format!("cannot create {path}: {e}")))?;
+    Ok(BufWriter::new(file))
 }
 
 fn write_compare_table<'a, W: std::io::Write>(
@@ -351,6 +402,249 @@ fn drain_observed(simulator: &mut HybridSimulator, finish: bool) -> Result<Vec<I
     Ok(collector.drain())
 }
 
+/// Prints the whole-run page-lifecycle roll-up and the retained top-K
+/// page journeys for one policy over a generated workload.
+fn ledger<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
+    args.reject_unknown(&[
+        "policy",
+        "cap",
+        "seed",
+        "top",
+        "max-events",
+        "memory-fraction",
+        "dram-fraction",
+        "json",
+    ])?;
+    let report = run_ledger_report(args, None, 32)?;
+    if args.get("json").is_some_and(|v| v == "true") {
+        write_ledger_jsonl(out, &report).map_err(io_err)?;
+        return Ok(());
+    }
+    write_ledger_summary(out, &report)?;
+    writeln!(out, "\ntop pages by migrations:").map_err(io_err)?;
+    writeln!(
+        out,
+        "{:>12} {:>10} {:>10} {:>10} {:>10} {:>6}",
+        "page", "accesses", "migrations", "ping-pongs", "resets", "tier"
+    )
+    .map_err(io_err)?;
+    for record in &report.pages {
+        writeln!(
+            out,
+            "{:>12} {:>10} {:>10} {:>10} {:>10} {:>6}",
+            record.page,
+            record.summary.accesses,
+            record.summary.migrations(),
+            record.summary.ping_pongs,
+            record.summary.resets,
+            record
+                .summary
+                .final_tier
+                .map_or("disk".to_owned(), |tier| tier.to_string()),
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Prints one page's full journey: every fill, promotion (with Algorithm 1
+/// counter provenance), demotion, eviction, and lossy counter reset.
+fn trace_page<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
+    args.reject_unknown(&[
+        "policy",
+        "cap",
+        "seed",
+        "max-events",
+        "memory-fraction",
+        "dram-fraction",
+        "json",
+    ])?;
+    let page_arg = args
+        .positional(2)
+        .ok_or_else(|| Error::invalid_input("usage: trace-page <workload> <page>"))?;
+    let page: u64 = page_arg
+        .parse()
+        .map_err(|e| Error::invalid_input(format!("invalid page id {page_arg:?}: {e}")))?;
+    let report = run_ledger_report(args, Some(PageId::new(page)), 1024)?;
+    let Some(record) = report.pages.iter().find(|record| record.page == page) else {
+        writeln!(
+            out,
+            "page {page} was never touched by {} over {} accesses of {}",
+            report.policy, report.accesses, report.workload
+        )
+        .map_err(io_err)?;
+        return Ok(());
+    };
+    if args.get("json").is_some_and(|v| v == "true") {
+        let json = serde_json::to_string(record)
+            .map_err(|e| Error::invalid_input(format!("serialize page record: {e}")))?;
+        writeln!(out, "{json}").map_err(io_err)?;
+        return Ok(());
+    }
+    let summary = &record.summary;
+    writeln!(
+        out,
+        "page {page} under {} over {} accesses of {}:",
+        report.policy, report.accesses, report.workload
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "  {} accesses ({} reads / {} writes), {} migrations, {} ping-pongs, final tier {}",
+        summary.accesses,
+        summary.reads,
+        summary.writes,
+        summary.migrations(),
+        summary.ping_pongs,
+        summary
+            .final_tier
+            .map_or("disk".to_owned(), |tier| tier.to_string()),
+    )
+    .map_err(io_err)?;
+    for event in &record.events {
+        writeln!(out, "  {}", format_page_event(event)).map_err(io_err)?;
+    }
+    if record.dropped_events > 0 {
+        writeln!(
+            out,
+            "  … {} later events dropped (raise --max-events)",
+            record.dropped_events
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Runs one policy over a generated workload with a [`PageLedger`]
+/// attached and returns its end-of-run report.
+fn run_ledger_report(
+    args: &Args,
+    focus: Option<PageId>,
+    default_max_events: usize,
+) -> Result<LedgerReport> {
+    let workload = args
+        .positional(1)
+        .ok_or_else(|| Error::invalid_input("expected a workload name or spec path"))?;
+    let spec = load_spec(workload)?;
+    let cap: u64 = args.get_parsed_or("cap", 1_000_000)?;
+    let spec = if cap == 0 { spec } else { spec.capped(cap) };
+    let kind = parse_policy(args.get_or("policy", "two-lru"))?;
+    let seed: u64 = args.get_parsed_or("seed", 42)?;
+    let options = LedgerOptions {
+        top_k: args.get_parsed_or("top", 64)?,
+        max_events: args.get_parsed_or("max-events", default_max_events)?,
+        focus,
+    };
+    let config = ExperimentConfig {
+        memory_fraction: args.get_parsed_or("memory-fraction", 0.75)?,
+        dram_fraction: args.get_parsed_or("dram-fraction", 0.10)?,
+        seed,
+        ..ExperimentConfig::date2016()
+    };
+    let policy = config.build_policy(kind, &spec)?;
+    let mut simulator = HybridSimulator::with_date2016_devices(policy);
+    simulator.set_event_sink(Box::new(PageLedger::new(
+        spec.name.clone(),
+        kind.name(),
+        options,
+        0,
+    )));
+    for access in TraceGenerator::new(spec.clone(), seed).map(PageAccess::from) {
+        simulator.step(access);
+    }
+    let mut sink = simulator
+        .take_event_sink()
+        .ok_or_else(|| Error::invalid_input("ledger run lost its event sink"))?;
+    let page_ledger = sink
+        .as_any_mut()
+        .downcast_mut::<PageLedger>()
+        .ok_or_else(|| Error::invalid_input("ledger sink has the wrong type"))?;
+    Ok(page_ledger.finish())
+}
+
+fn write_ledger_summary<W: std::io::Write>(out: &mut W, report: &LedgerReport) -> Result<()> {
+    let summary = &report.summary;
+    writeln!(
+        out,
+        "workload {}, policy {}, {} accesses",
+        report.workload, report.policy, report.accesses
+    )
+    .map_err(io_err)?;
+    writeln!(out, "  pages touched     {}", summary.pages).map_err(io_err)?;
+    writeln!(out, "  faults            {}", summary.faults).map_err(io_err)?;
+    writeln!(
+        out,
+        "  promotions        {} read / {} write / {} unattributed",
+        summary.promotions_read, summary.promotions_write, summary.promotions_unattributed
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "  demotions         {} fault-fill / {} promotion-swap",
+        summary.demotions_fault, summary.demotions_swap
+    )
+    .map_err(io_err)?;
+    writeln!(out, "  evictions         {}", summary.evictions).map_err(io_err)?;
+    writeln!(
+        out,
+        "  lossy resets      {} read / {} write",
+        summary.resets_read, summary.resets_write
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "  ping-pongs        {} round trips across {} pages",
+        summary.ping_pongs, summary.ping_pong_pages
+    )
+    .map_err(io_err)?;
+    writeln!(
+        out,
+        "  detail retained   {} pages ({} pruned)",
+        summary.detailed_pages, summary.pruned_pages
+    )
+    .map_err(io_err)?;
+    Ok(())
+}
+
+/// One human-readable line per [`PageEvent`].
+fn format_page_event(event: &PageEvent) -> String {
+    match event {
+        PageEvent::Fill { access, into } => {
+            format!("access {access:>8}  fill into {into}")
+        }
+        PageEvent::Promote { access, provenance } => match provenance {
+            Some(provenance) => format!(
+                "access {access:>8}  promote NVM->DRAM ({} counter {} >= {}, rank {})",
+                provenance.counter.name(),
+                provenance.value,
+                provenance.threshold,
+                provenance.rank,
+            ),
+            None => format!("access {access:>8}  promote NVM->DRAM"),
+        },
+        PageEvent::Demote { access, cause } => {
+            let cause = match cause {
+                hybridmem_core::DemotionCause::FaultFill => "displaced by a fault fill",
+                hybridmem_core::DemotionCause::PromotionSwap => "swapped out by a promotion",
+            };
+            format!("access {access:>8}  demote DRAM->NVM ({cause})")
+        }
+        PageEvent::Evict { access, from } => {
+            format!("access {access:>8}  evict from {from}")
+        }
+        PageEvent::Reset {
+            access,
+            counter,
+            lost,
+        } => {
+            format!(
+                "access {access:>8}  lossy reset: {} counter lost {lost}",
+                counter.name()
+            )
+        }
+    }
+}
+
 /// Describes a loaded trace as a `WorkloadSpec` plus paper-style
 /// configuration so the standard runner applies: the working set is the
 /// measured footprint; locality fields are unused because the recorded
@@ -395,47 +689,99 @@ fn simulate_policy_cell(
     Ok(simulator.into_report(path.to_owned()))
 }
 
-/// [`simulate_policy_cell`] with a [`WindowedCollector`] attached,
-/// additionally returning the cell's interval records. Window indices are
-/// trace positions, so the records do not depend on how the cells around
-/// this one are scheduled.
-fn observe_policy_cell(
+/// One policy's results from a `compare` run: always the report, plus
+/// whatever instrumentation the flags requested.
+struct CompareCell {
+    report: SimulationReport,
+    records: Vec<IntervalRecord>,
+    ledger: Option<LedgerReport>,
+}
+
+/// [`simulate_policy_cell`] with optional instrumentation attached: a
+/// [`WindowedCollector`] when `--metrics-out` asked for interval records,
+/// a [`PageLedger`] when `--ledger-out` asked for page journeys, both
+/// fanned out when both are set, and no sink at all when neither is.
+/// Window and ledger boundaries are trace positions, so the outputs do
+/// not depend on how the cells around this one are scheduled.
+fn instrumented_policy_cell(
     config: &ExperimentConfig,
     spec: &WorkloadSpec,
     path: &str,
     kind: PolicyKind,
     pages: &[PageAccess],
-    window: u64,
-) -> Result<(SimulationReport, Vec<IntervalRecord>)> {
+    window: Option<u64>,
+    ledger: Option<LedgerOptions>,
+) -> Result<CompareCell> {
+    let make_collector = |window| {
+        Box::new(WindowedCollector::new(path, kind.name(), window, 0)) as Box<dyn EventSink>
+    };
+    let make_ledger =
+        |options| Box::new(PageLedger::new(path, kind.name(), options, 0)) as Box<dyn EventSink>;
     let policy = config.build_policy(kind, spec)?;
     let mut simulator = HybridSimulator::with_date2016_devices(policy);
-    simulator.set_event_sink(Box::new(WindowedCollector::new(
-        path,
-        kind.name(),
-        window,
-        0,
-    )));
+    match (window, ledger) {
+        (None, None) => {}
+        (Some(window), None) => simulator.set_event_sink(make_collector(window)),
+        (None, Some(options)) => simulator.set_event_sink(make_ledger(options)),
+        (Some(window), Some(options)) => {
+            let mut fanout = FanoutSink::new();
+            fanout.push(make_collector(window));
+            fanout.push(make_ledger(options));
+            simulator.set_event_sink(Box::new(fanout));
+        }
+    }
     simulator.run_slice(pages);
-    let mut sink = simulator
-        .take_event_sink()
-        .ok_or_else(|| Error::invalid_input("observed cell lost its event sink"))?;
-    let collector = sink
-        .as_any_mut()
-        .downcast_mut::<WindowedCollector>()
-        .ok_or_else(|| Error::invalid_input("observed cell sink has the wrong type"))?;
-    collector.finish();
-    let records = collector.drain();
-    Ok((simulator.into_report(path.to_owned()), records))
+    let mut records = Vec::new();
+    let mut ledger_report = None;
+    if window.is_some() || ledger.is_some() {
+        let mut sink = simulator
+            .take_event_sink()
+            .ok_or_else(|| Error::invalid_input("instrumented cell lost its event sink"))?;
+        if window.is_some() && ledger.is_some() {
+            let fanout = sink
+                .as_any_mut()
+                .downcast_mut::<FanoutSink>()
+                .ok_or_else(|| Error::invalid_input("instrumented cell sink has the wrong type"))?;
+            for child in fanout.sinks_mut() {
+                drain_instrumentation(child.as_mut(), &mut records, &mut ledger_report);
+            }
+        } else {
+            drain_instrumentation(sink.as_mut(), &mut records, &mut ledger_report);
+        }
+    }
+    Ok(CompareCell {
+        report: simulator.into_report(path.to_owned()),
+        records,
+        ledger: ledger_report,
+    })
+}
+
+/// Finishes and drains one instrumentation sink into whichever output
+/// slot matches its concrete type.
+fn drain_instrumentation(
+    sink: &mut dyn EventSink,
+    records: &mut Vec<IntervalRecord>,
+    ledger: &mut Option<LedgerReport>,
+) {
+    let any = sink.as_any_mut();
+    if let Some(collector) = any.downcast_mut::<WindowedCollector>() {
+        collector.finish();
+        *records = collector.drain();
+    } else if let Some(page_ledger) = any.downcast_mut::<PageLedger>() {
+        *ledger = Some(page_ledger.finish());
+    }
 }
 
 /// Runs every policy over the shared trace buffer on a worker pool of
 /// `threads` OS threads (0 = all available cores), writing results into
 /// per-cell slots so the output order — and the first error reported —
-/// match the serial loop exactly.
+/// match the serial loop exactly. The closure additionally receives the
+/// worker index (for span-profiler lanes); cell results must not depend
+/// on it.
 fn run_policy_cells<T: Send>(
     kinds: &[PolicyKind],
     threads: usize,
-    run: impl Fn(PolicyKind) -> Result<T> + Sync,
+    run: impl Fn(PolicyKind, usize) -> Result<T> + Sync,
 ) -> Result<Vec<T>> {
     let workers = if threads == 0 {
         std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -447,14 +793,15 @@ fn run_policy_cells<T: Send>(
     let next_cell = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<Result<T>>>> = kinds.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        let worker = || loop {
+        let worker = |id: usize| loop {
             let index = next_cell.fetch_add(1, Ordering::Relaxed);
             let Some(kind) = kinds.get(index) else { break };
-            let result = run(*kind);
+            let result = run(*kind, id);
             *slots[index].lock().expect("cell slot poisoned") = Some(result);
         };
-        for _ in 0..workers {
-            scope.spawn(worker);
+        for id in 0..workers {
+            let worker = &worker;
+            scope.spawn(move || worker(id));
         }
     });
     slots
@@ -695,6 +1042,193 @@ mod tests {
             let _ = std::fs::remove_file(p);
         }
         let _ = std::fs::remove_file(trace_path);
+    }
+
+    #[test]
+    fn compare_ledger_out_is_byte_identical_across_thread_counts() {
+        let dir = std::env::temp_dir().join("hybridmem-cli-ledger");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("l.trace");
+        let trace_path = trace_path.to_str().unwrap();
+        run_capture(&[
+            "generate",
+            "--workload",
+            "bodytrack",
+            "--output",
+            trace_path,
+            "--cap",
+            "4000",
+        ])
+        .0
+        .unwrap();
+
+        let jsonl_1 = dir.join("ledger-1.jsonl");
+        let (result, text) = run_capture(&[
+            "compare",
+            trace_path,
+            "--ledger-out",
+            jsonl_1.to_str().unwrap(),
+            "--ledger-top",
+            "8",
+            "--threads",
+            "1",
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        assert!(text.contains("wrote page ledger"), "{text}");
+        let serial = std::fs::read_to_string(&jsonl_1).unwrap();
+        let lines: Vec<&str> = serial.lines().collect();
+        // One header per policy plus at most 8 page records each.
+        assert!(lines.len() > PolicyKind::all().len());
+        assert!(lines[0].contains("\"workload\""), "{}", lines[0]);
+        assert!(
+            lines[0].contains("\"two-lru\""),
+            "records follow kinds order"
+        );
+        for line in &lines {
+            let _: serde_json::Value = serde_json::from_str(line).unwrap();
+        }
+
+        let jsonl_4 = dir.join("ledger-4.jsonl");
+        let (result, _) = run_capture(&[
+            "compare",
+            trace_path,
+            "--ledger-out",
+            jsonl_4.to_str().unwrap(),
+            "--ledger-top",
+            "8",
+            "--threads",
+            "4",
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        assert_eq!(
+            serial,
+            std::fs::read_to_string(&jsonl_4).unwrap(),
+            "ledger JSONL must be byte-identical at any thread count"
+        );
+        for p in [jsonl_1, jsonl_4] {
+            let _ = std::fs::remove_file(p);
+        }
+        let _ = std::fs::remove_file(trace_path);
+    }
+
+    #[test]
+    fn compare_profile_out_writes_chrome_trace_json() {
+        let dir = std::env::temp_dir().join("hybridmem-cli-profile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("p.trace");
+        let trace_path = trace_path.to_str().unwrap();
+        run_capture(&[
+            "generate",
+            "--workload",
+            "bodytrack",
+            "--output",
+            trace_path,
+            "--cap",
+            "2000",
+        ])
+        .0
+        .unwrap();
+
+        let profile = dir.join("profile.json");
+        let (result, text) = run_capture(&[
+            "compare",
+            trace_path,
+            "--profile-out",
+            profile.to_str().unwrap(),
+            "--threads",
+            "2",
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        assert!(text.contains("wrote span profile"), "{text}");
+        let parsed: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&profile).unwrap()).unwrap();
+        assert_eq!(parsed["displayTimeUnit"], "ms");
+        let events = parsed["traceEvents"].as_array().unwrap();
+        // One "cell" span per policy plus thread_name metadata events.
+        assert!(events.len() > PolicyKind::all().len());
+        assert!(events
+            .iter()
+            .any(|event| event["cat"] == "scheduler" && event["ph"] == "X"));
+        let _ = std::fs::remove_file(profile);
+        let _ = std::fs::remove_file(trace_path);
+    }
+
+    #[test]
+    fn ledger_command_prints_summary_and_jsonl() {
+        let (result, text) = run_capture(&["ledger", "bodytrack", "--cap", "3000", "--top", "4"]);
+        assert!(result.is_ok(), "{result:?}");
+        assert!(text.contains("pages touched"), "{text}");
+        assert!(text.contains("promotions"), "{text}");
+        assert!(text.contains("top pages by migrations"), "{text}");
+
+        let (result, json) = run_capture(&[
+            "ledger",
+            "bodytrack",
+            "--cap",
+            "3000",
+            "--top",
+            "4",
+            "--json",
+            "true",
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        let lines: Vec<&str> = json.lines().collect();
+        assert!(lines.len() >= 2, "header plus at least one page: {json}");
+        assert!(
+            lines[0].contains("\"workload\":\"bodytrack\""),
+            "{}",
+            lines[0]
+        );
+        for line in &lines {
+            let _: serde_json::Value = serde_json::from_str(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn trace_page_prints_a_journey_and_reports_untouched_pages() {
+        // Find a real page from the ledger's JSONL, then trace it.
+        let (result, json) = run_capture(&[
+            "ledger",
+            "bodytrack",
+            "--cap",
+            "3000",
+            "--top",
+            "1",
+            "--json",
+            "true",
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        let record: serde_json::Value = serde_json::from_str(json.lines().nth(1).unwrap()).unwrap();
+        let page = record["page"].as_u64().unwrap().to_string();
+
+        let (result, text) = run_capture(&["trace-page", "bodytrack", &page, "--cap", "3000"]);
+        assert!(result.is_ok(), "{result:?}");
+        assert!(
+            text.contains(&format!("page {page} under two-lru")),
+            "{text}"
+        );
+        assert!(text.contains("fill into"), "{text}");
+
+        let (result, json_line) = run_capture(&[
+            "trace-page",
+            "bodytrack",
+            &page,
+            "--cap",
+            "3000",
+            "--json",
+            "true",
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        let parsed: serde_json::Value = serde_json::from_str(json_line.trim()).unwrap();
+        assert_eq!(parsed["page"].as_u64().unwrap().to_string(), page);
+        assert!(parsed["events"].as_array().is_some_and(|e| !e.is_empty()));
+
+        let (result, text) = run_capture(&["trace-page", "bodytrack", "99999999", "--cap", "1000"]);
+        assert!(result.is_ok(), "{result:?}");
+        assert!(text.contains("never touched"), "{text}");
+
+        let (result, _) = run_capture(&["trace-page", "bodytrack"]);
+        assert!(result.unwrap_err().to_string().contains("trace-page"));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! aggregates them into interval records; a GUI could animate queue
 //! states).
 
-use hybridmem_policy::PolicyAction;
+use hybridmem_policy::{NvmCounterProbe, PolicyAction};
 use hybridmem_types::{MemoryKind, PageAccess};
 
 /// One observable simulation event, emitted in execution order.
@@ -29,6 +29,17 @@ pub enum SimEvent {
     Action {
         /// The action, exactly as the policy reported it.
         action: PolicyAction,
+    },
+    /// Counter-state provenance of an NVM demand hit under a
+    /// counter-window policy. Emitted immediately after the hit's
+    /// [`SimEvent::Served`] and before any of its [`SimEvent::Action`]s,
+    /// so a promotion's `Migrate` actions always follow the probe that
+    /// explains them.
+    CounterProbe {
+        /// The NVM hit the probe describes.
+        access: PageAccess,
+        /// Algorithm 1's counter state at this hit.
+        probe: NvmCounterProbe,
     },
 }
 
@@ -75,6 +86,18 @@ pub trait EventSink {
 /// with a ring buffer that keeps only the most recent events, so an
 /// observer can be left attached to a multi-million-access run without
 /// risk of exhausting memory.
+///
+/// # Drop semantics when capacity is exceeded
+///
+/// A bounded recorder drops the **oldest** retained event, one per
+/// overflowing `record`, silently and irrecoverably — the ring is a
+/// "keep the newest `cap`" window, not a sampling scheme. Within the
+/// retained window, global event order is preserved exactly:
+/// [`RecordingSink::iter`], [`RecordingSink::into_events`], and
+/// [`RecordingSink::take_events`] all yield the surviving events
+/// oldest-first, and draining with [`RecordingSink::take_events`] never
+/// reorders events across successive drains (events recorded after a
+/// drain are globally newer than everything drained before).
 #[derive(Debug, Default)]
 pub struct RecordingSink {
     events: Vec<SimEvent>,
@@ -189,6 +212,9 @@ pub struct CountingSink {
     pub faults: u64,
     /// Policy actions (migrations + fills + evictions).
     pub actions: u64,
+    /// Counter-provenance probes (one per NVM demand hit under a
+    /// counter-window policy).
+    pub probes: u64,
 }
 
 impl CountingSink {
@@ -205,6 +231,76 @@ impl EventSink for CountingSink {
             SimEvent::Served { .. } => self.served += 1,
             SimEvent::Fault { .. } => self.faults += 1,
             SimEvent::Action { .. } => self.actions += 1,
+            SimEvent::CounterProbe { .. } => self.probes += 1,
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// An [`EventSink`] that forwards every event to several child sinks, in
+/// order — how the simulator runs the windowed collector and the page
+/// ledger off one event stream without either knowing about the other.
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl FanoutSink {
+    /// Creates an empty fan-out (a no-op sink until children are added).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a child sink; events reach children in insertion order.
+    pub fn push(&mut self, sink: Box<dyn EventSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of child sinks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// True when no children are attached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+
+    /// The child sinks, in insertion order — downcast each with
+    /// [`EventSink::as_any_mut`] to recover concrete observers.
+    pub fn sinks_mut(&mut self) -> &mut [Box<dyn EventSink>] {
+        &mut self.sinks
+    }
+
+    /// Removes and returns the children, in insertion order.
+    #[must_use]
+    pub fn take_sinks(&mut self) -> Vec<Box<dyn EventSink>> {
+        std::mem::take(&mut self.sinks)
+    }
+}
+
+impl std::fmt::Debug for FanoutSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutSink")
+            .field("children", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl EventSink for FanoutSink {
+    fn record(&mut self, event: SimEvent) {
+        for sink in &mut self.sinks {
+            sink.record(event);
         }
     }
 
@@ -339,14 +435,99 @@ mod tests {
             access: PageAccess::read(PageId::new(2)),
             from: MemoryKind::Dram,
         });
+        sink.record(SimEvent::CounterProbe {
+            access: PageAccess::read(PageId::new(2)),
+            probe: probe(),
+        });
         assert_eq!(
             sink,
             CountingSink {
                 served: 1,
                 faults: 1,
-                actions: 1
+                actions: 1,
+                probes: 1
             }
         );
+    }
+
+    fn probe() -> hybridmem_policy::NvmCounterProbe {
+        hybridmem_policy::NvmCounterProbe {
+            rank: 0,
+            reads: 1,
+            writes: 0,
+            read_lost: 0,
+            write_lost: 0,
+            read_threshold: 6,
+            write_threshold: 12,
+            fired: None,
+        }
+    }
+
+    #[test]
+    fn take_events_preserves_global_order_across_multiple_drains() {
+        // Satellite: a bounded recorder drained repeatedly must never
+        // reorder events globally, even when a drain lands mid-wrap.
+        let mut sink = RecordingSink::bounded(3);
+        let mut drained: Vec<u64> = Vec::new();
+        let mut next_page = 0u64;
+        // Alternate uneven bursts (some wrap the ring, some don't) with
+        // drains; the pages that survive each drain must be strictly
+        // increasing across the whole sequence.
+        for burst in [1usize, 4, 2, 5, 3, 0, 7] {
+            for _ in 0..burst {
+                sink.record(read_event(next_page));
+                next_page += 1;
+            }
+            let batch: Vec<u64> = sink.take_events().iter().map(served_page).collect();
+            assert!(
+                batch.len() <= 3,
+                "a drain never yields more than the capacity"
+            );
+            drained.extend(batch);
+        }
+        assert!(
+            drained.windows(2).all(|pair| pair[0] < pair[1]),
+            "drained pages must be globally ordered: {drained:?}"
+        );
+        // Each burst keeps only its newest min(burst, 3) events.
+        let expected: Vec<u64> = {
+            let mut pages = Vec::new();
+            let mut base = 0u64;
+            for burst in [1u64, 4, 2, 5, 3, 0, 7] {
+                let kept = burst.min(3);
+                pages.extend(base + burst - kept..base + burst);
+                base += burst;
+            }
+            pages
+        };
+        assert_eq!(drained, expected);
+    }
+
+    #[test]
+    fn fanout_forwards_to_every_child_in_order() {
+        let mut fanout = FanoutSink::new();
+        assert!(fanout.is_empty());
+        fanout.push(Box::new(CountingSink::new()));
+        fanout.push(Box::new(RecordingSink::new()));
+        assert_eq!(fanout.len(), 2);
+        fanout.record(read_event(1));
+        fanout.record(SimEvent::Fault {
+            access: PageAccess::read(PageId::new(2)),
+        });
+        let sinks = fanout.take_sinks();
+        assert!(fanout.is_empty(), "take_sinks leaves the fan-out empty");
+        let counts = sinks[0]
+            .as_any()
+            .downcast_ref::<CountingSink>()
+            .expect("first child is the counter");
+        assert_eq!((counts.served, counts.faults), (1, 1));
+        let recording = sinks[1]
+            .as_any()
+            .downcast_ref::<RecordingSink>()
+            .expect("second child is the recorder");
+        assert_eq!(recording.len(), 2);
+        assert!(matches!(recording.events()[0], SimEvent::Served { .. }));
+        assert!(matches!(recording.events()[1], SimEvent::Fault { .. }));
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use hybridmem_metrics::{MetricsSnapshot, SpanProfiler};
 use hybridmem_policy::{
     AdaptiveConfig, AdaptiveTwoLruPolicy, ClockDwfPolicy, ClockProPolicy, DramCachePolicy,
     HybridPolicy, SingleTierPolicy, TwoLruConfig, TwoLruPolicy,
@@ -19,7 +20,8 @@ use hybridmem_types::{Error, PageAccess, PageCount, Result};
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    HybridSimulator, ObservedRun, SimulationReport, TimeModel, TraceCache, WindowedCollector,
+    EventSink, FanoutSink, HybridSimulator, IntervalRecord, LedgerOptions, LedgerReport,
+    ObservedRun, PageLedger, SimulationReport, TimeModel, TraceCache, WindowedCollector,
 };
 
 /// Which policy to evaluate.
@@ -293,16 +295,8 @@ impl ExperimentConfig {
         kind: PolicyKind,
         window: u64,
     ) -> Result<ObservedRun> {
-        self.validate_cell(spec)?;
-        let mut simulator = self.build_simulator(kind, spec)?;
-        simulator.set_event_sink(Box::new(self.collector(spec, kind, window)));
-        let mut trace = TraceGenerator::new(spec.clone(), self.seed).map(PageAccess::from);
-        for access in trace.by_ref().take(self.warmup_len(spec)) {
-            simulator.step(access);
-        }
-        simulator.reset_accounting();
-        simulator.run(trace);
-        Self::finish_observed(simulator, spec)
+        self.run_cell_instrumented(spec, kind, None, Instrumentation::windowed(window), None, 0)
+            .map(InstrumentedRun::into_observed)
     }
 
     /// [`ExperimentConfig::run_observed`] over a trace shared through
@@ -320,17 +314,129 @@ impl ExperimentConfig {
         cache: &TraceCache,
         window: u64,
     ) -> Result<ObservedRun> {
+        self.run_cell_instrumented(
+            spec,
+            kind,
+            Some(cache),
+            Instrumentation::windowed(window),
+            None,
+            0,
+        )
+        .map(InstrumentedRun::into_observed)
+    }
+
+    /// Runs one cell with any combination of drill-down sinks attached —
+    /// the generalization behind [`ExperimentConfig::run_observed`]: a
+    /// [`WindowedCollector`] when [`Instrumentation::window`] is set, a
+    /// [`PageLedger`] when [`Instrumentation::ledger`] is set, both fanned
+    /// out in a fixed order when both are, and **no sink at all** (the
+    /// exact hot path of [`ExperimentConfig::run_cached`]) when neither
+    /// is — instrumentation that is not requested costs nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when the workload or derived
+    /// configuration is invalid.
+    pub fn run_instrumented(
+        &self,
+        spec: &WorkloadSpec,
+        kind: PolicyKind,
+        cache: &TraceCache,
+        instrumentation: Instrumentation,
+    ) -> Result<InstrumentedRun> {
+        self.run_cell_instrumented(spec, kind, Some(cache), instrumentation, None, 0)
+    }
+
+    /// The shared cell driver: optional trace cache (streaming when
+    /// `None` or over budget), optional instrumentation sinks, optional
+    /// span profiler reporting on lane `lane`.
+    fn run_cell_instrumented(
+        &self,
+        spec: &WorkloadSpec,
+        kind: PolicyKind,
+        cache: Option<&TraceCache>,
+        instrumentation: Instrumentation,
+        profiler: Option<&SpanProfiler>,
+        lane: u64,
+    ) -> Result<InstrumentedRun> {
         self.validate_cell(spec)?;
-        let Some(trace) = cache.try_get(spec, self.seed) else {
-            return self.run_observed(spec, kind, window);
-        };
+        let trace = cache.and_then(|cache| {
+            let _span =
+                profiler.map(|p| p.span("trace", format!("materialize {}", spec.name), lane));
+            cache.try_get(spec, self.seed)
+        });
         let mut simulator = self.build_simulator(kind, spec)?;
-        simulator.set_event_sink(Box::new(self.collector(spec, kind, window)));
-        let warmup = self.warmup_len(spec).min(trace.len());
-        simulator.run_slice(&trace[..warmup]);
-        simulator.reset_accounting();
-        simulator.run_slice(&trace[warmup..]);
-        Self::finish_observed(simulator, spec)
+        if let Some(sink) = self.instrument_sink(spec, kind, instrumentation) {
+            simulator.set_event_sink(sink);
+        }
+        let cell = format!("{}/{}", spec.name, kind.name());
+        match trace {
+            Some(trace) => {
+                let warmup = self.warmup_len(spec).min(trace.len());
+                {
+                    let _span =
+                        profiler.map(|p| p.span("simulate", format!("warmup {cell}"), lane));
+                    simulator.run_slice(&trace[..warmup]);
+                }
+                simulator.reset_accounting();
+                {
+                    let _span =
+                        profiler.map(|p| p.span("simulate", format!("measure {cell}"), lane));
+                    simulator.run_slice(&trace[warmup..]);
+                }
+            }
+            None => {
+                let mut trace = TraceGenerator::new(spec.clone(), self.seed).map(PageAccess::from);
+                {
+                    let _span =
+                        profiler.map(|p| p.span("simulate", format!("warmup {cell}"), lane));
+                    for access in trace.by_ref().take(self.warmup_len(spec)) {
+                        simulator.step(access);
+                    }
+                }
+                simulator.reset_accounting();
+                {
+                    let _span =
+                        profiler.map(|p| p.span("simulate", format!("measure {cell}"), lane));
+                    simulator.run(trace);
+                }
+            }
+        }
+        let _span = profiler.map(|p| p.span("finish", format!("finish {cell}"), lane));
+        self.finish_instrumented(simulator, spec, instrumentation)
+    }
+
+    /// Assembles the cell's event sink from the requested instrumentation:
+    /// `None` when nothing was requested, the bare sink when one was, a
+    /// [`FanoutSink`] (collector first, ledger second) when both were.
+    fn instrument_sink(
+        &self,
+        spec: &WorkloadSpec,
+        kind: PolicyKind,
+        instrumentation: Instrumentation,
+    ) -> Option<Box<dyn EventSink>> {
+        let collector = instrumentation
+            .window
+            .map(|window| self.collector(spec, kind, window));
+        let ledger = instrumentation.ledger.map(|options| {
+            PageLedger::new(
+                spec.name.clone(),
+                kind.name(),
+                options,
+                self.warmup_len(spec) as u64,
+            )
+        });
+        match (collector, ledger) {
+            (None, None) => None,
+            (Some(collector), None) => Some(Box::new(collector)),
+            (None, Some(ledger)) => Some(Box::new(ledger)),
+            (Some(collector), Some(ledger)) => {
+                let mut fanout = FanoutSink::new();
+                fanout.push(Box::new(collector));
+                fanout.push(Box::new(ledger));
+                Some(Box::new(fanout))
+            }
+        }
     }
 
     /// Builds the per-cell [`WindowedCollector`].
@@ -343,33 +449,86 @@ impl ExperimentConfig {
         )
     }
 
-    /// Recovers the collector from a finished observed run and assembles
-    /// the [`ObservedRun`].
-    fn finish_observed(mut simulator: HybridSimulator, spec: &WorkloadSpec) -> Result<ObservedRun> {
-        let mut sink = simulator
-            .take_event_sink()
-            .ok_or_else(|| Error::invalid_input("observed run lost its event sink".to_owned()))?;
-        let collector = sink
-            .as_any_mut()
-            .downcast_mut::<WindowedCollector>()
-            .ok_or_else(|| Error::invalid_input("observed run sink has wrong type".to_owned()))?;
-        collector.finish();
-        // Fold the policy's own window statistics (two-LRU counter
-        // resets/promotions) into the cell's metrics when available.
-        if let Some(any) = simulator.policy().as_any() {
-            if let Some(two_lru) = any.downcast_ref::<TwoLruPolicy>() {
-                two_lru.export_metrics(collector.registry_mut());
-            } else if let Some(adaptive) = any.downcast_ref::<AdaptiveTwoLruPolicy>() {
-                adaptive.two_lru().export_metrics(collector.registry_mut());
-            }
+    /// Recovers the instrumentation sinks from a finished run and
+    /// assembles the [`InstrumentedRun`].
+    fn finish_instrumented(
+        &self,
+        mut simulator: HybridSimulator,
+        spec: &WorkloadSpec,
+        instrumentation: Instrumentation,
+    ) -> Result<InstrumentedRun> {
+        if instrumentation.is_empty() {
+            let report = simulator.into_report(spec.name.clone());
+            return Ok(InstrumentedRun {
+                report,
+                records: Vec::new(),
+                metrics: MetricsSnapshot::default(),
+                ledger: None,
+            });
         }
-        let records = collector.drain();
-        let metrics = collector.snapshot();
+        let mut sink = simulator.take_event_sink().ok_or_else(|| {
+            Error::invalid_input("instrumented run lost its event sink".to_owned())
+        })?;
+        let wrong_type = || Error::invalid_input("instrumented run sink has wrong type".to_owned());
+        let (collector, ledger): (Option<&mut WindowedCollector>, Option<&mut PageLedger>) =
+            match (instrumentation.window, instrumentation.ledger) {
+                (None, None) => (None, None),
+                (Some(_), None) => (
+                    Some(
+                        sink.as_any_mut()
+                            .downcast_mut::<WindowedCollector>()
+                            .ok_or_else(wrong_type)?,
+                    ),
+                    None,
+                ),
+                (None, Some(_)) => (
+                    None,
+                    Some(
+                        sink.as_any_mut()
+                            .downcast_mut::<PageLedger>()
+                            .ok_or_else(wrong_type)?,
+                    ),
+                ),
+                (Some(_), Some(_)) => {
+                    let fanout = sink
+                        .as_any_mut()
+                        .downcast_mut::<FanoutSink>()
+                        .ok_or_else(wrong_type)?;
+                    let mut children = fanout.sinks_mut().iter_mut();
+                    let collector = children
+                        .next()
+                        .and_then(|child| child.as_any_mut().downcast_mut::<WindowedCollector>())
+                        .ok_or_else(wrong_type)?;
+                    let ledger = children
+                        .next()
+                        .and_then(|child| child.as_any_mut().downcast_mut::<PageLedger>())
+                        .ok_or_else(wrong_type)?;
+                    (Some(collector), Some(ledger))
+                }
+            };
+        let mut records = Vec::new();
+        let mut metrics = MetricsSnapshot::default();
+        if let Some(collector) = collector {
+            collector.finish();
+            // Fold the policy's own window statistics (two-LRU counter
+            // resets/promotions) into the cell's metrics when available.
+            if let Some(any) = simulator.policy().as_any() {
+                if let Some(two_lru) = any.downcast_ref::<TwoLruPolicy>() {
+                    two_lru.export_metrics(collector.registry_mut());
+                } else if let Some(adaptive) = any.downcast_ref::<AdaptiveTwoLruPolicy>() {
+                    adaptive.two_lru().export_metrics(collector.registry_mut());
+                }
+            }
+            records = collector.drain();
+            metrics = collector.snapshot();
+        }
+        let ledger = ledger.map(PageLedger::finish);
         let report = simulator.into_report(spec.name.clone());
-        Ok(ObservedRun {
+        Ok(InstrumentedRun {
             report,
             records,
             metrics,
+            ledger,
         })
     }
 
@@ -398,6 +557,70 @@ impl Default for ExperimentConfig {
     /// Defaults to [`ExperimentConfig::date2016`].
     fn default() -> Self {
         Self::date2016()
+    }
+}
+
+/// Which drill-down sinks to attach to a cell run. The default attaches
+/// nothing — and an empty instrumentation allocates no sink at all, so
+/// the simulator hot path is untouched when telemetry is not requested.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Instrumentation {
+    /// Attach a [`WindowedCollector`] with this interval width (0 = one
+    /// whole-run window). `None` = no interval metrics.
+    pub window: Option<u64>,
+    /// Attach a [`PageLedger`] with these retention options. `None` = no
+    /// ledger.
+    pub ledger: Option<LedgerOptions>,
+}
+
+impl Instrumentation {
+    /// Interval metrics only — what [`compare_policies_observed`] uses.
+    #[must_use]
+    pub fn windowed(window: u64) -> Self {
+        Self {
+            window: Some(window),
+            ledger: None,
+        }
+    }
+
+    /// Adds a page ledger with the given retention options.
+    #[must_use]
+    pub fn with_ledger(mut self, options: LedgerOptions) -> Self {
+        self.ledger = Some(options);
+        self
+    }
+
+    /// True when nothing is attached (no sink will be allocated).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.window.is_none() && self.ledger.is_none()
+    }
+}
+
+/// One cell's outputs under [`Instrumentation`]: always the report;
+/// interval records and metrics when a window was requested (empty
+/// otherwise); a ledger report when a ledger was requested.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstrumentedRun {
+    /// The deterministic simulation report.
+    pub report: SimulationReport,
+    /// Per-window interval records (empty without a window).
+    pub records: Vec<IntervalRecord>,
+    /// The cell's metrics snapshot (empty without a window).
+    pub metrics: MetricsSnapshot,
+    /// The page ledger's report, when one was attached.
+    pub ledger: Option<LedgerReport>,
+}
+
+impl InstrumentedRun {
+    /// Narrows to the windowed-only view, dropping any ledger.
+    #[must_use]
+    pub fn into_observed(self) -> ObservedRun {
+        ObservedRun {
+            report: self.report,
+            records: self.records,
+            metrics: self.metrics,
+        }
     }
 }
 
@@ -499,7 +722,7 @@ pub fn compare_policies_timed(
     threads: usize,
 ) -> Result<(Vec<Vec<SimulationReport>>, MatrixTiming)> {
     let cache = TraceCache::global();
-    run_cell_matrix(specs, kinds, threads, |spec, kind| {
+    run_cell_matrix(specs, kinds, threads, |spec, kind, _worker| {
         config.run_cached(spec, kind, cache)
     })
 }
@@ -521,9 +744,66 @@ pub fn compare_policies_observed(
     threads: usize,
     window: u64,
 ) -> Result<(Vec<Vec<ObservedRun>>, MatrixTiming)> {
+    let (rows, timing) = compare_policies_instrumented(
+        specs,
+        kinds,
+        config,
+        threads,
+        Instrumentation::windowed(window),
+        None,
+    )?;
+    Ok((
+        rows.into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(InstrumentedRun::into_observed)
+                    .collect()
+            })
+            .collect(),
+        timing,
+    ))
+}
+
+/// The fully general matrix runner: every cell runs under the given
+/// [`Instrumentation`] (interval metrics, page ledger, both, or neither),
+/// optionally reporting harness phase timings — trace materialization,
+/// warmup, measured run, finish — to a [`SpanProfiler`] with one lane per
+/// worker (lane 0 is the coordinator).
+///
+/// The deterministic outputs ([`InstrumentedRun`]s, including every
+/// ledger report) are byte-identical at any thread count; the profiler's
+/// spans are wall-clock measurement artefacts, like [`MatrixTiming`],
+/// and must never be compared for determinism.
+///
+/// # Errors
+///
+/// Propagates the failing run with the lowest cell index.
+pub fn compare_policies_instrumented(
+    specs: &[WorkloadSpec],
+    kinds: &[PolicyKind],
+    config: &ExperimentConfig,
+    threads: usize,
+    instrumentation: Instrumentation,
+    profiler: Option<&SpanProfiler>,
+) -> Result<(Vec<Vec<InstrumentedRun>>, MatrixTiming)> {
     let cache = TraceCache::global();
-    run_cell_matrix(specs, kinds, threads, |spec, kind| {
-        config.run_observed_cached(spec, kind, cache, window)
+    let _matrix_span = profiler.map(|p| {
+        p.span(
+            "scheduler",
+            format!("matrix {}x{}", specs.len(), kinds.len()),
+            0,
+        )
+    });
+    run_cell_matrix(specs, kinds, threads, |spec, kind, worker| {
+        let lane = worker as u64 + 1;
+        let _span = profiler.map(|p| {
+            p.span(
+                "scheduler",
+                format!("cell {}/{}", spec.name, kind.name()),
+                lane,
+            )
+        });
+        config.run_cell_instrumented(spec, kind, Some(cache), instrumentation, profiler, lane)
     })
 }
 
@@ -542,7 +822,7 @@ fn run_cell_matrix<T, F>(
 ) -> Result<(Vec<Vec<T>>, MatrixTiming)>
 where
     T: Send,
-    F: Fn(&WorkloadSpec, PolicyKind) -> Result<T> + Sync,
+    F: Fn(&WorkloadSpec, PolicyKind, usize) -> Result<T> + Sync,
 {
     let started = Instant::now(); // xtask:allow(timing) — measures wall clock, never affects results
     let cells = specs.len() * kinds.len();
@@ -584,7 +864,7 @@ where
             let spec = &specs[index / kinds.len()];
             let kind = kinds[index % kinds.len()];
             let cell_started = Instant::now(); // xtask:allow(timing) — per-cell wall clock only
-            let result = run(spec, kind);
+            let result = run(spec, kind, id);
             let elapsed = cell_started.elapsed().as_secs_f64();
             *slots[index].lock().expect("cell slot poisoned") = Some((result, elapsed));
             in_flight.fetch_sub(1, Ordering::Relaxed);
@@ -909,5 +1189,112 @@ mod tests {
     fn policy_kind_names_are_stable() {
         assert_eq!(PolicyKind::TwoLru.to_string(), "two-lru");
         assert_eq!(PolicyKind::all().len(), 7);
+    }
+
+    #[test]
+    fn empty_instrumentation_matches_plain_run_and_carries_nothing() {
+        let config = ExperimentConfig::date2016();
+        let spec = small_spec();
+        let cache = TraceCache::new(64 << 20);
+        let run = config
+            .run_instrumented(
+                &spec,
+                PolicyKind::TwoLru,
+                &cache,
+                Instrumentation::default(),
+            )
+            .unwrap();
+        let plain = config
+            .run_cached(&spec, PolicyKind::TwoLru, &cache)
+            .unwrap();
+        assert_eq!(run.report, plain);
+        assert!(run.records.is_empty());
+        assert!(run.metrics.counters.is_empty());
+        assert!(run.ledger.is_none());
+    }
+
+    #[test]
+    fn ledger_instrumentation_does_not_perturb_and_attributes_promotions() {
+        let config = ExperimentConfig::date2016();
+        let spec = small_spec();
+        let cache = TraceCache::new(64 << 20);
+        let instrumentation =
+            Instrumentation::default().with_ledger(crate::LedgerOptions::default());
+        let run = config
+            .run_instrumented(&spec, PolicyKind::TwoLru, &cache, instrumentation)
+            .unwrap();
+        let plain = config.run(&spec, PolicyKind::TwoLru).unwrap();
+        assert_eq!(run.report, plain, "the ledger must not perturb results");
+        let ledger = run.ledger.expect("a ledger report was requested");
+        assert_eq!(ledger.workload, spec.name);
+        assert_eq!(ledger.policy, "two-lru");
+        assert_eq!(ledger.accesses, spec.total_accesses());
+        // Every two-LRU promotion is probe-attributed — none slip through
+        // as unattributed.
+        assert_eq!(ledger.summary.promotions_unattributed, 0);
+        assert!(
+            ledger.summary.promotions_read + ledger.summary.promotions_write
+                >= plain.counts.migrations_to_dram,
+            "ledger sees warmup promotions too"
+        );
+    }
+
+    #[test]
+    fn full_instrumentation_combines_collector_and_ledger() {
+        let config = ExperimentConfig::date2016();
+        let spec = small_spec();
+        let cache = TraceCache::new(64 << 20);
+        let instrumentation =
+            Instrumentation::windowed(1_000).with_ledger(crate::LedgerOptions::default());
+        let both = config
+            .run_instrumented(&spec, PolicyKind::TwoLru, &cache, instrumentation)
+            .unwrap();
+        let observed = config
+            .run_observed(&spec, PolicyKind::TwoLru, 1_000)
+            .unwrap();
+        assert_eq!(both.report, observed.report);
+        assert_eq!(both.records, observed.records);
+        assert_eq!(both.metrics, observed.metrics);
+        let ledger_only = config
+            .run_instrumented(
+                &spec,
+                PolicyKind::TwoLru,
+                &cache,
+                Instrumentation::default().with_ledger(crate::LedgerOptions::default()),
+            )
+            .unwrap();
+        assert_eq!(
+            both.ledger, ledger_only.ledger,
+            "the ledger is independent of the collector riding along"
+        );
+    }
+
+    #[test]
+    fn instrumented_matrix_is_thread_count_invariant_with_profiler() {
+        let config = ExperimentConfig::date2016();
+        let specs = vec![small_spec()];
+        let kinds = [PolicyKind::TwoLru, PolicyKind::ClockDwf];
+        let instrumentation =
+            Instrumentation::windowed(2_000).with_ledger(crate::LedgerOptions::default());
+        let (serial, _) =
+            compare_policies_instrumented(&specs, &kinds, &config, 1, instrumentation, None)
+                .unwrap();
+        let profiler = SpanProfiler::new();
+        let (parallel, _) = compare_policies_instrumented(
+            &specs,
+            &kinds,
+            &config,
+            4,
+            instrumentation,
+            Some(&profiler),
+        )
+        .unwrap();
+        assert_eq!(serial, parallel);
+        let records = profiler.records();
+        assert!(
+            records.iter().any(|r| r.cat == "scheduler"),
+            "matrix and cell spans recorded"
+        );
+        assert!(records.iter().any(|r| r.cat == "simulate"));
     }
 }

@@ -18,7 +18,11 @@
 //! * [`observe`] — windowed telemetry: a [`WindowedCollector`] event sink
 //!   slices runs into per-N-accesses [`IntervalRecord`]s (tier hits,
 //!   migrations, occupancy, interval AMAT/APPR) serialized as
-//!   deterministic JSONL.
+//!   deterministic JSONL;
+//! * [`ledger`] — drill-down telemetry: a [`PageLedger`] event sink
+//!   reconstructs per-page journeys (fills, promotions with Algorithm 1
+//!   provenance, demotions with cause, lossy resets) under deterministic
+//!   top-K retention.
 //!
 //! # Examples
 //!
@@ -43,6 +47,7 @@
 
 mod events;
 mod experiments;
+pub mod ledger;
 pub mod model;
 pub mod observe;
 mod report;
@@ -50,10 +55,15 @@ mod simulator;
 mod sweep;
 mod trace_cache;
 
-pub use events::{CountingSink, EventSink, RecordingSink, SimEvent};
+pub use events::{CountingSink, EventSink, FanoutSink, RecordingSink, SimEvent};
 pub use experiments::{
-    compare_policies, compare_policies_observed, compare_policies_threaded, compare_policies_timed,
-    ExperimentConfig, MatrixTiming, PolicyKind,
+    compare_policies, compare_policies_instrumented, compare_policies_observed,
+    compare_policies_threaded, compare_policies_timed, ExperimentConfig, Instrumentation,
+    InstrumentedRun, MatrixTiming, PolicyKind,
+};
+pub use ledger::{
+    write_ledger_jsonl, DemotionCause, LedgerOptions, LedgerReport, LedgerSummary, PageEvent,
+    PageLedger, PageRecord, PageSummary, PromotionProvenance,
 };
 pub use model::{AmatComponents, ApprComponents, ModelParams, Probabilities, TimeModel};
 pub use observe::{write_jsonl, IntervalRecord, ObservedRun, WindowedCollector};

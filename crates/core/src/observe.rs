@@ -390,6 +390,9 @@ impl EventSink for WindowedCollector {
             }
             SimEvent::Fault { .. } => self.on_demand(|c| c.faults += 1),
             SimEvent::Action { action } => self.on_action(action),
+            // Provenance probes are the page ledger's concern; interval
+            // aggregates already count the hit via its Served event.
+            SimEvent::CounterProbe { .. } => {}
         }
     }
 
@@ -604,5 +607,54 @@ mod tests {
         collector.finish();
         collector.finish();
         assert_eq!(collector.records().len(), 1);
+    }
+
+    #[test]
+    fn final_partial_window_flushes_when_run_length_is_not_a_multiple() {
+        // 10 accesses through a window of 4: two full windows plus a
+        // 2-access remainder that only `finish` can close.
+        let mut collector = WindowedCollector::new("w", "p", 4, 0);
+        for page in 0..10 {
+            collector.record(served(page, MemoryKind::Dram));
+        }
+        assert_eq!(
+            collector.records().len(),
+            2,
+            "the remainder stays open until finish"
+        );
+        collector.finish();
+        let records = collector.records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[2].accesses, 2);
+        assert_eq!((records[2].start_access, records[2].end_access), (8, 10));
+        // The windows tile the run exactly: no access lost or duplicated.
+        assert_eq!(records.iter().map(|r| r.accesses).sum::<u64>(), 10);
+        for pair in records.windows(2) {
+            assert_eq!(pair[0].end_access, pair[1].start_access);
+        }
+        assert_eq!(collector.registry().counter("sim.accesses"), 10);
+    }
+
+    #[test]
+    fn zero_demand_run_emits_no_empty_records() {
+        let mut collector = WindowedCollector::new("w", "p", 4, 0);
+        collector.finish();
+        assert!(collector.records().is_empty());
+        assert_eq!(collector.registry().counter("sim.intervals"), 0);
+
+        // Even action-only streams (no demand access ever served) must
+        // not fabricate an interval.
+        let mut action_only = WindowedCollector::new("w", "p", 4, 0);
+        action_only.record(SimEvent::Action {
+            action: PolicyAction::FillFromDisk {
+                page: PageId::new(1),
+                into: MemoryKind::Dram,
+            },
+        });
+        action_only.finish();
+        assert!(action_only.records().is_empty());
+        let mut bytes = Vec::new();
+        write_jsonl(&mut bytes, action_only.records()).unwrap();
+        assert!(bytes.is_empty(), "no records means no JSONL lines");
     }
 }

@@ -242,6 +242,11 @@ impl HybridSimulator {
         if outcome.fault {
             self.counts.faults += 1;
         }
+        // Provenance: the policy's counter-state snapshot for this NVM
+        // hit precedes the promotion actions it explains.
+        if let Some(probe) = outcome.probe {
+            self.emit(SimEvent::CounterProbe { access, probe });
+        }
 
         // Physical consequences.
         for action in &outcome.actions {

@@ -1,11 +1,17 @@
-//! Integration tests of the windowed observability pipeline: interval
-//! records must tile the steady state exactly, sum back to the report's
-//! counters, and serialize to byte-identical JSONL at any thread count.
+//! Integration tests of the windowed observability pipeline and the
+//! page-lifecycle ledger: interval records must tile the steady state
+//! exactly, sum back to the report's counters, and serialize to
+//! byte-identical JSONL at any thread count; promotion records must carry
+//! Algorithm 1 provenance matching the policy's configured thresholds.
 
 use hybridmem_core::{
-    compare_policies_observed, write_jsonl, ExperimentConfig, IntervalRecord, PolicyKind,
+    compare_policies_instrumented, compare_policies_observed, write_jsonl, write_ledger_jsonl,
+    DemotionCause, ExperimentConfig, HybridSimulator, Instrumentation, IntervalRecord,
+    LedgerOptions, PageEvent, PageLedger, PolicyKind,
 };
-use hybridmem_trace::parsec;
+use hybridmem_policy::CounterKind;
+use hybridmem_trace::{parsec, LocalityParams, WorkloadSpec};
+use hybridmem_types::{MemoryKind, PageAccess, PageId};
 
 #[test]
 fn windows_tile_the_steady_state_and_sum_to_the_report() {
@@ -136,4 +142,157 @@ fn interval_jsonl_is_byte_identical_across_thread_counts() {
         serial, parallel,
         "interval JSONL must not depend on thread count"
     );
+}
+
+/// Drives a synthetic hot page through Algorithm 1 and checks the
+/// ledger's promotion provenance against what the policy must have seen:
+/// fill into DRAM, demotion by later fault fills, then exactly
+/// `read_threshold + 1` NVM read hits firing the promotion.
+#[test]
+fn ledger_provenance_matches_algorithm_1_on_a_synthetic_hot_page() {
+    // 40-page working set => 30 memory pages (75%), 3 in DRAM (10%).
+    let spec = WorkloadSpec::new("synthetic", 40, 17, 0, LocalityParams::balanced()).unwrap();
+    let config = ExperimentConfig::default();
+    let hot = PageId::new(0);
+
+    // Fault-fill pages 0..10 (page 0 lands in DRAM first and is demoted
+    // to NVM once DRAM overflows), then hammer page 0 with reads until
+    // the read counter crosses the default threshold of 6.
+    let mut accesses: Vec<PageAccess> = (0..10).map(|p| PageAccess::read(PageId::new(p))).collect();
+    let hammer_reads = u64::from(config.read_threshold) + 1;
+    accesses.extend((0..hammer_reads).map(|_| PageAccess::read(hot)));
+
+    let policy = config.build_policy(PolicyKind::TwoLru, &spec).unwrap();
+    let mut simulator = HybridSimulator::with_date2016_devices(policy);
+    simulator.set_event_sink(Box::new(PageLedger::new(
+        "synthetic",
+        "two-lru",
+        LedgerOptions::default(),
+        0,
+    )));
+    simulator.run_slice(&accesses);
+    let mut sink = simulator.take_event_sink().expect("sink installed");
+    let report = sink
+        .as_any_mut()
+        .downcast_mut::<PageLedger>()
+        .expect("page ledger")
+        .finish();
+
+    let record = report
+        .pages
+        .iter()
+        .find(|record| record.page == hot.value())
+        .expect("the hot page must survive top-K retention");
+    assert_eq!(record.summary.accesses, 1 + hammer_reads);
+    assert_eq!(record.summary.promotions_read, 1);
+    assert_eq!(record.summary.promotions_unattributed, 0);
+    assert_eq!(record.summary.demotions_fault, 1);
+    assert_eq!(record.summary.final_tier, Some(MemoryKind::Dram));
+    assert_eq!(
+        record.summary.ping_pongs, 0,
+        "the demotion preceded the promotion — no round trip yet"
+    );
+
+    // Fills go to DRAM (Algorithm 1 lines 27-28), at the page's first
+    // access; the demotion is a fault-fill displacement.
+    assert_eq!(
+        record.events.first(),
+        Some(&PageEvent::Fill {
+            access: 0,
+            into: MemoryKind::Dram
+        })
+    );
+    assert!(record.events.iter().any(|event| matches!(
+        event,
+        PageEvent::Demote {
+            cause: DemotionCause::FaultFill,
+            ..
+        }
+    )));
+
+    // The promotion fired on the last access of the plan — the
+    // (threshold + 1)-th NVM read hit — with the counter state Algorithm 1
+    // gates on: value just above the configured threshold, at NVM rank 0
+    // (every earlier hammer hit moved the page back to the queue's MRU).
+    let provenance = record
+        .events
+        .iter()
+        .find_map(|event| match event {
+            PageEvent::Promote { access, provenance } => Some((*access, *provenance)),
+            _ => None,
+        })
+        .expect("the hot page was promoted");
+    let (access, provenance) = provenance;
+    assert_eq!(access, accesses.len() as u64 - 1);
+    let provenance = provenance.expect("two-lru promotions carry provenance");
+    assert_eq!(provenance.counter, CounterKind::Read);
+    assert_eq!(provenance.threshold, config.read_threshold);
+    assert_eq!(provenance.value, config.read_threshold + 1);
+    assert_eq!(provenance.rank, 0);
+
+    // The all-pages roll-up agrees with the single journey.
+    assert_eq!(report.summary.promotions_read, 1);
+    assert_eq!(report.summary.promotions_unattributed, 0);
+    assert_eq!(report.accesses, accesses.len() as u64);
+}
+
+#[test]
+fn ledger_jsonl_is_byte_identical_across_thread_counts() {
+    let specs = vec![
+        parsec::spec("bodytrack").unwrap().capped(4_000),
+        parsec::spec("ferret").unwrap().capped(4_000),
+    ];
+    let kinds = [PolicyKind::TwoLru, PolicyKind::ClockDwf];
+    let config = ExperimentConfig::default();
+    let instrumentation = Instrumentation::default().with_ledger(LedgerOptions {
+        top_k: 16,
+        ..LedgerOptions::default()
+    });
+
+    let serialize = |threads: usize| {
+        let (cells, _timing) =
+            compare_policies_instrumented(&specs, &kinds, &config, threads, instrumentation, None)
+                .unwrap();
+        let mut bytes = Vec::new();
+        for row in &cells {
+            for cell in row {
+                let ledger = cell.ledger.as_ref().expect("ledger requested");
+                write_ledger_jsonl(&mut bytes, ledger).unwrap();
+            }
+        }
+        bytes
+    };
+
+    let serial = serialize(1);
+    let parallel = serialize(4);
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, parallel,
+        "ledger JSONL must not depend on thread count"
+    );
+
+    // Every provenance-tagged promotion in the matrix is internally
+    // consistent with Algorithm 1's gate: value strictly above threshold.
+    let (cells, _timing) =
+        compare_policies_instrumented(&specs, &kinds, &config, 2, instrumentation, None).unwrap();
+    let mut tagged = 0u64;
+    for cell in cells.iter().flatten() {
+        let ledger = cell.ledger.as_ref().expect("ledger requested");
+        for record in &ledger.pages {
+            for event in &record.events {
+                if let PageEvent::Promote {
+                    provenance: Some(provenance),
+                    ..
+                } = event
+                {
+                    tagged += 1;
+                    assert!(
+                        provenance.value > provenance.threshold,
+                        "promotion fired below its threshold: {provenance:?}"
+                    );
+                }
+            }
+        }
+    }
+    assert!(tagged > 0, "the matrix must contain tagged promotions");
 }

@@ -59,13 +59,14 @@ impl Histogram {
         }
     }
 
-    /// Records one sample.
+    /// Records one sample. Counts and sums saturate at `u64::MAX`.
     pub fn observe(&mut self, value: u64) {
-        self.count += 1;
+        self.count = self.count.saturating_add(1);
         self.sum = self.sum.saturating_add(value);
         self.min = self.min.min(value);
         self.max = self.max.max(value);
-        self.buckets[Self::bucket_index(value)] += 1;
+        let bucket = &mut self.buckets[Self::bucket_index(value)];
+        *bucket = bucket.saturating_add(1);
     }
 
     /// Number of samples observed.
@@ -112,17 +113,18 @@ impl Histogram {
         }
     }
 
-    /// Merges another histogram into this one, bucket by bucket.
+    /// Merges another histogram into this one, bucket by bucket. Counts
+    /// and sums saturate at `u64::MAX`.
     pub fn merge(&mut self, other: &Self) {
         if other.count == 0 {
             return;
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *mine += *theirs;
+            *mine = mine.saturating_add(*theirs);
         }
     }
 

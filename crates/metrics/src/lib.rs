@@ -21,6 +21,13 @@
 //! [`MetricsRegistry`] is a plain value owned by whoever is measuring, and
 //! a [`MetricsSnapshot`] is its serializable export.
 //!
+//! The one deliberate exception is the [`span`] module — a wall-clock
+//! [`SpanProfiler`] for harness phases (scheduling, trace
+//! materialization, warmup) with Chrome trace-event export for Perfetto.
+//! Its output sits outside the determinism boundary: it never feeds back
+//! into simulation results, and every `Instant::now` call site carries an
+//! `xtask:allow(timing)` annotation audited by `cargo xtask lint`.
+//!
 //! # Examples
 //!
 //! ```
@@ -44,6 +51,8 @@
 
 mod histogram;
 mod registry;
+pub mod span;
 
 pub use histogram::{BucketCount, Histogram, HistogramSnapshot};
 pub use registry::{MetricsRegistry, MetricsSnapshot};
+pub use span::{SpanGuard, SpanProfiler, SpanRecord};

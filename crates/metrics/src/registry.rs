@@ -32,8 +32,10 @@ impl MetricsRegistry {
     }
 
     /// Adds `delta` to the named counter, creating it at zero first.
+    /// Counters saturate at `u64::MAX` rather than wrapping.
     pub fn add(&mut self, name: &'static str, delta: u64) {
-        *self.counters.entry(name).or_insert(0) += delta;
+        let counter = self.counters.entry(name).or_insert(0);
+        *counter = counter.saturating_add(delta);
     }
 
     /// Increments the named counter by one.
@@ -120,11 +122,13 @@ pub struct MetricsSnapshot {
 
 impl MetricsSnapshot {
     /// Merges `other` into `self`: counters and histogram buckets are
-    /// summed; gauges are overwritten by `other` (last writer wins, so
-    /// absorb in a meaningful order when gauge levels matter).
+    /// summed (saturating at `u64::MAX`, never wrapping); gauges are
+    /// overwritten by `other` (last writer wins, so absorb in a
+    /// meaningful order when gauge levels matter).
     pub fn absorb(&mut self, other: &Self) {
         for (name, &value) in &other.counters {
-            *self.counters.entry(name.clone()).or_insert(0) += value;
+            let counter = self.counters.entry(name.clone()).or_insert(0);
+            *counter = counter.saturating_add(value);
         }
         for (name, &value) in &other.gauges {
             self.gauges.insert(name.clone(), value);
@@ -230,5 +234,97 @@ mod tests {
         ba.absorb(&a.snapshot());
         assert_eq!(ab.counters, ba.counters);
         assert_eq!(ab.histograms, ba.histograms);
+    }
+
+    /// Deterministic pseudo-random registry for property-style tests: a
+    /// tiny LCG drives which metrics get written and with what values.
+    fn arbitrary_registry(seed: u64) -> MetricsRegistry {
+        const NAMES: [&str; 5] = ["a.one", "b.two", "c.three", "d.four", "e.five"];
+        let mut state = seed.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            state >> 33
+        };
+        let mut registry = MetricsRegistry::new();
+        for _ in 0..16 {
+            let name = NAMES[(next() % NAMES.len() as u64) as usize];
+            match next() % 3 {
+                0 => registry.add(name, next()),
+                1 => registry.observe(name, next() % 100_000),
+                _ => registry.set_gauge(name, (next() % 1000) as f64),
+            }
+        }
+        registry
+    }
+
+    #[test]
+    fn absorb_is_commutative_for_counters_and_histograms() {
+        for seed in 0..24u64 {
+            let a = arbitrary_registry(seed).snapshot();
+            let b = arbitrary_registry(seed + 1000).snapshot();
+            let mut ab = a.clone();
+            ab.absorb(&b);
+            let mut ba = b.clone();
+            ba.absorb(&a);
+            assert_eq!(ab.counters, ba.counters, "seed {seed}");
+            assert_eq!(ab.histograms, ba.histograms, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn absorb_is_associative() {
+        for seed in 0..24u64 {
+            let a = arbitrary_registry(seed).snapshot();
+            let b = arbitrary_registry(seed + 1000).snapshot();
+            let c = arbitrary_registry(seed + 2000).snapshot();
+            // (a ⊕ b) ⊕ c
+            let mut left = a.clone();
+            left.absorb(&b);
+            left.absorb(&c);
+            // a ⊕ (b ⊕ c)
+            let mut bc = b.clone();
+            bc.absorb(&c);
+            let mut right = a.clone();
+            right.absorb(&bc);
+            // Gauges are last-writer-wins and `c` writes last on both
+            // sides, so full equality holds — gauges included.
+            assert_eq!(left, right, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut registry = MetricsRegistry::new();
+        registry.add("near.max", u64::MAX - 1);
+        registry.add("near.max", 5);
+        assert_eq!(registry.counter("near.max"), u64::MAX);
+
+        let mut snapshot = registry.snapshot();
+        snapshot.absorb(&registry.snapshot());
+        assert_eq!(snapshot.counters["near.max"], u64::MAX);
+
+        let mut histogram = Histogram::new();
+        histogram.observe(u64::MAX);
+        histogram.observe(u64::MAX);
+        assert_eq!(histogram.sum(), u64::MAX, "sample sums saturate");
+        let mut doubled = histogram.clone();
+        doubled.merge(&histogram);
+        assert_eq!(doubled.sum(), u64::MAX);
+        assert_eq!(doubled.count(), 4);
+    }
+
+    #[test]
+    fn snapshot_absorbed_into_empty_round_trips() {
+        for seed in 0..8u64 {
+            let original = arbitrary_registry(seed).snapshot();
+            let mut empty = MetricsSnapshot::default();
+            empty.absorb(&original);
+            assert_eq!(empty, original, "seed {seed}");
+            let json = serde_json::to_string(&empty).unwrap();
+            let parsed: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+            assert_eq!(parsed, original, "seed {seed}");
+        }
     }
 }

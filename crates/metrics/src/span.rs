@@ -1,0 +1,289 @@
+//! A zero-dependency span profiler with Chrome trace-event export.
+//!
+//! The rest of this crate is wall-clock-free by design; this module is
+//! the **one deliberate exception**, and it sits strictly outside the
+//! determinism boundary: span timings never feed back into simulation
+//! results, metrics JSONL, or the page ledger — they only describe how
+//! long the *harness* (matrix scheduling, trace materialization, warmup,
+//! measured runs, window flushes) took on this particular machine. Every
+//! `Instant::now` call site below carries an `xtask:allow(timing)`
+//! annotation so `cargo xtask lint` keeps rejecting wall-clock reads
+//! anywhere else in the simulation crates.
+//!
+//! Spans accumulate in a mutex-guarded vector (cheap enough for the
+//! coarse, per-phase granularity used here — this is not a sampling
+//! profiler) and serialize with [`write_chrome_trace`] to the Chrome
+//! trace-event JSON format, which loads directly in
+//! [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
+//!
+//! # Examples
+//!
+//! ```
+//! use hybridmem_metrics::SpanProfiler;
+//!
+//! let profiler = SpanProfiler::new();
+//! {
+//!     let _span = profiler.span("scheduler", "cell bodytrack/two-lru", 1);
+//!     // ... timed work ...
+//! }
+//! let mut json = Vec::new();
+//! profiler.write_chrome_trace(&mut json).unwrap();
+//! assert!(String::from_utf8(json).unwrap().contains("\"traceEvents\""));
+//! ```
+
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One completed span, in microseconds since the profiler's epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name as shown on the timeline (e.g. `cell bodytrack/two-lru`).
+    pub name: String,
+    /// Category for Perfetto filtering (e.g. `scheduler`, `simulate`).
+    pub cat: &'static str,
+    /// Logical thread lane: 0 = coordinator, `n` = worker *n*.
+    pub tid: u64,
+    /// Start, µs since the profiler was created.
+    pub ts_micros: u64,
+    /// Duration in µs.
+    pub dur_micros: u64,
+}
+
+/// A wall-clock span collector for harness phases.
+///
+/// Shared by reference across worker threads; [`SpanProfiler::span`]
+/// returns an RAII guard that records on drop. When no profiler is
+/// requested (`--profile-out` absent) none of this exists — call sites
+/// hold an `Option<&SpanProfiler>` and skip the lock entirely.
+#[derive(Debug)]
+pub struct SpanProfiler {
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl SpanProfiler {
+    /// Creates a profiler whose epoch (trace time zero) is *now*.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(), // xtask:allow(timing)
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Starts a span on logical lane `tid`; it records itself when the
+    /// returned guard drops.
+    #[must_use]
+    pub fn span(&self, cat: &'static str, name: impl Into<String>, tid: u64) -> SpanGuard<'_> {
+        SpanGuard {
+            profiler: self,
+            cat,
+            name: name.into(),
+            tid,
+            start: Instant::now(), // xtask:allow(timing)
+        }
+    }
+
+    /// Records an already-measured span directly.
+    pub fn record(&self, record: SpanRecord) {
+        self.lock().push(record);
+    }
+
+    /// Completed spans so far, in recording order.
+    #[must_use]
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.lock().clone()
+    }
+
+    /// Serializes every span recorded so far as Chrome trace-event JSON
+    /// (`{"displayTimeUnit":"ms","traceEvents":[...]}`): one complete
+    /// (`"ph":"X"`) event per span plus one thread-name metadata
+    /// (`"ph":"M"`) event per lane. The output loads in Perfetto and
+    /// `chrome://tracing`; it reflects wall-clock and is **never**
+    /// compared for determinism.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `writer`.
+    pub fn write_chrome_trace<W: Write>(&self, writer: &mut W) -> std::io::Result<()> {
+        let spans = self.records();
+        writer.write_all(b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        let mut first = true;
+        for span in &spans {
+            if !first {
+                writer.write_all(b",")?;
+            }
+            first = false;
+            write!(
+                writer,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{}}}",
+                escape_json(&span.name),
+                escape_json(span.cat),
+                span.ts_micros,
+                span.dur_micros,
+                span.tid
+            )?;
+        }
+        let mut lanes: Vec<u64> = spans.iter().map(|s| s.tid).collect();
+        lanes.sort_unstable();
+        lanes.dedup();
+        for tid in lanes {
+            if !first {
+                writer.write_all(b",")?;
+            }
+            first = false;
+            let lane = if tid == 0 {
+                "coordinator".to_owned()
+            } else {
+                format!("worker-{tid}")
+            };
+            write!(
+                writer,
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{lane}\"}}}}"
+            )?;
+        }
+        writer.write_all(b"]}")?;
+        Ok(())
+    }
+
+    /// The span vector, recovered even if a panicking thread poisoned
+    /// the mutex — profiling must never abort an experiment.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<SpanRecord>> {
+        self.spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl Default for SpanProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// RAII guard returned by [`SpanProfiler::span`]; records the span when
+/// dropped.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    profiler: &'a SpanProfiler,
+    cat: &'static str,
+    name: String,
+    tid: u64,
+    start: Instant,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let end = Instant::now(); // xtask:allow(timing)
+        let ts = self
+            .start
+            .duration_since(self.profiler.epoch)
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        let dur = end
+            .duration_since(self.start)
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        self.profiler.record(SpanRecord {
+            name: std::mem::take(&mut self.name),
+            cat: self.cat,
+            tid: self.tid,
+            ts_micros: ts,
+            dur_micros: dur,
+        });
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// span names are plain ASCII identifiers, but the writer must never
+/// emit invalid JSON regardless.
+fn escape_json(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_in_order() {
+        let profiler = SpanProfiler::new();
+        {
+            let _outer = profiler.span("phase", "outer", 0);
+            let _inner = profiler.span("phase", "inner", 1);
+        }
+        let records = profiler.records();
+        assert_eq!(records.len(), 2);
+        // Guards drop in reverse declaration order.
+        assert_eq!(records[0].name, "inner");
+        assert_eq!(records[1].name, "outer");
+        assert_eq!(records[0].tid, 1);
+        assert!(records[1].dur_micros >= records[0].dur_micros);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_complete_and_metadata_events() {
+        let profiler = SpanProfiler::new();
+        drop(profiler.span("scheduler", "cell \"a\"/two-lru", 2));
+        profiler.record(SpanRecord {
+            name: "warmup".to_owned(),
+            cat: "simulate",
+            tid: 0,
+            ts_micros: 10,
+            dur_micros: 25,
+        });
+        let mut bytes = Vec::new();
+        profiler.write_chrome_trace(&mut bytes).unwrap();
+        let parsed: serde_json::Value = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(parsed["displayTimeUnit"], "ms");
+        let events = parsed["traceEvents"].as_array().unwrap();
+        // 2 spans + 2 thread-name metadata events (lanes 0 and 2).
+        assert_eq!(events.len(), 4);
+        let complete: Vec<&serde_json::Value> = events.iter().filter(|e| e["ph"] == "X").collect();
+        assert_eq!(complete.len(), 2);
+        for event in &complete {
+            assert!(event["ts"].is_u64());
+            assert!(event["dur"].is_u64());
+            assert_eq!(event["pid"], 1);
+        }
+        assert!(complete.iter().any(|e| e["name"] == "cell \"a\"/two-lru"));
+        let meta: Vec<&serde_json::Value> = events.iter().filter(|e| e["ph"] == "M").collect();
+        assert_eq!(meta.len(), 2);
+        assert!(meta
+            .iter()
+            .any(|e| e["args"]["name"] == "coordinator" && e["tid"] == 0));
+        assert!(meta
+            .iter()
+            .any(|e| e["args"]["name"] == "worker-2" && e["tid"] == 2));
+    }
+
+    #[test]
+    fn empty_profiler_writes_an_empty_event_array() {
+        let profiler = SpanProfiler::new();
+        let mut bytes = Vec::new();
+        profiler.write_chrome_trace(&mut bytes).unwrap();
+        let parsed: serde_json::Value = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(parsed["traceEvents"].as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn escape_json_handles_quotes_backslashes_and_controls() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b"), "a\\\"b");
+        assert_eq!(escape_json("a\\b"), "a\\\\b");
+        assert_eq!(escape_json("a\nb"), "a\\u000ab");
+    }
+}

@@ -64,5 +64,8 @@ pub use dram_cache::DramCachePolicy;
 pub use lru::RankedLru;
 pub use single::SingleTierPolicy;
 pub use single_clock::SingleTierClockPolicy;
-pub use traits::{AccessOutcome, ActionList, HybridPolicy, PolicyAction, MAX_ACTIONS_PER_ACCESS};
+pub use traits::{
+    AccessOutcome, ActionList, CounterKind, HybridPolicy, NvmCounterProbe, PolicyAction,
+    MAX_ACTIONS_PER_ACCESS,
+};
 pub use two_lru::{TwoLruConfig, TwoLruPolicy, TwoLruStats};

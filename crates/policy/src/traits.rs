@@ -255,6 +255,64 @@ impl<'de> Deserialize<'de> for ActionList {
     }
 }
 
+/// Which of Algorithm 1's two per-page counters is meant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum CounterKind {
+    /// The read counter, gated by `read_threshold` inside the
+    /// `readperc` window.
+    Read,
+    /// The write counter, gated by `write_threshold` inside the
+    /// `writeperc` window.
+    Write,
+}
+
+impl CounterKind {
+    /// Stable lowercase name (matches the serde representation).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Read => "read",
+            Self::Write => "write",
+        }
+    }
+}
+
+/// A snapshot of Algorithm 1's counter state at one NVM hit — the
+/// *provenance* of a promotion decision (or non-decision).
+///
+/// The two-LRU policy attaches one of these to the [`AccessOutcome`] of
+/// every NVM demand hit, so observers (the page-lifecycle ledger in
+/// `hybridmem-core`) can reconstruct exactly why a page was or was not
+/// promoted: its queue position, the counter values after this hit's
+/// update, the thresholds in force, and any value lost to a lazy
+/// counter-window reset on this access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NvmCounterProbe {
+    /// The page's rank in the NVM LRU queue (0 = MRU) *before* this hit
+    /// touched it — the position Algorithm 1 compares against the
+    /// `readperc`/`writeperc` window boundaries.
+    pub rank: u64,
+    /// Read-counter value after this hit's update (post-reset, if one
+    /// applied).
+    pub reads: u32,
+    /// Write-counter value after this hit's update.
+    pub writes: u32,
+    /// Nonzero read-counter value discarded by a lazy window reset at
+    /// this hit (`0` = no lossy read reset happened here).
+    pub read_lost: u32,
+    /// Nonzero write-counter value discarded by a lazy window reset at
+    /// this hit.
+    pub write_lost: u32,
+    /// The promotion threshold the read counter is compared against.
+    pub read_threshold: u32,
+    /// The promotion threshold the write counter is compared against.
+    pub write_threshold: u32,
+    /// `Some(kind)` when this hit pushed that counter past its threshold
+    /// and triggered the NVM→DRAM promotion; `None` for a plain hit.
+    pub fired: Option<CounterKind>,
+}
+
 /// Everything a policy did in response to one page access.
 ///
 /// # Examples
@@ -266,6 +324,7 @@ impl<'de> Deserialize<'de> for ActionList {
 /// let hit = AccessOutcome::hit(MemoryKind::Dram);
 /// assert_eq!(hit.served_from, Some(MemoryKind::Dram));
 /// assert!(!hit.fault);
+/// assert!(hit.probe.is_none());
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AccessOutcome {
@@ -277,6 +336,11 @@ pub struct AccessOutcome {
     pub fault: bool,
     /// Physical actions triggered by the access, in execution order.
     pub actions: ActionList,
+    /// Counter-state provenance for NVM hits under a counter-window
+    /// policy ([`NvmCounterProbe`]); `None` everywhere else. Skipped when
+    /// absent so the serialized shape of probe-less outcomes is unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub probe: Option<NvmCounterProbe>,
 }
 
 impl AccessOutcome {
@@ -287,6 +351,7 @@ impl AccessOutcome {
             served_from: Some(kind),
             fault: false,
             actions: ActionList::new(),
+            probe: None,
         }
     }
 
@@ -298,6 +363,7 @@ impl AccessOutcome {
             served_from: Some(kind),
             fault: false,
             actions: actions.into(),
+            probe: None,
         }
     }
 
@@ -308,7 +374,16 @@ impl AccessOutcome {
             served_from: None,
             fault: true,
             actions: actions.into(),
+            probe: None,
         }
+    }
+
+    /// Attaches counter-state provenance (builder style; used by the
+    /// two-LRU policy on every NVM demand hit).
+    #[must_use]
+    pub fn with_counter_probe(mut self, probe: NvmCounterProbe) -> Self {
+        self.probe = Some(probe);
+        self
     }
 
     /// Count of [`PolicyAction::Migrate`] actions in this outcome.
@@ -449,6 +524,33 @@ mod tests {
         assert!(f.fault);
         assert_eq!(f.served_from, None);
         assert_eq!(f.migrations(), 0);
+    }
+
+    #[test]
+    fn probe_is_skipped_when_absent_and_round_trips_when_present() {
+        // Probe-less outcomes keep the exact pre-provenance wire shape.
+        let hit = AccessOutcome::hit(MemoryKind::Nvm);
+        let json = serde_json::to_string(&hit).unwrap();
+        assert!(!json.contains("probe"), "{json}");
+        let back: AccessOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, hit);
+
+        let probe = NvmCounterProbe {
+            rank: 3,
+            reads: 7,
+            writes: 1,
+            read_lost: 0,
+            write_lost: 2,
+            read_threshold: 6,
+            write_threshold: 12,
+            fired: Some(CounterKind::Read),
+        };
+        let promoted = AccessOutcome::hit(MemoryKind::Nvm).with_counter_probe(probe);
+        let json = serde_json::to_string(&promoted).unwrap();
+        assert!(json.contains("\"fired\":\"read\""), "{json}");
+        let back: AccessOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.probe, Some(probe));
+        assert_eq!(CounterKind::Write.name(), "write");
     }
 
     #[test]

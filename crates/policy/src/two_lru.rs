@@ -49,7 +49,9 @@ use hybridmem_types::{
 };
 use serde::{Deserialize, Serialize};
 
-use crate::{AccessOutcome, ActionList, HybridPolicy, PolicyAction, RankedLru};
+use crate::{
+    AccessOutcome, ActionList, CounterKind, HybridPolicy, NvmCounterProbe, PolicyAction, RankedLru,
+};
 
 /// Configuration of the proposed two-LRU migration scheme.
 ///
@@ -320,15 +322,19 @@ impl TwoLruPolicy {
         // Lazy boundary reset (see module docs): a rank at or past a window
         // means the page crossed that window's boundary since its last hit.
         // Only resets that discard accumulated progress count as resets.
+        let mut read_lost = 0;
+        let mut write_lost = 0;
         if rank >= self.config.read_window_pages() {
             if counters.reads != 0 {
                 self.stats.read_window_resets += 1;
+                read_lost = counters.reads;
             }
             counters.reads = 0;
         }
         if rank >= self.config.write_window_pages() {
             if counters.writes != 0 {
                 self.stats.write_window_resets += 1;
+                write_lost = counters.writes;
             }
             counters.writes = 0;
         }
@@ -342,9 +348,22 @@ impl TwoLruPolicy {
                 counters.writes > self.config.write_threshold
             }
         };
+        let probe = NvmCounterProbe {
+            rank: rank as u64,
+            reads: counters.reads,
+            writes: counters.writes,
+            read_lost,
+            write_lost,
+            read_threshold: self.config.read_threshold,
+            write_threshold: self.config.write_threshold,
+            fired: hot.then_some(match kind {
+                AccessKind::Read => CounterKind::Read,
+                AccessKind::Write => CounterKind::Write,
+            }),
+        };
 
         if !hot {
-            return AccessOutcome::hit(MemoryKind::Nvm);
+            return AccessOutcome::hit(MemoryKind::Nvm).with_counter_probe(probe);
         }
         match kind {
             AccessKind::Read => self.stats.read_promotions += 1,
@@ -374,7 +393,7 @@ impl TwoLruPolicy {
             from: MemoryKind::Nvm,
             to: MemoryKind::Dram,
         });
-        AccessOutcome::hit_with(MemoryKind::Nvm, actions)
+        AccessOutcome::hit_with(MemoryKind::Nvm, actions).with_counter_probe(probe)
     }
 
     /// Handles a page fault (Algorithm 1, lines 27–28): fill into DRAM,
