@@ -1,0 +1,390 @@
+//! Standing throughput harness: replays a fixed workload set through the
+//! trace cache and every replay driver, writing a `BENCH_*.json`
+//! trajectory point (schema in `DESIGN.md` §13).
+//!
+//! ```text
+//! cargo run --release -p hybridmem-bench --bin stress -- [flags]
+//!
+//! --quick       CI-sized caps (fast, noisier numbers)
+//! --cap N       override accesses per workload
+//! --seed N      trace generator seed (default 42)
+//! --out FILE    output path (default BENCH_6.json)
+//! ```
+//!
+//! Five phases per workload, all single-threaded so the numbers isolate
+//! per-access cost rather than scheduling:
+//!
+//! 1. `generate` — cold trace synthesis plus the binary spill write;
+//! 2. `reference` — serial replay under [`ReferenceTwoLru`], the frozen
+//!    pre-campaign implementation (the measured baseline);
+//! 3. `replay_serial` — serial cached replay of the optimized two-LRU;
+//! 4. `replay_batched` — batched cached replay (the default driver);
+//! 5. `replay_spill` — batched replay streamed from the binary spill file
+//!    through a deliberately undersized cache (the zero-rematerialization
+//!    path oversize traces take).
+//!
+//! The headline `speedup_batched_vs_reference` compares phases 4 and 2;
+//! `speedup_spill_vs_reference` compares 5 and 2. Before timing is
+//! trusted, the baseline's report is checked against the optimized serial
+//! run — a baseline that made different decisions would be comparing two
+//! different simulations.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use hybridmem_bench::ReferenceTwoLru;
+use hybridmem_core::{
+    ExperimentConfig, HybridSimulator, PolicyKind, ReplayMode, SimulationReport, TraceCache,
+};
+use hybridmem_metrics::peak_rss_bytes;
+use hybridmem_policy::TwoLruConfig;
+use hybridmem_trace::{parsec, WorkloadSpec};
+use serde::Serialize;
+
+/// Workloads the harness replays: a locality-heavy, a scan-heavy, and two
+/// mixed profiles, so the trajectory is not tuned to one access pattern.
+const WORKLOADS: [&str; 4] = ["bodytrack", "canneal", "dedup", "x264"];
+
+/// Accesses per workload in the default (full) run.
+const FULL_CAP: u64 = 1_000_000;
+
+/// Accesses per workload under `--quick` (CI smoke).
+const QUICK_CAP: u64 = 60_000;
+
+/// Policies measured on the batched cached-replay path.
+const REPLAY_POLICIES: [PolicyKind; 4] = [
+    PolicyKind::TwoLru,
+    PolicyKind::ClockDwf,
+    PolicyKind::DramOnly,
+    PolicyKind::NvmOnly,
+];
+
+#[derive(Debug)]
+struct Options {
+    quick: bool,
+    cap: Option<u64>,
+    seed: u64,
+    out: PathBuf,
+}
+
+impl Options {
+    fn from_args() -> Self {
+        let mut options = Self {
+            quick: false,
+            cap: None,
+            seed: 42,
+            out: PathBuf::from("BENCH_6.json"),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(flag) = args.next() {
+            let mut value = || {
+                args.next()
+                    .unwrap_or_else(|| panic!("flag {flag} requires a value"))
+            };
+            match flag.as_str() {
+                "--quick" => options.quick = true,
+                "--cap" => options.cap = Some(value().parse().expect("--cap expects an integer")),
+                "--seed" => options.seed = value().parse().expect("--seed expects an integer"),
+                "--out" => options.out = PathBuf::from(value()),
+                other => panic!("unknown flag {other}; expected --quick/--cap/--seed/--out"),
+            }
+        }
+        options
+    }
+
+    fn cap(&self) -> u64 {
+        self.cap
+            .unwrap_or(if self.quick { QUICK_CAP } else { FULL_CAP })
+    }
+}
+
+/// One timed measurement: how many accesses, how long.
+#[derive(Debug, Clone, Serialize)]
+struct Measurement {
+    seconds: f64,
+    accesses: u64,
+    accesses_per_second: f64,
+}
+
+impl Measurement {
+    #[allow(clippy::cast_precision_loss)]
+    fn new(accesses: u64, seconds: f64) -> Self {
+        Self {
+            seconds,
+            accesses,
+            accesses_per_second: if seconds > 0.0 {
+                accesses as f64 / seconds
+            } else {
+                0.0
+            },
+        }
+    }
+
+    fn absorb(&mut self, other: &Self) {
+        self.seconds += other.seconds;
+        self.accesses += other.accesses;
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.accesses_per_second = if self.seconds > 0.0 {
+                self.accesses as f64 / self.seconds
+            } else {
+                0.0
+            };
+        }
+    }
+}
+
+/// A named measurement (one phase or one policy).
+#[derive(Debug, Clone, Serialize)]
+struct NamedMeasurement {
+    name: String,
+    #[serde(flatten)]
+    measurement: Measurement,
+}
+
+/// Per-workload results.
+#[derive(Debug, Serialize)]
+struct WorkloadResult {
+    workload: String,
+    accesses: u64,
+    /// The five harness phases, in execution order.
+    phases: Vec<NamedMeasurement>,
+    /// Batched cached replay, one entry per measured policy.
+    policies: Vec<NamedMeasurement>,
+}
+
+/// The `BENCH_*.json` trajectory point (schema in `DESIGN.md` §13).
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    schema: &'static str,
+    quick: bool,
+    seed: u64,
+    cap: u64,
+    /// Worker threads driving cells (the harness is deliberately serial).
+    threads: usize,
+    wall_seconds: f64,
+    peak_rss_bytes: Option<u64>,
+    workloads: Vec<WorkloadResult>,
+    /// Phase totals across all workloads.
+    phases: Vec<NamedMeasurement>,
+    /// Batched-replay totals across all workloads, per policy.
+    policies: Vec<NamedMeasurement>,
+    /// `replay_batched` vs `reference` accesses/sec (two-LRU cells only).
+    speedup_batched_vs_reference: f64,
+    /// `replay_spill` vs `reference` accesses/sec (two-LRU cells only).
+    speedup_spill_vs_reference: f64,
+    /// Spill-aware cache counters at the end of the run.
+    trace_cache: hybridmem_core::TraceCacheStats,
+}
+
+/// Times `f` and wraps the result with the access count it processed.
+fn timed<T>(accesses: u64, f: impl FnOnce() -> T) -> (Measurement, T) {
+    let start = Instant::now();
+    let value = f();
+    (
+        Measurement::new(accesses, start.elapsed().as_secs_f64()),
+        value,
+    )
+}
+
+/// Serial replay of the cached trace under the frozen baseline policy,
+/// mirroring `ExperimentConfig::run_cached`'s warmup handling.
+fn run_reference(
+    config: &ExperimentConfig,
+    spec: &WorkloadSpec,
+    cache: &TraceCache,
+) -> SimulationReport {
+    let trace = cache
+        .try_get(spec, config.seed)
+        .expect("the generate phase materialized this trace");
+    let (dram, nvm, _total) = config.memory_sizes(spec);
+    let two_lru = TwoLruConfig::with_thresholds(
+        dram,
+        nvm,
+        config.read_threshold,
+        config.write_threshold,
+        config.read_window,
+        config.write_window,
+    )
+    .expect("the date2016 thresholds are valid");
+    let mut simulator =
+        HybridSimulator::with_date2016_devices(Box::new(ReferenceTwoLru::new(two_lru)));
+    simulator.set_static_scale(1.0 / spec.scale_factor());
+    simulator.set_density_hint(spec.nominal_density());
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    let warmup =
+        ((spec.total_accesses() as f64 * config.warmup_fraction) as usize).min(trace.len());
+    simulator.run_slice(&trace[..warmup]);
+    simulator.reset_accounting();
+    simulator.run_slice(&trace[warmup..]);
+    simulator.into_report(spec.name.clone())
+}
+
+/// The baseline must reproduce the optimized serial run's decisions;
+/// otherwise the speedup compares two different simulations.
+fn assert_same_simulation(reference: &SimulationReport, serial: &SimulationReport) {
+    assert_eq!(
+        reference.counts, serial.counts,
+        "{}: reference baseline diverged from two-lru (counts)",
+        serial.workload
+    );
+    assert_eq!(
+        reference.nvm_writes, serial.nvm_writes,
+        "{}: reference baseline diverged from two-lru (nvm writes)",
+        serial.workload
+    );
+}
+
+fn main() {
+    let options = Options::from_args();
+    let cap = options.cap();
+    let spill_dir = std::env::temp_dir().join(format!("hybridmem-stress-{}", std::process::id()));
+    // Plenty for the harness caps; the spill-replay phase uses its own
+    // deliberately undersized cache over the same directory.
+    let cache = TraceCache::with_spill_dir(1 << 30, &spill_dir);
+    let spill_only = TraceCache::with_spill_dir(1, &spill_dir);
+    let serial_config = ExperimentConfig {
+        seed: options.seed,
+        replay: ReplayMode::Serial,
+        ..ExperimentConfig::date2016()
+    };
+    let batched_config = ExperimentConfig {
+        replay: ReplayMode::Batched,
+        ..serial_config
+    };
+
+    let run_start = Instant::now();
+    let mut workloads = Vec::new();
+    for name in WORKLOADS {
+        let spec = parsec::spec(name)
+            .expect("WORKLOADS only lists known profiles")
+            .capped(cap);
+        let accesses = spec.total_accesses();
+        println!("[{name}] {accesses} accesses");
+
+        let (generate, _) = timed(accesses, || {
+            cache
+                .try_get(&spec, options.seed)
+                .expect("harness caps fit the cache budget")
+        });
+        let (reference, reference_report) =
+            timed(accesses, || run_reference(&serial_config, &spec, &cache));
+        let (serial, serial_report) = timed(accesses, || {
+            serial_config
+                .run_cached(&spec, PolicyKind::TwoLru, &cache)
+                .expect("cell inputs are valid")
+        });
+        assert_same_simulation(&reference_report, &serial_report);
+        let (batched, _) = timed(accesses, || {
+            batched_config
+                .run_cached(&spec, PolicyKind::TwoLru, &cache)
+                .expect("cell inputs are valid")
+        });
+        let (spill, _) = timed(accesses, || {
+            batched_config
+                .run_cached(&spec, PolicyKind::TwoLru, &spill_only)
+                .expect("cell inputs are valid")
+        });
+
+        let mut policies = Vec::new();
+        for kind in REPLAY_POLICIES {
+            let (m, _) = timed(accesses, || {
+                batched_config
+                    .run_cached(&spec, kind, &cache)
+                    .expect("cell inputs are valid")
+            });
+            policies.push(NamedMeasurement {
+                name: kind.name().to_owned(),
+                measurement: m,
+            });
+        }
+
+        let phases = [
+            ("generate", generate),
+            ("reference", reference),
+            ("replay_serial", serial),
+            ("replay_batched", batched),
+            ("replay_spill", spill),
+        ]
+        .into_iter()
+        .map(|(name, measurement)| NamedMeasurement {
+            name: name.to_owned(),
+            measurement,
+        })
+        .collect();
+        workloads.push(WorkloadResult {
+            workload: spec.name.clone(),
+            accesses,
+            phases,
+            policies,
+        });
+    }
+
+    let mut phase_totals: Vec<NamedMeasurement> = Vec::new();
+    let mut policy_totals: Vec<NamedMeasurement> = Vec::new();
+    for workload in &workloads {
+        for (totals, entries) in [
+            (&mut phase_totals, &workload.phases),
+            (&mut policy_totals, &workload.policies),
+        ] {
+            for entry in entries {
+                match totals.iter_mut().find(|t| t.name == entry.name) {
+                    Some(total) => total.measurement.absorb(&entry.measurement),
+                    None => totals.push(entry.clone()),
+                }
+            }
+        }
+    }
+    let phase_rate = |name: &str| {
+        phase_totals
+            .iter()
+            .find(|t| t.name == name)
+            .map_or(0.0, |t| t.measurement.accesses_per_second)
+    };
+    let reference_rate = phase_rate("reference");
+    let speedup = |rate: f64| {
+        if reference_rate > 0.0 {
+            rate / reference_rate
+        } else {
+            0.0
+        }
+    };
+
+    let report = BenchReport {
+        schema: "hybridmem-stress-v1",
+        quick: options.quick,
+        seed: options.seed,
+        cap,
+        threads: 1,
+        wall_seconds: run_start.elapsed().as_secs_f64(),
+        peak_rss_bytes: peak_rss_bytes(),
+        speedup_batched_vs_reference: speedup(phase_rate("replay_batched")),
+        speedup_spill_vs_reference: speedup(phase_rate("replay_spill")),
+        workloads,
+        phases: phase_totals,
+        policies: policy_totals,
+        trace_cache: cache.stats(),
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("the report serializes");
+    std::fs::write(&options.out, json)
+        .unwrap_or_else(|e| panic!("write {}: {e}", options.out.display()));
+    let _ = std::fs::remove_dir_all(&spill_dir);
+
+    for phase in &report.phases {
+        println!(
+            "{:<16} {:>12.0} accesses/sec",
+            phase.name, phase.measurement.accesses_per_second
+        );
+    }
+    println!(
+        "speedup: batched {:.2}x, spill {:.2}x vs reference (wrote {})",
+        report.speedup_batched_vs_reference,
+        report.speedup_spill_vs_reference,
+        options.out.display()
+    );
+}

@@ -22,6 +22,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod reference;
+
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -503,6 +505,8 @@ pub fn print_grouped_figure(title: &str, groups: &[(&str, Vec<StackedBar>)]) {
 
 /// Re-exported so the binaries can keep their imports terse.
 pub use hybridmem_core as core_api;
+
+pub use reference::ReferenceTwoLru;
 
 /// Convenience: indexes a report row by policy name.
 ///

@@ -7,7 +7,7 @@ use std::sync::Mutex;
 
 use hybridmem_core::{
     write_jsonl, write_ledger_jsonl, EventSink, ExperimentConfig, FanoutSink, HybridSimulator,
-    IntervalRecord, LedgerOptions, LedgerReport, PageEvent, PageLedger, PolicyKind,
+    IntervalRecord, LedgerOptions, LedgerReport, PageEvent, PageLedger, PolicyKind, ReplayMode,
     SimulationReport, WindowedCollector,
 };
 use hybridmem_metrics::SpanProfiler;
@@ -38,7 +38,10 @@ COMMANDS:
              [--memory-fraction F] [--dram-fraction F] [--threads N]
              [--metrics-out FILE] [--metrics-window N]
              [--ledger-out FILE] [--ledger-top N] [--profile-out FILE]
+             [--replay serial|batched]
              (--threads 0, the default, uses all available cores;
+              --replay picks the replay driver — both are byte-identical,
+              batched (the default) amortizes policy dispatch;
               --metrics-out writes per-window interval records as JSONL,
               one window every N accesses, default 10000;
               --ledger-out writes per-page journey ledgers as JSONL,
@@ -48,6 +51,7 @@ COMMANDS:
     observe <workload>                 stream windowed interval records (JSONL)
              [--policy P] [--cap N] [--seed N] [--window N]
              [--memory-fraction F] [--dram-fraction F] [--warmup F]
+             [--replay serial|batched]
              (--window 0 emits one whole-run record at the end;
               --workload accepts a PARSEC name or a WorkloadSpec JSON path)
     ledger <workload>                  per-page journey ledger (top-K pages)
@@ -235,6 +239,7 @@ fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
         "ledger-out",
         "ledger-top",
         "profile-out",
+        "replay",
     ])?;
     let threads: usize = args.get_parsed_or("threads", 0)?;
     let metrics_window: u64 = args.get_parsed_or("metrics-window", 10_000)?;
@@ -337,6 +342,7 @@ fn observe<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
         "memory-fraction",
         "dram-fraction",
         "warmup",
+        "replay",
     ])?;
     let workload = args
         .positional(1)
@@ -358,6 +364,7 @@ fn observe<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
         dram_fraction: args.get_parsed_or("dram-fraction", 0.10)?,
         seed,
         warmup_fraction: warmup,
+        replay: parse_replay(args)?,
         ..ExperimentConfig::date2016()
     };
     let policy = config.build_policy(kind, &spec)?;
@@ -374,13 +381,22 @@ fn observe<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
         window,
         warmup_len,
     )));
+    // Drive in replay-driver-sized chunks so `--replay batched` exercises
+    // the batch path; window boundaries are trace positions, so the JSONL
+    // is byte-identical whichever driver runs (CI compares the two).
+    let mut buffer = Vec::with_capacity(HybridSimulator::BATCH_RECORDS);
     for access in TraceGenerator::new(spec.clone(), seed).map(PageAccess::from) {
-        simulator.step(access);
-        let records = drain_observed(&mut simulator, false)?;
-        if !records.is_empty() {
-            write_jsonl(out, &records).map_err(io_err)?;
+        buffer.push(access);
+        if buffer.len() == HybridSimulator::BATCH_RECORDS {
+            drive_slice(&mut simulator, config.replay, &buffer);
+            buffer.clear();
+            let records = drain_observed(&mut simulator, false)?;
+            if !records.is_empty() {
+                write_jsonl(out, &records).map_err(io_err)?;
+            }
         }
     }
+    drive_slice(&mut simulator, config.replay, &buffer);
     let records = drain_observed(&mut simulator, true)?;
     write_jsonl(out, &records).map_err(io_err)?;
     Ok(())
@@ -670,6 +686,7 @@ fn trace_experiment(
     let config = ExperimentConfig {
         memory_fraction,
         dram_fraction,
+        replay: parse_replay(args)?,
         ..ExperimentConfig::date2016()
     };
     Ok((spec, config))
@@ -685,7 +702,7 @@ fn simulate_policy_cell(
 ) -> Result<SimulationReport> {
     let policy = config.build_policy(kind, spec)?;
     let mut simulator = HybridSimulator::with_date2016_devices(policy);
-    simulator.run_slice(pages);
+    drive_slice(&mut simulator, config.replay, pages);
     Ok(simulator.into_report(path.to_owned()))
 }
 
@@ -730,7 +747,7 @@ fn instrumented_policy_cell(
             simulator.set_event_sink(Box::new(fanout));
         }
     }
-    simulator.run_slice(pages);
+    drive_slice(&mut simulator, config.replay, pages);
     let mut records = Vec::new();
     let mut ledger_report = None;
     if window.is_some() || ledger.is_some() {
@@ -880,6 +897,26 @@ fn load_trace(args: &Args) -> Result<(String, Vec<Access>)> {
         Format::Binary => trace_io::read_binary(reader)?,
     };
     Ok((path, trace))
+}
+
+/// Resolves `--replay`: `serial` or `batched` (the default). Both drivers
+/// are byte-identical; batched amortizes per-access policy dispatch.
+fn parse_replay(args: &Args) -> Result<ReplayMode> {
+    match args.get_or("replay", "batched") {
+        "serial" => Ok(ReplayMode::Serial),
+        "batched" => Ok(ReplayMode::Batched),
+        other => Err(Error::invalid_input(format!(
+            "unknown replay driver {other:?}; expected serial or batched"
+        ))),
+    }
+}
+
+/// Drives a decoded slice through the configured replay driver.
+fn drive_slice(simulator: &mut HybridSimulator, replay: ReplayMode, pages: &[PageAccess]) {
+    match replay {
+        ReplayMode::Serial => simulator.run_slice(pages),
+        ReplayMode::Batched => simulator.run_slice_batched(pages),
+    }
 }
 
 fn parse_policy(name: &str) -> Result<PolicyKind> {
@@ -1263,6 +1300,53 @@ mod tests {
         let record: IntervalRecord = serde_json::from_str(lines[0]).unwrap();
         assert_eq!(record.accesses, 1500);
         assert_eq!(record.start_access, 1500);
+    }
+
+    #[test]
+    fn replay_drivers_are_byte_identical_in_compare_and_observe() {
+        let dir = std::env::temp_dir().join("hybridmem-cli-replay");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("r.trace");
+        let trace_path = trace_path.to_str().unwrap();
+        run_capture(&[
+            "generate",
+            "--workload",
+            "bodytrack",
+            "--output",
+            trace_path,
+            "--cap",
+            "4000",
+        ])
+        .0
+        .unwrap();
+
+        let (result, serial) = run_capture(&["compare", trace_path, "--replay", "serial"]);
+        assert!(result.is_ok(), "{result:?}");
+        let (result, batched) = run_capture(&["compare", trace_path, "--replay", "batched"]);
+        assert!(result.is_ok(), "{result:?}");
+        assert_eq!(serial, batched, "replay drivers must agree byte-for-byte");
+
+        let observe_args = |replay| {
+            vec![
+                "observe",
+                "bodytrack",
+                "--cap",
+                "3000",
+                "--window",
+                "500",
+                "--replay",
+                replay,
+            ]
+        };
+        let (result, serial) = run_capture(&observe_args("serial"));
+        assert!(result.is_ok(), "{result:?}");
+        let (result, batched) = run_capture(&observe_args("batched"));
+        assert!(result.is_ok(), "{result:?}");
+        assert_eq!(serial, batched, "observe JSONL must agree byte-for-byte");
+
+        let (result, _) = run_capture(&["compare", trace_path, "--replay", "nope"]);
+        assert!(result.unwrap_err().to_string().contains("nope"));
+        let _ = std::fs::remove_file(trace_path);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use hybridmem_policy::{
     AdaptiveConfig, AdaptiveTwoLruPolicy, ClockDwfPolicy, ClockProPolicy, DramCachePolicy,
     HybridPolicy, SingleTierPolicy, TwoLruConfig, TwoLruPolicy,
 };
+use hybridmem_trace::binfmt::BinTraceStream;
 use hybridmem_trace::{TraceGenerator, WorkloadSpec};
 use hybridmem_types::{Error, PageAccess, PageCount, Result};
 use serde::{Deserialize, Serialize};
@@ -80,6 +81,24 @@ impl std::fmt::Display for PolicyKind {
     }
 }
 
+/// How the simulator consumes a trace.
+///
+/// Both modes produce **byte-identical** output — every access flows
+/// through the same per-access accounting in trace order either way (see
+/// [`HybridSimulator::run_slice_batched`]). `Serial` exists as the
+/// determinism oracle the batched path is tested against; `Batched` is the
+/// default because it amortizes policy dispatch over
+/// [`HybridSimulator::BATCH_RECORDS`]-access chunks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ReplayMode {
+    /// One policy call per access — the reference path.
+    Serial,
+    /// One policy call per chunk of accesses (the fast default).
+    #[default]
+    Batched,
+}
+
 /// Full configuration of one experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
@@ -106,6 +125,10 @@ pub struct ExperimentConfig {
     /// `[0, 1)`. The paper minimizes cold-start effects by using the
     /// largest PARSEC inputs; we do it by measuring the steady state only.
     pub warmup_fraction: f64,
+    /// Trace replay driver (defaults to [`ReplayMode::Batched`]; both
+    /// modes are byte-identical).
+    #[serde(default)]
+    pub replay: ReplayMode,
 }
 
 impl ExperimentConfig {
@@ -123,6 +146,7 @@ impl ExperimentConfig {
             seed: 42,
             time_model: TimeModel::date2016(),
             warmup_fraction: 0.3,
+            replay: ReplayMode::default(),
         }
     }
 
@@ -217,6 +241,83 @@ impl ExperimentConfig {
         }
     }
 
+    /// Drives one trace slice through the configured replay driver.
+    fn drive_slice(&self, simulator: &mut HybridSimulator, slice: &[PageAccess]) {
+        match self.replay {
+            ReplayMode::Serial => simulator.run_slice(slice),
+            ReplayMode::Batched => simulator.run_slice_batched(slice),
+        }
+    }
+
+    /// Drives one chunk of an incrementally produced trace, resetting the
+    /// simulator's accounting exactly at the warmup boundary — the chunked
+    /// equivalent of `run_slice(warmup); reset; run_slice(rest)`.
+    fn drive_chunk(
+        &self,
+        simulator: &mut HybridSimulator,
+        warmup: usize,
+        position: &mut usize,
+        chunk: &[PageAccess],
+    ) {
+        let mut slice = chunk;
+        if *position < warmup {
+            let take = (warmup - *position).min(slice.len());
+            self.drive_slice(simulator, &slice[..take]);
+            *position += take;
+            slice = &slice[take..];
+            if *position == warmup {
+                simulator.reset_accounting();
+            }
+        }
+        if !slice.is_empty() {
+            self.drive_slice(simulator, slice);
+            *position += slice.len();
+        }
+    }
+
+    /// Replays the cell's trace straight out of the generator in
+    /// [`HybridSimulator::BATCH_RECORDS`]-access chunks, never holding more
+    /// than one chunk resident.
+    fn replay_generator(&self, simulator: &mut HybridSimulator, spec: &WorkloadSpec) {
+        let warmup = self.warmup_len(spec);
+        let mut position = 0usize;
+        let mut source = TraceGenerator::new(spec.clone(), self.seed).map(PageAccess::from);
+        let mut buf: Vec<PageAccess> = Vec::with_capacity(HybridSimulator::BATCH_RECORDS);
+        loop {
+            buf.clear();
+            buf.extend(source.by_ref().take(HybridSimulator::BATCH_RECORDS));
+            if buf.is_empty() {
+                break;
+            }
+            self.drive_chunk(simulator, warmup, &mut position, &buf);
+        }
+    }
+
+    /// Replays an oversize trace from a verified binary spill stream in
+    /// fixed-size chunks (see [`TraceCache::open_stream`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a truncated or corrupted spill body as
+    /// [`Error::ParseTrace`] — the file's header was verified at open, so
+    /// mid-stream damage means the file changed underneath us.
+    fn replay_stream(
+        &self,
+        simulator: &mut HybridSimulator,
+        spec: &WorkloadSpec,
+        mut stream: BinTraceStream,
+    ) -> Result<()> {
+        let warmup = self.warmup_len(spec);
+        let mut position = 0usize;
+        let mut buf: Vec<PageAccess> = Vec::new();
+        while let Some(chunk) = stream.next_chunk()? {
+            buf.clear();
+            buf.extend(chunk.iter().map(|record| record.access()));
+            self.drive_chunk(simulator, warmup, &mut position, &buf);
+        }
+        Ok(())
+    }
+
     /// Runs one `(workload, policy)` cell: generates the trace, simulates,
     /// and returns the report.
     ///
@@ -231,12 +332,7 @@ impl ExperimentConfig {
     pub fn run(&self, spec: &WorkloadSpec, kind: PolicyKind) -> Result<SimulationReport> {
         self.validate_cell(spec)?;
         let mut simulator = self.build_simulator(kind, spec)?;
-        let mut trace = TraceGenerator::new(spec.clone(), self.seed).map(PageAccess::from);
-        for access in trace.by_ref().take(self.warmup_len(spec)) {
-            simulator.step(access);
-        }
-        simulator.reset_accounting();
-        simulator.run(trace);
+        self.replay_generator(&mut simulator, spec);
         Ok(simulator.into_report(spec.name.clone()))
     }
 
@@ -263,13 +359,20 @@ impl ExperimentConfig {
     ) -> Result<SimulationReport> {
         self.validate_cell(spec)?;
         let Some(trace) = cache.try_get(spec, self.seed) else {
-            return self.run(spec, kind);
+            // Oversize: replay from (or create) a binary spill stream when
+            // the cache has one; otherwise stream out of the generator.
+            let mut simulator = self.build_simulator(kind, spec)?;
+            match cache.open_stream(spec, self.seed) {
+                Some(stream) => self.replay_stream(&mut simulator, spec, stream)?,
+                None => self.replay_generator(&mut simulator, spec),
+            }
+            return Ok(simulator.into_report(spec.name.clone()));
         };
         let mut simulator = self.build_simulator(kind, spec)?;
         let warmup = self.warmup_len(spec).min(trace.len());
-        simulator.run_slice(&trace[..warmup]);
+        self.drive_slice(&mut simulator, &trace[..warmup]);
         simulator.reset_accounting();
-        simulator.run_slice(&trace[warmup..]);
+        self.drive_slice(&mut simulator, &trace[warmup..]);
         Ok(simulator.into_report(spec.name.clone()))
     }
 
@@ -376,29 +479,28 @@ impl ExperimentConfig {
                 {
                     let _span =
                         profiler.map(|p| p.span("simulate", format!("warmup {cell}"), lane));
-                    simulator.run_slice(&trace[..warmup]);
+                    self.drive_slice(&mut simulator, &trace[..warmup]);
                 }
                 simulator.reset_accounting();
                 {
                     let _span =
                         profiler.map(|p| p.span("simulate", format!("measure {cell}"), lane));
-                    simulator.run_slice(&trace[warmup..]);
+                    self.drive_slice(&mut simulator, &trace[warmup..]);
                 }
             }
             None => {
-                let mut trace = TraceGenerator::new(spec.clone(), self.seed).map(PageAccess::from);
-                {
+                // Oversize trace: prefer the cache's binary spill stream;
+                // warmup and measurement interleave inside one chunked
+                // pass, so a single span covers both.
+                let stream = cache.and_then(|cache| {
                     let _span =
-                        profiler.map(|p| p.span("simulate", format!("warmup {cell}"), lane));
-                    for access in trace.by_ref().take(self.warmup_len(spec)) {
-                        simulator.step(access);
-                    }
-                }
-                simulator.reset_accounting();
-                {
-                    let _span =
-                        profiler.map(|p| p.span("simulate", format!("measure {cell}"), lane));
-                    simulator.run(trace);
+                        profiler.map(|p| p.span("trace", format!("spill {}", spec.name), lane));
+                    cache.open_stream(spec, self.seed)
+                });
+                let _span = profiler.map(|p| p.span("simulate", format!("measure {cell}"), lane));
+                match stream {
+                    Some(stream) => self.replay_stream(&mut simulator, spec, stream)?,
+                    None => self.replay_generator(&mut simulator, spec),
                 }
             }
         }
@@ -1038,6 +1140,51 @@ mod tests {
             .unwrap();
         assert!(tiny_cache.is_empty());
         assert_eq!(report, config.run(&spec, PolicyKind::TwoLru).unwrap());
+    }
+
+    #[test]
+    fn serial_and_batched_replay_modes_are_byte_identical() {
+        let batched = ExperimentConfig::date2016();
+        assert_eq!(
+            batched.replay,
+            ReplayMode::Batched,
+            "fast path is the default"
+        );
+        let serial = ExperimentConfig {
+            replay: ReplayMode::Serial,
+            ..batched
+        };
+        let spec = small_spec();
+        let cache = TraceCache::new(64 << 20);
+        for kind in PolicyKind::all() {
+            let fast = batched.run_cached(&spec, kind, &cache).unwrap();
+            let oracle = serial.run_cached(&spec, kind, &cache).unwrap();
+            assert_eq!(fast, oracle, "{kind}");
+        }
+    }
+
+    #[test]
+    fn oversized_cell_replays_from_a_spill_stream() {
+        let dir =
+            std::env::temp_dir().join(format!("hybridmem-exp-spill-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // A 16-byte budget makes every trace oversize, forcing the
+        // spill-stream path on each run.
+        let cache = TraceCache::with_spill_dir(16, &dir);
+        let config = ExperimentConfig::date2016();
+        let spec = small_spec();
+        let first = config
+            .run_cached(&spec, PolicyKind::TwoLru, &cache)
+            .unwrap();
+        assert_eq!(first, config.run(&spec, PolicyKind::TwoLru).unwrap());
+        assert_eq!(cache.stats().spill_misses, 1, "first run wrote the spill");
+        let second = config
+            .run_cached(&spec, PolicyKind::TwoLru, &cache)
+            .unwrap();
+        assert_eq!(first, second);
+        assert!(cache.is_empty(), "streaming never materializes");
+        assert_eq!(cache.stats().spill_hits, 1, "second run replayed the file");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

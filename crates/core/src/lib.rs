@@ -59,7 +59,7 @@ pub use events::{CountingSink, EventSink, FanoutSink, RecordingSink, SimEvent};
 pub use experiments::{
     compare_policies, compare_policies_instrumented, compare_policies_observed,
     compare_policies_threaded, compare_policies_timed, ExperimentConfig, Instrumentation,
-    InstrumentedRun, MatrixTiming, PolicyKind,
+    InstrumentedRun, MatrixTiming, PolicyKind, ReplayMode,
 };
 pub use ledger::{
     write_ledger_jsonl, DemotionCause, LedgerOptions, LedgerReport, LedgerSummary, PageEvent,

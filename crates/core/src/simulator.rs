@@ -5,7 +5,7 @@ use hybridmem_device::{
     AccessSource, DiskCharacteristics, MemoryCharacteristics, MemoryModule, MigrationEngine,
     WearTracker,
 };
-use hybridmem_policy::{HybridPolicy, PolicyAction};
+use hybridmem_policy::{AccessOutcome, BatchOutcomes, BatchStep, HybridPolicy, PolicyAction};
 use hybridmem_types::{AccessKind, MemoryKind, Nanoseconds, PageAccess, PageCount};
 
 use crate::{
@@ -204,14 +204,23 @@ impl HybridSimulator {
 
     /// Drives one demand access through the policy and accounts for it.
     pub fn step(&mut self, access: PageAccess) {
+        let outcome = self.policy.on_access(access);
+        self.account(access, &outcome);
+    }
+
+    /// Charges one decided access against the device models. Shared by the
+    /// serial ([`step`](Self::step)) and batched
+    /// ([`run_slice_batched`](Self::run_slice_batched)) drivers so both
+    /// perform the identical per-access accounting — same floating-point
+    /// accumulation order, same event-emission order — and stay
+    /// byte-identical in every output.
+    fn account(&mut self, access: PageAccess, outcome: &AccessOutcome) {
         self.counts.requests += 1;
         match access.kind {
             AccessKind::Read => self.counts.reads += 1,
             AccessKind::Write => self.counts.writes += 1,
         }
         self.footprint.insert(access.page);
-
-        let outcome = self.policy.on_access(access);
 
         // Demand service (Eq. 1/2, hit terms).
         match outcome.served_from {
@@ -312,6 +321,54 @@ impl HybridSimulator {
     pub fn run_slice(&mut self, trace: &[PageAccess]) {
         for &access in trace {
             self.step(access);
+        }
+    }
+
+    /// Accesses handed to the policy per [`HybridPolicy::on_access_batch`]
+    /// call by [`run_slice_batched`](Self::run_slice_batched). Large enough
+    /// to amortize the virtual dispatch, small enough that the reused
+    /// [`BatchOutcomes`] stays cache-resident.
+    pub const BATCH_RECORDS: usize = 1024;
+
+    /// Replays a trace slice through the policy's batch entry point.
+    ///
+    /// Produces output **byte-identical** to [`run_slice`](Self::run_slice):
+    /// every access still flows through the same per-access accounting
+    /// (`account`), in trace order, so counters, float accumulation, and
+    /// event emission are exactly those of the serial driver — only the
+    /// policy dispatch is amortized. The serial path remains the
+    /// determinism oracle; `tests/policy_comparison.rs` asserts equality
+    /// over the paper matrix.
+    pub fn run_slice_batched(&mut self, trace: &[PageAccess]) {
+        let mut out = BatchOutcomes::with_capacity(Self::BATCH_RECORDS);
+        for chunk in trace.chunks(Self::BATCH_RECORDS) {
+            out.clear();
+            self.policy.on_access_batch(chunk, &mut out);
+            debug_assert_eq!(
+                out.len(),
+                chunk.len(),
+                "policy {} returned {} outcomes for a batch of {}",
+                self.policy.name(),
+                out.len(),
+                chunk.len()
+            );
+            let mut detailed = out.detailed().iter();
+            for (&access, step) in chunk.iter().zip(out.steps()) {
+                match step {
+                    BatchStep::DramHit => {
+                        self.account(access, &AccessOutcome::hit(MemoryKind::Dram));
+                    }
+                    BatchStep::NvmHit => {
+                        self.account(access, &AccessOutcome::hit(MemoryKind::Nvm));
+                    }
+                    BatchStep::Detailed => {
+                        let outcome = detailed
+                            .next()
+                            .expect("BatchOutcomes tape and table agree by construction");
+                        self.account(access, outcome);
+                    }
+                }
+            }
         }
     }
 
@@ -553,5 +610,83 @@ mod tests {
         let sim = two_lru(2, 8);
         let text = format!("{sim:?}");
         assert!(text.contains("two-lru") && text.contains("requests"));
+    }
+
+    /// A small mixed trace exercising hits in both tiers, faults,
+    /// promotions, and demotions: pages cycle with reuse skew so the two-LRU
+    /// counters fire.
+    fn mixed_trace() -> Vec<PageAccess> {
+        (0..4_000u64)
+            .map(|i| {
+                let page = PageId::new(match i % 7 {
+                    0 | 1 => i % 3,          // hot pages, quickly DRAM-resident
+                    2 | 3 | 4 => 10 + i % 9, // warm set straddling NVM
+                    _ => 100 + i % 400,      // cold tail faulting from disk
+                });
+                if i % 5 == 0 {
+                    PageAccess::write(page)
+                } else {
+                    PageAccess::read(page)
+                }
+            })
+            .collect()
+    }
+
+    fn policies() -> Vec<Box<dyn HybridPolicy>> {
+        vec![
+            Box::new(TwoLruPolicy::new(
+                TwoLruConfig::new(PageCount::new(4), PageCount::new(16)).unwrap(),
+            )),
+            Box::new(ClockDwfPolicy::new(PageCount::new(4), PageCount::new(16)).unwrap()),
+            Box::new(SingleTierPolicy::dram_only(PageCount::new(12)).unwrap()),
+            Box::new(SingleTierPolicy::nvm_only(PageCount::new(12)).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn batched_replay_equals_serial_replay() {
+        let trace = mixed_trace();
+        for (serial_policy, batched_policy) in policies().into_iter().zip(policies()) {
+            let name = serial_policy.name();
+            let mut serial = HybridSimulator::with_date2016_devices(serial_policy);
+            serial.run_slice(&trace);
+            let mut batched = HybridSimulator::with_date2016_devices(batched_policy);
+            batched.run_slice_batched(&trace);
+            assert_eq!(
+                serial.into_report("t"),
+                batched.into_report("t"),
+                "batched replay diverged from the serial oracle for {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_replay_emits_identical_events() {
+        use crate::RecordingSink;
+        let trace = mixed_trace();
+        let record = |batched: bool| {
+            let config = TwoLruConfig::new(PageCount::new(4), PageCount::new(16)).unwrap();
+            let mut sim =
+                HybridSimulator::with_date2016_devices(Box::new(TwoLruPolicy::new(config)));
+            sim.set_event_sink(Box::new(RecordingSink::new()));
+            if batched {
+                sim.run_slice_batched(&trace);
+            } else {
+                sim.run_slice(&trace);
+            }
+            let sink = sim.take_event_sink().unwrap();
+            format!(
+                "{:?}",
+                sink.as_any()
+                    .downcast_ref::<RecordingSink>()
+                    .unwrap()
+                    .events()
+            )
+        };
+        assert_eq!(
+            record(false),
+            record(true),
+            "event stream must be order-identical between drivers"
+        );
     }
 }

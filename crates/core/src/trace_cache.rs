@@ -33,11 +33,28 @@
 //! asking for the same workload block on a per-entry [`OnceLock`] (one
 //! generates, the rest wait), while workers asking for different
 //! workloads generate in parallel.
+//!
+//! # Binary spill
+//!
+//! When a spill directory is configured (the global cache reads
+//! `HYBRIDMEM_TRACE_SPILL_DIR`, defaulting to a per-user directory under
+//! the system temp dir; set the variable to the empty string to disable),
+//! each materialized trace is also written once as a
+//! [`binfmt`](hybridmem_trace::binfmt) file named
+//! `{fingerprint:016x}.hmtrace`. Later processes — repeated CLI runs, the
+//! bench harness, CI — load the spill instead of re-generating, and
+//! *oversize* traces that can never be materialized replay straight from
+//! the file in fixed-size chunks via [`TraceCache::open_stream`]. Spill
+//! files carry the full spec JSON and seed in their header and are
+//! verified on load, so a stale or colliding file degrades to regeneration
+//! rather than replaying the wrong workload.
 
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use hybridmem_metrics::MetricsRegistry;
+use hybridmem_trace::binfmt::{self, BinTraceReader, BinTraceStream};
 use hybridmem_trace::{TraceGenerator, WorkloadSpec};
 use hybridmem_types::{fx_hash_one, FxHashMap, PageAccess};
 use serde::{Deserialize, Serialize};
@@ -54,16 +71,14 @@ struct TraceSlot {
     trace: OnceLock<Arc<[PageAccess]>>,
 }
 
-impl TraceSlot {
-    /// The materialized trace, generating it on first call. Concurrent
-    /// callers block until the winning generator finishes.
-    fn materialize(&self) -> Arc<[PageAccess]> {
-        Arc::clone(self.trace.get_or_init(|| {
-            TraceGenerator::new(self.spec.clone(), self.seed)
-                .map(PageAccess::from)
-                .collect()
-        }))
-    }
+/// Cross-process spill effectiveness, counted outside the cache lock
+/// (materialization and streaming both happen without it).
+#[derive(Default)]
+struct SpillCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
 }
 
 struct Entry {
@@ -98,6 +113,21 @@ pub struct TraceCacheStats {
     pub resident_traces: u64,
     /// Bytes currently accounted against the budget.
     pub resident_bytes: u64,
+    /// Materializations and streams served from a binary spill file
+    /// instead of the generator.
+    #[serde(default)]
+    pub spill_hits: u64,
+    /// Materializations and streams that found no usable spill file and
+    /// had to generate.
+    #[serde(default)]
+    pub spill_misses: u64,
+    /// Bytes of spilled trace data loaded into memory (the safe stand-in
+    /// for "bytes mmapped": the binary file is read and decoded in bulk).
+    #[serde(default)]
+    pub spill_bytes_read: u64,
+    /// Bytes of trace data written to spill files by this process.
+    #[serde(default)]
+    pub spill_bytes_written: u64,
 }
 
 /// A byte-budgeted, LRU-evicting cache of materialized traces.
@@ -122,10 +152,15 @@ pub struct TraceCache {
     /// Counted outside the mutex — the oversize check rejects before
     /// locking, so this must not require the lock either.
     oversize_rejections: AtomicU64,
+    /// Directory of `{fingerprint:016x}.hmtrace` spill files; `None`
+    /// disables the spill entirely (in-memory cache only).
+    spill_dir: Option<PathBuf>,
+    spill: SpillCounters,
 }
 
 impl TraceCache {
-    /// Creates a cache bounded to `budget_bytes` of trace data.
+    /// Creates a cache bounded to `budget_bytes` of trace data, with the
+    /// binary spill disabled.
     #[must_use]
     pub fn new(budget_bytes: usize) -> Self {
         Self {
@@ -139,17 +174,44 @@ impl TraceCache {
             }),
             budget_bytes,
             oversize_rejections: AtomicU64::new(0),
+            spill_dir: None,
+            spill: SpillCounters::default(),
+        }
+    }
+
+    /// Creates a cache that additionally spills each generated trace to a
+    /// binary file under `dir` and replays from such files when present.
+    #[must_use]
+    pub fn with_spill_dir(budget_bytes: usize, dir: impl Into<PathBuf>) -> Self {
+        Self {
+            spill_dir: Some(dir.into()),
+            ..Self::new(budget_bytes)
+        }
+    }
+
+    /// The spill directory from the environment: the value of
+    /// `HYBRIDMEM_TRACE_SPILL_DIR` (empty string = spill disabled), or a
+    /// fixed directory under the system temp dir.
+    fn default_spill_dir() -> Option<PathBuf> {
+        match std::env::var_os("HYBRIDMEM_TRACE_SPILL_DIR") {
+            Some(dir) if dir.is_empty() => None,
+            Some(dir) => Some(PathBuf::from(dir)),
+            None => Some(std::env::temp_dir().join("hybridmem-trace-cache")),
         }
     }
 
     /// The process-wide cache used by
     /// [`ExperimentConfig::compare`](crate::ExperimentConfig::compare), the
     /// parallel matrix runner, and the sweep helpers, with
-    /// [`DEFAULT_BUDGET_BYTES`] of capacity.
+    /// [`DEFAULT_BUDGET_BYTES`] of capacity and the environment-selected
+    /// spill directory (see [`Self::default_spill_dir`] in the source).
     #[must_use]
     pub fn global() -> &'static Self {
         static GLOBAL: OnceLock<TraceCache> = OnceLock::new();
-        GLOBAL.get_or_init(|| Self::new(DEFAULT_BUDGET_BYTES))
+        GLOBAL.get_or_init(|| Self {
+            spill_dir: Self::default_spill_dir(),
+            ..Self::new(DEFAULT_BUDGET_BYTES)
+        })
     }
 
     /// Stable fingerprint of a `(spec, seed)` cell.
@@ -238,7 +300,144 @@ impl TraceCache {
         };
         // Generate outside the lock: same-trace callers serialize on the
         // slot's OnceLock; different traces generate concurrently.
-        Some(slot.materialize())
+        Some(self.materialize(key, &slot))
+    }
+
+    /// The slot's trace, loading it from a spill file or generating (and
+    /// spilling) it on first call. Concurrent callers block until the
+    /// winning materializer finishes.
+    fn materialize(&self, key: u64, slot: &TraceSlot) -> Arc<[PageAccess]> {
+        Arc::clone(slot.trace.get_or_init(|| {
+            let spec_json = Self::spec_json(&slot.spec);
+            if let Some(trace) = self.try_load_spill(key, &spec_json, slot.seed) {
+                return trace;
+            }
+            let trace: Arc<[PageAccess]> = TraceGenerator::new(slot.spec.clone(), slot.seed)
+                .map(PageAccess::from)
+                .collect();
+            self.try_write_spill(key, &spec_json, slot.seed, trace.iter().copied());
+            trace
+        }))
+    }
+
+    /// Canonical spec serialization shared by the fingerprint and the
+    /// spill-file header, so a spill written for one `(spec, seed)` can
+    /// never verify against another.
+    fn spec_json(spec: &WorkloadSpec) -> String {
+        serde_json::to_string(spec).unwrap_or_default()
+    }
+
+    /// Path of the spill file for fingerprint `key`, when spilling is on.
+    fn spill_path(&self, key: u64) -> Option<PathBuf> {
+        self.spill_dir
+            .as_deref()
+            .map(|dir| dir.join(format!("{key:016x}.hmtrace")))
+    }
+
+    /// Loads and verifies the spill file for `key`, counting a spill hit
+    /// or miss. Any failure — absent file, truncation, corruption, or a
+    /// header naming a different `(spec, seed)` — is a miss, never an
+    /// error: the caller falls back to the generator.
+    fn try_load_spill(&self, key: u64, spec_json: &str, seed: u64) -> Option<Arc<[PageAccess]>> {
+        let path = self.spill_path(key)?;
+        let loaded = BinTraceReader::open(&path)
+            .ok()
+            .filter(|reader| reader.header().matches(spec_json, seed));
+        let Some(reader) = loaded else {
+            self.spill.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        self.spill.hits.fetch_add(1, Ordering::Relaxed);
+        self.spill.bytes_read.fetch_add(
+            (reader.records().len() * binfmt::RECORD_BYTES) as u64,
+            Ordering::Relaxed,
+        );
+        Some(
+            reader
+                .records()
+                .iter()
+                .map(|record| record.access())
+                .collect(),
+        )
+    }
+
+    /// Best-effort spill write: the trace lands under a temporary name and
+    /// is renamed into place so concurrent processes never observe a
+    /// half-written file. I/O failures are swallowed — the spill is an
+    /// optimization, not a correctness dependency.
+    fn try_write_spill<I>(&self, key: u64, spec_json: &str, seed: u64, accesses: I)
+    where
+        I: IntoIterator<Item = PageAccess>,
+    {
+        let Some(path) = self.spill_path(key) else {
+            return;
+        };
+        let Some(dir) = path.parent() else {
+            return;
+        };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = dir.join(format!("{key:016x}.hmtrace.tmp.{}", std::process::id()));
+        match binfmt::write_trace_file(&tmp, spec_json, seed, key, accesses) {
+            Ok(count) => {
+                if std::fs::rename(&tmp, &path).is_ok() {
+                    self.spill.bytes_written.fetch_add(
+                        count.saturating_mul(binfmt::RECORD_BYTES as u64),
+                        Ordering::Relaxed,
+                    );
+                } else {
+                    let _ = std::fs::remove_file(&tmp);
+                }
+            }
+            Err(_) => {
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+    }
+
+    /// Opens a chunked binary replay stream for `(spec, seed)` — the path
+    /// for *oversize* traces that [`try_get`](Self::try_get) refuses to
+    /// materialize. An existing verified spill file is replayed directly;
+    /// otherwise the trace is generated **once**, streamed to disk without
+    /// ever being resident, and replayed from the file — this run and
+    /// every later one. Returns `None` when spilling is disabled or the
+    /// file cannot be written (callers stream the generator instead).
+    #[must_use]
+    pub fn open_stream(&self, spec: &WorkloadSpec, seed: u64) -> Option<BinTraceStream> {
+        let key = Self::fingerprint(spec, seed);
+        let path = self.spill_path(key)?;
+        let spec_json = Self::spec_json(spec);
+        if let Ok(stream) = BinTraceStream::open(&path, binfmt::STREAM_CHUNK_RECORDS) {
+            if stream.header().matches(&spec_json, seed) {
+                self.spill.hits.fetch_add(1, Ordering::Relaxed);
+                self.spill.bytes_read.fetch_add(
+                    stream
+                        .remaining()
+                        .saturating_mul(binfmt::RECORD_BYTES as u64),
+                    Ordering::Relaxed,
+                );
+                return Some(stream);
+            }
+        }
+        self.spill.misses.fetch_add(1, Ordering::Relaxed);
+        self.try_write_spill(
+            key,
+            &spec_json,
+            seed,
+            TraceGenerator::new(spec.clone(), seed).map(PageAccess::from),
+        );
+        let stream = BinTraceStream::open(&path, binfmt::STREAM_CHUNK_RECORDS).ok()?;
+        if !stream.header().matches(&spec_json, seed) {
+            return None;
+        }
+        self.spill.bytes_read.fetch_add(
+            stream
+                .remaining()
+                .saturating_mul(binfmt::RECORD_BYTES as u64),
+            Ordering::Relaxed,
+        );
+        Some(stream)
     }
 
     /// Number of resident traces (diagnostics).
@@ -286,6 +485,10 @@ impl TraceCache {
             oversize_rejections: self.oversize_rejections.load(Ordering::Relaxed),
             resident_traces: inner.entries.len() as u64,
             resident_bytes: inner.bytes as u64,
+            spill_hits: self.spill.hits.load(Ordering::Relaxed),
+            spill_misses: self.spill.misses.load(Ordering::Relaxed),
+            spill_bytes_read: self.spill.bytes_read.load(Ordering::Relaxed),
+            spill_bytes_written: self.spill.bytes_written.load(Ordering::Relaxed),
         }
     }
 
@@ -301,6 +504,10 @@ impl TraceCache {
         registry.add("trace_cache.misses", stats.misses);
         registry.add("trace_cache.evictions", stats.evictions);
         registry.add("trace_cache.oversize_rejections", stats.oversize_rejections);
+        registry.add("trace_cache.spill_hits", stats.spill_hits);
+        registry.add("trace_cache.spill_misses", stats.spill_misses);
+        registry.add("trace_cache.spill_bytes_read", stats.spill_bytes_read);
+        registry.add("trace_cache.spill_bytes_written", stats.spill_bytes_written);
         #[allow(clippy::cast_precision_loss)]
         {
             registry.set_gauge("trace_cache.resident_traces", stats.resident_traces as f64);
@@ -419,6 +626,108 @@ mod tests {
         assert_eq!(registry.counter("trace_cache.hits"), 1);
         assert_eq!(registry.counter("trace_cache.misses"), 1);
         assert!((registry.gauge("trace_cache.resident_traces") - 1.0).abs() < f64::EPSILON);
+    }
+
+    /// A unique spill directory per test, removed on drop.
+    struct SpillDir(PathBuf);
+
+    impl SpillDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir()
+                .join(format!("hybridmem-spill-test-{}-{tag}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            Self(dir)
+        }
+    }
+
+    impl Drop for SpillDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    #[test]
+    fn spill_round_trips_across_cache_instances() {
+        let dir = SpillDir::new("roundtrip");
+        let s = spec(3_000);
+
+        let first = TraceCache::with_spill_dir(64 << 20, &dir.0);
+        let generated = first.try_get(&s, 42).unwrap();
+        let stats = first.stats();
+        assert_eq!(stats.spill_hits, 0);
+        assert_eq!(stats.spill_misses, 1);
+        assert!(stats.spill_bytes_written > 0, "trace was spilled");
+
+        // A fresh cache (≈ a fresh process) replays the spill file.
+        let second = TraceCache::with_spill_dir(64 << 20, &dir.0);
+        let replayed = second.try_get(&s, 42).unwrap();
+        assert_eq!(&generated[..], &replayed[..]);
+        let stats = second.stats();
+        assert_eq!(stats.spill_hits, 1);
+        assert_eq!(stats.spill_misses, 0);
+        assert_eq!(stats.spill_bytes_read, 3_000 * 16);
+    }
+
+    #[test]
+    fn corrupt_or_mismatched_spill_degrades_to_generation() {
+        let dir = SpillDir::new("corrupt");
+        let s = spec(2_000);
+        let cache = TraceCache::with_spill_dir(64 << 20, &dir.0);
+        cache.try_get(&s, 42).unwrap();
+
+        // Truncate the spill file; a fresh cache must fall back cleanly.
+        let file = std::fs::read_dir(&dir.0)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|e| e == "hmtrace"))
+            .expect("one spill file");
+        let bytes = std::fs::read(&file).unwrap();
+        std::fs::write(&file, &bytes[..bytes.len() / 2]).unwrap();
+
+        let fresh = TraceCache::with_spill_dir(64 << 20, &dir.0);
+        let replayed = fresh.try_get(&s, 42).unwrap();
+        let expected: Vec<PageAccess> = TraceGenerator::new(s.clone(), 42)
+            .map(PageAccess::from)
+            .collect();
+        assert_eq!(&replayed[..], &expected[..]);
+        assert_eq!(fresh.stats().spill_misses, 1);
+
+        // A different seed never verifies against the repaired file.
+        let other = TraceCache::with_spill_dir(64 << 20, &dir.0);
+        other.try_get(&s, 7).unwrap();
+        assert_eq!(other.stats().spill_hits, 0);
+    }
+
+    #[test]
+    fn open_stream_replays_exactly_without_materializing() {
+        let dir = SpillDir::new("stream");
+        let s = spec(4_000);
+        let cache = TraceCache::with_spill_dir(64 << 20, &dir.0);
+
+        // First open generates straight to disk; second replays the file.
+        for round in 0..2 {
+            let mut stream = cache.open_stream(&s, 42).expect("spill dir configured");
+            assert_eq!(stream.remaining(), 4_000);
+            let mut streamed = Vec::new();
+            while let Some(chunk) = stream.next_chunk().unwrap() {
+                streamed.extend(chunk.iter().map(|r| r.access()));
+            }
+            let expected: Vec<PageAccess> = TraceGenerator::new(s.clone(), 42)
+                .map(PageAccess::from)
+                .collect();
+            assert_eq!(streamed, expected, "round {round}");
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.spill_hits, stats.spill_misses), (1, 1));
+        assert!(cache.is_empty(), "streaming never materializes");
+    }
+
+    #[test]
+    fn spill_disabled_cache_reports_no_stream() {
+        let cache = TraceCache::new(64 << 20);
+        assert!(cache.open_stream(&spec(1_000), 42).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.spill_hits + stats.spill_misses, 0);
     }
 
     #[test]

@@ -27,6 +27,8 @@
 //! Its output sits outside the determinism boundary: it never feeds back
 //! into simulation results, and every `Instant::now` call site carries an
 //! `xtask:allow(timing)` annotation audited by `cargo xtask lint`.
+//! The [`process`] module (peak-RSS introspection for the throughput
+//! harness) sits outside that boundary for the same reason.
 //!
 //! # Examples
 //!
@@ -50,9 +52,11 @@
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod histogram;
+pub mod process;
 mod registry;
 pub mod span;
 
 pub use histogram::{BucketCount, Histogram, HistogramSnapshot};
+pub use process::peak_rss_bytes;
 pub use registry::{MetricsRegistry, MetricsSnapshot};
 pub use span::{SpanGuard, SpanProfiler, SpanRecord};

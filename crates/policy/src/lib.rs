@@ -20,6 +20,7 @@
 //! plus the data structures they are built on:
 //!
 //! * [`RankedLru`] — an LRU queue with O(log n) recency-rank queries;
+//! * [`LinkedLru`] — an O(1) intrusive-list LRU queue for rank-free tiers;
 //! * [`ClockRing`] — a CLOCK (second-chance) ring with per-frame metadata.
 //!
 //! Policies are pure bookkeeping: they decide *what happens* to pages and
@@ -61,11 +62,11 @@ pub use clock::ClockRing;
 pub use clock_dwf::ClockDwfPolicy;
 pub use clock_pro::ClockProPolicy;
 pub use dram_cache::DramCachePolicy;
-pub use lru::RankedLru;
+pub use lru::{LinkedLru, RankedLru};
 pub use single::SingleTierPolicy;
 pub use single_clock::SingleTierClockPolicy;
 pub use traits::{
-    AccessOutcome, ActionList, CounterKind, HybridPolicy, NvmCounterProbe, PolicyAction,
-    MAX_ACTIONS_PER_ACCESS,
+    AccessOutcome, ActionList, BatchOutcomes, BatchStep, CounterKind, HybridPolicy,
+    NvmCounterProbe, PolicyAction, MAX_ACTIONS_PER_ACCESS,
 };
 pub use two_lru::{TwoLruConfig, TwoLruPolicy, TwoLruStats};

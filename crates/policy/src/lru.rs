@@ -1,4 +1,5 @@
-//! A ranked LRU queue: O(log n) touch, evict, and recency-rank queries.
+//! LRU queues for the migration policies: a ranked queue with O(log n)
+//! recency-rank queries and a plain O(1) linked-list queue.
 //!
 //! The proposed migration scheme keeps per-page counters only for pages in
 //! the *top positions* of the NVM LRU queue (Algorithm 1: `readperc` /
@@ -9,7 +10,16 @@
 //! monotonically increasing slot number; a Fenwick (binary indexed) tree
 //! over slot occupancy then yields both rank queries and the
 //! least-recently-used victim in logarithmic time, with periodic O(n log n)
-//! compaction when slot space runs out.
+//! compaction when slot space runs out. Its storage is a structure-of-
+//! arrays slab (parallel `pages`/`slots` vectors), so the touch-heavy hot
+//! loop walks dense homogeneous arrays, and [`RankedLru::touch_ranked`]
+//! folds Algorithm 1's rank-query-then-touch pair into one map lookup.
+//!
+//! Queues that never ask for ranks — the DRAM recency queue and the
+//! single-tier baselines — don't need any of that machinery:
+//! [`LinkedLru`] is an index-linked doubly linked list over a slab, with
+//! O(1) touch/insert/evict and a single hash lookup per operation. The
+//! batched replay path leans on it for its plain-hit fast path.
 //!
 //! # Examples
 //!
@@ -36,12 +46,6 @@ const EMPTY: usize = usize::MAX;
 
 /// Minimum slot capacity; also the floor after compaction.
 const MIN_SLOTS: usize = 16;
-
-#[derive(Debug, Clone)]
-struct Entry {
-    page: PageId,
-    slot: usize,
-}
 
 /// Fenwick tree over slot occupancy (1-based internally).
 #[derive(Debug, Clone, Default)]
@@ -109,7 +113,12 @@ impl Fenwick {
 #[derive(Debug, Clone, Default)]
 pub struct RankedLru {
     map: FxHashMap<PageId, usize>,
-    entries: Vec<Entry>,
+    /// Slab of pages, parallel to `slots` (structure-of-arrays: the hot
+    /// touch path only reads `slots`, so page ids stay out of its cache
+    /// lines).
+    pages: Vec<PageId>,
+    /// Current slot number of each slab index, parallel to `pages`.
+    slots: Vec<usize>,
     free: Vec<usize>,
     slot_to_entry: Vec<usize>,
     fenwick: Fenwick,
@@ -122,7 +131,8 @@ impl RankedLru {
     pub fn new() -> Self {
         Self {
             map: FxHashMap::default(),
-            entries: Vec::new(),
+            pages: Vec::new(),
+            slots: Vec::new(),
             free: Vec::new(),
             slot_to_entry: vec![EMPTY; MIN_SLOTS],
             fenwick: Fenwick::with_len(MIN_SLOTS),
@@ -136,7 +146,8 @@ impl RankedLru {
         let slots = (capacity * 4).max(MIN_SLOTS);
         Self {
             map: FxHashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default()),
-            entries: Vec::with_capacity(capacity),
+            pages: Vec::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
             free: Vec::new(),
             slot_to_entry: vec![EMPTY; slots],
             fenwick: Fenwick::with_len(slots),
@@ -175,11 +186,13 @@ impl RankedLru {
         );
         let slot = self.take_slot();
         let idx = if let Some(idx) = self.free.pop() {
-            self.entries[idx] = Entry { page, slot };
+            self.pages[idx] = page;
+            self.slots[idx] = slot;
             idx
         } else {
-            self.entries.push(Entry { page, slot });
-            self.entries.len() - 1
+            self.pages.push(page);
+            self.slots.push(slot);
+            self.pages.len() - 1
         };
         self.slot_to_entry[slot] = idx;
         self.fenwick.add(slot, 1);
@@ -189,14 +202,38 @@ impl RankedLru {
     /// Moves `page` to the MRU position. Returns true when the page was
     /// present (and was therefore moved).
     pub fn touch(&mut self, page: PageId) -> bool {
-        // Remove + reinsert keeps the slot bookkeeping trivially consistent
-        // even when the reinsertion triggers a compaction; both halves are
-        // O(log n) and the freed slab index is reused immediately.
-        if !self.remove(page) {
+        let Some(&idx) = self.map.get(&page) else {
             return false;
-        }
-        self.insert(page);
+        };
+        self.reslot(idx);
         true
+    }
+
+    /// Returns the recency rank `page` held *before* this touch (0 =
+    /// MRU) and moves it to the MRU position — Algorithm 1's
+    /// rank-query-then-touch pair in a single map lookup.
+    ///
+    /// Equivalent to `rank(page)` followed by `touch(page)`.
+    pub fn touch_ranked(&mut self, page: PageId) -> Option<usize> {
+        let &idx = self.map.get(&page)?;
+        let at_or_before = self.fenwick.prefix(self.slots[idx]);
+        let rank = self.map.len() - at_or_before as usize;
+        self.reslot(idx);
+        Some(rank)
+    }
+
+    /// Moves the slab entry `idx` to a fresh MRU slot in place (no map
+    /// traffic). The rank ordering of all other pages is unchanged.
+    fn reslot(&mut self, idx: usize) {
+        // Allocate first: a compaction renumbers `slots[idx]` too, so the
+        // old slot must be read *after* `take_slot`.
+        let new_slot = self.take_slot();
+        let old_slot = self.slots[idx];
+        self.fenwick.add(old_slot, -1);
+        self.slot_to_entry[old_slot] = EMPTY;
+        self.slots[idx] = new_slot;
+        self.slot_to_entry[new_slot] = idx;
+        self.fenwick.add(new_slot, 1);
     }
 
     /// Removes and returns the least-recently-used page.
@@ -212,7 +249,7 @@ impl RankedLru {
         let slot = self.fenwick.select(1)?;
         let idx = self.slot_to_entry[slot];
         debug_assert_ne!(idx, EMPTY);
-        Some(self.entries[idx].page)
+        Some(self.pages[idx])
     }
 
     /// Removes `page` from the queue. Returns true when it was present.
@@ -220,7 +257,7 @@ impl RankedLru {
         let Some(idx) = self.map.remove(&page) else {
             return false;
         };
-        let slot = self.entries[idx].slot;
+        let slot = self.slots[idx];
         self.fenwick.add(slot, -1);
         self.slot_to_entry[slot] = EMPTY;
         self.free.push(idx);
@@ -232,7 +269,7 @@ impl RankedLru {
     #[must_use]
     pub fn rank(&self, page: PageId) -> Option<usize> {
         let &idx = self.map.get(&page)?;
-        let slot = self.entries[idx].slot;
+        let slot = self.slots[idx];
         // Pages with slots *greater* than ours are more recent.
         let at_or_before = self.fenwick.prefix(slot);
         Some(self.map.len() - at_or_before as usize)
@@ -242,9 +279,9 @@ impl RankedLru {
     /// debugging, and snapshots rather than per-access use.
     #[must_use]
     pub fn pages_by_recency(&self) -> Vec<PageId> {
-        let mut present: Vec<&Entry> = self.map.values().map(|&idx| &self.entries[idx]).collect();
-        present.sort_by_key(|e| std::cmp::Reverse(e.slot));
-        present.iter().map(|e| e.page).collect()
+        let mut present: Vec<usize> = self.map.values().copied().collect();
+        present.sort_by_key(|&idx| std::cmp::Reverse(self.slots[idx]));
+        present.iter().map(|&idx| self.pages[idx]).collect()
     }
 
     /// Allocates a fresh MRU slot, compacting the slot space when full.
@@ -261,16 +298,216 @@ impl RankedLru {
     /// and resizes the slot space to 4× the live population.
     fn compact(&mut self) {
         let mut live: Vec<usize> = self.map.values().copied().collect();
-        live.sort_by_key(|&idx| self.entries[idx].slot);
+        live.sort_by_key(|&idx| self.slots[idx]);
         let new_len = (live.len() * 4).max(MIN_SLOTS);
         self.slot_to_entry = vec![EMPTY; new_len];
         self.fenwick = Fenwick::with_len(new_len);
         for (slot, idx) in live.into_iter().enumerate() {
-            self.entries[idx].slot = slot;
+            self.slots[idx] = slot;
             self.slot_to_entry[slot] = idx;
             self.fenwick.add(slot, 1);
         }
         self.next_slot = self.map.len();
+    }
+}
+
+/// Sentinel link for "no node" in [`LinkedLru`].
+const NIL: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    page: PageId,
+    prev: u32,
+    next: u32,
+}
+
+/// A plain LRU queue with O(1) touch/insert/evict and exactly one hash
+/// lookup per operation.
+///
+/// The queue is an index-linked doubly linked list over a slab of
+/// [`Node`]s: `head` is the MRU end, `tail` the LRU victim. It answers
+/// everything the DRAM recency queue and the single-tier baselines need;
+/// use [`RankedLru`] when recency-*rank* queries are required (the NVM
+/// counter windows of Algorithm 1).
+///
+/// # Examples
+///
+/// ```
+/// use hybridmem_policy::LinkedLru;
+/// use hybridmem_types::PageId;
+///
+/// let mut lru = LinkedLru::new();
+/// lru.insert(PageId::new(1));
+/// lru.insert(PageId::new(2));
+/// assert!(lru.touch(PageId::new(1)));
+/// assert_eq!(lru.evict_lru(), Some(PageId::new(2)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LinkedLru {
+    map: FxHashMap<PageId, u32>,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    head: Option<u32>,
+    tail: Option<u32>,
+}
+
+impl LinkedLru {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty queue pre-sized for about `capacity` pages.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            map: FxHashMap::with_capacity_and_hasher(capacity, FxBuildHasher::default()),
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: None,
+            tail: None,
+        }
+    }
+
+    /// Number of pages in the queue.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the queue holds no pages.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// True when `page` is in the queue.
+    #[must_use]
+    pub fn contains(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    /// Inserts `page` at the MRU position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is already in the queue; use [`LinkedLru::touch`]
+    /// for pages that may be present.
+    pub fn insert(&mut self, page: PageId) {
+        assert!(
+            !self.map.contains_key(&page),
+            "page {page} is already in the LRU queue"
+        );
+        let old_head = self.head;
+        let node = Node {
+            page,
+            prev: NIL,
+            next: old_head.unwrap_or(NIL),
+        };
+        let idx = if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = node;
+            idx
+        } else {
+            assert!(
+                self.nodes.len() < NIL as usize,
+                "LinkedLru slab exceeds u32 indexing"
+            );
+            self.nodes.push(node);
+            self.nodes.len() as u32 - 1
+        };
+        if let Some(head) = old_head {
+            self.nodes[head as usize].prev = idx;
+        }
+        self.head = Some(idx);
+        if self.tail.is_none() {
+            self.tail = Some(idx);
+        }
+        self.map.insert(page, idx);
+    }
+
+    /// Moves `page` to the MRU position. Returns true when the page was
+    /// present (and was therefore moved).
+    #[inline]
+    pub fn touch(&mut self, page: PageId) -> bool {
+        let Some(&idx) = self.map.get(&page) else {
+            return false;
+        };
+        self.move_to_front(idx);
+        true
+    }
+
+    /// Removes and returns the least-recently-used page.
+    pub fn evict_lru(&mut self) -> Option<PageId> {
+        let victim = self.tail?;
+        let page = self.nodes[victim as usize].page;
+        self.unlink(victim);
+        self.free.push(victim);
+        self.map.remove(&page);
+        Some(page)
+    }
+
+    /// Returns the least-recently-used page without removing it.
+    #[must_use]
+    pub fn peek_lru(&self) -> Option<PageId> {
+        self.tail.map(|idx| self.nodes[idx as usize].page)
+    }
+
+    /// Removes `page` from the queue. Returns true when it was present.
+    pub fn remove(&mut self, page: PageId) -> bool {
+        let Some(idx) = self.map.remove(&page) else {
+            return false;
+        };
+        self.unlink(idx);
+        self.free.push(idx);
+        true
+    }
+
+    /// Pages ordered from MRU to LRU. O(n); intended for tests,
+    /// debugging, and snapshots rather than per-access use.
+    #[must_use]
+    pub fn pages_by_recency(&self) -> Vec<PageId> {
+        let mut out = Vec::with_capacity(self.len());
+        let mut cursor = self.head;
+        while let Some(idx) = cursor {
+            let node = self.nodes[idx as usize];
+            out.push(node.page);
+            cursor = (node.next != NIL).then_some(node.next);
+        }
+        out
+    }
+
+    /// Detaches node `idx` from the list, fixing head/tail.
+    fn unlink(&mut self, idx: u32) {
+        let Node { prev, next, .. } = self.nodes[idx as usize];
+        if prev == NIL {
+            self.head = (next != NIL).then_some(next);
+        } else {
+            self.nodes[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = (prev != NIL).then_some(prev);
+        } else {
+            self.nodes[next as usize].prev = prev;
+        }
+    }
+
+    /// Splices node `idx` to the head (MRU) position.
+    fn move_to_front(&mut self, idx: u32) {
+        if self.head == Some(idx) {
+            return;
+        }
+        self.unlink(idx);
+        let old_head = self.head.unwrap_or(NIL);
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = old_head;
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev = idx;
+        }
+        self.head = Some(idx);
+        if self.tail.is_none() {
+            self.tail = Some(idx);
+        }
     }
 }
 
@@ -411,5 +648,113 @@ mod tests {
         let mut ranks: Vec<usize> = (0..32).map(|n| lru.rank(page(n)).unwrap()).collect();
         ranks.sort_unstable();
         assert_eq!(ranks, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn touch_ranked_equals_rank_then_touch() {
+        let mut fused = RankedLru::new();
+        let mut split = RankedLru::new();
+        for n in 0..16 {
+            fused.insert(page(n));
+            split.insert(page(n));
+        }
+        // A long, slot-space-exhausting sequence so compactions land in
+        // the middle of fused touches.
+        for round in 0..200u64 {
+            let n = (round * 7) % 16;
+            let fused_rank = fused.touch_ranked(page(n));
+            let split_rank = split.rank(page(n));
+            split.touch(page(n));
+            assert_eq!(fused_rank, split_rank, "round {round}");
+            assert_eq!(fused.pages_by_recency(), split.pages_by_recency());
+        }
+        assert_eq!(fused.touch_ranked(page(99)), None);
+    }
+
+    #[test]
+    fn linked_lru_matches_ranked_lru_order() {
+        let mut linked = LinkedLru::new();
+        let mut ranked = RankedLru::new();
+        for n in 0..12 {
+            linked.insert(page(n));
+            ranked.insert(page(n));
+        }
+        for round in 0..300u64 {
+            match round % 5 {
+                0 | 1 | 2 => {
+                    let n = (round * 11) % 12;
+                    assert_eq!(linked.touch(page(n)), ranked.touch(page(n)));
+                }
+                3 => {
+                    assert_eq!(linked.peek_lru(), ranked.peek_lru());
+                    assert_eq!(linked.evict_lru(), ranked.evict_lru());
+                }
+                _ => {
+                    let n = (round * 13) % 24; // half the ids are absent
+                    if !linked.contains(page(n)) {
+                        linked.insert(page(n));
+                        ranked.insert(page(n));
+                    } else {
+                        assert_eq!(linked.remove(page(n)), ranked.remove(page(n)));
+                    }
+                }
+            }
+            assert_eq!(linked.len(), ranked.len());
+            assert_eq!(linked.pages_by_recency(), ranked.pages_by_recency());
+        }
+    }
+
+    #[test]
+    fn linked_lru_basics() {
+        let mut lru = LinkedLru::with_capacity(4);
+        assert!(lru.is_empty());
+        assert_eq!(lru.evict_lru(), None);
+        assert_eq!(lru.peek_lru(), None);
+        assert!(!lru.touch(page(1)));
+        assert!(!lru.remove(page(1)));
+
+        lru.insert(page(1));
+        assert_eq!(lru.pages_by_recency(), vec![page(1)]);
+        assert!(lru.touch(page(1)), "touching the sole page is a no-op move");
+        assert_eq!(lru.evict_lru(), Some(page(1)));
+        assert!(lru.is_empty());
+
+        for n in 0..4 {
+            lru.insert(page(n));
+        }
+        lru.touch(page(0)); // order (MRU..LRU): 0,3,2,1
+        assert_eq!(
+            lru.pages_by_recency(),
+            vec![page(0), page(3), page(2), page(1)]
+        );
+        assert!(lru.remove(page(2)), "unlink from the middle");
+        assert_eq!(lru.evict_lru(), Some(page(1)));
+        assert_eq!(lru.evict_lru(), Some(page(3)));
+        assert_eq!(lru.evict_lru(), Some(page(0)));
+        assert_eq!(lru.evict_lru(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already in the LRU queue")]
+    fn linked_lru_double_insert_panics() {
+        let mut lru = LinkedLru::new();
+        lru.insert(page(1));
+        lru.insert(page(1));
+    }
+
+    #[test]
+    fn linked_lru_reuses_slab_slots() {
+        let mut lru = LinkedLru::new();
+        for n in 0..8 {
+            lru.insert(page(n));
+        }
+        for _ in 0..4 {
+            lru.evict_lru();
+        }
+        for n in 100..104 {
+            lru.insert(page(n));
+        }
+        assert_eq!(lru.len(), 8);
+        assert_eq!(lru.nodes.len(), 8, "freed slab nodes are reused");
     }
 }

@@ -21,14 +21,15 @@
 
 use hybridmem_types::{Error, MemoryKind, PageAccess, PageCount, PageId, Residency, Result};
 
-use crate::{AccessOutcome, ActionList, HybridPolicy, PolicyAction, RankedLru};
+use crate::{AccessOutcome, ActionList, BatchOutcomes, HybridPolicy, LinkedLru, PolicyAction};
 
 /// An LRU-managed main memory made of a single technology.
 #[derive(Debug, Clone)]
 pub struct SingleTierPolicy {
     kind: MemoryKind,
     capacity: PageCount,
-    lru: RankedLru,
+    // Plain LRU needs no rank queries, so the O(1) linked queue suffices.
+    lru: LinkedLru,
 }
 
 impl SingleTierPolicy {
@@ -47,7 +48,7 @@ impl SingleTierPolicy {
         Ok(Self {
             kind,
             capacity,
-            lru: RankedLru::with_capacity(capacity.value() as usize),
+            lru: LinkedLru::with_capacity(capacity.value() as usize),
         })
     }
 
@@ -95,6 +96,22 @@ impl HybridPolicy for SingleTierPolicy {
             into: self.kind,
         });
         AccessOutcome::fault_with(actions)
+    }
+
+    fn on_access_batch(&mut self, batch: &[PageAccess], out: &mut BatchOutcomes) {
+        // Hits in a warm single-tier memory are the common case; compress
+        // them to one-byte steps and fall back to `on_access` for faults.
+        for access in batch {
+            if self.lru.touch(access.page) {
+                match self.kind {
+                    MemoryKind::Dram => out.push_dram_hit(),
+                    MemoryKind::Nvm => out.push_nvm_hit(),
+                }
+            } else {
+                let outcome = self.on_access(*access);
+                out.push_detailed(outcome);
+            }
+        }
     }
 
     fn residency(&self, page: PageId) -> Residency {

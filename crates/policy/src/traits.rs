@@ -396,6 +396,151 @@ impl AccessOutcome {
     }
 }
 
+/// One entry in a [`BatchOutcomes`] step tape.
+///
+/// Plain hits — no actions, no fault, no probe — are the overwhelming
+/// majority of a steady-state replay, so the batch path records them as
+/// a one-byte code instead of a full [`AccessOutcome`]; everything else
+/// (faults, promotions, probed NVM hits) is stored in full, in order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchStep {
+    /// A plain DRAM hit: exactly `AccessOutcome::hit(MemoryKind::Dram)`.
+    DramHit,
+    /// A plain NVM hit: exactly `AccessOutcome::hit(MemoryKind::Nvm)`.
+    NvmHit,
+    /// Anything else; the full outcome is the next entry of
+    /// [`BatchOutcomes::detailed`].
+    Detailed,
+}
+
+/// Outcomes of one [`HybridPolicy::on_access_batch`] call, in access
+/// order.
+///
+/// The steady-state replay loop reuses one `BatchOutcomes` across
+/// batches ([`BatchOutcomes::clear`] between calls), so the structure
+/// allocates only while its capacity still grows. The `steps` tape has
+/// one entry per access; [`BatchStep::Detailed`] entries consume the
+/// next element of the `detailed` side table.
+///
+/// # Examples
+///
+/// ```
+/// use hybridmem_policy::{AccessOutcome, BatchOutcomes, BatchStep};
+/// use hybridmem_types::MemoryKind;
+///
+/// let mut out = BatchOutcomes::new();
+/// out.push_dram_hit();
+/// out.push_detailed(AccessOutcome::hit(MemoryKind::Nvm));
+/// assert_eq!(out.len(), 2);
+/// assert_eq!(out.steps()[0], BatchStep::DramHit);
+/// assert_eq!(out.detailed().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcomes {
+    steps: Vec<BatchStep>,
+    detailed: Vec<AccessOutcome>,
+}
+
+impl BatchOutcomes {
+    /// An empty outcome buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer pre-sized for batches of `capacity` accesses.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            steps: Vec::with_capacity(capacity),
+            detailed: Vec::new(),
+        }
+    }
+
+    /// Records a plain DRAM hit.
+    #[inline]
+    pub fn push_dram_hit(&mut self) {
+        self.steps.push(BatchStep::DramHit);
+    }
+
+    /// Records a plain NVM hit.
+    #[inline]
+    pub fn push_nvm_hit(&mut self) {
+        self.steps.push(BatchStep::NvmHit);
+    }
+
+    /// Records a full outcome (fault, promotion, probed hit, …).
+    #[inline]
+    pub fn push_detailed(&mut self, outcome: AccessOutcome) {
+        self.steps.push(BatchStep::Detailed);
+        self.detailed.push(outcome);
+    }
+
+    /// Records `outcome` compactly when it is a plain hit, in full
+    /// otherwise — what the default [`HybridPolicy::on_access_batch`]
+    /// uses, so any policy's batch path is at worst the serial path.
+    #[inline]
+    pub fn push_outcome(&mut self, outcome: AccessOutcome) {
+        if outcome.actions.is_empty() && !outcome.fault && outcome.probe.is_none() {
+            match outcome.served_from {
+                Some(MemoryKind::Dram) => return self.push_dram_hit(),
+                Some(MemoryKind::Nvm) => return self.push_nvm_hit(),
+                None => {}
+            }
+        }
+        self.push_detailed(outcome);
+    }
+
+    /// Number of accesses recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The per-access step tape.
+    #[must_use]
+    pub fn steps(&self) -> &[BatchStep] {
+        &self.steps
+    }
+
+    /// The detailed outcomes, in the order their [`BatchStep::Detailed`]
+    /// entries appear in the tape.
+    #[must_use]
+    pub fn detailed(&self) -> &[AccessOutcome] {
+        &self.detailed
+    }
+
+    /// Empties the buffer, retaining capacity for the next batch.
+    pub fn clear(&mut self) {
+        self.steps.clear();
+        self.detailed.clear();
+    }
+
+    /// Reconstructs the full [`AccessOutcome`] sequence — the
+    /// equivalence oracle batched≡serial tests compare against.
+    #[must_use]
+    pub fn expand(&self) -> Vec<AccessOutcome> {
+        let mut detailed = self.detailed.iter();
+        self.steps
+            .iter()
+            .map(|step| match step {
+                BatchStep::DramHit => AccessOutcome::hit(MemoryKind::Dram),
+                BatchStep::NvmHit => AccessOutcome::hit(MemoryKind::Nvm),
+                BatchStep::Detailed => detailed
+                    .next()
+                    .cloned()
+                    .expect("step tape and detailed table agree"),
+            })
+            .collect()
+    }
+}
+
 /// A page-placement/migration policy for a (possibly hybrid) main memory.
 ///
 /// Implementations: the paper's proposed two-LRU migration scheme
@@ -410,6 +555,24 @@ impl AccessOutcome {
 pub trait HybridPolicy {
     /// Handles one page-granular access, returning what happened.
     fn on_access(&mut self, access: PageAccess) -> AccessOutcome;
+
+    /// Handles a batch of accesses, appending one outcome per access to
+    /// `out` in order.
+    ///
+    /// The contract is strict equivalence: the recorded outcomes must be
+    /// **identical** to calling [`HybridPolicy::on_access`] on each
+    /// access in order — the serial path stays the determinism oracle,
+    /// and `tests/policy_comparison.rs` compares full reports both ways.
+    /// Overriding is purely a throughput lever: it amortizes the virtual
+    /// dispatch to one call per batch and lets a policy keep its hot
+    /// lookups in registers across accesses (see the two-LRU and
+    /// single-tier overrides).
+    fn on_access_batch(&mut self, batch: &[PageAccess], out: &mut BatchOutcomes) {
+        for access in batch {
+            let outcome = self.on_access(*access);
+            out.push_outcome(outcome);
+        }
+    }
 
     /// Where `page` currently lives.
     fn residency(&self, page: PageId) -> Residency;

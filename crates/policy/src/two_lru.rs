@@ -50,7 +50,8 @@ use hybridmem_types::{
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    AccessOutcome, ActionList, CounterKind, HybridPolicy, NvmCounterProbe, PolicyAction, RankedLru,
+    AccessOutcome, ActionList, BatchOutcomes, CounterKind, HybridPolicy, LinkedLru,
+    NvmCounterProbe, PolicyAction, RankedLru,
 };
 
 /// Configuration of the proposed two-LRU migration scheme.
@@ -208,7 +209,10 @@ pub struct TwoLruStats {
 #[derive(Debug, Clone)]
 pub struct TwoLruPolicy {
     config: TwoLruConfig,
-    dram: RankedLru,
+    // DRAM hits need no recency rank, only a move-to-front, so the DRAM
+    // queue is the O(1) [`LinkedLru`]; NVM stays on the Fenwick-backed
+    // [`RankedLru`] because the counter windows are rank queries.
+    dram: LinkedLru,
     nvm: RankedLru,
     counters: FxHashMap<PageId, PageCounters>,
     stats: TwoLruStats,
@@ -221,7 +225,7 @@ impl TwoLruPolicy {
         #[allow(clippy::cast_possible_truncation)]
         Self {
             config,
-            dram: RankedLru::with_capacity(config.dram_capacity.value() as usize),
+            dram: LinkedLru::with_capacity(config.dram_capacity.value() as usize),
             nvm: RankedLru::with_capacity(config.nvm_capacity.value() as usize),
             counters: FxHashMap::default(),
             stats: TwoLruStats::default(),
@@ -314,9 +318,8 @@ impl TwoLruPolicy {
     fn on_nvm_hit(&mut self, page: PageId, kind: AccessKind) -> AccessOutcome {
         let rank = self
             .nvm
-            .rank(page)
+            .touch_ranked(page)
             .expect("page is in the NVM queue by precondition");
-        self.nvm.touch(page);
 
         let counters = self.counters.entry(page).or_default();
         // Lazy boundary reset (see module docs): a rank at or past a window
@@ -433,14 +436,31 @@ impl TwoLruPolicy {
 impl HybridPolicy for TwoLruPolicy {
     fn on_access(&mut self, access: PageAccess) -> AccessOutcome {
         // Algorithm 1: search DRAM first ("DRAM contains the most hot data
-        // pages"), then NVM, else fault.
-        if self.dram.contains(access.page) {
-            self.dram.touch(access.page);
+        // pages"), then NVM, else fault. `touch` doubles as the membership
+        // probe so a DRAM hit costs a single hash lookup.
+        if self.dram.touch(access.page) {
             AccessOutcome::hit(MemoryKind::Dram)
         } else if self.nvm.contains(access.page) {
             self.on_nvm_hit(access.page, access.kind)
         } else {
             self.on_fault(access.page)
+        }
+    }
+
+    fn on_access_batch(&mut self, batch: &[PageAccess], out: &mut BatchOutcomes) {
+        // Same decision tree as `on_access`, amortising the virtual dispatch
+        // over the batch. DRAM hits — the overwhelmingly common case once
+        // the queues are warm — compress to a one-byte step.
+        for access in batch {
+            if self.dram.touch(access.page) {
+                out.push_dram_hit();
+            } else if self.nvm.contains(access.page) {
+                let outcome = self.on_nvm_hit(access.page, access.kind);
+                out.push_outcome(outcome);
+            } else {
+                let outcome = self.on_fault(access.page);
+                out.push_detailed(outcome);
+            }
         }
     }
 

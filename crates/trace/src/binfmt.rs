@@ -1,0 +1,688 @@
+//! Compact binary page-trace format for zero-copy cached replay.
+//!
+//! The matrix engine replays the same (spec, seed) trace for every
+//! policy of a cell row; regenerating it access-by-access is the single
+//! largest fixed cost of a cold run. This module gives a generated
+//! trace a durable on-disk form so it is synthesized **once** and then
+//! replayed from fixed-size records with no per-access decode
+//! allocation.
+//!
+//! # Layout
+//!
+//! All integers are little-endian. A file is a 40-byte header, the
+//! canonical spec JSON, then `count` fixed 16-byte records:
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic        b"HMTRACE1"
+//!      8     4  version      format version (currently 1)
+//!     12     4  spec_len     byte length of the spec JSON that follows
+//!     16     8  seed         generator seed the trace was produced with
+//!     24     8  fingerprint  cache key of (spec JSON, seed)
+//!     32     8  count        number of records
+//!     40   spec_len          canonical spec JSON (collision verification)
+//!     40+spec_len  16*count  records
+//! ```
+//!
+//! Each record is `{ page: u64, flags: u64 }` with flag bit 0 carrying
+//! the op (0 = read, 1 = write); the remaining flag bits are reserved
+//! for future op/size packing and must be zero in version 1.
+//!
+//! The full spec JSON rides in the header (not just its fingerprint) so
+//! a reader can verify the file really holds the trace it asked for —
+//! the same collision discipline the in-memory
+//! `TraceCache` applies to its slots.
+//!
+//! # Zero-copy replay
+//!
+//! The workspace forbids `unsafe`, so the reader does not `mmap`;
+//! instead [`BinTraceReader`] performs one bulk read and a single-pass
+//! decode into a `Box<[Record]>`, after which [`BinTraceReader::records`]
+//! hands out borrowed `&[Record]` slices — no per-access decode, no
+//! per-access allocation, and on little-endian targets the decode loop
+//! compiles to a straight copy. Oversize traces use [`BinTraceStream`],
+//! which replays through one reused fixed-size chunk buffer.
+
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use hybridmem_types::{AccessKind, Error, PageAccess, PageId};
+
+/// File magic: `HMTRACE1`.
+pub const MAGIC: [u8; 8] = *b"HMTRACE1";
+
+/// Current format version.
+pub const VERSION: u32 = 1;
+
+/// Size of the fixed header in bytes (the spec JSON follows it).
+pub const HEADER_BYTES: usize = 40;
+
+/// Size of one record in bytes.
+pub const RECORD_BYTES: usize = 16;
+
+/// Record flag bit 0: the access is a write.
+const FLAG_WRITE: u64 = 1;
+
+/// One fixed-size trace record: a page id plus packed op flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Record {
+    /// Page id of the access.
+    pub page: u64,
+    /// Packed fields; bit 0 is the op (0 = read, 1 = write).
+    pub flags: u64,
+}
+
+impl Record {
+    /// Packs a page access into a record.
+    #[must_use]
+    pub fn from_access(access: PageAccess) -> Self {
+        Self {
+            page: access.page.value(),
+            flags: u64::from(access.kind.is_write()) * FLAG_WRITE,
+        }
+    }
+
+    /// True when the record is a write.
+    #[must_use]
+    pub const fn is_write(self) -> bool {
+        self.flags & FLAG_WRITE != 0
+    }
+
+    /// Unpacks the record back into a page access.
+    #[must_use]
+    pub fn access(self) -> PageAccess {
+        let kind = if self.is_write() {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        PageAccess::new(PageId::new(self.page), kind)
+    }
+}
+
+impl From<PageAccess> for Record {
+    fn from(access: PageAccess) -> Self {
+        Self::from_access(access)
+    }
+}
+
+impl From<Record> for PageAccess {
+    fn from(record: Record) -> Self {
+        record.access()
+    }
+}
+
+/// Identity block of a binary trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Format version the file was written with.
+    pub version: u32,
+    /// Generator seed.
+    pub seed: u64,
+    /// Cache fingerprint of (spec JSON, seed).
+    pub fingerprint: u64,
+    /// Number of records in the file.
+    pub count: u64,
+    /// Canonical spec JSON the trace was generated from.
+    pub spec_json: String,
+}
+
+impl TraceHeader {
+    /// True when the file identifies as the trace for `spec_json` at
+    /// `seed` — the collision check callers must apply before trusting
+    /// a fingerprint-named file.
+    #[must_use]
+    pub fn matches(&self, spec_json: &str, seed: u64) -> bool {
+        self.seed == seed && self.spec_json == spec_json
+    }
+}
+
+/// Streaming writer producing the binary format.
+///
+/// The record count is not known up front, so `create` writes a header
+/// with a zero count and [`TraceWriter::finish`] seeks back to patch it
+/// — which is why the sink must implement [`Seek`]. Records are staged
+/// through an internal buffer, so wrapping the sink in a `BufWriter` is
+/// unnecessary.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write + Seek> {
+    sink: W,
+    count: u64,
+    buffer: Vec<u8>,
+}
+
+/// Records staged in the writer's buffer before a flush.
+const WRITER_BUFFER_RECORDS: usize = 4096;
+
+impl<W: Write + Seek> TraceWriter<W> {
+    /// Starts a trace file on `sink`: writes the header (count 0) and
+    /// the spec JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] when the spec JSON exceeds
+    /// `u32::MAX` bytes or the sink fails.
+    pub fn create(
+        mut sink: W,
+        spec_json: &str,
+        seed: u64,
+        fingerprint: u64,
+    ) -> Result<Self, Error> {
+        let spec_len = u32::try_from(spec_json.len())
+            .map_err(|_| Error::invalid_input("spec JSON exceeds u32::MAX bytes"))?;
+        let mut header = [0u8; HEADER_BYTES];
+        header[..8].copy_from_slice(&MAGIC);
+        header[8..12].copy_from_slice(&VERSION.to_le_bytes());
+        header[12..16].copy_from_slice(&spec_len.to_le_bytes());
+        header[16..24].copy_from_slice(&seed.to_le_bytes());
+        header[24..32].copy_from_slice(&fingerprint.to_le_bytes());
+        // count (bytes 32..40) stays zero until `finish` patches it.
+        sink.write_all(&header).map_err(io_err)?;
+        sink.write_all(spec_json.as_bytes()).map_err(io_err)?;
+        Ok(Self {
+            sink,
+            count: 0,
+            buffer: Vec::with_capacity(WRITER_BUFFER_RECORDS * RECORD_BYTES),
+        })
+    }
+
+    /// Appends one access.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink failures as [`Error::InvalidInput`].
+    pub fn push(&mut self, access: PageAccess) -> Result<(), Error> {
+        let record = Record::from_access(access);
+        self.buffer.extend_from_slice(&record.page.to_le_bytes());
+        self.buffer.extend_from_slice(&record.flags.to_le_bytes());
+        self.count += 1;
+        if self.buffer.len() >= WRITER_BUFFER_RECORDS * RECORD_BYTES {
+            self.sink.write_all(&self.buffer).map_err(io_err)?;
+            self.buffer.clear();
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered records, patches the header's record count, and
+    /// returns the number of records written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sink failures as [`Error::InvalidInput`].
+    pub fn finish(mut self) -> Result<u64, Error> {
+        if !self.buffer.is_empty() {
+            self.sink.write_all(&self.buffer).map_err(io_err)?;
+            self.buffer.clear();
+        }
+        self.sink.seek(SeekFrom::Start(32)).map_err(io_err)?;
+        self.sink
+            .write_all(&self.count.to_le_bytes())
+            .map_err(io_err)?;
+        self.sink.flush().map_err(io_err)?;
+        Ok(self.count)
+    }
+}
+
+/// Writes a whole trace to `path` in one call.
+///
+/// # Errors
+///
+/// Propagates file-system failures as [`Error::InvalidInput`].
+pub fn write_trace_file<I>(
+    path: &Path,
+    spec_json: &str,
+    seed: u64,
+    fingerprint: u64,
+    accesses: I,
+) -> Result<u64, Error>
+where
+    I: IntoIterator<Item = PageAccess>,
+{
+    let file = File::create(path).map_err(io_err)?;
+    let mut writer = TraceWriter::create(file, spec_json, seed, fingerprint)?;
+    for access in accesses {
+        writer.push(access)?;
+    }
+    writer.finish()
+}
+
+/// Whole-trace reader: one bulk read, one decode pass, then borrowed
+/// zero-copy record slices.
+#[derive(Debug)]
+pub struct BinTraceReader {
+    header: TraceHeader,
+    records: Box<[Record]>,
+}
+
+impl BinTraceReader {
+    /// Opens and fully decodes the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] for I/O failures and
+    /// [`Error::ParseTrace`] for a corrupt header or truncated body.
+    pub fn open(path: &Path) -> Result<Self, Error> {
+        let file = File::open(path).map_err(io_err)?;
+        Self::from_reader(file)
+    }
+
+    /// Decodes a trace from any byte source.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BinTraceReader::open`].
+    pub fn from_reader<R: Read>(mut reader: R) -> Result<Self, Error> {
+        let header = read_header(&mut reader)?;
+        let body_len = (header.count as usize)
+            .checked_mul(RECORD_BYTES)
+            .ok_or_else(|| Error::parse_trace(0, "record count overflows the address space"))?;
+        let mut body = vec![0u8; body_len];
+        read_exact_body(&mut reader, &mut body, header.count)?;
+        let mut trailing = [0u8; 1];
+        if reader.read(&mut trailing).map_err(io_err)? != 0 {
+            return Err(Error::parse_trace(
+                header.count + 1,
+                "trailing bytes after the declared record count",
+            ));
+        }
+        let mut records = Vec::with_capacity(header.count as usize);
+        for chunk in body.chunks_exact(RECORD_BYTES) {
+            records.push(decode_record(chunk));
+        }
+        Ok(Self {
+            header,
+            records: records.into_boxed_slice(),
+        })
+    }
+
+    /// The file's identity header.
+    #[must_use]
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// All records, borrowed — replay iterates this slice directly.
+    #[must_use]
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Consumes the reader, returning the decoded records.
+    #[must_use]
+    pub fn into_records(self) -> Box<[Record]> {
+        self.records
+    }
+}
+
+/// Default chunk size (in records) for [`BinTraceStream`].
+pub const STREAM_CHUNK_RECORDS: usize = 1 << 16;
+
+/// Chunked reader for traces too large to hold in memory: replays the
+/// file through one reused fixed-size buffer.
+#[derive(Debug)]
+pub struct BinTraceStream<R: Read = BufReader<File>> {
+    source: R,
+    header: TraceHeader,
+    remaining: u64,
+    chunk_records: usize,
+    bytes: Vec<u8>,
+    chunk: Vec<Record>,
+}
+
+impl BinTraceStream<BufReader<File>> {
+    /// Opens a stream over the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidInput`] for I/O failures and
+    /// [`Error::ParseTrace`] for a corrupt header.
+    pub fn open(path: &Path, chunk_records: usize) -> Result<Self, Error> {
+        let file = File::open(path).map_err(io_err)?;
+        Self::from_reader(BufReader::new(file), chunk_records)
+    }
+}
+
+impl<R: Read> BinTraceStream<R> {
+    /// Starts a stream over any byte source; `chunk_records` caps the
+    /// records resident per chunk (0 is clamped to 1).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`BinTraceStream::open`].
+    pub fn from_reader(mut source: R, chunk_records: usize) -> Result<Self, Error> {
+        let header = read_header(&mut source)?;
+        let chunk_records = chunk_records.max(1);
+        Ok(Self {
+            remaining: header.count,
+            header,
+            source,
+            chunk_records,
+            bytes: Vec::new(),
+            chunk: Vec::new(),
+        })
+    }
+
+    /// The file's identity header.
+    #[must_use]
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Records not yet yielded.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Reads the next chunk into the reused buffer, returning `None`
+    /// once the declared record count has been delivered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ParseTrace`] when the file ends before the
+    /// header's record count is satisfied, and [`Error::InvalidInput`]
+    /// for I/O failures.
+    pub fn next_chunk(&mut self) -> Result<Option<&[Record]>, Error> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let take = (self.chunk_records as u64).min(self.remaining) as usize;
+        self.bytes.resize(take * RECORD_BYTES, 0);
+        read_exact_body(
+            &mut self.source,
+            &mut self.bytes,
+            self.header.count - self.remaining + take as u64,
+        )?;
+        self.chunk.clear();
+        self.chunk.reserve(take);
+        for chunk in self.bytes.chunks_exact(RECORD_BYTES) {
+            self.chunk.push(decode_record(chunk));
+        }
+        self.remaining -= take as u64;
+        Ok(Some(&self.chunk))
+    }
+}
+
+fn decode_record(bytes: &[u8]) -> Record {
+    let page = u64::from_le_bytes(bytes[..8].try_into().expect("8-byte slice"));
+    let flags = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+    Record { page, flags }
+}
+
+/// Reads and validates the fixed header plus the spec JSON.
+fn read_header<R: Read>(reader: &mut R) -> Result<TraceHeader, Error> {
+    let mut fixed = [0u8; HEADER_BYTES];
+    reader
+        .read_exact(&mut fixed)
+        .map_err(|e| Error::parse_trace(0, format!("truncated header: {e}")))?;
+    if fixed[..8] != MAGIC {
+        return Err(Error::parse_trace(0, "bad magic: not a binary trace file"));
+    }
+    let version = u32::from_le_bytes(fixed[8..12].try_into().expect("4-byte slice"));
+    if version != VERSION {
+        return Err(Error::parse_trace(
+            0,
+            format!("unsupported format version {version} (expected {VERSION})"),
+        ));
+    }
+    let spec_len = u32::from_le_bytes(fixed[12..16].try_into().expect("4-byte slice")) as usize;
+    let seed = u64::from_le_bytes(fixed[16..24].try_into().expect("8-byte slice"));
+    let fingerprint = u64::from_le_bytes(fixed[24..32].try_into().expect("8-byte slice"));
+    let count = u64::from_le_bytes(fixed[32..40].try_into().expect("8-byte slice"));
+    let mut spec_bytes = vec![0u8; spec_len];
+    reader
+        .read_exact(&mut spec_bytes)
+        .map_err(|e| Error::parse_trace(0, format!("truncated spec JSON: {e}")))?;
+    let spec_json = String::from_utf8(spec_bytes)
+        .map_err(|_| Error::parse_trace(0, "spec JSON is not valid UTF-8"))?;
+    Ok(TraceHeader {
+        version,
+        seed,
+        fingerprint,
+        count,
+        spec_json,
+    })
+}
+
+/// Fills `body` exactly, reporting a truncation at `record` (1-based,
+/// the record the failure would have produced) on short reads.
+fn read_exact_body<R: Read>(reader: &mut R, body: &mut [u8], record: u64) -> Result<(), Error> {
+    reader.read_exact(body).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => Error::parse_trace(record, "truncated record body"),
+        _ => Error::invalid_input(format!("I/O error: {e}")),
+    })
+}
+
+fn io_err(e: std::io::Error) -> Error {
+    Error::invalid_input(format!("I/O error: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample(n: u64) -> Vec<PageAccess> {
+        (0..n)
+            .map(|i| {
+                let page = PageId::new(i * 37 % 101);
+                if i % 3 == 0 {
+                    PageAccess::write(page)
+                } else {
+                    PageAccess::read(page)
+                }
+            })
+            .collect()
+    }
+
+    fn encode(accesses: &[PageAccess], spec: &str, seed: u64, fp: u64) -> Vec<u8> {
+        let mut bytes = Cursor::new(Vec::new());
+        let mut writer = TraceWriter::create(&mut bytes, spec, seed, fp).unwrap();
+        for access in accesses {
+            writer.push(*access).unwrap();
+        }
+        writer.finish().unwrap();
+        bytes.into_inner()
+    }
+
+    #[test]
+    fn record_packs_and_unpacks() {
+        for access in sample(7) {
+            let record = Record::from_access(access);
+            assert_eq!(record.access(), access);
+            assert_eq!(record.is_write(), access.kind.is_write());
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_reader() {
+        let trace = sample(1000);
+        let bytes = encode(&trace, "{\"spec\":1}", 42, 0xfeed);
+        assert_eq!(
+            bytes.len(),
+            HEADER_BYTES + "{\"spec\":1}".len() + trace.len() * RECORD_BYTES
+        );
+        let reader = BinTraceReader::from_reader(bytes.as_slice()).unwrap();
+        assert_eq!(reader.header().seed, 42);
+        assert_eq!(reader.header().fingerprint, 0xfeed);
+        assert_eq!(reader.header().count, 1000);
+        assert!(reader.header().matches("{\"spec\":1}", 42));
+        assert!(!reader.header().matches("{\"spec\":1}", 43));
+        assert!(!reader.header().matches("{\"spec\":2}", 42));
+        let back: Vec<PageAccess> = reader.records().iter().map(|r| r.access()).collect();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn roundtrip_through_stream_in_uneven_chunks() {
+        let trace = sample(997);
+        let bytes = encode(&trace, "{}", 7, 9);
+        let mut stream = BinTraceStream::from_reader(bytes.as_slice(), 100).unwrap();
+        assert_eq!(stream.remaining(), 997);
+        let mut back = Vec::new();
+        while let Some(chunk) = stream.next_chunk().unwrap() {
+            assert!(chunk.len() <= 100);
+            back.extend(chunk.iter().map(|r| r.access()));
+        }
+        assert_eq!(back, trace);
+        assert_eq!(stream.remaining(), 0);
+        assert!(stream.next_chunk().unwrap().is_none(), "stream stays done");
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let bytes = encode(&[], "{}", 0, 0);
+        let reader = BinTraceReader::from_reader(bytes.as_slice()).unwrap();
+        assert!(reader.records().is_empty());
+        let mut stream = BinTraceStream::from_reader(bytes.as_slice(), 8).unwrap();
+        assert!(stream.next_chunk().unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode(&sample(3), "{}", 1, 2);
+        bytes[0] ^= 0xff;
+        let err = BinTraceReader::from_reader(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let mut bytes = encode(&sample(3), "{}", 1, 2);
+        bytes[8] = 9;
+        let err = BinTraceReader::from_reader(bytes.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("unsupported format version"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncated_header_is_rejected() {
+        let bytes = encode(&sample(3), "{}", 1, 2);
+        let err = BinTraceReader::from_reader(&bytes[..HEADER_BYTES - 5]).unwrap_err();
+        assert!(err.to_string().contains("truncated header"), "{err}");
+    }
+
+    #[test]
+    fn truncated_spec_json_is_rejected() {
+        let bytes = encode(&sample(3), "{\"name\":\"x\"}", 1, 2);
+        let err = BinTraceReader::from_reader(&bytes[..HEADER_BYTES + 3]).unwrap_err();
+        assert!(err.to_string().contains("truncated spec JSON"), "{err}");
+    }
+
+    #[test]
+    fn truncated_body_is_rejected_by_reader_and_stream() {
+        let bytes = encode(&sample(10), "{}", 1, 2);
+        let cut = &bytes[..bytes.len() - 7];
+        let err = BinTraceReader::from_reader(cut).unwrap_err();
+        assert!(err.to_string().contains("truncated record body"), "{err}");
+
+        let mut stream = BinTraceStream::from_reader(cut, 4).unwrap();
+        let mut last = Ok(());
+        while match stream.next_chunk() {
+            Ok(Some(_)) => true,
+            Ok(None) => false,
+            Err(e) => {
+                last = Err(e);
+                false
+            }
+        } {}
+        let err = last.unwrap_err();
+        assert!(err.to_string().contains("truncated record body"), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode(&sample(4), "{}", 1, 2);
+        bytes.push(0);
+        let err = BinTraceReader::from_reader(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("trailing bytes"), "{err}");
+    }
+
+    #[test]
+    fn non_utf8_spec_json_is_rejected() {
+        let mut bytes = encode(&sample(2), "ab", 1, 2);
+        bytes[HEADER_BYTES] = 0xff;
+        bytes[HEADER_BYTES + 1] = 0xfe;
+        let err = BinTraceReader::from_reader(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("not valid UTF-8"), "{err}");
+    }
+
+    #[test]
+    fn file_roundtrip_via_write_trace_file() {
+        let dir = std::env::temp_dir().join(format!("hmtrace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.hmtrace");
+        let trace = sample(123);
+        let written = write_trace_file(&path, "{\"w\":true}", 5, 6, trace.iter().copied()).unwrap();
+        assert_eq!(written, 123);
+        let reader = BinTraceReader::open(&path).unwrap();
+        assert!(reader.header().matches("{\"w\":true}", 5));
+        let back: Vec<PageAccess> = reader.records().iter().map(|r| r.access()).collect();
+        assert_eq!(back, trace);
+        let mut stream = BinTraceStream::open(&path, 50).unwrap();
+        let mut streamed = Vec::new();
+        while let Some(chunk) = stream.next_chunk().unwrap() {
+            streamed.extend(chunk.iter().map(|r| r.access()));
+        }
+        assert_eq!(streamed, trace);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_access() -> impl Strategy<Value = PageAccess> {
+            (any::<u64>(), any::<bool>()).prop_map(|(page, write)| {
+                if write {
+                    PageAccess::write(PageId::new(page))
+                } else {
+                    PageAccess::read(PageId::new(page))
+                }
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn write_then_read_equals_source(
+                trace in prop::collection::vec(arb_access(), 0..512),
+                seed in any::<u64>(),
+                fp in any::<u64>(),
+                chunk in 1usize..300,
+            ) {
+                let spec = format!("{{\"seed\":{seed}}}");
+                let bytes = encode(&trace, &spec, seed, fp);
+
+                let reader = BinTraceReader::from_reader(bytes.as_slice()).unwrap();
+                prop_assert_eq!(reader.header().count, trace.len() as u64);
+                prop_assert!(reader.header().matches(&spec, seed));
+                let back: Vec<PageAccess> =
+                    reader.records().iter().map(|r| r.access()).collect();
+                prop_assert_eq!(&back, &trace);
+
+                let mut stream =
+                    BinTraceStream::from_reader(bytes.as_slice(), chunk).unwrap();
+                let mut streamed = Vec::new();
+                while let Some(records) = stream.next_chunk().unwrap() {
+                    streamed.extend(records.iter().map(|r| r.access()));
+                }
+                prop_assert_eq!(&streamed, &trace);
+            }
+
+            #[test]
+            fn any_truncation_is_an_error_never_a_wrong_trace(
+                trace in prop::collection::vec(arb_access(), 1..64),
+                cut_fraction in 0.0f64..1.0,
+            ) {
+                let bytes = encode(&trace, "{}", 3, 4);
+                #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let cut = ((bytes.len() - 1) as f64 * cut_fraction) as usize;
+                prop_assert!(BinTraceReader::from_reader(&bytes[..cut]).is_err());
+            }
+        }
+    }
+}

@@ -16,7 +16,9 @@
 //! * [`TraceStats`] — measurements used to regenerate Table III;
 //! * [`ReuseProfile`] — exact LRU reuse-distance analysis and miss-ratio
 //!   curves (the calibration instrument behind the profiles);
-//! * [`io`] — text and binary trace formats for interoperability.
+//! * [`io`] — text and binary trace formats for interoperability;
+//! * [`binfmt`] — the fixed-record page-trace format the trace cache
+//!   spills to for zero-copy cached replay.
 //!
 //! # Examples
 //!
@@ -34,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binfmt;
 mod generator;
 pub mod io;
 pub mod parsec;

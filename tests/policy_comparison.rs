@@ -1,7 +1,7 @@
 //! Cross-policy integration tests: the qualitative orderings the paper's
 //! evaluation rests on, checked on reduced-volume PARSEC traces.
 
-use hybridmem::sim::{geo_mean, ExperimentConfig, PolicyKind, SimulationReport};
+use hybridmem::sim::{geo_mean, ExperimentConfig, PolicyKind, ReplayMode, SimulationReport};
 use hybridmem::trace::parsec;
 
 /// Reduced volume under debug builds so `cargo test` stays fast;
@@ -27,6 +27,33 @@ fn run_all(name: &str) -> [SimulationReport; 4] {
         )
         .unwrap();
     reports.try_into().expect("four policies requested")
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "volume-sensitive; run with --release")]
+fn batched_replay_equals_serial_replay_for_every_policy() {
+    // The batched driver is a pure dispatch optimization: every policy's
+    // full report must match the serial oracle exactly, across the whole
+    // paper matrix.
+    for name in parsec::NAMES {
+        let spec = parsec::spec(name).unwrap().capped(CAP);
+        let serial = ExperimentConfig {
+            replay: ReplayMode::Serial,
+            ..ExperimentConfig::default()
+        };
+        let batched = ExperimentConfig {
+            replay: ReplayMode::Batched,
+            ..serial
+        };
+        for kind in PolicyKind::all() {
+            assert_eq!(
+                serial.run(&spec, kind).unwrap(),
+                batched.run(&spec, kind).unwrap(),
+                "{name}/{}: batched replay diverged from serial",
+                kind.name()
+            );
+        }
+    }
 }
 
 #[test]
