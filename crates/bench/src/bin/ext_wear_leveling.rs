@@ -95,7 +95,17 @@ fn main() -> Result<()> {
                                 &mut physical,
                             );
                         }
-                        _ => {}
+                        // DRAM-bound fills/migrations and disk
+                        // evictions write no NVM cells.
+                        PolicyAction::Migrate {
+                            to: MemoryKind::Dram,
+                            ..
+                        }
+                        | PolicyAction::FillFromDisk {
+                            into: MemoryKind::Dram,
+                            ..
+                        }
+                        | PolicyAction::EvictToDisk { .. } => {}
                     }
                 }
             }

@@ -954,14 +954,18 @@ where
 
     let panicked = std::thread::scope(|scope| {
         let worker = |id: usize| loop {
+            // xtask:allow(atomic-ordering, why=unique cell claim comes from the atomic RMW itself; no cross-cell ordering needed)
             let index = next_cell.fetch_add(1, Ordering::Relaxed);
             if index >= cells {
                 break;
             }
             if let Some(count) = claimed.get(id) {
+                // xtask:allow(atomic-ordering, why=per-worker telemetry counter; read only after the scope joins)
                 count.fetch_add(1, Ordering::Relaxed);
             }
+            // xtask:allow(atomic-ordering, why=in-flight depth telemetry; approximate interleaving is fine)
             let depth = in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+            // xtask:allow(atomic-ordering, why=peak-depth telemetry; fetch_max tolerates reordering)
             peak_in_flight.fetch_max(depth, Ordering::Relaxed);
             let spec = &specs[index / kinds.len()];
             let kind = kinds[index % kinds.len()];
@@ -969,6 +973,7 @@ where
             let result = run(spec, kind, id);
             let elapsed = cell_started.elapsed().as_secs_f64();
             *slots[index].lock().expect("cell slot poisoned") = Some((result, elapsed));
+            // xtask:allow(atomic-ordering, why=in-flight depth telemetry; approximate interleaving is fine)
             in_flight.fetch_sub(1, Ordering::Relaxed);
         };
         let handles: Vec<_> = (0..workers)
@@ -1010,8 +1015,10 @@ where
         cell_seconds,
         cells_per_worker: claimed
             .iter()
+            // xtask:allow(atomic-ordering, why=read after thread::scope join, which already synchronizes)
             .map(|count| count.load(Ordering::Relaxed))
             .collect(),
+        // xtask:allow(atomic-ordering, why=read after thread::scope join, which already synchronizes)
         peak_in_flight: peak_in_flight.load(Ordering::Relaxed),
     };
     Ok((rows, timing))

@@ -309,10 +309,11 @@ impl AmatComponents {
     #[must_use]
     pub fn migration_share(&self) -> f64 {
         let total = self.total();
-        if total == 0.0 {
-            return 0.0;
+        if total > 0.0 {
+            (self.migrations_to_dram + self.migrations_to_nvm) / total
+        } else {
+            0.0
         }
-        (self.migrations_to_dram + self.migrations_to_nvm) / total
     }
 }
 
@@ -349,10 +350,11 @@ impl ApprComponents {
     #[must_use]
     pub fn migration_share(&self) -> f64 {
         let total = self.total();
-        if total == 0.0 {
-            return 0.0;
+        if total > 0.0 {
+            (self.migrations_to_dram + self.migrations_to_nvm) / total
+        } else {
+            0.0
         }
-        (self.migrations_to_dram + self.migrations_to_nvm) / total
     }
 }
 

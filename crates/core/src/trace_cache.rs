@@ -164,6 +164,7 @@ impl TraceCache {
     #[must_use]
     pub fn new(budget_bytes: usize) -> Self {
         Self {
+            // xtask:allow(hot-path-lock, why=single mutex guarding the whole cache map; one acquisition per trace request, not per simulated access)
             inner: Mutex::new(Inner {
                 entries: FxHashMap::default(),
                 bytes: 0,
@@ -241,11 +242,13 @@ impl TraceCache {
     pub fn try_get(&self, spec: &WorkloadSpec, seed: u64) -> Option<Arc<[PageAccess]>> {
         let cost = Self::cost_bytes(spec);
         if cost > self.budget_bytes {
+            // xtask:allow(atomic-ordering, why=monotonic stats counters; readers tolerate any interleaving)
             self.oversize_rejections.fetch_add(1, Ordering::Relaxed);
             return None;
         }
         let key = Self::fingerprint(spec, seed);
         let slot = {
+            // xtask:allow(hot-path-lock, why=one acquisition per trace request, not per simulated access)
             let mut guard = self.inner.lock().expect("trace cache poisoned");
             let inner = &mut *guard;
             inner.tick += 1;
@@ -344,12 +347,15 @@ impl TraceCache {
             .ok()
             .filter(|reader| reader.header().matches(spec_json, seed));
         let Some(reader) = loaded else {
+            // xtask:allow(atomic-ordering, why=monotonic stats counters; readers tolerate any interleaving)
             self.spill.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         };
+        // xtask:allow(atomic-ordering, why=monotonic stats counters; readers tolerate any interleaving)
         self.spill.hits.fetch_add(1, Ordering::Relaxed);
         self.spill.bytes_read.fetch_add(
             (reader.records().len() * binfmt::RECORD_BYTES) as u64,
+            // xtask:allow(atomic-ordering, why=monotonic stats counters; readers tolerate any interleaving)
             Ordering::Relaxed,
         );
         Some(
@@ -384,6 +390,7 @@ impl TraceCache {
                 if std::fs::rename(&tmp, &path).is_ok() {
                     self.spill.bytes_written.fetch_add(
                         count.saturating_mul(binfmt::RECORD_BYTES as u64),
+                        // xtask:allow(atomic-ordering, why=monotonic stats counters; readers tolerate any interleaving)
                         Ordering::Relaxed,
                     );
                 } else {
@@ -410,16 +417,19 @@ impl TraceCache {
         let spec_json = Self::spec_json(spec);
         if let Ok(stream) = BinTraceStream::open(&path, binfmt::STREAM_CHUNK_RECORDS) {
             if stream.header().matches(&spec_json, seed) {
+                // xtask:allow(atomic-ordering, why=monotonic stats counters; readers tolerate any interleaving)
                 self.spill.hits.fetch_add(1, Ordering::Relaxed);
                 self.spill.bytes_read.fetch_add(
                     stream
                         .remaining()
                         .saturating_mul(binfmt::RECORD_BYTES as u64),
+                    // xtask:allow(atomic-ordering, why=monotonic stats counters; readers tolerate any interleaving)
                     Ordering::Relaxed,
                 );
                 return Some(stream);
             }
         }
+        // xtask:allow(atomic-ordering, why=monotonic stats counters; readers tolerate any interleaving)
         self.spill.misses.fetch_add(1, Ordering::Relaxed);
         self.try_write_spill(
             key,
@@ -435,6 +445,7 @@ impl TraceCache {
             stream
                 .remaining()
                 .saturating_mul(binfmt::RECORD_BYTES as u64),
+            // xtask:allow(atomic-ordering, why=monotonic stats counters; readers tolerate any interleaving)
             Ordering::Relaxed,
         );
         Some(stream)
@@ -448,6 +459,7 @@ impl TraceCache {
     #[must_use]
     pub fn len(&self) -> usize {
         self.inner
+            // xtask:allow(hot-path-lock, why=diagnostics accessor, called off the hot path)
             .lock()
             .expect("trace cache poisoned")
             .entries
@@ -467,6 +479,7 @@ impl TraceCache {
     /// Panics if the cache mutex was poisoned.
     #[must_use]
     pub fn resident_bytes(&self) -> usize {
+        // xtask:allow(hot-path-lock, why=diagnostics accessor, called off the hot path)
         self.inner.lock().expect("trace cache poisoned").bytes
     }
 
@@ -477,18 +490,19 @@ impl TraceCache {
     /// Panics if the cache mutex was poisoned.
     #[must_use]
     pub fn stats(&self) -> TraceCacheStats {
+        // xtask:allow(hot-path-lock, why=diagnostics accessor, called off the hot path)
         let inner = self.inner.lock().expect("trace cache poisoned");
         TraceCacheStats {
             hits: inner.hits,
             misses: inner.misses,
             evictions: inner.evictions,
-            oversize_rejections: self.oversize_rejections.load(Ordering::Relaxed),
+            oversize_rejections: self.oversize_rejections.load(Ordering::Relaxed), // xtask:allow(atomic-ordering, why=relaxed stats snapshot; exactness not required)
             resident_traces: inner.entries.len() as u64,
             resident_bytes: inner.bytes as u64,
-            spill_hits: self.spill.hits.load(Ordering::Relaxed),
-            spill_misses: self.spill.misses.load(Ordering::Relaxed),
-            spill_bytes_read: self.spill.bytes_read.load(Ordering::Relaxed),
-            spill_bytes_written: self.spill.bytes_written.load(Ordering::Relaxed),
+            spill_hits: self.spill.hits.load(Ordering::Relaxed), // xtask:allow(atomic-ordering, why=relaxed stats snapshot)
+            spill_misses: self.spill.misses.load(Ordering::Relaxed), // xtask:allow(atomic-ordering, why=relaxed stats snapshot)
+            spill_bytes_read: self.spill.bytes_read.load(Ordering::Relaxed), // xtask:allow(atomic-ordering, why=relaxed stats snapshot)
+            spill_bytes_written: self.spill.bytes_written.load(Ordering::Relaxed), // xtask:allow(atomic-ordering, why=relaxed stats snapshot)
         }
     }
 

@@ -55,6 +55,7 @@ impl Histogram {
         if value == 0 {
             0
         } else {
+            // xtask:allow(lossy-cast, why=64 - leading_zeros is at most 64, within usize on all targets)
             (64 - value.leading_zeros()) as usize
         }
     }

@@ -181,10 +181,12 @@ impl Drop for SpanGuard<'_> {
             .start
             .duration_since(self.profiler.epoch)
             .as_micros()
+            // xtask:allow(lossy-cast, why=clamped to u64::MAX on the previous line)
             .min(u128::from(u64::MAX)) as u64;
         let dur = end
             .duration_since(self.start)
             .as_micros()
+            // xtask:allow(lossy-cast, why=clamped to u64::MAX on the previous line)
             .min(u128::from(u64::MAX)) as u64;
         self.profiler.record(SpanRecord {
             name: std::mem::take(&mut self.name),
@@ -205,8 +207,8 @@ fn escape_json(text: &str) -> String {
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+            c if u32::from(c) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", u32::from(c)));
             }
             c => out.push(c),
         }

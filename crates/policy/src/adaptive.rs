@@ -172,7 +172,24 @@ impl AdaptiveTwoLruPolicy {
                         self.score_promotion(hits);
                     }
                 }
-                _ => {}
+                // Fills and NVM-side evictions never concern a promoted
+                // page (promotion moves it to DRAM); same-module
+                // migrations are never emitted by any policy.
+                PolicyAction::FillFromDisk { .. }
+                | PolicyAction::EvictToDisk {
+                    from: MemoryKind::Nvm,
+                    ..
+                }
+                | PolicyAction::Migrate {
+                    from: MemoryKind::Dram,
+                    to: MemoryKind::Dram,
+                    ..
+                }
+                | PolicyAction::Migrate {
+                    from: MemoryKind::Nvm,
+                    to: MemoryKind::Nvm,
+                    ..
+                } => {}
             }
         }
         let completed = self.window_beneficial + self.window_wasted;

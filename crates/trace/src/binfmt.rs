@@ -593,6 +593,51 @@ mod tests {
         assert!(err.to_string().contains("truncated record body"), "{err}");
     }
 
+    /// Overwrites the header's record-count field (bytes 32..40).
+    fn patch_count(bytes: &mut [u8], count: u64) {
+        bytes[32..40].copy_from_slice(&count.to_le_bytes());
+    }
+
+    #[test]
+    fn count_larger_than_body_is_rejected_by_reader_and_stream() {
+        let mut bytes = encode(&sample(5), "{}", 1, 2);
+        patch_count(&mut bytes, 6);
+        let err = BinTraceReader::from_reader(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("truncated record body"), "{err}");
+
+        let mut stream = BinTraceStream::from_reader(bytes.as_slice(), 2).unwrap();
+        let mut last = Ok(());
+        while match stream.next_chunk() {
+            Ok(Some(_)) => true,
+            Ok(None) => false,
+            Err(e) => {
+                last = Err(e);
+                false
+            }
+        } {}
+        let err = last.unwrap_err();
+        assert!(err.to_string().contains("truncated record body"), "{err}");
+    }
+
+    #[test]
+    fn count_smaller_than_body_is_rejected_by_reader_and_bounds_the_stream() {
+        let trace = sample(5);
+        let mut bytes = encode(&trace, "{}", 1, 2);
+        patch_count(&mut bytes, 4);
+        // The whole-file reader treats the undeclared fifth record as
+        // trailing garbage; the stream reads exactly the declared four
+        // and never looks at it.
+        let err = BinTraceReader::from_reader(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("trailing bytes"), "{err}");
+
+        let mut stream = BinTraceStream::from_reader(bytes.as_slice(), 3).unwrap();
+        let mut back = Vec::new();
+        while let Some(chunk) = stream.next_chunk().unwrap() {
+            back.extend(chunk.iter().map(|r| r.access()));
+        }
+        assert_eq!(back, trace[..4]);
+    }
+
     #[test]
     fn trailing_bytes_are_rejected() {
         let mut bytes = encode(&sample(4), "{}", 1, 2);
@@ -635,6 +680,24 @@ mod tests {
     mod properties {
         use super::*;
         use proptest::prelude::*;
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        /// `Read` adapter that tallies every byte pulled from `inner`
+        /// into a shared counter, so a test can audit how far a
+        /// consumer that takes ownership of its source actually read.
+        struct CountingReader<R> {
+            inner: R,
+            read: Rc<Cell<u64>>,
+        }
+
+        impl<R: Read> Read for CountingReader<R> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = self.inner.read(buf)?;
+                self.read.set(self.read.get() + n as u64);
+                Ok(n)
+            }
+        }
 
         fn arb_access() -> impl Strategy<Value = PageAccess> {
             (any::<u64>(), any::<bool>()).prop_map(|(page, write)| {
@@ -682,6 +745,40 @@ mod tests {
                 #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                 let cut = ((bytes.len() - 1) as f64 * cut_fraction) as usize;
                 prop_assert!(BinTraceReader::from_reader(&bytes[..cut]).is_err());
+            }
+
+            #[test]
+            fn stream_never_reads_past_the_declared_count(
+                trace in prop::collection::vec(arb_access(), 0..128),
+                chunk in 1usize..64,
+                garbage in prop::collection::vec(any::<u8>(), 0..64),
+            ) {
+                let spec = "{\"bounded\":true}";
+                let bytes = encode(&trace, spec, 9, 9);
+                let declared_len = bytes.len() as u64;
+                prop_assert_eq!(
+                    declared_len,
+                    (HEADER_BYTES + spec.len() + trace.len() * RECORD_BYTES) as u64
+                );
+                let mut padded = bytes;
+                padded.extend_from_slice(&garbage);
+
+                let read = Rc::new(Cell::new(0u64));
+                let source = CountingReader {
+                    inner: padded.as_slice(),
+                    read: Rc::clone(&read),
+                };
+                let mut stream = BinTraceStream::from_reader(source, chunk).unwrap();
+                let mut yielded = 0u64;
+                while let Some(records) = stream.next_chunk().unwrap() {
+                    yielded += records.len() as u64;
+                }
+                prop_assert_eq!(yielded, trace.len() as u64, "exactly `count` records");
+                prop_assert_eq!(
+                    read.get(),
+                    declared_len,
+                    "stream stops at header + spec + count * RECORD_BYTES"
+                );
             }
         }
     }

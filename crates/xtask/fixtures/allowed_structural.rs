@@ -1,0 +1,37 @@
+//! Fixture: every structural-rule hazard below carries its
+//! `xtask:allow(rule, why=...)` annotation, so the engine reports
+//! nothing under either a hot-path label (`crates/policy/src/...`)
+//! or a numeric-scope label (`crates/metrics/src/...`).
+//!
+//! Not compiled into any crate; consumed by xtask's rule-engine tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+fn bump_stats(counter: &AtomicU64) {
+    // xtask:allow(atomic-ordering, why=monotonic stat counter, no ordering dependency)
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+fn drain(shared: &Mutex<Vec<u8>>) -> Vec<u8> {
+    // xtask:allow(hot-path-lock, why=called once per flush, not per access)
+    shared.lock().expect("poisoned").split_off(0)
+}
+
+fn narrow(total: u64) -> u32 {
+    // xtask:allow(lossy-cast, why=clamped to u32::MAX on the same expression)
+    total.min(u64::from(u32::MAX)) as u32
+}
+
+fn exactly_zero(total: f64) -> bool {
+    // xtask:allow(float-eq, why=0.0 is an exact sentinel we wrote ourselves)
+    total == 0.0
+}
+
+fn count_migrations(action: &PolicyAction) -> u64 {
+    match action {
+        PolicyAction::Migrate { .. } => 1,
+        // xtask:allow(match-wildcard, why=fixture demonstrates the justified form)
+        _ => 0,
+    }
+}

@@ -1,0 +1,16 @@
+//! Fixture: the `atomic-ordering` rule fires exactly once — an
+//! unjustified `Ordering::Relaxed`. The `SeqCst` site below is the
+//! conservative default and needs no annotation (it is still counted
+//! into the atomic ratchet).
+//!
+//! Not compiled into any crate; consumed by xtask's rule-engine tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump_stats(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+fn publish(flag: &AtomicU64) {
+    flag.store(1, Ordering::SeqCst);
+}

@@ -1,0 +1,24 @@
+//! Fixture: the `float-eq` rule fires exactly once — a `== 0.0`
+//! comparison. The range-guard rewrite below it is the recommended
+//! form and does not fire; neither does integer equality.
+//!
+//! Not compiled into any crate; consumed by xtask's rule-engine tests.
+
+fn share_bad(part: f64, total: f64) -> f64 {
+    if total == 0.0 {
+        return 0.0;
+    }
+    part / total
+}
+
+fn share_good(part: f64, total: f64) -> f64 {
+    if total > 0.0 {
+        part / total
+    } else {
+        0.0
+    }
+}
+
+fn same_page(a: u64, b: u64) -> bool {
+    a == b
+}

@@ -1,0 +1,14 @@
+//! Fixture: the `hot-path-lock` rule fires exactly once — a `.lock()`
+//! acquisition in a file scanned under a hot-path label
+//! (`crates/policy/src/...`). The io-style `.write(buf)` call is not a
+//! lock acquisition (non-empty argument list).
+//!
+//! Not compiled into any crate; consumed by xtask's rule-engine tests.
+
+use std::io::Write;
+use std::sync::Mutex;
+
+fn drain(shared: &Mutex<Vec<u8>>, sink: &mut dyn Write) {
+    let buffered = shared.lock().expect("poisoned");
+    sink.write(&buffered).expect("io");
+}

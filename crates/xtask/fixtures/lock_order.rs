@@ -1,0 +1,24 @@
+//! Fixture: the lock-order extractor records exactly one edge —
+//! `first -> second`, from the one function that acquires both locks.
+//! The single-lock function contributes no edge.
+//!
+//! Not compiled into any crate; consumed by xtask's rule-engine tests.
+
+use std::sync::Mutex;
+
+struct Pair {
+    first: Mutex<u64>,
+    second: Mutex<u64>,
+}
+
+impl Pair {
+    fn both(&self) -> u64 {
+        let a = self.first.lock().expect("poisoned");
+        let b = self.second.lock().expect("poisoned");
+        *a + *b
+    }
+
+    fn only_first(&self) -> u64 {
+        *self.first.lock().expect("poisoned")
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: the `lossy-cast` rule fires exactly once — a narrowing
+//! `as u32` cast. The `as f64` cast and the `u64::from` widening are
+//! out of the rule's scope.
+//!
+//! Not compiled into any crate; consumed by xtask's rule-engine tests.
+
+fn narrow(total_accesses: u64) -> u32 {
+    total_accesses as u32
+}
+
+fn widen(count: u32) -> (u64, f64) {
+    (u64::from(count), count as f64)
+}

@@ -1,0 +1,20 @@
+//! Fixture: the `match-wildcard` rule fires exactly once — a `_` arm
+//! in a match whose patterns name the sentinel enum `PolicyAction`.
+//! The `MemoryKind` match below is not over a sentinel, so its `_`
+//! arm is fine even though its body mentions `PolicyAction`.
+//!
+//! Not compiled into any crate; consumed by xtask's rule-engine tests.
+
+fn count_migrations(action: &PolicyAction) -> u64 {
+    match action {
+        PolicyAction::Migrate { .. } => 1,
+        _ => 0,
+    }
+}
+
+fn promote(from: MemoryKind, to: MemoryKind) -> Option<PolicyAction> {
+    match (from, to) {
+        (MemoryKind::Nvm, MemoryKind::Dram) => Some(PolicyAction::Migrate { from, to }),
+        _ => None,
+    }
+}

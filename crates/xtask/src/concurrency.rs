@@ -1,0 +1,505 @@
+//! Concurrency-safety rules for the upcoming sharded engine.
+//!
+//! Three rules guard the workspace ahead of ROADMAP item 1 (the
+//! lock-free sharded simulation engine):
+//!
+//! * `atomic-ordering` — every explicit non-`SeqCst` atomic ordering
+//!   (`Ordering::Relaxed`/`Acquire`/`Release`/`AcqRel`) must carry an
+//!   `// xtask:allow(atomic-ordering, why=...)` justification naming
+//!   the synchronization argument. `SeqCst` is the conservative default
+//!   and needs no annotation. All sites (including `SeqCst`) are also
+//!   counted into `crates/xtask/atomic-allowlist.toml`, a ratchet that
+//!   fails on drift in either direction (see [`crate::ratchet`]).
+//! * `hot-path-lock` — constructing or acquiring a `Mutex`/`RwLock`
+//!   inside a hot-path module (`core::simulator`, `core::trace_cache`,
+//!   `policy/*`) is denied without a justification. The simulator's
+//!   inner loop must stay lock-free; the trace cache's single
+//!   materialization lock is the annotated exception.
+//! * `lock-order` — nested/sequential lock acquisitions inside one
+//!   function are extracted as ordered edges (`first -> second`) into
+//!   `crates/xtask/lock-order.toml`. The manifest is checked for drift
+//!   in both directions and for contradictory edges (a cycle check),
+//!   so a future deadlock-prone acquisition order fails the lint
+//!   before it fails a run.
+
+use std::collections::BTreeMap;
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{Lexed, Token, TokenKind};
+use crate::tree::{self, Node};
+
+/// The explicit atomic orderings (`std::sync::atomic::Ordering`
+/// variants). `cmp::Ordering` variants never collide with these names.
+pub const ATOMIC_MODES: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Per-file counts of explicit atomic-ordering sites, one slot per
+/// mode, ratcheted by `atomic-allowlist.toml`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OrderingCounts {
+    /// `Ordering::Relaxed` sites.
+    pub relaxed: usize,
+    /// `Ordering::Acquire` sites.
+    pub acquire: usize,
+    /// `Ordering::Release` sites.
+    pub release: usize,
+    /// `Ordering::AcqRel` sites.
+    pub acqrel: usize,
+    /// `Ordering::SeqCst` sites.
+    pub seqcst: usize,
+}
+
+impl OrderingCounts {
+    /// True when the file has no explicit ordering site.
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+
+    fn bump(&mut self, mode: &str) {
+        match mode {
+            "Relaxed" => self.relaxed += 1,
+            "Acquire" => self.acquire += 1,
+            "Release" => self.release += 1,
+            "AcqRel" => self.acqrel += 1,
+            _ => self.seqcst += 1,
+        }
+    }
+}
+
+impl std::fmt::Display for OrderingCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "relaxed = {}, acquire = {}, release = {}, acqrel = {}, seqcst = {}",
+            self.relaxed, self.acquire, self.release, self.acqrel, self.seqcst
+        )
+    }
+}
+
+/// Rule `atomic-ordering`: finds `Ordering::<mode>` sites, demands a
+/// `why=` justification for every non-`SeqCst` mode, and returns the
+/// per-mode counts for the ratchet.
+pub fn atomic_ordering(
+    file: &str,
+    lexed: &Lexed,
+    tokens: &[Token],
+    out: &mut Vec<Diagnostic>,
+) -> OrderingCounts {
+    let mut counts = OrderingCounts::default();
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("Ordering") {
+            continue;
+        }
+        let mode = tokens
+            .get(i + 1)
+            .filter(|n| n.is_punct(':'))
+            .and_then(|_| tokens.get(i + 2))
+            .filter(|n| n.is_punct(':'))
+            .and_then(|_| tokens.get(i + 3))
+            .filter(|n| n.kind == TokenKind::Ident && ATOMIC_MODES.contains(&n.text.as_str()));
+        let Some(mode) = mode else { continue };
+        counts.bump(&mode.text);
+        if mode.text == "SeqCst" {
+            continue; // the conservative default needs no justification
+        }
+        match lexed.allow_why(t.line, "atomic-ordering") {
+            Some(Some(_)) => {}
+            Some(None) => out.push(diag(
+                file,
+                t,
+                "atomic-ordering",
+                format!(
+                    "`Ordering::{}` annotation lacks a `why=` justification; \
+                     state the synchronization argument: \
+                     `// xtask:allow(atomic-ordering, why=...)`",
+                    mode.text
+                ),
+            )),
+            None => out.push(diag(
+                file,
+                t,
+                "atomic-ordering",
+                format!(
+                    "explicit `Ordering::{}` without a justification; add \
+                     `// xtask:allow(atomic-ordering, why=...)` explaining \
+                     why this ordering is sufficient",
+                    mode.text
+                ),
+            )),
+        }
+    }
+    counts
+}
+
+/// True for modules whose inner loops must stay lock-free.
+pub fn is_hot_path(file: &str) -> bool {
+    file == "crates/core/src/simulator.rs"
+        || file == "crates/core/src/trace_cache.rs"
+        || file.starts_with("crates/policy/src/")
+}
+
+/// One lock acquisition or construction site.
+struct LockSite<'a> {
+    /// Receiver identifier (`inner` for `self.inner.lock()`), or the
+    /// type name for `Mutex::new(...)` constructions.
+    name: String,
+    /// The method/type token (span source).
+    at: &'a Token,
+    /// True for `Mutex::new`/`RwLock::new` rather than an acquisition.
+    construction: bool,
+}
+
+/// Finds every lock construction and acquisition in a flat token
+/// stream. `.lock()` counts when the file mentions `Mutex`/`RwLock` at
+/// all; `.read()`/`.write()` only when the file mentions `RwLock`
+/// (otherwise they are almost certainly `io::Read`/`io::Write` calls).
+fn lock_sites<'a>(tokens: &'a [Token]) -> Vec<LockSite<'a>> {
+    let has_mutex = tokens.iter().any(|t| t.is_ident("Mutex"));
+    let has_rwlock = tokens.iter().any(|t| t.is_ident("RwLock"));
+    let mut sites = Vec::new();
+    if !(has_mutex || has_rwlock) {
+        return sites;
+    }
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        // `Mutex::new(` / `RwLock::new(` constructions.
+        if (t.text == "Mutex" || t.text == "RwLock")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|n| n.is_ident("new"))
+        {
+            sites.push(LockSite {
+                name: t.text.clone(),
+                at: t,
+                construction: true,
+            });
+            continue;
+        }
+        // `.lock()` / `.read()` / `.write()` acquisitions.
+        let is_acquire = match t.text.as_str() {
+            "lock" => true,
+            "read" | "write" => has_rwlock,
+            _ => false,
+        };
+        if is_acquire
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct('('))
+            // An empty argument list: `.read(buf)` is io, `.read()` is a lock.
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct(')'))
+        {
+            sites.push(LockSite {
+                name: receiver_name(tokens, i - 1),
+                at: t,
+                construction: false,
+            });
+        }
+    }
+    sites
+}
+
+/// Names the receiver of a method call whose `.` is at `dot`: the
+/// nearest preceding identifier, stepping back over one call/index
+/// group (`make_lock().lock()` names `make_lock`).
+fn receiver_name(tokens: &[Token], dot: usize) -> String {
+    let mut j = dot;
+    while j > 0 {
+        j -= 1;
+        let t = &tokens[j];
+        if t.is_punct(')') || t.is_punct(']') {
+            // Step back over the balanced group.
+            let close = if t.is_punct(')') { ')' } else { ']' };
+            let open = if close == ')' { '(' } else { '[' };
+            let mut depth = 0usize;
+            loop {
+                if tokens[j].is_punct(close) {
+                    depth += 1;
+                } else if tokens[j].is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
+            continue;
+        }
+        if t.kind == TokenKind::Ident && t.text != "self" {
+            return t.text.clone();
+        }
+        if !(t.is_punct('.') || t.is_ident("self")) {
+            break;
+        }
+    }
+    "<expr>".to_owned()
+}
+
+/// Rule `hot-path-lock`: every lock construction/acquisition in a
+/// hot-path module must carry `xtask:allow(hot-path-lock, why=...)`.
+pub fn hot_path_locks(file: &str, lexed: &Lexed, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+    if !is_hot_path(file) {
+        return;
+    }
+    for site in lock_sites(tokens) {
+        let what = if site.construction {
+            format!("`{}::new` constructs a lock", site.name)
+        } else {
+            format!("`.{}()` on `{}` acquires a lock", site.at.text, site.name)
+        };
+        match lexed.allow_why(site.at.line, "hot-path-lock") {
+            Some(Some(_)) => {}
+            Some(None) => out.push(diag(
+                file,
+                site.at,
+                "hot-path-lock",
+                format!(
+                    "{what} in a hot-path module; the annotation lacks a \
+                     `why=` justification"
+                ),
+            )),
+            None => out.push(diag(
+                file,
+                site.at,
+                "hot-path-lock",
+                format!(
+                    "{what} in a hot-path module; keep the inner loop \
+                     lock-free or add `// xtask:allow(hot-path-lock, why=...)`"
+                ),
+            )),
+        }
+    }
+}
+
+/// Extracts the lock-order edges of one file: for every function that
+/// acquires two or more distinct locks, the ordered pairs of adjacent
+/// distinct acquisitions (`first -> second`), keyed by
+/// `file::fn_path`. An `xtask:allow(lock-order)` annotation on the
+/// later acquisition suppresses that edge.
+pub fn lock_order_edges(
+    file: &str,
+    lexed: &Lexed,
+    tokens: &[Token],
+    forest: &[Node],
+) -> BTreeMap<String, Vec<String>> {
+    // Byte offset -> site, so the tree walk can look sites up in order.
+    let sites: BTreeMap<usize, (String, usize)> = lock_sites(tokens)
+        .into_iter()
+        .filter(|s| !s.construction)
+        .map(|s| (s.at.byte, (s.name, s.at.line)))
+        .collect();
+    let mut out = BTreeMap::new();
+    if sites.is_empty() {
+        return out;
+    }
+    tree::walk_fns(forest, &mut |scope| {
+        let mut acquired: Vec<(String, usize)> = Vec::new();
+        tree::for_each_leaf(&scope.body.children, &mut |leaf| {
+            if let Some((name, line)) = sites.get(&leaf.byte) {
+                if acquired.last().map(|(n, _)| n.as_str()) != Some(name.as_str()) {
+                    acquired.push((name.clone(), *line));
+                }
+            }
+        });
+        let mut edges: Vec<String> = acquired
+            .windows(2)
+            .filter(|w| w[0].0 != w[1].0 && !lexed.allows(w[1].1, "lock-order"))
+            .map(|w| format!("{} -> {}", w[0].0, w[1].0))
+            .collect();
+        edges.sort();
+        edges.dedup();
+        if !edges.is_empty() {
+            out.insert(format!("{file}::{}", scope.path), edges);
+        }
+    });
+    out
+}
+
+fn diag(file: &str, at: &Token, rule: &'static str, message: String) -> Diagnostic {
+    Diagnostic {
+        file: file.to_owned(),
+        line: at.line,
+        col: at.col,
+        rule,
+        severity: Severity::Deny,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_cfg_test};
+    use crate::tree::parse_forest;
+
+    fn atomics(source: &str) -> (Vec<Diagnostic>, OrderingCounts) {
+        let lexed = lex(source);
+        let tokens = strip_cfg_test(&lexed.tokens);
+        let mut out = Vec::new();
+        let counts = atomic_ordering("test.rs", &lexed, &tokens, &mut out);
+        (out, counts)
+    }
+
+    #[test]
+    fn unjustified_relaxed_fires() {
+        let (diags, counts) = atomics("fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "atomic-ordering");
+        assert_eq!(counts.relaxed, 1);
+    }
+
+    #[test]
+    fn justified_relaxed_is_clean_but_still_counted() {
+        let (diags, counts) = atomics(
+            "fn f(c: &AtomicU64) {\n\
+             c.fetch_add(1, Ordering::Relaxed); // xtask:allow(atomic-ordering, why=stat counter)\n\
+             }",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(counts.relaxed, 1);
+    }
+
+    #[test]
+    fn annotation_without_why_still_fires() {
+        let (diags, _) = atomics(
+            "fn f(c: &AtomicU64) {\n\
+             c.load(Ordering::Acquire); // xtask:allow(atomic-ordering)\n\
+             }",
+        );
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("why="), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn seqcst_is_counted_but_needs_no_why() {
+        let (diags, counts) = atomics("fn f(c: &AtomicU64) { c.load(Ordering::SeqCst); }");
+        assert!(diags.is_empty());
+        assert_eq!(counts.seqcst, 1);
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_an_atomic_site() {
+        let (diags, counts) = atomics("fn f(a: u32, b: u32) -> Ordering { Ordering::Less }");
+        assert!(diags.is_empty());
+        assert!(counts.is_zero());
+    }
+
+    fn hot(source: &str) -> Vec<Diagnostic> {
+        let lexed = lex(source);
+        let tokens = strip_cfg_test(&lexed.tokens);
+        let mut out = Vec::new();
+        hot_path_locks("crates/core/src/simulator.rs", &lexed, &tokens, &mut out);
+        out
+    }
+
+    #[test]
+    fn lock_in_hot_path_fires() {
+        let diags = hot("use std::sync::Mutex; fn f(m: &Mutex<u32>) { *m.lock().unwrap() }");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "hot-path-lock");
+        assert!(diags[0].message.contains("`.lock()` on `m`"));
+    }
+
+    #[test]
+    fn justified_lock_is_clean() {
+        let diags = hot("use std::sync::Mutex;\n\
+             fn f(m: &Mutex<u32>) -> u32 {\n\
+             // xtask:allow(hot-path-lock, why=once per materialization, not per access)\n\
+             *m.lock().unwrap()\n\
+             }");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn mutex_construction_fires() {
+        let diags = hot("use std::sync::Mutex; fn f() { let m = Mutex::new(0u32); }");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("`Mutex::new`"));
+    }
+
+    #[test]
+    fn io_read_write_do_not_fire() {
+        let lexed = lex(
+            "fn f(r: &mut impl Read, w: &mut impl Write, b: &mut [u8]) {\n\
+                         r.read(b); w.write(b); w.write();\n\
+                         }",
+        );
+        let tokens = strip_cfg_test(&lexed.tokens);
+        let mut out = Vec::new();
+        hot_path_locks("crates/core/src/simulator.rs", &lexed, &tokens, &mut out);
+        assert!(out.is_empty(), "no RwLock in the file: {out:?}");
+    }
+
+    #[test]
+    fn non_hot_path_files_are_exempt() {
+        let lexed = lex("use std::sync::Mutex; fn f(m: &Mutex<u32>) { m.lock(); }");
+        let tokens = strip_cfg_test(&lexed.tokens);
+        let mut out = Vec::new();
+        hot_path_locks("crates/metrics/src/span.rs", &lexed, &tokens, &mut out);
+        assert!(out.is_empty());
+    }
+
+    fn edges(source: &str) -> BTreeMap<String, Vec<String>> {
+        let lexed = lex(source);
+        let tokens = strip_cfg_test(&lexed.tokens);
+        let forest = parse_forest(&tokens);
+        lock_order_edges("f.rs", &lexed, &tokens, &forest)
+    }
+
+    #[test]
+    fn nested_acquisitions_become_edges() {
+        let out = edges(
+            "use std::sync::Mutex;\n\
+             struct S { a: Mutex<u32>, b: Mutex<u32> }\n\
+             impl S {\n\
+               fn both(&self) -> u32 {\n\
+                 let ga = self.a.lock().unwrap();\n\
+                 let gb = self.b.lock().unwrap();\n\
+                 *ga + *gb\n\
+               }\n\
+             }",
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out["f.rs::S::both"], vec!["a -> b".to_owned()]);
+    }
+
+    #[test]
+    fn single_lock_functions_have_no_edges() {
+        let out = edges(
+            "use std::sync::Mutex;\n\
+             fn one(m: &Mutex<u32>) -> u32 { *m.lock().unwrap() }\n\
+             fn again(m: &Mutex<u32>) { *m.lock().unwrap() += 1; *m.lock().unwrap() += 1; }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_an_edge() {
+        let out = edges(
+            "use std::sync::Mutex;\n\
+             fn both(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {\n\
+               let ga = a.lock().unwrap();\n\
+               // xtask:allow(lock-order)\n\
+               let gb = b.lock().unwrap();\n\
+               *ga + *gb\n\
+             }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn receiver_names_follow_field_chains() {
+        let out = edges(
+            "use std::sync::Mutex;\n\
+             fn f(s: &S) -> u32 {\n\
+               let g1 = s.inner.lock().unwrap();\n\
+               let g2 = s.stats.lock().unwrap();\n\
+               *g1 + *g2\n\
+             }",
+        );
+        assert_eq!(out["f.rs::f"], vec!["inner -> stats".to_owned()]);
+    }
+}

@@ -1,0 +1,359 @@
+//! Spanned diagnostics and the machine-readable lint report.
+//!
+//! Every rule finding is a [`Diagnostic`] carrying a full
+//! `file:line:col` span, its rule id, and a [`Severity`]. The set of
+//! rules is declared once in [`RULES`] — id, severity, annotation key,
+//! and a one-line summary — so the human `--help`-style output, the
+//! JSON report, and DESIGN.md §14 all describe the same table.
+//!
+//! `cargo xtask lint --json` serializes a [`Report`] with the stable
+//! schema id `hybridmem-lint-v1`; CI checks the report against that
+//! schema and fails when any `deny` diagnostic is present. The JSON is
+//! hand-rolled (xtask stays zero-dependency) and deterministic:
+//! diagnostics are sorted by `(file, line, col, rule)` and all keys are
+//! emitted in a fixed order.
+
+/// How a finding is treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported in the JSON output but does not fail the lint.
+    Warn,
+    /// Fails `cargo xtask lint` (and the CI gate).
+    Deny,
+}
+
+impl Severity {
+    /// The lowercase name used in human output and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+/// One lint finding with a full source span.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file (forward slashes).
+    pub file: String,
+    /// 1-based line of the finding.
+    pub line: usize,
+    /// 1-based column (in characters) of the finding.
+    pub col: usize,
+    /// Rule identifier (the name `xtask:allow(...)` takes).
+    pub rule: &'static str,
+    /// Whether the finding fails the lint.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}[{}] {}",
+            self.file,
+            self.line,
+            self.col,
+            self.severity.as_str(),
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Sorts diagnostics into the canonical report order.
+pub fn sort(diagnostics: &mut [Diagnostic]) {
+    diagnostics.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+/// Static description of one rule: the row of the rule table.
+pub struct RuleInfo {
+    /// Rule id (also the `xtask:allow(...)` key).
+    pub id: &'static str,
+    /// Severity every finding of this rule carries.
+    pub severity: Severity,
+    /// `true` when the allow annotation must carry a `why=` clause.
+    pub requires_why: bool,
+    /// One-line summary for reports and docs.
+    pub summary: &'static str,
+}
+
+/// The full rule table. Order here is the order rules are documented
+/// in; it does not affect diagnostic ordering (which is span-sorted).
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "default_hasher",
+        severity: Severity::Deny,
+        requires_why: false,
+        summary: "bare HashMap/HashSet in simulation crates (randomly keyed hasher)",
+    },
+    RuleInfo {
+        id: "serialized_unordered",
+        severity: Severity::Deny,
+        requires_why: false,
+        summary: "unordered hash collection in a #[derive(Serialize)] type",
+    },
+    RuleInfo {
+        id: "timing",
+        severity: Severity::Deny,
+        requires_why: false,
+        summary: "wall-clock read (Instant::now/SystemTime) in simulation crates",
+    },
+    RuleInfo {
+        id: "rng",
+        severity: Severity::Deny,
+        requires_why: false,
+        summary: "entropy-seeded randomness in simulation crates",
+    },
+    RuleInfo {
+        id: "atomic-ordering",
+        severity: Severity::Deny,
+        requires_why: true,
+        summary: "explicit atomic Ordering without a why= justification",
+    },
+    RuleInfo {
+        id: "hot-path-lock",
+        severity: Severity::Deny,
+        requires_why: true,
+        summary: "Mutex/RwLock use inside a hot-path module",
+    },
+    RuleInfo {
+        id: "lock-order",
+        severity: Severity::Deny,
+        requires_why: false,
+        summary: "nested lock acquisition not recorded in the lock-order manifest",
+    },
+    RuleInfo {
+        id: "lock-order-cycle",
+        severity: Severity::Deny,
+        requires_why: false,
+        summary: "contradictory edges (a before b and b before a) in the lock-order manifest",
+    },
+    RuleInfo {
+        id: "lossy-cast",
+        severity: Severity::Deny,
+        requires_why: true,
+        summary: "possibly-lossy `as` cast between numeric widths in model/accounting code",
+    },
+    RuleInfo {
+        id: "float-eq",
+        severity: Severity::Deny,
+        requires_why: true,
+        summary: "float == / != comparison in model/accounting code",
+    },
+    RuleInfo {
+        id: "match-wildcard",
+        severity: Severity::Deny,
+        requires_why: true,
+        summary: "`_` arm in a match over SimEvent/PolicyAction/DemotionCause",
+    },
+    RuleInfo {
+        id: "panic-surface",
+        severity: Severity::Deny,
+        requires_why: false,
+        summary: "per-file unwrap/expect/index counts drifted from panic-allowlist.toml",
+    },
+    RuleInfo {
+        id: "atomic-ratchet",
+        severity: Severity::Deny,
+        requires_why: false,
+        summary: "per-file atomic Ordering counts drifted from atomic-allowlist.toml",
+    },
+];
+
+/// Looks a rule up by id.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// The complete result of one lint run.
+pub struct Report {
+    /// Every finding, span-sorted.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of source files scanned by any rule family.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Count of findings at `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Serializes the report as `hybridmem-lint-v1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"schema\": \"hybridmem-lint-v1\",\n  \"rules\": [\n");
+        for (i, rule) in RULES.iter().enumerate() {
+            out.push_str("    {");
+            field(&mut out, "id", rule.id);
+            out.push_str(", ");
+            field(&mut out, "severity", rule.severity.as_str());
+            out.push_str(", ");
+            let annotation = if rule.requires_why {
+                format!("xtask:allow({}, why=...)", rule.id)
+            } else {
+                format!("xtask:allow({})", rule.id)
+            };
+            field(&mut out, "annotation", &annotation);
+            out.push_str(", ");
+            field(&mut out, "summary", rule.summary);
+            out.push('}');
+            if i + 1 < RULES.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ],\n  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            out.push_str("    {");
+            field(&mut out, "file", &d.file);
+            out.push_str(", ");
+            out.push_str(&format!("\"line\": {}, \"col\": {}, ", d.line, d.col));
+            field(&mut out, "rule", d.rule);
+            out.push_str(", ");
+            field(&mut out, "severity", d.severity.as_str());
+            out.push_str(", ");
+            field(&mut out, "message", &d.message);
+            out.push('}');
+            if i + 1 < self.diagnostics.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "  ],\n  \"counts\": {{\"deny\": {}, \"warn\": {}}},\n  \"files_scanned\": {}\n}}\n",
+            self.count(Severity::Deny),
+            self.count(Severity::Warn),
+            self.files_scanned
+        ));
+        out
+    }
+}
+
+fn field(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\": \"");
+    escape_into(out, value);
+    out.push('"');
+}
+
+/// Appends `value` JSON-escaped (quotes, backslashes, control chars).
+fn escape_into(out: &mut String, value: &str) {
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32)); // xtask:allow(lossy-cast, why=char-to-u32 is always widening)
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, line: usize, col: usize, rule: &'static str) -> Diagnostic {
+        Diagnostic {
+            file: file.to_owned(),
+            line,
+            col,
+            rule,
+            severity: Severity::Deny,
+            message: format!("finding in {file}"),
+        }
+    }
+
+    #[test]
+    fn display_includes_the_full_span() {
+        let d = diag("crates/core/src/model.rs", 12, 9, "float-eq");
+        assert_eq!(
+            d.to_string(),
+            "crates/core/src/model.rs:12:9: deny[float-eq] finding in crates/core/src/model.rs"
+        );
+    }
+
+    #[test]
+    fn sort_orders_by_file_then_span_then_rule() {
+        let mut diags = vec![
+            diag("b.rs", 1, 1, "timing"),
+            diag("a.rs", 2, 5, "rng"),
+            diag("a.rs", 2, 5, "float-eq"),
+            diag("a.rs", 1, 9, "timing"),
+        ];
+        sort(&mut diags);
+        let order: Vec<(&str, usize, usize, &str)> = diags
+            .iter()
+            .map(|d| (d.file.as_str(), d.line, d.col, d.rule))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a.rs", 1, 9, "timing"),
+                ("a.rs", 2, 5, "float-eq"),
+                ("a.rs", 2, 5, "rng"),
+                ("b.rs", 1, 1, "timing"),
+            ]
+        );
+    }
+
+    #[test]
+    fn every_rule_id_is_unique_and_looked_up() {
+        for rule in RULES {
+            assert_eq!(
+                RULES.iter().filter(|r| r.id == rule.id).count(),
+                1,
+                "duplicate rule id {}",
+                rule.id
+            );
+            assert!(rule_info(rule.id).is_some());
+        }
+        assert!(rule_info("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn json_report_has_the_stable_shape() {
+        let report = Report {
+            diagnostics: vec![diag("a.rs", 3, 7, "atomic-ordering")],
+            files_scanned: 42,
+        };
+        let json = report.to_json();
+        assert!(json.starts_with("{\n  \"schema\": \"hybridmem-lint-v1\""));
+        assert!(json.contains("\"file\": \"a.rs\", \"line\": 3, \"col\": 7"));
+        assert!(json.contains("\"counts\": {\"deny\": 1, \"warn\": 0}"));
+        assert!(json.contains("\"files_scanned\": 42"));
+        assert!(json.contains("\"annotation\": \"xtask:allow(atomic-ordering, why=...)\""));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let report = Report {
+            diagnostics: vec![Diagnostic {
+                file: "a.rs".to_owned(),
+                line: 1,
+                col: 1,
+                rule: "timing",
+                severity: Severity::Deny,
+                message: "quote \" backslash \\ newline \n tab \t".to_owned(),
+            }],
+            files_scanned: 1,
+        };
+        let json = report.to_json();
+        assert!(json.contains("quote \\\" backslash \\\\ newline \\n tab \\t"));
+    }
+}

@@ -1,0 +1,284 @@
+//! The exhaustiveness ratchet over the simulation's sentinel enums.
+//!
+//! `SimEvent`, `PolicyAction`, and `DemotionCause` are the enums every
+//! telemetry consumer switches on. A `_` arm in a `match` over one of
+//! them means a future variant — the sharded engine's new events, the
+//! MDP model's new actions — is silently swallowed instead of breaking
+//! the build. Rule `match-wildcard` denies bare `_` arms in any match
+//! whose arm patterns name a sentinel enum; explicit multi-variant arms
+//! (`A | B => {}`) express the same fall-through while still going
+//! non-exhaustive when a variant is added.
+//!
+//! Detection is structural: the token forest is walked for `match`
+//! keywords, the body group's children are split into arms at
+//! top-level `=>` tokens, and the *patterns* (never the arm bodies,
+//! which legitimately mention other enums) are searched for sentinel
+//! names. A match over `(from, to)` tuples of `MemoryKind` is
+//! therefore out of scope even when its arm bodies construct
+//! `PolicyAction` values.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::Lexed;
+use crate::tree::Node;
+
+/// Enums whose matches must stay wildcard-free.
+pub const SENTINELS: [&str; 3] = ["SimEvent", "PolicyAction", "DemotionCause"];
+
+/// One parsed match arm: its pattern (top-level nodes before any
+/// guard) and the `_` token when the pattern is a bare wildcard.
+struct Arm<'a> {
+    pattern: &'a [Node],
+}
+
+impl Arm<'_> {
+    /// The pattern with a trailing `if <guard>` clause removed.
+    fn pattern_without_guard(&self) -> &[Node] {
+        let guard = self.pattern.iter().position(|n| n.is_ident("if"));
+        &self.pattern[..guard.unwrap_or(self.pattern.len())]
+    }
+
+    /// True when the (unguarded) pattern is exactly `_`.
+    fn is_wildcard(&self) -> bool {
+        let p = self.pattern_without_guard();
+        p.len() == 1 && p[0].is_ident("_")
+    }
+
+    /// True when the pattern names a sentinel enum, at any depth.
+    fn mentions_sentinel(&self) -> bool {
+        fn any_sentinel(nodes: &[Node]) -> bool {
+            nodes.iter().any(|n| match n {
+                Node::Leaf(t) => SENTINELS.contains(&t.text.as_str()),
+                Node::Group(g) => any_sentinel(&g.children),
+            })
+        }
+        any_sentinel(self.pattern)
+    }
+}
+
+/// Rule `match-wildcard` over one file's token forest.
+pub fn match_wildcard(file: &str, lexed: &Lexed, forest: &[Node], out: &mut Vec<Diagnostic>) {
+    scan(file, lexed, forest, out);
+}
+
+fn scan(file: &str, lexed: &Lexed, nodes: &[Node], out: &mut Vec<Diagnostic>) {
+    // Recurse first so nested matches (inside arm bodies, closures,
+    // blocks) are found regardless of how this level parses.
+    for node in nodes {
+        if let Node::Group(g) = node {
+            scan(file, lexed, &g.children, out);
+        }
+    }
+    let mut i = 0;
+    while i < nodes.len() {
+        if !nodes[i].is_ident("match") {
+            i += 1;
+            continue;
+        }
+        // The scrutinee cannot contain an unparenthesized struct
+        // literal, so the first `{` group at this level is the body.
+        let Some(body) = nodes[i + 1..]
+            .iter()
+            .find_map(|n| n.group().filter(|g| g.delim == '{'))
+        else {
+            i += 1;
+            continue;
+        };
+        let arms = parse_arms(&body.children);
+        if arms.iter().any(Arm::mentions_sentinel) {
+            for arm in &arms {
+                if !arm.is_wildcard() {
+                    continue;
+                }
+                let at = &arm.pattern[0];
+                match lexed.allow_why(at.line(), "match-wildcard") {
+                    Some(Some(_)) => {}
+                    Some(None) => out.push(Diagnostic {
+                        file: file.to_owned(),
+                        line: at.line(),
+                        col: at.col(),
+                        rule: "match-wildcard",
+                        severity: Severity::Deny,
+                        message: "wildcard-arm annotation lacks a `why=` justification".to_owned(),
+                    }),
+                    None => out.push(Diagnostic {
+                        file: file.to_owned(),
+                        line: at.line(),
+                        col: at.col(),
+                        rule: "match-wildcard",
+                        severity: Severity::Deny,
+                        message: "`_` arm in a match over a sentinel enum \
+                                  (SimEvent/PolicyAction/DemotionCause) swallows \
+                                  future variants; list the remaining variants \
+                                  explicitly"
+                            .to_owned(),
+                    }),
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Splits a match body's children into arms at top-level `=>` tokens.
+fn parse_arms(nodes: &[Node]) -> Vec<Arm<'_>> {
+    let mut arms = Vec::new();
+    let mut i = 0;
+    while i < nodes.len() {
+        let start = i;
+        // Pattern: everything up to the `=` `>` pair.
+        while i + 1 < nodes.len() && !(nodes[i].is_punct('=') && nodes[i + 1].is_punct('>')) {
+            i += 1;
+        }
+        if i + 1 >= nodes.len() {
+            break; // no arrow: trailing tokens, not an arm
+        }
+        let pattern = &nodes[start..i];
+        i += 2; // skip `=>`
+                // Body: a brace group, or an expression running to the next
+                // top-level comma. Nested `match` bodies are inside groups, so
+                // their arrows are invisible at this level.
+        if nodes
+            .get(i)
+            .is_some_and(|n| n.group().is_some_and(|g| g.delim == '{'))
+        {
+            i += 1;
+        } else {
+            while i < nodes.len() && !nodes[i].is_punct(',') {
+                i += 1;
+            }
+        }
+        if nodes.get(i).is_some_and(|n| n.is_punct(',')) {
+            i += 1;
+        }
+        if !pattern.is_empty() {
+            arms.push(Arm { pattern });
+        }
+    }
+    arms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_cfg_test};
+    use crate::tree::parse_forest;
+
+    fn check(source: &str) -> Vec<Diagnostic> {
+        let lexed = lex(source);
+        let forest = parse_forest(&strip_cfg_test(&lexed.tokens));
+        let mut out = Vec::new();
+        match_wildcard("test.rs", &lexed, &forest, &mut out);
+        out
+    }
+
+    #[test]
+    fn wildcard_over_sentinel_fires() {
+        let v = check(
+            "fn f(a: &PolicyAction) {\n\
+               match a {\n\
+                 PolicyAction::Migrate { .. } => act(),\n\
+                 _ => {}\n\
+               }\n\
+             }",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "match-wildcard");
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn explicit_arms_are_clean() {
+        assert!(check(
+            "fn f(e: &SimEvent) {\n\
+               match e {\n\
+                 SimEvent::Served { .. } => a(),\n\
+                 SimEvent::Fault { .. } | SimEvent::Action { .. } => b(),\n\
+                 SimEvent::CounterProbe { .. } => c(),\n\
+               }\n\
+             }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn wildcard_over_other_enums_is_fine() {
+        assert!(check(
+            "fn f(k: MemoryKind) -> u32 {\n\
+               match k { MemoryKind::Dram => 1, _ => 2 }\n\
+             }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn sentinel_in_arm_body_does_not_make_the_match_sentinel() {
+        // A `(from, to)` tuple match whose bodies construct
+        // PolicyAction values: the inner wildcard is out of scope.
+        assert!(check(
+            "fn f(from: MemoryKind, to: MemoryKind) -> Option<PolicyAction> {\n\
+               match (from, to) {\n\
+                 (MemoryKind::Nvm, MemoryKind::Dram) => Some(PolicyAction::Migrate { from, to }),\n\
+                 _ => None,\n\
+               }\n\
+             }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn nested_match_over_sentinel_is_found() {
+        let v = check(
+            "fn f(e: &SimEvent) {\n\
+               if ready() {\n\
+                 match e { SimEvent::Served { .. } => a(), _ => b() }\n\
+               }\n\
+             }",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn guarded_wildcard_still_fires() {
+        let v = check(
+            "fn f(c: DemotionCause) {\n\
+               match c { DemotionCause::Cold => a(), _ if hot() => b(), _ => c() }\n\
+             }",
+        );
+        assert_eq!(v.len(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn justified_wildcard_is_clean_but_bare_annotation_fires() {
+        assert!(check(
+            "fn f(a: &PolicyAction) {\n\
+               match a {\n\
+                 PolicyAction::Migrate { .. } => act(),\n\
+                 // xtask:allow(match-wildcard, why=bench-only summary, counts all alike)\n\
+                 _ => {}\n\
+               }\n\
+             }"
+        )
+        .is_empty());
+        let bare = check(
+            "fn f(a: &PolicyAction) {\n\
+               match a {\n\
+                 PolicyAction::Migrate { .. } => act(),\n\
+                 _ => {} // xtask:allow(match-wildcard)\n\
+               }\n\
+             }",
+        );
+        assert_eq!(bare.len(), 1);
+        assert!(bare[0].message.contains("why="));
+    }
+
+    #[test]
+    fn binding_patterns_are_not_wildcards() {
+        assert!(check(
+            "fn f(e: &SimEvent) {\n\
+               match e { SimEvent::Served { .. } => a(), other => log(other) }\n\
+             }"
+        )
+        .is_empty());
+    }
+}

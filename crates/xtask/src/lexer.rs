@@ -1,11 +1,14 @@
 //! A lossy Rust lexer for static analysis.
 //!
 //! Produces a token stream of identifiers, numbers, and single-character
-//! punctuation with 1-based line numbers. Comments and every kind of
+//! punctuation, each carrying a full source span (1-based line and
+//! column plus the starting byte offset). Comments and every kind of
 //! literal (strings, raw strings, byte strings, chars) are stripped, so
 //! rules never false-positive on prose; `xtask:allow(rule)` annotations
 //! inside comments are collected so legitimate sites can opt out of a
-//! rule (see [`Lexed::allows`]).
+//! rule (see [`Lexed::allows`]). Annotations may carry a justification —
+//! `xtask:allow(rule, why=free text)` — which some rules require (see
+//! [`Lexed::allow_why`]).
 
 use std::collections::BTreeMap;
 
@@ -29,6 +32,10 @@ pub struct Token {
     pub text: String,
     /// 1-based source line the token starts on.
     pub line: usize,
+    /// 1-based column (in characters) the token starts at.
+    pub col: usize,
+    /// Byte offset of the token's first character in the source.
+    pub byte: usize,
 }
 
 impl Token {
@@ -43,51 +50,98 @@ impl Token {
     }
 }
 
+/// One `xtask:allow(...)` annotation entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule being allowed (or `all`).
+    pub rule: String,
+    /// The `why=` justification, when the annotation carried one.
+    pub why: Option<String>,
+}
+
 /// Result of lexing one file.
 #[derive(Debug, Default)]
 pub struct Lexed {
     /// The stripped token stream.
     pub tokens: Vec<Token>,
-    /// `line -> rules` allowed by `xtask:allow(rule, ...)` comments on
+    /// `line -> allows` granted by `xtask:allow(rule, ...)` comments on
     /// that line. An annotation excuses findings on its own line and on
     /// the line directly below it (so it can trail the code or sit on
     /// the preceding line).
-    pub allows: BTreeMap<usize, Vec<String>>,
+    pub allows: BTreeMap<usize, Vec<Allow>>,
 }
 
 impl Lexed {
     /// True when `rule` findings on `line` are excused by an annotation.
     pub fn allows(&self, line: usize, rule: &str) -> bool {
-        [line, line.saturating_sub(1)].iter().any(|l| {
+        self.allow_entry(line, rule).is_some()
+    }
+
+    /// The justification of the annotation covering `rule` on `line`:
+    /// `None` when no annotation covers the line, `Some(None)` when one
+    /// does but carries no `why=`, and `Some(Some(text))` otherwise.
+    /// Rules that demand a justification treat `Some(None)` as a
+    /// finding in its own right.
+    pub fn allow_why(&self, line: usize, rule: &str) -> Option<Option<&str>> {
+        self.allow_entry(line, rule).map(|a| a.why.as_deref())
+    }
+
+    fn allow_entry(&self, line: usize, rule: &str) -> Option<&Allow> {
+        [line, line.saturating_sub(1)].iter().find_map(|l| {
             self.allows
                 .get(l)
-                .is_some_and(|rules| rules.iter().any(|r| r == rule || r == "all"))
+                .and_then(|allows| allows.iter().find(|a| a.rule == rule || a.rule == "all"))
         })
     }
 }
 
 /// Lexes `source`, stripping comments and literals.
 pub fn lex(source: &str) -> Lexed {
-    let chars: Vec<char> = source.chars().collect();
+    let mut chars: Vec<char> = Vec::new();
+    let mut bytes: Vec<usize> = Vec::new();
+    for (offset, c) in source.char_indices() {
+        chars.push(c);
+        bytes.push(offset);
+    }
+    bytes.push(source.len());
+    let mut line_starts = vec![0usize];
+    for (idx, &c) in chars.iter().enumerate() {
+        if c == '\n' {
+            line_starts.push(idx + 1);
+        }
+    }
+    // (line, col) of the token starting at char index `idx`, both 1-based.
+    let position = |idx: usize| -> (usize, usize) {
+        let line = line_starts.partition_point(|&start| start <= idx);
+        (line, idx - line_starts[line - 1] + 1)
+    };
+
     let n = chars.len();
     let mut out = Lexed::default();
-    let mut line = 1;
+    let push = |kind: TokenKind, start: usize, end: usize, out: &mut Lexed| {
+        let (line, col) = position(start);
+        out.tokens.push(Token {
+            kind,
+            text: collect(&chars[start..end]),
+            line,
+            col,
+            byte: bytes[start],
+        });
+    };
+
     let mut i = 0;
     while i < n {
         let c = chars[i];
-        if c == '\n' {
-            line += 1;
-            i += 1;
-        } else if c.is_whitespace() {
+        if c.is_whitespace() {
             i += 1;
         } else if c == '/' && i + 1 < n && chars[i + 1] == '/' {
             let start = i;
             while i < n && chars[i] != '\n' {
                 i += 1;
             }
-            record_allows(&mut out, line, &collect(&chars[start..i]));
+            record_allows(&mut out, position(start).0, &collect(&chars[start..i]));
         } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
-            let (start, start_line) = (i, line);
+            let start = i;
             i += 2;
             let mut depth = 1usize;
             while i < n && depth > 0 {
@@ -98,29 +152,22 @@ pub fn lex(source: &str) -> Lexed {
                     depth -= 1;
                     i += 2;
                 } else {
-                    if chars[i] == '\n' {
-                        line += 1;
-                    }
                     i += 1;
                 }
             }
-            record_allows(&mut out, start_line, &collect(&chars[start..i]));
+            record_allows(&mut out, position(start).0, &collect(&chars[start..i]));
         } else if c == '"' {
-            i = skip_string(&chars, i, &mut line);
-        } else if let Some(end) = raw_or_byte_literal_end(&chars, i, &mut line) {
+            i = skip_string(&chars, i);
+        } else if let Some(end) = raw_or_byte_literal_end(&chars, i) {
             i = end;
         } else if c == '\'' {
-            i = skip_char_or_lifetime(&chars, i, &mut line);
+            i = skip_char_or_lifetime(&chars, i);
         } else if c == '_' || c.is_alphabetic() {
             let start = i;
             while i < n && (chars[i] == '_' || chars[i].is_alphanumeric()) {
                 i += 1;
             }
-            out.tokens.push(Token {
-                kind: TokenKind::Ident,
-                text: collect(&chars[start..i]),
-                line,
-            });
+            push(TokenKind::Ident, start, i, &mut out);
         } else if c.is_ascii_digit() {
             let start = i;
             i += 1;
@@ -135,17 +182,9 @@ pub fn lex(source: &str) -> Lexed {
                     i += 1;
                 }
             }
-            out.tokens.push(Token {
-                kind: TokenKind::Number,
-                text: collect(&chars[start..i]),
-                line,
-            });
+            push(TokenKind::Number, start, i, &mut out);
         } else {
-            out.tokens.push(Token {
-                kind: TokenKind::Punct,
-                text: c.to_string(),
-                line,
-            });
+            push(TokenKind::Punct, i, i + 1, &mut out);
             i += 1;
         }
     }
@@ -157,17 +196,34 @@ fn collect(chars: &[char]) -> String {
 }
 
 /// Records every `xtask:allow(rule, ...)` annotation found in a comment.
+///
+/// Grammar: `xtask:allow(rule[, rule...][, why=justification])`. The
+/// `why=` clause must come last; everything after it up to the closing
+/// parenthesis is the justification (so it may contain commas, but not
+/// a `)`), and it applies to every rule named by the annotation.
 fn record_allows(out: &mut Lexed, line: usize, comment: &str) {
     const MARKER: &str = "xtask:allow(";
     let mut rest = comment;
     while let Some(pos) = rest.find(MARKER) {
         rest = &rest[pos + MARKER.len()..];
         let Some(close) = rest.find(')') else { break };
-        let rules = out.allows.entry(line).or_default();
-        for rule in rest[..close].split(',') {
+        let body = &rest[..close];
+        let (rules, why) = match body.split_once("why=") {
+            Some((rules, why)) => {
+                let why = why.trim();
+                let rules = rules.trim().trim_end_matches(',');
+                (rules, (!why.is_empty()).then(|| why.to_owned()))
+            }
+            None => (body, None),
+        };
+        let allows = out.allows.entry(line).or_default();
+        for rule in rules.split(',') {
             let rule = rule.trim();
             if !rule.is_empty() {
-                rules.push(rule.to_owned());
+                allows.push(Allow {
+                    rule: rule.to_owned(),
+                    why: why.clone(),
+                });
             }
         }
         rest = &rest[close..];
@@ -176,18 +232,13 @@ fn record_allows(out: &mut Lexed, line: usize, comment: &str) {
 
 /// Skips a `"..."` string starting at the opening quote; returns the
 /// index one past the closing quote.
-fn skip_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+fn skip_string(chars: &[char], mut i: usize) -> usize {
     i += 1;
     while i < chars.len() {
         match chars[i] {
             '\\' => i += 2,
             '"' => return i + 1,
-            c => {
-                if c == '\n' {
-                    *line += 1;
-                }
-                i += 1;
-            }
+            _ => i += 1,
         }
     }
     i
@@ -196,15 +247,15 @@ fn skip_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
 /// Detects and skips `r"…"`, `r#"…"#`, `b"…"`, `br"…"`, `b'…'` literals
 /// starting at `i`. Returns `None` when `i` starts a plain identifier
 /// (including raw identifiers like `r#type`).
-fn raw_or_byte_literal_end(chars: &[char], i: usize, line: &mut usize) -> Option<usize> {
+fn raw_or_byte_literal_end(chars: &[char], i: usize) -> Option<usize> {
     let n = chars.len();
     let mut j = match chars[i] {
         'r' => i + 1,
         'b' if i + 1 < n && chars[i + 1] == '\'' => {
-            return Some(skip_char_or_lifetime(chars, i + 1, line));
+            return Some(skip_char_or_lifetime(chars, i + 1));
         }
         'b' if i + 1 < n && chars[i + 1] == '"' => {
-            return Some(skip_string(chars, i + 1, line));
+            return Some(skip_string(chars, i + 1));
         }
         'b' if i + 2 < n && chars[i + 1] == 'r' && (chars[i + 2] == '"' || chars[i + 2] == '#') => {
             i + 2
@@ -221,10 +272,7 @@ fn raw_or_byte_literal_end(chars: &[char], i: usize, line: &mut usize) -> Option
     }
     j += 1;
     while j < n {
-        if chars[j] == '\n' {
-            *line += 1;
-            j += 1;
-        } else if chars[j] == '"'
+        if chars[j] == '"'
             && chars[j + 1..]
                 .iter()
                 .take(hashes)
@@ -233,28 +281,34 @@ fn raw_or_byte_literal_end(chars: &[char], i: usize, line: &mut usize) -> Option
                 == hashes
         {
             return Some(j + 1 + hashes);
-        } else {
-            j += 1;
         }
+        j += 1;
     }
     Some(j)
 }
 
 /// Skips a char literal (`'x'`, `'\n'`, `'\u{1F600}'`) or a lifetime
 /// (`'a`, `'static`), starting at the quote.
-fn skip_char_or_lifetime(chars: &[char], i: usize, line: &mut usize) -> usize {
+fn skip_char_or_lifetime(chars: &[char], i: usize) -> usize {
     let n = chars.len();
     if i + 1 >= n {
         return i + 1;
     }
     let next = chars[i + 1];
     if next == '\\' {
-        // Escaped char literal: scan to the closing quote.
+        // Escaped char literal: consume the escape body first — one
+        // char (`\n`, and crucially `\\`, whose second backslash must
+        // not be read as a fresh escape) or a braced `\u{...}` — then
+        // scan to the closing quote (which also covers `\x41`).
         let mut j = i + 2;
-        while j < n && chars[j] != '\'' {
-            if chars[j] == '\\' {
+        if j + 1 < n && chars[j] == 'u' && chars[j + 1] == '{' {
+            j += 2;
+            while j < n && chars[j] != '}' {
                 j += 1;
             }
+        }
+        j += 1;
+        while j < n && chars[j] != '\'' {
             j += 1;
         }
         return (j + 1).min(n);
@@ -270,11 +324,7 @@ fn skip_char_or_lifetime(chars: &[char], i: usize, line: &mut usize) -> usize {
         return j; // 'lifetime — no closing quote
     }
     // Non-alphabetic char literal like '0' or '.'.
-    let mut j = i + 1;
-    if chars[j] == '\n' {
-        *line += 1;
-    }
-    j += 1;
+    let mut j = i + 2;
     if j < n && chars[j] == '\'' {
         j += 1;
     }
@@ -408,10 +458,59 @@ mod tests {
     }
 
     #[test]
+    fn escaped_char_literals_do_not_swallow_following_code() {
+        // `'\\'` ends at its closing quote — the second backslash is
+        // the escape body, not the start of a new escape.
+        let names = idents("const B: char = '\\\\'; fn after() {}");
+        assert_eq!(names, vec!["const", "B", "char", "fn", "after"]);
+        let names = idents("const U: char = '\\u{1F600}'; fn tail() {}");
+        assert_eq!(names, vec!["const", "U", "char", "fn", "tail"]);
+        let names = idents("const Q: char = '\\''; fn quoted() {}");
+        assert_eq!(names, vec!["const", "Q", "char", "fn", "quoted"]);
+        let names = idents("const X: char = '\\x41'; fn hex() {}");
+        assert_eq!(names, vec!["const", "X", "char", "fn", "hex"]);
+    }
+
+    #[test]
     fn line_numbers_are_tracked() {
         let lexed = lex("a\nb\n  c");
         let lines: Vec<usize> = lexed.tokens.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn columns_and_byte_offsets_are_tracked() {
+        let lexed = lex("ab cd\n  efg = 1;");
+        let spans: Vec<(usize, usize, usize)> = lexed
+            .tokens
+            .iter()
+            .map(|t| (t.line, t.col, t.byte))
+            .collect();
+        // ab@1:1, cd@1:4, efg@2:3, =@2:7, 1@2:9, ;@2:10
+        assert_eq!(
+            spans,
+            vec![
+                (1, 1, 0),
+                (1, 4, 3),
+                (2, 3, 8),
+                (2, 7, 12),
+                (2, 9, 14),
+                (2, 10, 15)
+            ]
+        );
+    }
+
+    #[test]
+    fn multibyte_chars_keep_char_columns_and_byte_offsets() {
+        // 'é' is 2 bytes but 1 character: columns count characters,
+        // `byte` counts bytes.
+        let lexed = lex("let é_name = 1;");
+        let name = lexed
+            .tokens
+            .iter()
+            .find(|t| t.text.contains("_name"))
+            .expect("identifier");
+        assert_eq!((name.line, name.col, name.byte), (1, 5, 4));
     }
 
     #[test]
@@ -422,6 +521,30 @@ mod tests {
         assert!(lexed.allows(2, "timing"), "annotation covers the next line");
         assert!(!lexed.allows(3, "timing"));
         assert!(!lexed.allows(1, "default_hasher"));
+    }
+
+    #[test]
+    fn annotations_carry_why_justifications() {
+        let lexed = lex("x(); // xtask:allow(atomic-ordering, why=stats counter, no sync)");
+        assert!(lexed.allows(1, "atomic-ordering"));
+        assert_eq!(
+            lexed.allow_why(1, "atomic-ordering"),
+            Some(Some("stats counter, no sync")),
+            "the why text keeps its commas"
+        );
+        let bare = lex("x(); // xtask:allow(atomic-ordering)");
+        assert_eq!(bare.allow_why(1, "atomic-ordering"), Some(None));
+        assert_eq!(bare.allow_why(1, "timing"), None);
+    }
+
+    #[test]
+    fn why_applies_to_every_rule_in_the_annotation() {
+        let lexed = lex("// xtask:allow(lossy-cast, float-eq, why=clamped first)\ny();");
+        assert_eq!(
+            lexed.allow_why(1, "lossy-cast"),
+            Some(Some("clamped first"))
+        );
+        assert_eq!(lexed.allow_why(2, "float-eq"), Some(Some("clamped first")));
     }
 
     #[test]

@@ -1,0 +1,264 @@
+//! Numeric-determinism rules for the model and accounting crates.
+//!
+//! The analytical model (ROADMAP item 2) must stay bit-comparable with
+//! the simulator, so the crates that compute or serialize numbers —
+//! `core::model`, `core::report`, and all of `metrics` — are held to
+//! two extra rules:
+//!
+//! * `lossy-cast` — an `as` cast to an integer type can silently
+//!   truncate or wrap. Use `From`/`TryFrom` (which state the intent and
+//!   fail loudly), or annotate the cast with
+//!   `// xtask:allow(lossy-cast, why=...)` when it is provably lossless
+//!   (e.g. a value clamped to the target range on the previous line).
+//! * `float-eq` — `==`/`!=` on floats makes results depend on rounding
+//!   mode and operation order. Restructure the comparison (`> 0.0`
+//!   guards, `abs() < eps`), or justify with
+//!   `// xtask:allow(float-eq, why=...)`.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{Lexed, Token, TokenKind};
+
+/// True for files in the numeric-determinism scope.
+pub fn in_scope(file: &str) -> bool {
+    file == "crates/core/src/model.rs"
+        || file == "crates/core/src/report.rs"
+        || file.starts_with("crates/metrics/src/")
+}
+
+/// Integer cast targets the `lossy-cast` rule watches.
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Idents and literals that mark a comparison as float-valued.
+const FLOAT_MARKERS: [&str; 7] = ["f32", "f64", "NAN", "INFINITY", "EPSILON", "is_nan", "abs"];
+
+/// Runs both numeric rules over one in-scope file.
+pub fn numeric_violations(file: &str, lexed: &Lexed, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+    if !in_scope(file) {
+        return;
+    }
+    lossy_cast(file, lexed, tokens, out);
+    float_eq(file, lexed, tokens, out);
+}
+
+/// Rule `lossy-cast`: `as <integer type>`.
+fn lossy_cast(file: &str, lexed: &Lexed, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("as") {
+            continue;
+        }
+        let Some(ty) = tokens
+            .get(i + 1)
+            .filter(|n| n.kind == TokenKind::Ident && INT_TYPES.contains(&n.text.as_str()))
+        else {
+            continue;
+        };
+        match lexed.allow_why(t.line, "lossy-cast") {
+            Some(Some(_)) => {}
+            Some(None) => out.push(diag(
+                file,
+                t,
+                "lossy-cast",
+                format!(
+                    "`as {}` annotation lacks a `why=` justification; state \
+                     why the cast cannot lose value",
+                    ty.text
+                ),
+            )),
+            None => out.push(diag(
+                file,
+                t,
+                "lossy-cast",
+                format!(
+                    "`as {}` cast can silently truncate or wrap; use \
+                     `From`/`TryFrom`, or `// xtask:allow(lossy-cast, why=...)` \
+                     if provably lossless",
+                    ty.text
+                ),
+            )),
+        }
+    }
+}
+
+/// Rule `float-eq`: `==`/`!=` with float evidence nearby.
+fn float_eq(file: &str, lexed: &Lexed, tokens: &[Token], out: &mut Vec<Diagnostic>) {
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        let op = &tokens[i];
+        let is_cmp = (op.is_punct('=') || op.is_punct('!')) && tokens[i + 1].is_punct('=');
+        // `==`/`!=` only: skip `<=`/`>=` (first token is `<`/`>`), and
+        // make sure this is not assignment `=` (second `=` required) or
+        // the tail of a `==` already matched (advance by 2 below).
+        if !is_cmp || !float_evidence(tokens, i) {
+            i += 1;
+            continue;
+        }
+        match lexed.allow_why(op.line, "float-eq") {
+            Some(Some(_)) => {}
+            Some(None) => out.push(diag(
+                file,
+                op,
+                "float-eq",
+                "float comparison annotation lacks a `why=` justification".to_owned(),
+            )),
+            None => out.push(diag(
+                file,
+                op,
+                "float-eq",
+                format!(
+                    "float `{}=` comparison is rounding-sensitive; compare \
+                     against a range (`> 0.0`, `abs() < eps`) or add \
+                     `// xtask:allow(float-eq, why=...)`",
+                    op.text
+                ),
+            )),
+        }
+        i += 2;
+    }
+}
+
+/// True when an *operand* of the comparison at `op` looks
+/// float-valued: a literal with a decimal point or float suffix, a
+/// float type name, or a float-only method/constant. Scanning stops at
+/// the first token that cannot belong to the operand expression (a
+/// keyword, brace, or operator), so `count == 0 { return 0.0; }` does
+/// not borrow evidence from the statement after it. An untyped
+/// `a != b` over floats is deliberately missed rather than flagging
+/// every integer comparison inside a float-returning function.
+fn float_evidence(tokens: &[Token], op: usize) -> bool {
+    const STOP_KEYWORDS: [&str; 8] = [
+        "if",
+        "while",
+        "return",
+        "match",
+        "let",
+        "else",
+        "assert",
+        "debug_assert",
+    ];
+    let is_marker = |t: &Token| match t.kind {
+        TokenKind::Number => {
+            t.text.contains('.') || t.text.contains("f64") || t.text.contains("f32")
+        }
+        TokenKind::Ident => FLOAT_MARKERS.contains(&t.text.as_str()),
+        TokenKind::Punct => false,
+    };
+    let in_operand = |t: &Token, puncts: &str| match t.kind {
+        TokenKind::Ident => !STOP_KEYWORDS.contains(&t.text.as_str()),
+        TokenKind::Number => true,
+        TokenKind::Punct => t.text.chars().all(|c| puncts.contains(c)),
+    };
+    // Left operand: walk back over path/field/call tails.
+    let left = tokens[..op]
+        .iter()
+        .rev()
+        .take(8)
+        .take_while(|t| in_operand(t, ".)]:"))
+        .any(is_marker);
+    // Right operand: walk forward over path/field/call heads.
+    let right = tokens[(op + 2).min(tokens.len())..]
+        .iter()
+        .take(8)
+        .take_while(|t| in_operand(t, ".([:"))
+        .any(is_marker);
+    left || right
+}
+
+fn diag(file: &str, at: &Token, rule: &'static str, message: String) -> Diagnostic {
+    Diagnostic {
+        file: file.to_owned(),
+        line: at.line,
+        col: at.col,
+        rule,
+        severity: Severity::Deny,
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_cfg_test};
+
+    fn check(source: &str) -> Vec<Diagnostic> {
+        let lexed = lex(source);
+        let tokens = strip_cfg_test(&lexed.tokens);
+        let mut out = Vec::new();
+        numeric_violations("crates/core/src/model.rs", &lexed, &tokens, &mut out);
+        out
+    }
+
+    #[test]
+    fn int_cast_fires_lossy_cast() {
+        let v = check("fn f(x: u64) -> u32 { x as u32 }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "lossy-cast");
+        assert!(v[0].message.contains("`as u32`"));
+    }
+
+    #[test]
+    fn justified_cast_is_clean_but_bare_annotation_fires() {
+        assert!(check(
+            "fn f(x: u64) -> u32 { (x.min(100)) as u32 } // xtask:allow(lossy-cast, why=clamped to 100)"
+        )
+        .is_empty());
+        let bare = check("fn f(x: u64) -> u32 { x as u32 } // xtask:allow(lossy-cast)");
+        assert_eq!(bare.len(), 1);
+        assert!(bare[0].message.contains("why="));
+    }
+
+    #[test]
+    fn float_cast_and_from_are_fine() {
+        assert!(check("fn f(x: u32) -> f64 { x as f64 }").is_empty());
+        assert!(check("fn f(x: u32) -> u64 { u64::from(x) }").is_empty());
+    }
+
+    #[test]
+    fn float_equality_fires() {
+        let v = check("fn f(total: f64) -> f64 { if total == 0.0 { return 0.0; } 1.0 / total }");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "float-eq");
+    }
+
+    #[test]
+    fn float_inequality_fires() {
+        let v = check("fn f(a: f64) -> bool { a != 0.5 }");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "float-eq");
+    }
+
+    #[test]
+    fn integer_equality_is_fine() {
+        assert!(check("fn f(a: u64, b: u64) -> bool { a == b && a != 3 }").is_empty());
+        // Integer comparison inside a float-returning function: the
+        // signature's `f64` is not evidence about the operands.
+        assert!(check(
+            "fn mean(&self) -> f64 { if self.count == 0 { return 0.0; } self.sum / self.n }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn range_guards_are_fine() {
+        assert!(check("fn f(t: f64) -> f64 { if t > 0.0 { 1.0 / t } else { 0.0 } }").is_empty());
+        assert!(check("fn f(a: f64, b: f64) -> bool { a <= b }").is_empty());
+    }
+
+    #[test]
+    fn justified_float_eq_is_clean() {
+        assert!(check(
+            "fn f(a: f64) -> bool { a == 0.0 } // xtask:allow(float-eq, why=exact sentinel written by us)"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_files_are_exempt() {
+        let lexed = lex("fn f(x: u64) -> u32 { x as u32 }");
+        let tokens = strip_cfg_test(&lexed.tokens);
+        let mut out = Vec::new();
+        numeric_violations("crates/core/src/simulator.rs", &lexed, &tokens, &mut out);
+        assert!(out.is_empty());
+    }
+}

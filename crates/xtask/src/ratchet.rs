@@ -1,0 +1,444 @@
+//! The unified ratchet files and their drift checks.
+//!
+//! Three checked-in files pin measured facts about the workspace, and
+//! `cargo xtask lint` fails when any of them drifts from reality **in
+//! either direction** — growing the surface without recording it, or
+//! shrinking it without claiming credit:
+//!
+//! * `panic-allowlist.toml` — per-file unwrap/expect/index counts
+//!   (parsing lives in [`crate::allowlist`], counting in
+//!   [`crate::panic_audit`]).
+//! * `atomic-allowlist.toml` — per-file counts of explicit atomic
+//!   `Ordering` sites, one column per mode.
+//! * `lock-order.toml` — the lock-order manifest: per-function ordered
+//!   acquisition edges `"file::fn" = ["a -> b", ...]`, plus a global
+//!   cycle check (edge `a -> b` somewhere and `b -> a` elsewhere is a
+//!   latent deadlock and fails even when both are recorded).
+//!
+//! All three regenerate together with `cargo xtask lint
+//! --update-allowlists`. Like `panic-allowlist.toml`, the formats are
+//! restricted to one shape each so no TOML dependency is needed.
+
+use std::collections::BTreeMap;
+
+use crate::concurrency::OrderingCounts;
+use crate::diag::{Diagnostic, Severity};
+
+/// Parses `atomic-allowlist.toml` text.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on any shape violation.
+pub fn parse_atomic(text: &str) -> Result<BTreeMap<String, OrderingCounts>, String> {
+    let mut out = BTreeMap::new();
+    let mut in_files = false;
+    for (number, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[files]" {
+            in_files = true;
+            continue;
+        }
+        if !in_files {
+            return Err(format!(
+                "line {}: expected `[files]` before entries, got `{line}`",
+                number + 1
+            ));
+        }
+        let (path, counts) = parse_atomic_entry(line)
+            .ok_or_else(|| format!("line {}: malformed atomic entry `{line}`", number + 1))?;
+        if out.insert(path.clone(), counts).is_some() {
+            return Err(format!("line {}: duplicate entry for `{path}`", number + 1));
+        }
+    }
+    Ok(out)
+}
+
+/// Parses one `"path" = { relaxed = N, acquire = N, release = N,
+/// acqrel = N, seqcst = N }` line.
+fn parse_atomic_entry(line: &str) -> Option<(String, OrderingCounts)> {
+    let rest = line.strip_prefix('"')?;
+    let (path, rest) = rest.split_once('"')?;
+    let rest = rest.trim().strip_prefix('=')?.trim();
+    let body = rest.strip_prefix('{')?.trim().strip_suffix('}')?.trim();
+    let mut counts = OrderingCounts::default();
+    let mut seen = [false; 5];
+    for part in body.split(',') {
+        let (key, value) = part.split_once('=')?;
+        let value: usize = value.trim().parse().ok()?;
+        let slot = match key.trim() {
+            "relaxed" => {
+                counts.relaxed = value;
+                0
+            }
+            "acquire" => {
+                counts.acquire = value;
+                1
+            }
+            "release" => {
+                counts.release = value;
+                2
+            }
+            "acqrel" => {
+                counts.acqrel = value;
+                3
+            }
+            "seqcst" => {
+                counts.seqcst = value;
+                4
+            }
+            _ => return None,
+        };
+        if seen[slot] {
+            return None;
+        }
+        seen[slot] = true;
+    }
+    seen.iter().all(|&s| s).then(|| (path.to_owned(), counts))
+}
+
+/// Renders the atomic allowlist (sorted, zero-count files omitted).
+pub fn render_atomic(counts: &BTreeMap<String, OrderingCounts>) -> String {
+    let mut out = String::from(
+        "# Atomic-ordering allowlist, checked by `cargo xtask lint`.\n\
+         #\n\
+         # Every non-test simulation-crate file with an explicit atomic\n\
+         # `Ordering` site is recorded here with exact per-mode counts.\n\
+         # The lint fails when a count drifts from reality in either\n\
+         # direction; each non-SeqCst site additionally needs an inline\n\
+         # `// xtask:allow(atomic-ordering, why=...)` justification.\n\
+         # After a deliberate change, regenerate with:\n\
+         #\n\
+         #     cargo xtask lint --update-allowlists\n\
+         \n\
+         [files]\n",
+    );
+    for (path, c) in counts {
+        if !c.is_zero() {
+            out.push_str(&format!("\"{path}\" = {{ {c} }}\n"));
+        }
+    }
+    out
+}
+
+/// Parses `lock-order.toml` text.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on any shape violation.
+pub fn parse_lock_order(text: &str) -> Result<BTreeMap<String, Vec<String>>, String> {
+    let mut out = BTreeMap::new();
+    let mut in_edges = false;
+    for (number, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[edges]" {
+            in_edges = true;
+            continue;
+        }
+        if !in_edges {
+            return Err(format!(
+                "line {}: expected `[edges]` before entries, got `{line}`",
+                number + 1
+            ));
+        }
+        let (key, edges) = parse_lock_entry(line)
+            .ok_or_else(|| format!("line {}: malformed lock-order entry `{line}`", number + 1))?;
+        if out.insert(key.clone(), edges).is_some() {
+            return Err(format!("line {}: duplicate entry for `{key}`", number + 1));
+        }
+    }
+    Ok(out)
+}
+
+/// Parses one `"file::fn" = ["a -> b", "c -> d"]` line.
+fn parse_lock_entry(line: &str) -> Option<(String, Vec<String>)> {
+    let rest = line.strip_prefix('"')?;
+    let (key, rest) = rest.split_once('"')?;
+    let rest = rest.trim().strip_prefix('=')?.trim();
+    let body = rest.strip_prefix('[')?.trim().strip_suffix(']')?.trim();
+    let mut edges = Vec::new();
+    if !body.is_empty() {
+        for part in body.split(',') {
+            let edge = part.trim().strip_prefix('"')?.strip_suffix('"')?;
+            if !edge.contains(" -> ") {
+                return None;
+            }
+            edges.push(edge.to_owned());
+        }
+    }
+    (!edges.is_empty()).then(|| (key.to_owned(), edges))
+}
+
+/// Renders the lock-order manifest (sorted keys, edge lists as
+/// measured).
+pub fn render_lock_order(edges: &BTreeMap<String, Vec<String>>) -> String {
+    let mut out = String::from(
+        "# Lock-order manifest, checked by `cargo xtask lint`.\n\
+         #\n\
+         # Every function that acquires two or more distinct locks is\n\
+         # recorded here with its ordered acquisition edges. The lint\n\
+         # fails when an edge appears or disappears without this file\n\
+         # being regenerated, and when two recorded edges contradict\n\
+         # (`a -> b` somewhere, `b -> a` elsewhere - a latent deadlock).\n\
+         # Suppress a false edge (guard dropped before the second\n\
+         # acquisition) with `// xtask:allow(lock-order)` on the later\n\
+         # site. Regenerate with:\n\
+         #\n\
+         #     cargo xtask lint --update-allowlists\n\
+         \n\
+         [edges]\n",
+    );
+    for (key, list) in edges {
+        if list.is_empty() {
+            continue;
+        }
+        let quoted: Vec<String> = list.iter().map(|e| format!("\"{e}\"")).collect();
+        out.push_str(&format!("\"{key}\" = [{}]\n", quoted.join(", ")));
+    }
+    out
+}
+
+/// Compares measured atomic counts against the allowlist; drift in
+/// either direction produces `atomic-ratchet` diagnostics.
+pub fn compare_atomic(
+    measured: &BTreeMap<String, OrderingCounts>,
+    allowed: &BTreeMap<String, OrderingCounts>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (file, counts) in measured {
+        match allowed.get(file) {
+            None if counts.is_zero() => {}
+            None => out.push(file_diag(
+                file,
+                "atomic-ratchet",
+                format!(
+                    "new explicit atomic orderings ({counts}) not in \
+                     atomic-allowlist.toml; if deliberate, run \
+                     `cargo xtask lint --update-allowlists`"
+                ),
+            )),
+            Some(entry) if entry == counts => {}
+            Some(entry) => out.push(file_diag(
+                file,
+                "atomic-ratchet",
+                format!(
+                    "atomic-ordering surface drifted: allowlist records \
+                     ({entry}) but the source has ({counts}); update the \
+                     allowlist to match"
+                ),
+            )),
+        }
+    }
+    for file in allowed.keys() {
+        let gone = measured.get(file).is_none_or(OrderingCounts::is_zero);
+        if gone {
+            out.push(file_diag(
+                file,
+                "atomic-ratchet",
+                "stale allowlist entry: file is gone or no longer uses \
+                 explicit atomic orderings; remove the entry"
+                    .to_owned(),
+            ));
+        }
+    }
+}
+
+/// Compares measured lock-order edges against the manifest (drift both
+/// directions) and runs the global cycle check over the *measured*
+/// edges.
+pub fn compare_lock_order(
+    measured: &BTreeMap<String, Vec<String>>,
+    manifest: &BTreeMap<String, Vec<String>>,
+    out: &mut Vec<Diagnostic>,
+) {
+    for (key, edges) in measured {
+        match manifest.get(key) {
+            None => out.push(key_diag(
+                key,
+                "lock-order",
+                format!(
+                    "unrecorded nested lock acquisition ({}); if the order \
+                     is deliberate, run `cargo xtask lint --update-allowlists`",
+                    edges.join(", ")
+                ),
+            )),
+            Some(entry) if entry == edges => {}
+            Some(entry) => out.push(key_diag(
+                key,
+                "lock-order",
+                format!(
+                    "lock-order manifest drifted: recorded [{}] but the \
+                     source has [{}]; regenerate the manifest",
+                    entry.join(", "),
+                    edges.join(", ")
+                ),
+            )),
+        }
+    }
+    for key in manifest.keys() {
+        if !measured.contains_key(key) {
+            out.push(key_diag(
+                key,
+                "lock-order",
+                "stale manifest entry: function is gone or no longer \
+                 acquires nested locks; remove the entry"
+                    .to_owned(),
+            ));
+        }
+    }
+    // Cycle check: `a -> b` in one place and `b -> a` in another is a
+    // latent deadlock, even when both edges are faithfully recorded.
+    let mut seen: BTreeMap<(String, String), &str> = BTreeMap::new();
+    for (key, edges) in measured {
+        for edge in edges {
+            if let Some((a, b)) = edge.split_once(" -> ") {
+                seen.entry((a.to_owned(), b.to_owned())).or_insert(key);
+            }
+        }
+    }
+    for ((a, b), key) in &seen {
+        if a < b {
+            if let Some(other) = seen.get(&(b.clone(), a.clone())) {
+                out.push(key_diag(
+                    key,
+                    "lock-order-cycle",
+                    format!(
+                        "contradictory lock order: `{a} -> {b}` here but \
+                         `{b} -> {a}` in {other}; the two call paths can \
+                         deadlock"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn file_diag(file: &str, rule: &'static str, message: String) -> Diagnostic {
+    Diagnostic {
+        file: file.to_owned(),
+        line: 1,
+        col: 1,
+        rule,
+        severity: Severity::Deny,
+        message,
+    }
+}
+
+/// A diagnostic anchored to a `file::fn` manifest key: reported
+/// against the file part so the span stays clickable.
+fn key_diag(key: &str, rule: &'static str, message: String) -> Diagnostic {
+    let file = key.split("::").next().unwrap_or(key);
+    Diagnostic {
+        file: file.to_owned(),
+        line: 1,
+        col: 1,
+        rule,
+        severity: Severity::Deny,
+        message: format!("[{key}] {message}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_allowlist_round_trips() {
+        let counts: BTreeMap<String, OrderingCounts> = [
+            (
+                "crates/core/src/trace_cache.rs".to_owned(),
+                OrderingCounts {
+                    relaxed: 14,
+                    ..OrderingCounts::default()
+                },
+            ),
+            ("crates/a/src/lib.rs".to_owned(), OrderingCounts::default()),
+        ]
+        .into();
+        let text = render_atomic(&counts);
+        let parsed = parse_atomic(&text).unwrap();
+        assert_eq!(parsed.len(), 1, "zero-count files are omitted");
+        assert_eq!(parsed["crates/core/src/trace_cache.rs"].relaxed, 14);
+    }
+
+    #[test]
+    fn atomic_allowlist_rejects_malformed_lines() {
+        assert!(parse_atomic("[files]\n\"a.rs\" = { relaxed = 1 }").is_err());
+        assert!(
+            parse_atomic("\"a.rs\" = { relaxed = 1 }").is_err(),
+            "no header"
+        );
+        let dup = "[files]\n\
+            \"a.rs\" = { relaxed = 1, acquire = 0, release = 0, acqrel = 0, seqcst = 0 }\n\
+            \"a.rs\" = { relaxed = 1, acquire = 0, release = 0, acqrel = 0, seqcst = 0 }";
+        assert!(parse_atomic(dup).is_err());
+    }
+
+    #[test]
+    fn atomic_drift_fires_in_both_directions() {
+        let mk = |relaxed| OrderingCounts {
+            relaxed,
+            ..OrderingCounts::default()
+        };
+        let measured: BTreeMap<String, OrderingCounts> =
+            [("a.rs".to_owned(), mk(2)), ("b.rs".to_owned(), mk(1))].into();
+        let allowed: BTreeMap<String, OrderingCounts> =
+            [("b.rs".to_owned(), mk(3)), ("c.rs".to_owned(), mk(1))].into();
+        let mut out = Vec::new();
+        compare_atomic(&measured, &allowed, &mut out);
+        let files: Vec<&str> = out.iter().map(|d| d.file.as_str()).collect();
+        assert_eq!(files, vec!["a.rs", "b.rs", "c.rs"]);
+        assert!(out.iter().all(|d| d.rule == "atomic-ratchet"));
+    }
+
+    #[test]
+    fn lock_order_manifest_round_trips() {
+        let edges: BTreeMap<String, Vec<String>> = [(
+            "crates/core/src/x.rs::S::both".to_owned(),
+            vec!["a -> b".to_owned(), "a -> c".to_owned()],
+        )]
+        .into();
+        let text = render_lock_order(&edges);
+        let parsed = parse_lock_order(&text).unwrap();
+        assert_eq!(parsed, edges);
+    }
+
+    #[test]
+    fn lock_order_drift_fires_in_both_directions() {
+        let mk = |s: &str| vec![s.to_owned()];
+        let measured: BTreeMap<String, Vec<String>> = [
+            ("x.rs::f".to_owned(), mk("a -> b")),
+            ("x.rs::g".to_owned(), mk("a -> c")),
+        ]
+        .into();
+        let manifest: BTreeMap<String, Vec<String>> = [
+            ("x.rs::f".to_owned(), mk("a -> b")),
+            ("x.rs::h".to_owned(), mk("d -> e")),
+        ]
+        .into();
+        let mut out = Vec::new();
+        compare_lock_order(&measured, &manifest, &mut out);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out[0].message.contains("x.rs::g"), "unrecorded edge");
+        assert!(out[1].message.contains("x.rs::h"), "stale entry");
+    }
+
+    #[test]
+    fn contradictory_edges_are_a_cycle() {
+        let measured: BTreeMap<String, Vec<String>> = [
+            ("x.rs::f".to_owned(), vec!["a -> b".to_owned()]),
+            ("y.rs::g".to_owned(), vec!["b -> a".to_owned()]),
+        ]
+        .into();
+        let mut out = Vec::new();
+        compare_lock_order(&measured, &measured, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].rule, "lock-order-cycle");
+        assert!(out[0].message.contains("deadlock"));
+    }
+}

@@ -25,6 +25,7 @@
 //! the same line or the line above (e.g. the wall-clock throughput
 //! timers in `crates/core/src/experiments.rs`).
 
+use crate::diag::{Diagnostic, Severity};
 use crate::lexer::{Lexed, Token, TokenKind};
 
 /// Crates whose sources must be deterministic: everything that runs
@@ -34,29 +35,6 @@ pub const SIM_CRATES: [&str; 7] = [
     "types", "trace", "cachesim", "device", "policy", "core", "metrics",
 ];
 
-/// One rule finding.
-#[derive(Debug, Clone)]
-pub struct Violation {
-    /// Workspace-relative path of the offending file.
-    pub file: String,
-    /// 1-based line of the finding.
-    pub line: usize,
-    /// Rule identifier (the name `xtask:allow(...)` takes).
-    pub rule: &'static str,
-    /// Human-readable explanation.
-    pub message: String,
-}
-
-impl std::fmt::Display for Violation {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
-        )
-    }
-}
-
 /// Names of the unordered hash collections (std and the in-repo Fx
 /// aliases) that must not appear in serialized types.
 const UNORDERED: [&str; 4] = ["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
@@ -65,7 +43,7 @@ const UNORDERED: [&str; 4] = ["HashMap", "HashSet", "FxHashMap", "FxHashSet"];
 ///
 /// `tokens` must already have `#[cfg(test)]` items removed; `lexed`
 /// provides the annotation table of the same file.
-pub fn determinism_violations(file: &str, lexed: &Lexed, tokens: &[Token]) -> Vec<Violation> {
+pub fn determinism_violations(file: &str, lexed: &Lexed, tokens: &[Token]) -> Vec<Diagnostic> {
     let mut violations = Vec::new();
     default_hasher(file, lexed, tokens, &mut violations);
     serialized_unordered(file, lexed, tokens, &mut violations);
@@ -74,32 +52,34 @@ pub fn determinism_violations(file: &str, lexed: &Lexed, tokens: &[Token]) -> Ve
 }
 
 fn push_unless_allowed(
-    out: &mut Vec<Violation>,
+    out: &mut Vec<Diagnostic>,
     lexed: &Lexed,
     file: &str,
-    line: usize,
+    at: &Token,
     rule: &'static str,
     message: String,
 ) {
-    if !lexed.allows(line, rule) {
-        out.push(Violation {
+    if !lexed.allows(at.line, rule) {
+        out.push(Diagnostic {
             file: file.to_owned(),
-            line,
+            line: at.line,
+            col: at.col,
             rule,
+            severity: Severity::Deny,
             message,
         });
     }
 }
 
 /// Rule `default_hasher`: any bare `HashMap`/`HashSet` identifier.
-fn default_hasher(file: &str, lexed: &Lexed, tokens: &[Token], out: &mut Vec<Violation>) {
+fn default_hasher(file: &str, lexed: &Lexed, tokens: &[Token], out: &mut Vec<Diagnostic>) {
     for t in tokens {
         if t.is_ident("HashMap") || t.is_ident("HashSet") {
             push_unless_allowed(
                 out,
                 lexed,
                 file,
-                t.line,
+                t,
                 "default_hasher",
                 format!(
                     "bare `{}` (randomly keyed default hasher); use \
@@ -113,7 +93,7 @@ fn default_hasher(file: &str, lexed: &Lexed, tokens: &[Token], out: &mut Vec<Vio
 
 /// Rule `serialized_unordered`: a hash collection in the body of a type
 /// that derives `Serialize`.
-fn serialized_unordered(file: &str, lexed: &Lexed, tokens: &[Token], out: &mut Vec<Violation>) {
+fn serialized_unordered(file: &str, lexed: &Lexed, tokens: &[Token], out: &mut Vec<Diagnostic>) {
     let mut i = 0;
     while i < tokens.len() {
         let Some(after_attr) = serialize_derive_end(tokens, i) else {
@@ -145,7 +125,7 @@ fn serialized_unordered(file: &str, lexed: &Lexed, tokens: &[Token], out: &mut V
                         out,
                         lexed,
                         file,
-                        t.line,
+                        t,
                         "serialized_unordered",
                         format!(
                             "`{}` field in a `#[derive(Serialize)]` type \
@@ -181,7 +161,7 @@ fn serialize_derive_end(tokens: &[Token], i: usize) -> Option<usize> {
 }
 
 /// Rules `timing` and `rng`: wall-clock and entropy sources.
-fn timing_and_rng(file: &str, lexed: &Lexed, tokens: &[Token], out: &mut Vec<Violation>) {
+fn timing_and_rng(file: &str, lexed: &Lexed, tokens: &[Token], out: &mut Vec<Diagnostic>) {
     for (i, t) in tokens.iter().enumerate() {
         if t.kind != TokenKind::Ident {
             continue;
@@ -196,7 +176,7 @@ fn timing_and_rng(file: &str, lexed: &Lexed, tokens: &[Token], out: &mut Vec<Vio
                 out,
                 lexed,
                 file,
-                t.line,
+                t,
                 "timing",
                 format!("{what} reads the wall clock inside a simulation crate"),
             );
@@ -212,7 +192,7 @@ fn timing_and_rng(file: &str, lexed: &Lexed, tokens: &[Token], out: &mut Vec<Vio
                 out,
                 lexed,
                 file,
-                t.line,
+                t,
                 "rng",
                 format!(
                     "`{what}` draws entropy-seeded randomness; derive all \
@@ -256,7 +236,7 @@ mod tests {
     use super::*;
     use crate::lexer::{lex, strip_cfg_test};
 
-    fn check(source: &str) -> Vec<Violation> {
+    fn check(source: &str) -> Vec<Diagnostic> {
         let lexed = lex(source);
         let tokens = strip_cfg_test(&lexed.tokens);
         determinism_violations("test.rs", &lexed, &tokens)

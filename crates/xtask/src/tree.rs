@@ -1,0 +1,390 @@
+//! A recursive-descent token-tree parser over the lexer's token stream.
+//!
+//! Groups the flat [`Token`] stream into a forest of [`Node`]s: leaves
+//! for idents/numbers/puncts, and [`Group`]s for the three bracket
+//! pairs `()`, `[]`, `{}`. Angle brackets are *not* grouped (in Rust
+//! they are ambiguous without type context), so `<` and `>` stay leaf
+//! puncts and scope walking steps over generic-argument lists by
+//! counting angle depth at the leaf level.
+//!
+//! On top of the forest, [`walk_fns`] visits every `fn` body together
+//! with its item path (`module::Type::fn_name`), which is what the
+//! lock-order rule keys its manifest on.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One node of the token forest.
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// A single non-bracket token.
+    Leaf(Token),
+    /// A balanced `(...)`, `[...]`, or `{...}` group.
+    Group(Group),
+}
+
+/// A balanced bracket group.
+#[derive(Debug, Clone)]
+pub struct Group {
+    /// The opening delimiter: `(`, `[`, or `{`.
+    pub delim: char,
+    /// The opening-delimiter token (spans come from here).
+    pub open: Token,
+    /// The nodes between the delimiters.
+    pub children: Vec<Node>,
+}
+
+impl Node {
+    /// The leaf token, when this node is a leaf.
+    pub fn leaf(&self) -> Option<&Token> {
+        match self {
+            Node::Leaf(t) => Some(t),
+            Node::Group(_) => None,
+        }
+    }
+
+    /// The group, when this node is one.
+    pub fn group(&self) -> Option<&Group> {
+        match self {
+            Node::Leaf(_) => None,
+            Node::Group(g) => Some(g),
+        }
+    }
+
+    /// True when this is the identifier `text`.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.leaf().is_some_and(|t| t.is_ident(text))
+    }
+
+    /// True when this is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.leaf().is_some_and(|t| t.is_punct(ch))
+    }
+
+    /// The source line this node starts on.
+    pub fn line(&self) -> usize {
+        match self {
+            Node::Leaf(t) => t.line,
+            Node::Group(g) => g.open.line,
+        }
+    }
+
+    /// The source column this node starts at.
+    pub fn col(&self) -> usize {
+        match self {
+            Node::Leaf(t) => t.col,
+            Node::Group(g) => g.open.col,
+        }
+    }
+}
+
+fn closer_of(open: char) -> char {
+    match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    }
+}
+
+/// Parses a token stream into a forest.
+///
+/// Tolerant of imbalance: a stray closer is dropped, and a group left
+/// open at end of input is closed implicitly. This keeps the parser
+/// total over any input the lexer produces.
+pub fn parse_forest(tokens: &[Token]) -> Vec<Node> {
+    // Each stack entry is a group under construction.
+    let mut stack: Vec<Group> = Vec::new();
+    let mut top: Vec<Node> = Vec::new();
+    for token in tokens {
+        let is_open = token.kind == TokenKind::Punct && "([{".contains(token.text.as_str());
+        let is_close = token.kind == TokenKind::Punct && ")]}".contains(token.text.as_str());
+        if is_open {
+            stack.push(Group {
+                delim: token.text.chars().next().unwrap_or('('),
+                open: token.clone(),
+                children: Vec::new(),
+            });
+        } else if is_close {
+            // Pop only when the closer matches the innermost group;
+            // otherwise drop the stray closer.
+            let matches = stack
+                .last()
+                .is_some_and(|g| token.text.starts_with(closer_of(g.delim)));
+            if matches {
+                let done = stack.pop().unwrap_or_else(|| unreachable!());
+                match stack.last_mut() {
+                    Some(parent) => parent.children.push(Node::Group(done)),
+                    None => top.push(Node::Group(done)),
+                }
+            }
+        } else {
+            let node = Node::Leaf(token.clone());
+            match stack.last_mut() {
+                Some(parent) => parent.children.push(node),
+                None => top.push(node),
+            }
+        }
+    }
+    // Implicitly close anything left open.
+    while let Some(done) = stack.pop() {
+        match stack.last_mut() {
+            Some(parent) => parent.children.push(Node::Group(done)),
+            None => top.push(Node::Group(done)),
+        }
+    }
+    top
+}
+
+/// A function body discovered by [`walk_fns`].
+pub struct FnScope<'a> {
+    /// `module::Type::fn_name` path of the function (no leading crate
+    /// name; modules and impl self-types contribute segments).
+    pub path: String,
+    /// The `{...}` body group.
+    pub body: &'a Group,
+}
+
+/// Visits every `fn` body in the forest, in source order, with its
+/// item path. `mod name { ... }` and `impl [Trait for] Type { ... }`
+/// contribute path segments; nested fns contribute their own.
+pub fn walk_fns<'a>(forest: &'a [Node], visit: &mut dyn FnMut(&FnScope<'a>)) {
+    walk_level(forest, "", visit);
+}
+
+fn walk_level<'a>(nodes: &'a [Node], prefix: &str, visit: &mut dyn FnMut(&FnScope<'a>)) {
+    let mut i = 0;
+    while i < nodes.len() {
+        if nodes[i].is_ident("mod") {
+            // `mod name { ... }` (a `mod name;` declaration has no body).
+            let name = nodes.get(i + 1).and_then(Node::leaf);
+            let body = nodes.get(i + 2).and_then(Node::group);
+            if let (Some(name), Some(body)) = (name, body) {
+                if body.delim == '{' {
+                    let path = join(prefix, &name.text);
+                    walk_level(&body.children, &path, visit);
+                    i += 3;
+                    continue;
+                }
+            }
+            i += 1;
+        } else if nodes[i].is_ident("impl") {
+            if let Some((segment, body, next)) = parse_impl(nodes, i) {
+                let path = join(prefix, &segment);
+                walk_level(&body.children, &path, visit);
+                i = next;
+                continue;
+            }
+            i += 1;
+        } else if nodes[i].is_ident("fn") {
+            if let Some((name, body, next)) = parse_fn(nodes, i) {
+                let path = join(prefix, &name);
+                visit(&FnScope {
+                    path: path.clone(),
+                    body,
+                });
+                // Nested items (closures don't nest fns often, but
+                // `fn` inside `fn` is legal).
+                walk_level(&body.children, &path, visit);
+                i = next;
+                continue;
+            }
+            i += 1;
+        } else if let Node::Group(g) = &nodes[i] {
+            // Descend into other groups (e.g. statement blocks) so fns
+            // inside them are still found.
+            walk_level(&g.children, prefix, visit);
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+}
+
+fn join(prefix: &str, segment: &str) -> String {
+    if prefix.is_empty() {
+        segment.to_owned()
+    } else {
+        format!("{prefix}::{segment}")
+    }
+}
+
+/// Parses `impl [<...>] [Trait for] Type [<...>] [where ...] { ... }`
+/// starting at the `impl` keyword. Returns the self-type segment (the
+/// last depth-0 path segment of the type after `for`, or of the whole
+/// header for inherent impls), the body group, and the index one past
+/// the body.
+fn parse_impl(nodes: &[Node], start: usize) -> Option<(String, &Group, usize)> {
+    let mut i = start + 1;
+    let mut angle = 0isize;
+    let mut segment: Option<String> = None;
+    let mut in_where = false;
+    while i < nodes.len() {
+        let node = &nodes[i];
+        if node.is_punct('<') {
+            angle += 1;
+        } else if is_closing_angle(nodes, i) {
+            angle -= 1;
+        } else if angle == 0 {
+            if node.is_ident("for") {
+                segment = None; // the self type follows
+            } else if node.is_ident("where") {
+                in_where = true; // bound idents are not the self type
+            } else if let Some(leaf) = node.leaf() {
+                if leaf.kind == TokenKind::Ident && !in_where {
+                    segment = Some(leaf.text.clone());
+                }
+            } else if let Some(g) = node.group() {
+                if g.delim == '{' {
+                    return Some((segment.unwrap_or_else(|| "impl".to_owned()), g, i + 1));
+                }
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Parses `fn name [<...>] (args) [-> Ret] [where ...] { body }` (or a
+/// trailing `;` for trait-method signatures) starting at the `fn`
+/// keyword. Returns the name, body group, and index one past the body.
+fn parse_fn(nodes: &[Node], start: usize) -> Option<(String, &Group, usize)> {
+    let name = nodes.get(start + 1)?.leaf()?;
+    if name.kind != TokenKind::Ident {
+        return None; // `fn(...)` pointer type, not an item
+    }
+    let mut i = start + 2;
+    let mut angle = 0isize;
+    while i < nodes.len() {
+        let node = &nodes[i];
+        if node.is_punct('<') {
+            angle += 1;
+        } else if is_closing_angle(nodes, i) {
+            angle -= 1;
+        } else if angle == 0 {
+            if node.is_punct(';') {
+                return None; // signature only (trait method / extern)
+            }
+            if let Some(g) = node.group() {
+                if g.delim == '{' {
+                    return Some((name.text.clone(), g, i + 1));
+                }
+            }
+            // A nested `fn` keyword before we found the body means we
+            // mis-parsed (shouldn't happen on valid code); bail out.
+            if node.is_ident("fn") {
+                return None;
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// True when `nodes[i]` is a `>` that closes a generic-argument list:
+/// a bare `>` not preceded by `-` or `=` (which would make it the tail
+/// of a `->` or `=>` arrow).
+fn is_closing_angle(nodes: &[Node], i: usize) -> bool {
+    nodes[i].is_punct('>') && !(i > 0 && (nodes[i - 1].is_punct('-') || nodes[i - 1].is_punct('=')))
+}
+
+/// Depth-first visit of every leaf token in a forest, in source order.
+pub fn for_each_leaf<'a>(nodes: &'a [Node], visit: &mut dyn FnMut(&'a Token)) {
+    for node in nodes {
+        match node {
+            Node::Leaf(t) => visit(t),
+            Node::Group(g) => for_each_leaf(&g.children, visit),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn forest(source: &str) -> Vec<Node> {
+        parse_forest(&lex(source).tokens)
+    }
+
+    fn fn_paths(source: &str) -> Vec<String> {
+        let forest = forest(source);
+        let mut paths = Vec::new();
+        walk_fns(&forest, &mut |scope| paths.push(scope.path.clone()));
+        paths
+    }
+
+    #[test]
+    fn groups_nest_and_balance() {
+        let nodes = forest("fn f(a: [u8; 4]) { g(1, (2)); }");
+        // Top level: fn, f, (...), {...}
+        assert_eq!(nodes.len(), 4);
+        let body = nodes[3].group().expect("body group");
+        assert_eq!(body.delim, '{');
+        let call_args = body.children[1].group().expect("call args");
+        assert_eq!(call_args.delim, '(');
+        assert!(call_args.children.iter().any(|n| n.group().is_some()));
+    }
+
+    #[test]
+    fn imbalance_is_tolerated() {
+        // Stray closer dropped; unclosed group closed implicitly.
+        let nodes = forest(") fn f( {");
+        assert!(!nodes.is_empty());
+        let nodes = forest("{ ( }");
+        assert_eq!(nodes.len(), 1);
+    }
+
+    #[test]
+    fn fn_paths_cover_mods_impls_and_nesting() {
+        let source = "
+            fn top() {}
+            mod outer {
+                pub struct Widget;
+                impl Widget {
+                    fn method(&self) { fn inner() {} inner(); }
+                }
+                impl Default for Widget {
+                    fn default() -> Self { Widget }
+                }
+                mod deep { fn leaf() {} }
+            }
+        ";
+        assert_eq!(
+            fn_paths(source),
+            vec![
+                "top",
+                "outer::Widget::method",
+                "outer::Widget::method::inner",
+                "outer::Widget::default",
+                "outer::deep::leaf",
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_impls_and_fns_are_handled() {
+        let source = "
+            impl<T: Clone> Holder<T> {
+                fn get<U>(&self, u: U) -> T where U: Copy { self.0.clone() }
+            }
+            impl<'a> From<&'a str> for Holder<String> {
+                fn from(s: &'a str) -> Self { Holder(s.to_owned()) }
+            }
+        ";
+        assert_eq!(fn_paths(source), vec!["Holder::get", "Holder::from"]);
+    }
+
+    #[test]
+    fn fn_pointer_types_and_trait_signatures_are_skipped() {
+        let source = "
+            trait T { fn required(&self); }
+            fn takes(f: fn(u32) -> u32) -> u32 { f(1) }
+        ";
+        assert_eq!(fn_paths(source), vec!["takes"]);
+    }
+
+    #[test]
+    fn fns_inside_statement_blocks_are_found() {
+        let source = "const X: () = { fn hidden() {} };";
+        assert_eq!(fn_paths(source), vec!["hidden"]);
+    }
+}
