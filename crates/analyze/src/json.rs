@@ -1,0 +1,527 @@
+//! A minimal JSON value with lexeme-preserving numbers.
+//!
+//! The analyzer ingests JSON produced by several writers (serde in the
+//! simulator crates, hand-rolled emitters elsewhere) and must round-trip
+//! its *own* `hybridmem-analyze-v1` reports byte-for-byte (emit → parse →
+//! emit is the identity). Binding a number to `f64` at parse time would
+//! lose that property for 64-bit counters, so [`Json::Number`] stores the
+//! raw lexeme and converts on demand.
+//!
+//! Objects preserve insertion order (a `Vec` of pairs, not a map): the
+//! emitter's key order is part of the stable report format.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its source lexeme (e.g. `"1.5"`, `"18446744073709551615"`).
+    Number(String),
+    /// A string (unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds a number from a `u64` (canonical decimal lexeme).
+    #[must_use]
+    pub fn u64(value: u64) -> Self {
+        Self::Number(value.to_string())
+    }
+
+    /// Builds a number from an `f64` using Rust's shortest round-trip
+    /// formatting (deterministic across platforms; non-finite values
+    /// become `null`, which JSON requires).
+    #[must_use]
+    pub fn f64(value: f64) -> Self {
+        if value.is_finite() {
+            Self::Number(format!("{value}"))
+        } else {
+            Self::Null
+        }
+    }
+
+    /// Builds a string value.
+    #[must_use]
+    pub fn str(value: impl Into<String>) -> Self {
+        Self::String(value.into())
+    }
+
+    /// Object field lookup (first match, `None` on non-objects).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Self::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, when it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `f64`, when it is one.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Number(lexeme) => lexeme.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as `u64`, when it is a plain non-negative
+    /// integer lexeme (every counter the simulator emits is one).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Self::Number(lexeme) => lexeme.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, when it is one.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Self::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's fields, when it is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Self::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Serializes with 2-space indentation and a trailing newline — the
+    /// canonical `hybridmem-analyze-v1` presentation.
+    #[must_use]
+    pub fn emit_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        match self {
+            Self::Null => out.push_str("null"),
+            Self::Bool(true) => out.push_str("true"),
+            Self::Bool(false) => out.push_str("false"),
+            Self::Number(lexeme) => out.push_str(lexeme),
+            Self::String(s) => write_escaped(out, s),
+            Self::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (index, item) in items.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Self::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (index, (key, value)) in fields.iter().enumerate() {
+                    if index > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, depth + 1);
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one JSON document, rejecting trailing garbage.
+///
+/// # Errors
+///
+/// Returns a one-line message with the byte offset of the problem.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(format!("trailing data at byte {}", parser.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}",
+                char::from(byte),
+                self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!(
+                "unexpected {:?} at byte {}",
+                char::from(other),
+                self.pos
+            )),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| format!("invalid UTF-8 at byte {start}"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_owned())?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs: JSON escapes astral chars as
+                            // two \uXXXX units.
+                            let c = if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let low = self.hex4()?;
+                                    let combined = 0x10000
+                                        + ((u32::from(code) - 0xD800) << 10)
+                                        + (u32::from(low) - 0xDC00);
+                                    char::from_u32(combined)
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(u32::from(code))
+                            };
+                            out.push(
+                                c.ok_or_else(|| format!("invalid \\u escape at byte {start}"))?,
+                            );
+                        }
+                        other => {
+                            return Err(format!(
+                                "invalid escape \\{} at byte {}",
+                                char::from(other),
+                                self.pos
+                            ))
+                        }
+                    }
+                }
+                _ => return Err("unterminated string".to_owned()),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, String> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|slice| std::str::from_utf8(slice).ok())
+            .ok_or_else(|| format!("truncated \\u escape at byte {}", self.pos))?;
+        let code = u16::from_str_radix(hex, 16)
+            .map_err(|_| format!("invalid \\u escape at byte {}", self.pos))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |parser: &mut Self| {
+            let begin = parser.pos;
+            while matches!(parser.peek(), Some(b'0'..=b'9')) {
+                parser.pos += 1;
+            }
+            parser.pos > begin
+        };
+        if !digits(self) {
+            return Err(format!("invalid number at byte {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !digits(self) {
+                return Err(format!("invalid number at byte {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !digits(self) {
+                return Err(format!("invalid number at byte {start}"));
+            }
+        }
+        let lexeme = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
+        Ok(Json::Number(lexeme.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        let doc = parse(r#"{"a": [1, -2.5, 1e3], "b": {"c": null, "d": true}, "e": "x\ny"}"#)
+            .expect("parses");
+        assert_eq!(doc.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            doc.get("a").unwrap().as_array().unwrap()[0].as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            doc.get("a").unwrap().as_array().unwrap()[1].as_f64(),
+            Some(-2.5)
+        );
+        assert_eq!(doc.get("b").unwrap().get("c"), Some(&Json::Null));
+        assert_eq!(
+            doc.get("b").unwrap().get("d").unwrap().as_bool(),
+            Some(true)
+        );
+        assert_eq!(doc.get("e").unwrap().as_str(), Some("x\ny"));
+    }
+
+    #[test]
+    fn numbers_keep_their_lexemes() {
+        let doc = parse("[18446744073709551615, 0.30000000000000004]").expect("parses");
+        let items = doc.as_array().unwrap();
+        assert_eq!(items[0], Json::Number("18446744073709551615".to_owned()));
+        assert_eq!(items[0].as_u64(), Some(u64::MAX));
+        assert_eq!(items[1].as_f64(), Some(0.300_000_000_000_000_04));
+    }
+
+    #[test]
+    fn emit_parse_emit_is_the_identity() {
+        let report = Json::Object(vec![
+            ("schema".to_owned(), Json::str("hybridmem-analyze-v1")),
+            ("count".to_owned(), Json::u64(u64::MAX)),
+            ("ratio".to_owned(), Json::f64(0.1 + 0.2)),
+            ("empty".to_owned(), Json::Array(Vec::new())),
+            (
+                "cells".to_owned(),
+                Json::Array(vec![Json::Object(vec![(
+                    "name".to_owned(),
+                    Json::str("a \"b\"\n"),
+                )])]),
+            ),
+        ]);
+        let text = report.emit_pretty();
+        let reparsed = parse(&text).expect("own output parses");
+        assert_eq!(reparsed, report, "structural round-trip");
+        assert_eq!(reparsed.emit_pretty(), text, "byte round-trip");
+    }
+
+    #[test]
+    fn surrogate_pairs_and_escapes_decode() {
+        let doc = parse(r#""\ud83d\ude00 \u0041\t""#).expect("parses");
+        assert_eq!(doc.as_str(), Some("😀 A\t"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "[1,]", "{\"a\" 1}", "tru", "1 2", "\"\\x\"", ""] {
+            assert!(parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_emit_null() {
+        assert_eq!(Json::f64(f64::NAN), Json::Null);
+        assert_eq!(Json::f64(f64::INFINITY), Json::Null);
+    }
+}

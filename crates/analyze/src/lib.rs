@@ -1,0 +1,37 @@
+//! Cross-run analytics for the hybrid-memory simulator's telemetry.
+//!
+//! The engine already emits four machine-readable surfaces: windowed
+//! metrics JSONL, page-ledger JSONL, `BENCH_*.json` stress reports, and
+//! metrics snapshots. This crate closes the loop — it ingests any of
+//! them ([`ingest`]), rolls per-cell profiles and A-vs-B deltas
+//! ([`diff`]), judges the committed bench history with a noise-aware
+//! median-of-priors detector ([`trajectory`]), and renders the results
+//! both as aligned text tables ([`table`]) and as the stable
+//! `hybridmem-analyze-v1` JSON ([`report`]) that CI gates on.
+//!
+//! Like `xtask`, the crate is zero-dependency by design: it carries its
+//! own small JSON reader/writer ([`json`]) whose number lexemes survive
+//! a parse → emit round trip byte-for-byte, which is what makes the
+//! `analyze check` self-verification exact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod ingest;
+pub mod json;
+pub mod report;
+pub mod table;
+pub mod trajectory;
+
+pub use diff::{
+    diff, profile_intervals, profile_ledgers, CellDelta, CellProfile, DiffReport, MetricDelta,
+    Worse,
+};
+pub use ingest::{
+    bench_index, load, BenchPoint, HistogramStat, Input, IntervalStat, LedgerStat, MetricsStat,
+};
+pub use json::{parse, Json};
+pub use report::{diff_report, round_trips, trajectory_report, ANALYZE_SCHEMA};
+pub use table::{diff_table, metrics_table, trajectory_table};
+pub use trajectory::{roll, SeriesVerdict, TrajectoryOptions, TrajectoryReport};

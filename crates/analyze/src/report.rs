@@ -1,0 +1,235 @@
+//! The stable `hybridmem-analyze-v1` report.
+//!
+//! Both analyzer modes emit the same envelope so CI can gate on one
+//! shape:
+//!
+//! ```json
+//! {
+//!   "schema": "hybridmem-analyze-v1",
+//!   "mode": "diff" | "trajectory",
+//!   "regressions": 0,
+//!   "clean": true,
+//!   ...mode-specific body...
+//! }
+//! ```
+//!
+//! The emission is canonical (2-space pretty, insertion-ordered keys,
+//! shortest-round-trip floats), so emit → parse → emit is the byte
+//! identity — [`round_trips`] checks exactly that, and CI runs it over
+//! every report the pipeline writes.
+
+use crate::diff::DiffReport;
+use crate::json::{parse, Json};
+use crate::trajectory::TrajectoryReport;
+
+/// The report schema identifier.
+pub const ANALYZE_SCHEMA: &str = "hybridmem-analyze-v1";
+
+fn envelope(mode: &str, regressions: u64, body: Vec<(String, Json)>) -> Json {
+    let mut fields = vec![
+        ("schema".to_owned(), Json::str(ANALYZE_SCHEMA)),
+        ("mode".to_owned(), Json::str(mode)),
+        ("regressions".to_owned(), Json::u64(regressions)),
+        ("clean".to_owned(), Json::Bool(regressions == 0)),
+    ];
+    fields.extend(body);
+    Json::Object(fields)
+}
+
+/// Renders a diff comparison as `hybridmem-analyze-v1`.
+#[must_use]
+pub fn diff_report(a_label: &str, b_label: &str, report: &DiffReport) -> Json {
+    let cells = report
+        .cells
+        .iter()
+        .map(|cell| {
+            let metrics = cell
+                .metrics
+                .iter()
+                .map(|m| {
+                    Json::Object(vec![
+                        ("metric".to_owned(), Json::str(&m.metric)),
+                        ("a".to_owned(), Json::f64(m.a)),
+                        ("b".to_owned(), Json::f64(m.b)),
+                        ("delta".to_owned(), Json::f64(m.delta)),
+                        ("relative".to_owned(), Json::f64(m.relative)),
+                        ("regressed".to_owned(), Json::Bool(m.regressed)),
+                    ])
+                })
+                .collect();
+            Json::Object(vec![
+                ("workload".to_owned(), Json::str(&cell.workload)),
+                ("policy".to_owned(), Json::str(&cell.policy)),
+                ("metrics".to_owned(), Json::Array(metrics)),
+            ])
+        })
+        .collect();
+    let labels = |items: &[String]| Json::Array(items.iter().map(Json::str).collect());
+    envelope(
+        "diff",
+        report.regressions,
+        vec![
+            ("a".to_owned(), Json::str(a_label)),
+            ("b".to_owned(), Json::str(b_label)),
+            ("threshold".to_owned(), Json::f64(report.threshold)),
+            ("cells".to_owned(), Json::Array(cells)),
+            ("only_a".to_owned(), labels(&report.only_a)),
+            ("only_b".to_owned(), labels(&report.only_b)),
+        ],
+    )
+}
+
+/// Renders a rolled trajectory as `hybridmem-analyze-v1`.
+#[must_use]
+pub fn trajectory_report(report: &TrajectoryReport) -> Json {
+    let points = report
+        .points
+        .iter()
+        .map(|p| {
+            Json::Object(vec![
+                ("name".to_owned(), Json::str(&p.name)),
+                ("index".to_owned(), p.index.map_or(Json::Null, Json::u64)),
+                ("quick".to_owned(), Json::Bool(p.quick)),
+                ("cap".to_owned(), Json::u64(p.cap)),
+                ("seed".to_owned(), Json::u64(p.seed)),
+                ("wall_seconds".to_owned(), Json::f64(p.wall_seconds)),
+            ])
+        })
+        .collect();
+    let verdicts = report
+        .verdicts
+        .iter()
+        .map(|v| {
+            Json::Object(vec![
+                ("series".to_owned(), Json::str(&v.series)),
+                ("latest".to_owned(), Json::f64(v.latest)),
+                ("median_prior".to_owned(), Json::f64(v.median_prior)),
+                ("ratio".to_owned(), Json::f64(v.ratio)),
+                ("regressed".to_owned(), Json::Bool(v.regressed)),
+                ("improved".to_owned(), Json::Bool(v.improved)),
+            ])
+        })
+        .collect();
+    envelope(
+        "trajectory",
+        report.regressions,
+        vec![
+            ("threshold".to_owned(), Json::f64(report.threshold)),
+            (
+                "points_total".to_owned(),
+                Json::u64(report.points.len() as u64),
+            ),
+            ("comparable".to_owned(), Json::u64(report.comparable as u64)),
+            ("enforceable".to_owned(), Json::Bool(report.enforceable)),
+            ("gate_fails".to_owned(), Json::Bool(report.gate_fails())),
+            ("points".to_owned(), Json::Array(points)),
+            ("series".to_owned(), Json::Array(verdicts)),
+        ],
+    )
+}
+
+/// Verifies that `text` is a `hybridmem-analyze-v1` report whose
+/// canonical re-emission reproduces it byte-for-byte.
+///
+/// # Errors
+///
+/// Returns a message describing the first divergence: unparseable text,
+/// a different schema, or a byte-level mismatch (with its offset).
+pub fn round_trips(text: &str) -> Result<(), String> {
+    let doc = parse(text)?;
+    let schema = doc.get("schema").and_then(Json::as_str);
+    if schema != Some(ANALYZE_SCHEMA) {
+        return Err(format!("schema is {schema:?}, expected {ANALYZE_SCHEMA:?}"));
+    }
+    let reemitted = doc.emit_pretty();
+    if reemitted == text {
+        return Ok(());
+    }
+    let offset = reemitted
+        .bytes()
+        .zip(text.bytes())
+        .position(|(a, b)| a != b)
+        .unwrap_or_else(|| reemitted.len().min(text.len()));
+    Err(format!(
+        "re-emission diverges from the input at byte {offset}: the file \
+         was not written by this analyzer version"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::{diff, profile_intervals};
+    use crate::ingest::{BenchPoint, IntervalStat};
+    use crate::trajectory::{roll, TrajectoryOptions};
+
+    fn interval(amat: f64) -> IntervalStat {
+        IntervalStat {
+            workload: "w".to_owned(),
+            policy: "two-lru".to_owned(),
+            interval: 0,
+            accesses: 1000,
+            faults: 10,
+            dram_hits: 500,
+            nvm_hits: 400,
+            migrations_to_dram: 3,
+            migrations_to_nvm: 1,
+            fills: 10,
+            evictions: 8,
+            dram_occupancy: 5,
+            nvm_occupancy: 50,
+            hit_ratio: 0.9,
+            amat_ns: amat,
+            appr_nj: 1.0,
+        }
+    }
+
+    fn bench(index: u64, rate: f64) -> BenchPoint {
+        BenchPoint {
+            name: format!("BENCH_{index}.json"),
+            index: Some(index),
+            quick: true,
+            seed: 42,
+            cap: 60_000,
+            wall_seconds: 4.25,
+            phases: vec![("replay_batched".to_owned(), rate)],
+            policies: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn diff_reports_round_trip() {
+        let a = profile_intervals(&[interval(100.0)]);
+        let b = profile_intervals(&[interval(173.0)]);
+        let json = diff_report("a.jsonl", "b.jsonl", &diff(&a, &b, 0.05));
+        assert_eq!(json.get("mode").and_then(Json::as_str), Some("diff"));
+        assert_eq!(json.get("clean"), Some(&Json::Bool(false)));
+        round_trips(&json.emit_pretty()).expect("byte round-trip");
+    }
+
+    #[test]
+    fn trajectory_reports_round_trip() {
+        let report = roll(
+            vec![
+                bench(1, 400_000.5),
+                bench(2, 410_000.0),
+                bench(3, 120_000.0),
+            ],
+            TrajectoryOptions::default(),
+        );
+        let json = trajectory_report(&report);
+        assert_eq!(json.get("gate_fails"), Some(&Json::Bool(true)));
+        assert_eq!(json.get("comparable").and_then(Json::as_u64), Some(3));
+        round_trips(&json.emit_pretty()).expect("byte round-trip");
+    }
+
+    #[test]
+    fn round_trip_rejects_foreign_documents() {
+        assert!(round_trips("{\"schema\": \"other\"}\n").is_err());
+        assert!(round_trips("nonsense").is_err());
+        // Same data, different formatting: parses, but is not canonical.
+        let json = trajectory_report(&roll(vec![bench(1, 1.0)], TrajectoryOptions::default()));
+        let compact = json.emit_pretty().replace('\n', "");
+        assert!(round_trips(&compact).unwrap_err().contains("byte"));
+    }
+}

@@ -8,7 +8,8 @@
 //! --quick       CI-sized caps (fast, noisier numbers)
 //! --cap N       override accesses per workload
 //! --seed N      trace generator seed (default 42)
-//! --out FILE    output path (default BENCH_6.json)
+//! --out FILE    output path (default: next free BENCH_<n>.json in the
+//!               current directory, one past the highest committed index)
 //! ```
 //!
 //! Five phases per workload, all single-threaded so the numbers isolate
@@ -59,6 +60,27 @@ const REPLAY_POLICIES: [PolicyKind; 4] = [
     PolicyKind::NvmOnly,
 ];
 
+/// The next free `BENCH_<n>.json` in `dir`: one past the highest index
+/// already present, so successive runs extend the committed trajectory
+/// instead of overwriting its newest point.
+fn next_bench_path(dir: &std::path::Path) -> PathBuf {
+    let highest = std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|entry| {
+            let name = entry.file_name();
+            let name = name.to_str()?;
+            name.strip_prefix("BENCH_")?
+                .strip_suffix(".json")?
+                .parse::<u64>()
+                .ok()
+        })
+        .max()
+        .unwrap_or(0);
+    dir.join(format!("BENCH_{}.json", highest + 1))
+}
+
 #[derive(Debug)]
 struct Options {
     quick: bool,
@@ -73,7 +95,7 @@ impl Options {
             quick: false,
             cap: None,
             seed: 42,
-            out: PathBuf::from("BENCH_6.json"),
+            out: next_bench_path(std::path::Path::new(".")),
         };
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
@@ -387,4 +409,35 @@ fn main() {
         report.speedup_spill_vs_reference,
         options.out.display()
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::next_bench_path;
+
+    #[test]
+    fn next_bench_path_extends_the_highest_index() {
+        let dir = std::env::temp_dir().join("hybridmem-stress-bench-index");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(
+            next_bench_path(&dir),
+            dir.join("BENCH_1.json"),
+            "an empty directory starts the trajectory"
+        );
+        for name in [
+            "BENCH_3.json",
+            "BENCH_10.json",
+            "BENCH_x.json",
+            "other.json",
+        ] {
+            std::fs::write(dir.join(name), "{}").unwrap();
+        }
+        assert_eq!(
+            next_bench_path(&dir),
+            dir.join("BENCH_11.json"),
+            "only well-formed BENCH_<n>.json names count"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }

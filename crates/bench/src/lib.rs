@@ -14,6 +14,8 @@
 //! --ledger-out FILE   write per-page journey ledgers as JSONL (one report per cell)
 //! --ledger-top N      detailed pages retained per ledger (default 64)
 //! --profile-out FILE  write a Chrome trace-event span profile (Perfetto-loadable)
+//! --audit-out FILE    attach the run-health audit to every cell and write its
+//!                     hybridmem-audit-v1 report (non-zero exit on violations)
 //! ```
 //!
 //! Tables are printed in the same row/series layout the paper uses, with
@@ -28,9 +30,10 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use hybridmem_core::{
-    arith_mean, compare_policies_instrumented, compare_policies_timed, geo_mean, write_jsonl,
-    write_ledger_jsonl, ExperimentConfig, Instrumentation, LedgerOptions, MatrixTiming, PolicyKind,
-    SimulationReport, TraceCache, TraceCacheStats,
+    arith_mean, compare_policies_instrumented, compare_policies_timed, geo_mean, write_audit_json,
+    write_jsonl, write_ledger_jsonl, AuditMatrixReport, AuditOptions, ExperimentConfig,
+    Instrumentation, LedgerOptions, MatrixTiming, PolicyKind, SimulationReport, TraceCache,
+    TraceCacheStats,
 };
 use hybridmem_metrics::{MetricsRegistry, MetricsSnapshot, SpanProfiler};
 use hybridmem_trace::{parsec, WorkloadSpec};
@@ -65,6 +68,10 @@ pub struct SuiteOptions {
     /// writes them here as Chrome trace-event JSON (Perfetto-loadable).
     /// Wall-clock: a measurement artefact, never compared for determinism.
     pub profile_out: Option<PathBuf>,
+    /// When given, [`SuiteOptions::run_matrix`] attaches a run-health
+    /// audit to every cell and writes the `hybridmem-audit-v1` aggregate
+    /// here, failing the run when any invariant is violated.
+    pub audit_out: Option<PathBuf>,
 }
 
 impl SuiteOptions {
@@ -105,11 +112,12 @@ impl SuiteOptions {
                     options.ledger_top = value().parse().expect("--ledger-top expects an integer");
                 }
                 "--profile-out" => options.profile_out = Some(PathBuf::from(value())),
+                "--audit-out" => options.audit_out = Some(PathBuf::from(value())),
                 other => {
                     panic!(
                         "unknown flag {other}; expected \
                          --cap/--seed/--out/--threads/--metrics-out/--metrics-window\
-                         /--ledger-out/--ledger-top/--profile-out"
+                         /--ledger-out/--ledger-top/--profile-out/--audit-out"
                     );
                 }
             }
@@ -189,7 +197,8 @@ impl SuiteOptions {
 
     /// Which sinks [`SuiteOptions::run_matrix`] attaches to every cell,
     /// derived from the output flags: a window when `--metrics-out` was
-    /// given, a ledger when `--ledger-out` was.
+    /// given, a ledger when `--ledger-out` was, a run-health audit when
+    /// `--audit-out` was.
     #[must_use]
     pub fn instrumentation(&self) -> Instrumentation {
         let mut instrumentation = Instrumentation::default();
@@ -201,6 +210,9 @@ impl SuiteOptions {
                 top_k: self.ledger_top,
                 ..LedgerOptions::default()
             });
+        }
+        if self.audit_out.is_some() {
+            instrumentation = instrumentation.with_audit(AuditOptions::default());
         }
         instrumentation
     }
@@ -226,6 +238,7 @@ impl SuiteOptions {
             None => None,
         };
         let mut aggregate = self.metrics_out.is_some().then(MetricsSnapshot::default);
+        let mut audit_cells = self.audit_out.as_ref().map(|_| Vec::new());
         let mut rows = Vec::with_capacity(cells.len());
         for row in cells {
             let mut reports = Vec::with_capacity(row.len());
@@ -246,6 +259,11 @@ impl SuiteOptions {
                         Error::invalid_input(format!("write {}: {e}", path.display()))
                     })?;
                 }
+                if let Some(audit_cells) = &mut audit_cells {
+                    audit_cells.push(cell.audit.clone().ok_or_else(|| {
+                        Error::invalid_input("instrumented cell lost its audit sink")
+                    })?);
+                }
                 reports.push(cell.report);
             }
             rows.push(reports);
@@ -259,6 +277,23 @@ impl SuiteOptions {
             std::io::Write::flush(writer)
                 .map_err(|e| Error::invalid_input(format!("write {}: {e}", path.display())))?;
             println!("wrote page ledger to {}", path.display());
+        }
+        if let (Some(path), Some(cells)) = (&self.audit_out, audit_cells) {
+            let matrix = AuditMatrixReport::new(cells);
+            let mut writer = create_jsonl_writer(path)?;
+            write_audit_json(&mut writer, &matrix)
+                .and_then(|()| std::io::Write::flush(&mut writer))
+                .map_err(|e| Error::invalid_input(format!("write {}: {e}", path.display())))?;
+            println!("wrote audit report to {}", path.display());
+            // Written before the verdict so CI uploads the evidence even
+            // when the gate trips.
+            if !matrix.clean {
+                return Err(Error::invalid_input(format!(
+                    "run-health audit found {} invariant violation(s); see {}",
+                    matrix.total_violations,
+                    path.display()
+                )));
+            }
         }
         Ok((rows, aggregate))
     }
@@ -355,6 +390,7 @@ impl Default for SuiteOptions {
             ledger_out: None,
             ledger_top: 64,
             profile_out: None,
+            audit_out: None,
         }
     }
 }
@@ -544,6 +580,7 @@ mod tests {
         assert!(o.ledger_out.is_none(), "the ledger is opt-in");
         assert_eq!(o.ledger_top, 64);
         assert!(o.profile_out.is_none(), "profiling is opt-in");
+        assert!(o.audit_out.is_none(), "the audit artefact is opt-in");
         assert!(
             o.instrumentation().is_empty(),
             "no flags must mean no sinks"
@@ -558,6 +595,7 @@ mod tests {
             ledger_out: Some(PathBuf::from("l.jsonl")),
             ledger_top: 8,
             metrics_window: 500,
+            audit_out: Some(PathBuf::from("audit.json")),
             ..SuiteOptions::default()
         };
         let instrumentation = o.instrumentation();
@@ -566,6 +604,11 @@ mod tests {
             instrumentation.ledger.map(|l| l.top_k),
             Some(8),
             "--ledger-top must reach the ledger options"
+        );
+        assert_eq!(
+            instrumentation.audit,
+            Some(AuditOptions::default()),
+            "--audit-out must attach the audit sink"
         );
     }
 

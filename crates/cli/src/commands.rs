@@ -5,8 +5,10 @@ use std::io::{BufReader, BufWriter};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use hybridmem_analyze::{CellProfile, Input, TrajectoryOptions};
 use hybridmem_core::{
-    write_jsonl, write_ledger_jsonl, EventSink, ExperimentConfig, FanoutSink, HybridSimulator,
+    write_audit_json, write_jsonl, write_ledger_jsonl, AuditMatrixReport, AuditOptions,
+    AuditReport, AuditSink, EventSink, ExperimentConfig, FanoutSink, HybridSimulator,
     IntervalRecord, LedgerOptions, LedgerReport, PageEvent, PageLedger, PolicyKind, ReplayMode,
     SimulationReport, WindowedCollector,
 };
@@ -38,7 +40,7 @@ COMMANDS:
              [--memory-fraction F] [--dram-fraction F] [--threads N]
              [--metrics-out FILE] [--metrics-window N]
              [--ledger-out FILE] [--ledger-top N] [--profile-out FILE]
-             [--replay serial|batched]
+             [--audit-out FILE] [--replay serial|batched]
              (--threads 0, the default, uses all available cores;
               --replay picks the replay driver — both are byte-identical,
               batched (the default) amortizes policy dispatch;
@@ -47,7 +49,10 @@ COMMANDS:
               --ledger-out writes per-page journey ledgers as JSONL,
               keeping the top N pages per policy, default 64;
               --profile-out writes a Chrome trace-event JSON span profile,
-              loadable at https://ui.perfetto.dev)
+              loadable at https://ui.perfetto.dev;
+              --audit-out attaches the run-health audit to every cell and
+              writes its hybridmem-audit-v1 report, exiting non-zero on
+              any invariant violation)
     observe <workload>                 stream windowed interval records (JSONL)
              [--policy P] [--cap N] [--seed N] [--window N]
              [--memory-fraction F] [--dram-fraction F] [--warmup F]
@@ -60,6 +65,18 @@ COMMANDS:
     trace-page <workload> <page>       one page's full journey
              [--policy P] [--cap N] [--seed N] [--max-events N]
              [--memory-fraction F] [--dram-fraction F] [--json]
+    analyze diff <A> <B>               per-cell deltas between two runs
+             [--threshold F] [--json FILE] [--gate true]
+             (A and B are windowed-metrics or ledger JSONL files from
+              matching compare/observe runs; --gate true exits non-zero
+              when a metric moved beyond F in its worse direction)
+    analyze trajectory <BENCH...>      noise-aware throughput ratchet
+             [--gate true] [--threshold F] [--min-points N] [--json FILE]
+             (judges the newest BENCH_<n>.json against the median of the
+              prior comparable points; short histories stay advisory)
+    analyze metrics <FILE>             histogram quantile table (p50/p95/p99)
+    analyze check <FILE>               verify a hybridmem-analyze-v1 report
+                                       re-emits byte-for-byte
 
 Trace files use the formats documented in hybridmem-trace: text
 (`R 0x1000 0` per line) or binary (11-byte records). `--format` defaults
@@ -88,6 +105,7 @@ pub fn run<W: std::io::Write>(raw: Vec<String>, out: &mut W) -> Result<()> {
         "observe" => observe(&args, out),
         "ledger" => ledger(&args, out),
         "trace-page" => trace_page(&args, out),
+        "analyze" => analyze_command(&args, out),
         "help" | "--help" | "-h" => {
             write_usage(out);
             Ok(())
@@ -239,6 +257,7 @@ fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
         "ledger-out",
         "ledger-top",
         "profile-out",
+        "audit-out",
         "replay",
     ])?;
     let threads: usize = args.get_parsed_or("threads", 0)?;
@@ -255,6 +274,7 @@ fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
         top_k: ledger_top,
         ..LedgerOptions::default()
     });
+    let audit = args.get("audit-out").map(|_| AuditOptions::default());
     // Wall-clock span profile of the worker pool; sits outside the
     // determinism boundary and never feeds back into results.
     let profiler = args.get("profile-out").map(|_| SpanProfiler::new());
@@ -266,7 +286,7 @@ fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
                 worker as u64 + 1,
             )
         });
-        instrumented_policy_cell(&config, &spec, &path, kind, &pages, window, ledger)
+        instrumented_policy_cell(&config, &spec, &path, kind, &pages, window, ledger, audit)
     })?;
     write_compare_table(out, cells.iter().map(|cell| &cell.report))?;
     if let Some(metrics_path) = args.get("metrics-out") {
@@ -294,6 +314,29 @@ fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
         profiler.write_chrome_trace(&mut writer).map_err(io_err)?;
         std::io::Write::flush(&mut writer).map_err(io_err)?;
         writeln!(out, "wrote span profile to {profile_path}").map_err(io_err)?;
+    }
+    if let Some(audit_path) = args.get("audit-out") {
+        let reports = cells
+            .iter()
+            .map(|cell| {
+                cell.audit
+                    .clone()
+                    .ok_or_else(|| Error::invalid_input("compare cell lost its audit sink"))
+            })
+            .collect::<Result<Vec<AuditReport>>>()?;
+        let matrix = AuditMatrixReport::new(reports);
+        let mut writer = create_out(audit_path)?;
+        write_audit_json(&mut writer, &matrix).map_err(io_err)?;
+        std::io::Write::flush(&mut writer).map_err(io_err)?;
+        writeln!(out, "wrote audit report to {audit_path}").map_err(io_err)?;
+        // The artifact is written first so CI can upload it, then the
+        // exit code carries the verdict.
+        if !matrix.clean {
+            return Err(Error::invalid_input(format!(
+                "run-health audit found {} invariant violation(s); see {audit_path}",
+                matrix.total_violations
+            )));
+        }
     }
     Ok(())
 }
@@ -531,6 +574,147 @@ fn trace_page<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
     Ok(())
 }
 
+/// The `analyze` subcommand family: cross-run analytics over the
+/// telemetry the other commands (and the bench suite) emit.
+fn analyze_command<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
+    const USAGE: &str = "usage: analyze <diff|trajectory|metrics|check> ...";
+    match args.positional(1) {
+        Some("diff") => analyze_diff(args, out),
+        Some("trajectory") => analyze_trajectory(args, out),
+        Some("metrics") => analyze_metrics(args, out),
+        Some("check") => analyze_check(args, out),
+        Some(other) => Err(Error::invalid_input(format!(
+            "unknown analyze mode {other:?}; {USAGE}"
+        ))),
+        None => Err(Error::invalid_input(USAGE)),
+    }
+}
+
+/// Reads and format-sniffs one analyzer input file.
+fn read_analyze_input(path: &str) -> Result<Input> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| Error::invalid_input(format!("cannot read {path}: {e}")))?;
+    hybridmem_analyze::load(path, &text).map_err(Error::invalid_input)
+}
+
+/// Rolls one diffable input (windowed metrics or ledgers) into cell
+/// profiles.
+fn profile_analyze_input(path: &str, input: Input) -> Result<Vec<CellProfile>> {
+    match input {
+        Input::Intervals(stats) => Ok(hybridmem_analyze::profile_intervals(&stats)),
+        Input::Ledgers(stats) => Ok(hybridmem_analyze::profile_ledgers(&stats)),
+        _ => Err(Error::invalid_input(format!(
+            "{path}: analyze diff expects windowed-metrics or ledger JSONL"
+        ))),
+    }
+}
+
+/// Writes a `hybridmem-analyze-v1` document when `--json` asked for one.
+fn write_analyze_json<W: std::io::Write>(
+    args: &Args,
+    out: &mut W,
+    json: &hybridmem_analyze::Json,
+) -> Result<()> {
+    if let Some(json_path) = args.get("json") {
+        std::fs::write(json_path, json.emit_pretty())
+            .map_err(|e| Error::invalid_input(format!("cannot write {json_path}: {e}")))?;
+        writeln!(out, "wrote analyze report to {json_path}").map_err(io_err)?;
+    }
+    Ok(())
+}
+
+fn analyze_diff<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
+    args.reject_unknown(&["threshold", "json", "gate"])?;
+    let (Some(path_a), Some(path_b)) = (args.positional(2), args.positional(3)) else {
+        return Err(Error::invalid_input(
+            "usage: analyze diff <A> <B> [--threshold F] [--json FILE] [--gate true]",
+        ));
+    };
+    let threshold: f64 = args.get_parsed_or("threshold", 0.05)?;
+    let a = profile_analyze_input(path_a, read_analyze_input(path_a)?)?;
+    let b = profile_analyze_input(path_b, read_analyze_input(path_b)?)?;
+    let report = hybridmem_analyze::diff(&a, &b, threshold);
+    write!(out, "{}", hybridmem_analyze::diff_table(&report)).map_err(io_err)?;
+    write_analyze_json(
+        args,
+        out,
+        &hybridmem_analyze::diff_report(path_a, path_b, &report),
+    )?;
+    if args.get("gate").is_some_and(|v| v == "true") && report.regressions > 0 {
+        return Err(Error::invalid_input(format!(
+            "analyze diff gate: {} metric(s) regressed beyond {threshold}",
+            report.regressions
+        )));
+    }
+    Ok(())
+}
+
+fn analyze_trajectory<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
+    args.reject_unknown(&["threshold", "min-points", "gate", "json"])?;
+    let files = args.positionals_from(2);
+    if files.is_empty() {
+        return Err(Error::invalid_input(
+            "usage: analyze trajectory <BENCH_*.json>... \
+             [--gate true] [--threshold F] [--min-points N] [--json FILE]",
+        ));
+    }
+    let defaults = TrajectoryOptions::default();
+    let options = TrajectoryOptions {
+        threshold: args.get_parsed_or("threshold", defaults.threshold)?,
+        min_points: args.get_parsed_or("min-points", defaults.min_points)?,
+    };
+    let mut points = Vec::new();
+    for path in files {
+        let Input::Bench(point) = read_analyze_input(path)? else {
+            return Err(Error::invalid_input(format!(
+                "{path}: not a hybridmem-stress-v1 report"
+            )));
+        };
+        points.push(point);
+    }
+    let report = hybridmem_analyze::roll(points, options);
+    write!(out, "{}", hybridmem_analyze::trajectory_table(&report)).map_err(io_err)?;
+    write_analyze_json(args, out, &hybridmem_analyze::trajectory_report(&report))?;
+    if args.get("gate").is_some_and(|v| v == "true") && report.gate_fails() {
+        return Err(Error::invalid_input(format!(
+            "analyze trajectory gate: {} series regressed beyond {}",
+            report.regressions, report.threshold
+        )));
+    }
+    Ok(())
+}
+
+fn analyze_metrics<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
+    args.reject_unknown(&[])?;
+    let Some(path) = args.positional(2) else {
+        return Err(Error::invalid_input(
+            "usage: analyze metrics <snapshot.json>",
+        ));
+    };
+    let Input::Metrics(stat) = read_analyze_input(path)? else {
+        return Err(Error::invalid_input(format!(
+            "{path}: not a metrics snapshot"
+        )));
+    };
+    write!(out, "{}", hybridmem_analyze::metrics_table(&stat)).map_err(io_err)
+}
+
+fn analyze_check<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
+    args.reject_unknown(&[])?;
+    let Some(path) = args.positional(2) else {
+        return Err(Error::invalid_input("usage: analyze check <report.json>"));
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| Error::invalid_input(format!("cannot read {path}: {e}")))?;
+    hybridmem_analyze::round_trips(&text)
+        .map_err(|e| Error::invalid_input(format!("{path}: {e}")))?;
+    writeln!(
+        out,
+        "{path}: canonical hybridmem-analyze-v1, re-emits byte-for-byte"
+    )
+    .map_err(io_err)
+}
+
 /// Runs one policy over a generated workload with a [`PageLedger`]
 /// attached and returns its end-of-run report.
 fn run_ledger_report(
@@ -712,14 +896,17 @@ struct CompareCell {
     report: SimulationReport,
     records: Vec<IntervalRecord>,
     ledger: Option<LedgerReport>,
+    audit: Option<AuditReport>,
 }
 
 /// [`simulate_policy_cell`] with optional instrumentation attached: a
 /// [`WindowedCollector`] when `--metrics-out` asked for interval records,
-/// a [`PageLedger`] when `--ledger-out` asked for page journeys, both
-/// fanned out when both are set, and no sink at all when neither is.
+/// a [`PageLedger`] when `--ledger-out` asked for page journeys, an
+/// [`AuditSink`] when `--audit-out` asked for run-health checking — all
+/// fanned out when several are set, and no sink at all when none is.
 /// Window and ledger boundaries are trace positions, so the outputs do
 /// not depend on how the cells around this one are scheduled.
+#[allow(clippy::too_many_arguments)]
 fn instrumented_policy_cell(
     config: &ExperimentConfig,
     spec: &WorkloadSpec,
@@ -728,48 +915,81 @@ fn instrumented_policy_cell(
     pages: &[PageAccess],
     window: Option<u64>,
     ledger: Option<LedgerOptions>,
+    audit: Option<AuditOptions>,
 ) -> Result<CompareCell> {
-    let make_collector = |window| {
-        Box::new(WindowedCollector::new(path, kind.name(), window, 0)) as Box<dyn EventSink>
-    };
-    let make_ledger =
-        |options| Box::new(PageLedger::new(path, kind.name(), options, 0)) as Box<dyn EventSink>;
     let policy = config.build_policy(kind, spec)?;
     let mut simulator = HybridSimulator::with_date2016_devices(policy);
-    match (window, ledger) {
-        (None, None) => {}
-        (Some(window), None) => simulator.set_event_sink(make_collector(window)),
-        (None, Some(options)) => simulator.set_event_sink(make_ledger(options)),
-        (Some(window), Some(options)) => {
+    let mut sinks: Vec<Box<dyn EventSink>> = Vec::new();
+    if let Some(window) = window {
+        sinks.push(Box::new(WindowedCollector::new(
+            path,
+            kind.name(),
+            window,
+            0,
+        )));
+    }
+    if let Some(options) = ledger {
+        sinks.push(Box::new(PageLedger::new(path, kind.name(), options, 0)));
+    }
+    if let Some(options) = audit {
+        // dram-cache keeps a clean NVM copy while a page is cached, so
+        // its tiers legitimately overlap; every other policy is
+        // exclusive.
+        let sink = AuditSink::new(path, kind.name(), options)
+            .with_capacities(
+                simulator.dram_capacity().value(),
+                simulator.nvm_capacity().value(),
+            )
+            .with_exclusive_residency(kind != PolicyKind::DramCache);
+        sinks.push(Box::new(sink));
+    }
+    let attached = sinks.len();
+    match sinks.len() {
+        0 => {}
+        1 => simulator.set_event_sink(sinks.pop().expect("one sink")),
+        _ => {
             let mut fanout = FanoutSink::new();
-            fanout.push(make_collector(window));
-            fanout.push(make_ledger(options));
+            for sink in sinks {
+                fanout.push(sink);
+            }
             simulator.set_event_sink(Box::new(fanout));
         }
     }
     drive_slice(&mut simulator, config.replay, pages);
     let mut records = Vec::new();
     let mut ledger_report = None;
-    if window.is_some() || ledger.is_some() {
+    let mut audit_report = None;
+    if attached > 0 {
         let mut sink = simulator
             .take_event_sink()
             .ok_or_else(|| Error::invalid_input("instrumented cell lost its event sink"))?;
-        if window.is_some() && ledger.is_some() {
+        if attached > 1 {
             let fanout = sink
                 .as_any_mut()
                 .downcast_mut::<FanoutSink>()
                 .ok_or_else(|| Error::invalid_input("instrumented cell sink has the wrong type"))?;
             for child in fanout.sinks_mut() {
-                drain_instrumentation(child.as_mut(), &mut records, &mut ledger_report);
+                drain_instrumentation(
+                    child.as_mut(),
+                    &mut records,
+                    &mut ledger_report,
+                    &mut audit_report,
+                );
             }
         } else {
-            drain_instrumentation(sink.as_mut(), &mut records, &mut ledger_report);
+            drain_instrumentation(
+                sink.as_mut(),
+                &mut records,
+                &mut ledger_report,
+                &mut audit_report,
+            );
         }
     }
     Ok(CompareCell {
         report: simulator.into_report(path.to_owned()),
         records,
         ledger: ledger_report,
+        audit: audit_report,
     })
 }
 
@@ -779,6 +999,7 @@ fn drain_instrumentation(
     sink: &mut dyn EventSink,
     records: &mut Vec<IntervalRecord>,
     ledger: &mut Option<LedgerReport>,
+    audit: &mut Option<AuditReport>,
 ) {
     let any = sink.as_any_mut();
     if let Some(collector) = any.downcast_mut::<WindowedCollector>() {
@@ -786,6 +1007,9 @@ fn drain_instrumentation(
         *records = collector.drain();
     } else if let Some(page_ledger) = any.downcast_mut::<PageLedger>() {
         *ledger = Some(page_ledger.finish());
+    } else if let Some(audit_sink) = any.downcast_mut::<AuditSink>() {
+        audit_sink.finish();
+        *audit = Some(audit_sink.report());
     }
 }
 
@@ -1188,6 +1412,187 @@ mod tests {
             .any(|event| event["cat"] == "scheduler" && event["ph"] == "X"));
         let _ = std::fs::remove_file(profile);
         let _ = std::fs::remove_file(trace_path);
+    }
+
+    #[test]
+    fn compare_audit_out_is_clean_at_any_thread_count() {
+        let dir = std::env::temp_dir().join("hybridmem-cli-audit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("a.trace");
+        let trace_path = trace_path.to_str().unwrap();
+        run_capture(&[
+            "generate",
+            "--workload",
+            "bodytrack",
+            "--output",
+            trace_path,
+            "--cap",
+            "4000",
+        ])
+        .0
+        .unwrap();
+
+        for threads in ["1", "4"] {
+            let audit = dir.join(format!("audit-{threads}.json"));
+            let (result, text) = run_capture(&[
+                "compare",
+                trace_path,
+                "--audit-out",
+                audit.to_str().unwrap(),
+                "--threads",
+                threads,
+            ]);
+            assert!(result.is_ok(), "{result:?}");
+            assert!(text.contains("wrote audit report"), "{text}");
+            let parsed: serde_json::Value =
+                serde_json::from_str(&std::fs::read_to_string(&audit).unwrap()).unwrap();
+            assert_eq!(parsed["schema"], "hybridmem-audit-v1");
+            assert_eq!(parsed["clean"], true, "audit must be clean: {parsed}");
+            assert_eq!(parsed["total_violations"], 0);
+            assert_eq!(
+                parsed["cells"].as_array().unwrap().len(),
+                PolicyKind::all().len()
+            );
+            let _ = std::fs::remove_file(audit);
+        }
+        let _ = std::fs::remove_file(trace_path);
+    }
+
+    #[test]
+    fn analyze_diff_tables_and_gates() {
+        let dir = std::env::temp_dir().join("hybridmem-cli-analyze-diff");
+        std::fs::create_dir_all(&dir).unwrap();
+        let line = |amat: f64| {
+            format!(
+                r#"{{"workload":"w","policy":"two-lru","interval":0,"start_access":0,"end_access":1000,"accesses":1000,"dram_read_hits":10,"dram_write_hits":5,"nvm_read_hits":700,"nvm_write_hits":200,"faults":85,"migrations_to_dram":3,"migrations_to_nvm":2,"fills_to_dram":0,"fills_to_nvm":85,"evictions_to_disk":80,"dram_occupancy":12,"nvm_occupancy":110,"hit_ratio":0.915,"amat_ns":{amat},"appr_nj":1.25}}"#
+            )
+        };
+        let a = dir.join("a.jsonl");
+        let b = dir.join("b.jsonl");
+        std::fs::write(&a, format!("{}\n", line(100.0))).unwrap();
+        std::fs::write(&b, format!("{}\n", line(150.0))).unwrap();
+
+        let report = dir.join("diff.json");
+        let (result, text) = run_capture(&[
+            "analyze",
+            "diff",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--json",
+            report.to_str().unwrap(),
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("amat_ns"), "{text}");
+
+        // The emitted report passes its own round-trip check.
+        let (result, text) = run_capture(&["analyze", "check", report.to_str().unwrap()]);
+        assert!(result.is_ok(), "{result:?}");
+        assert!(text.contains("byte-for-byte"), "{text}");
+
+        // Gating on the same pair fails; the clean direction passes.
+        let (result, _) = run_capture(&[
+            "analyze",
+            "diff",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--gate",
+            "true",
+        ]);
+        assert!(result.unwrap_err().to_string().contains("gate"));
+        let (result, _) = run_capture(&[
+            "analyze",
+            "diff",
+            a.to_str().unwrap(),
+            a.to_str().unwrap(),
+            "--gate",
+            "true",
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        for p in [a, b, report] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn analyze_trajectory_gates_the_newest_bench_point() {
+        let dir = std::env::temp_dir().join("hybridmem-cli-analyze-traj");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bench = |rate: f64| {
+            format!(
+                r#"{{"schema":"hybridmem-stress-v1","quick":true,"seed":42,"cap":60000,"wall_seconds":4.0,"phases":[{{"name":"replay_batched","seconds":1.0,"accesses":240000,"accesses_per_second":{rate}}}],"policies":[]}}"#
+            )
+        };
+        let mut paths = Vec::new();
+        for (index, rate) in [(1u64, 400_000.0), (2, 410_000.0), (3, 200_000.0)] {
+            let path = dir.join(format!("BENCH_{index}.json"));
+            std::fs::write(&path, bench(rate)).unwrap();
+            paths.push(path);
+        }
+        let files: Vec<&str> = paths.iter().map(|p| p.to_str().unwrap()).collect();
+
+        let report = dir.join("trajectory.json");
+        let mut tokens = vec!["analyze", "trajectory"];
+        tokens.extend(&files);
+        tokens.extend(["--json", report.to_str().unwrap()]);
+        let (result, text) = run_capture(&tokens);
+        assert!(result.is_ok(), "advisory without --gate: {result:?}");
+        assert!(text.contains("gate FAILED"), "{text}");
+
+        tokens.extend(["--gate", "true"]);
+        let (result, _) = run_capture(&tokens);
+        assert!(result.unwrap_err().to_string().contains("trajectory gate"));
+
+        // Dropping the slow newest point makes the gate pass (2 points =
+        // advisory).
+        let (result, text) = run_capture(&[
+            "analyze",
+            "trajectory",
+            files[0],
+            files[1],
+            "--gate",
+            "true",
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        assert!(text.contains("advisory"), "{text}");
+
+        let (result, text) = run_capture(&["analyze", "check", report.to_str().unwrap()]);
+        assert!(result.is_ok(), "{result:?}");
+        assert!(text.contains("byte-for-byte"), "{text}");
+        for p in paths {
+            let _ = std::fs::remove_file(p);
+        }
+        let _ = std::fs::remove_file(report);
+    }
+
+    #[test]
+    fn analyze_metrics_prints_quantiles() {
+        let dir = std::env::temp_dir().join("hybridmem-cli-analyze-metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+        std::fs::write(
+            &path,
+            r#"{"counters":{"sim.accesses":100},"gauges":{},
+               "histograms":{"latency":{"count":3,"sum":30,"min":5,"max":20,"p50":10,"p95":20,"p99":20,"buckets":[]}}}"#,
+        )
+        .unwrap();
+        let (result, text) = run_capture(&["analyze", "metrics", path.to_str().unwrap()]);
+        assert!(result.is_ok(), "{result:?}");
+        assert!(text.contains("p95"), "{text}");
+        assert!(text.contains("latency"), "{text}");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn analyze_rejects_unknown_modes_and_wrong_inputs() {
+        let (result, _) = run_capture(&["analyze"]);
+        assert!(result.unwrap_err().to_string().contains("usage"));
+        let (result, _) = run_capture(&["analyze", "frobnicate"]);
+        assert!(result.unwrap_err().to_string().contains("frobnicate"));
+        let (result, _) = run_capture(&["analyze", "trajectory"]);
+        assert!(result.unwrap_err().to_string().contains("BENCH"));
+        let (result, _) = run_capture(&["analyze", "check", "/no/such/file"]);
+        assert!(result.unwrap_err().to_string().contains("cannot read"));
     }
 
     #[test]

@@ -1,0 +1,1153 @@
+//! Online run-health auditing: conservation laws checked as events stream.
+//!
+//! The simulator's accounting (Eq. 1 / Eq. 2) rests on invariants that
+//! the rest of the telemetry stack merely *assumes*: every demand fault
+//! is answered by exactly one disk fill, pages move between tiers
+//! without being duplicated or lost, demotions are explained by the
+//! promotion or fault that displaced them, and the event-priced access
+//! cost agrees with the closed-form [`ModelParams::date2016`]
+//! prediction. The [`AuditSink`] is an [`EventSink`] that checks those
+//! laws online — it can ride along any instrumented run via
+//! [`Instrumentation::with_audit`](crate::Instrumentation::with_audit)
+//! — and reports each breach as a structured [`AuditViolation`].
+//!
+//! # Invariant catalog
+//!
+//! | id | law |
+//! |----|-----|
+//! | `fill-fault` | disk fills ≡ demand faults at every access boundary |
+//! | `occupancy-capacity` | per-tier occupancy ≤ capacity at every access boundary |
+//! | `occupancy-delta` | fill − evict − migration deltas never drive a tier negative |
+//! | `demotion-pairing` | a DRAM→NVM demotion outside a fault is paired with an NVM→DRAM promotion in the same access ([`DemotionCause`](crate::DemotionCause) semantics) |
+//! | `monotone-access` | actions and probes attach to a monotone demand-access sequence |
+//! | `two-lru-window` | a fired NVM counter probe is followed by that page's promotion, an unfired one is not |
+//! | `amat-window` | per-window event-priced AMAT within tolerance of the Eq. 1 closed form |
+//!
+//! The occupancy laws are gated on [`AuditSink::with_exclusive_residency`]:
+//! the `dram-cache` policy reports *cost-equivalent* migrations (a clean
+//! cache drop emits no action at all), so its action stream is not an
+//! exclusive-residency journal and only the remaining invariants apply.
+//!
+//! Violations are deduplicated by **resynchronization**: once an
+//! imbalance is reported the sink adopts it as the new baseline, so a
+//! single seeded fault yields a single violation instead of one per
+//! subsequent access — the property the fixture tests pin down.
+//!
+//! Everything is access-index-based (never wall-clock): a clean run is
+//! clean at any thread count, and the same tampered stream produces the
+//! same violations byte for byte.
+
+use std::io::Write;
+
+use hybridmem_policy::{NvmCounterProbe, PolicyAction};
+use hybridmem_types::{AccessKind, MemoryKind, PageAccess, PageId};
+use serde::{Deserialize, Serialize};
+
+use crate::{EventSink, ModelParams, Probabilities, SimEvent};
+
+/// Schema identifier of the audit JSON report.
+pub const AUDIT_SCHEMA: &str = "hybridmem-audit-v1";
+
+/// User-facing knobs of an [`AuditSink`] — the part that travels inside
+/// [`Instrumentation`](crate::Instrumentation). Per-cell context
+/// (capacities, warmup, residency semantics) is attached by the
+/// experiment runner via the sink's builder methods instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditOptions {
+    /// AMAT check granularity in demand accesses (0 = one whole-run
+    /// window), mirroring the windowed collector's slicing.
+    pub window: u64,
+    /// Relative tolerance of the `amat-window` check, in parts per
+    /// million of the closed-form prediction. The priced and predicted
+    /// sides are the same arithmetic regrouped, so the default of
+    /// 100 ppm is orders of magnitude above floating-point noise while
+    /// still catching any real accounting drift.
+    pub amat_tolerance_ppm: u32,
+    /// Violations retained in the report; the excess is counted in
+    /// [`AuditReport::dropped_violations`].
+    pub max_violations: u32,
+}
+
+impl Default for AuditOptions {
+    fn default() -> Self {
+        Self {
+            window: 0,
+            amat_tolerance_ppm: 100,
+            max_violations: 256,
+        }
+    }
+}
+
+/// One invariant breach: where it happened and what was expected.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditViolation {
+    /// Invariant id from the catalog (e.g. `"fill-fault"`).
+    pub invariant: String,
+    /// Demand-access index the breach is attributed to.
+    pub access_index: u64,
+    /// Page involved, when the breach concerns one.
+    pub page: Option<u64>,
+    /// What the event stream actually showed.
+    pub observed: String,
+    /// What the invariant required.
+    pub expected: String,
+}
+
+/// One cell's audit outcome.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// Workload name the run was labeled with.
+    pub workload: String,
+    /// Policy name the run was labeled with.
+    pub policy: String,
+    /// Demand accesses audited (warmup included).
+    pub accesses: u64,
+    /// Demand faults observed.
+    pub faults: u64,
+    /// Disk fills observed.
+    pub fills: u64,
+    /// Retained violations, in event order.
+    pub violations: Vec<AuditViolation>,
+    /// Violations beyond [`AuditOptions::max_violations`].
+    pub dropped_violations: u64,
+    /// All violations, retained plus dropped.
+    pub total_violations: u64,
+    /// True when no invariant was breached.
+    pub clean: bool,
+}
+
+/// The matrix-level roll-up written by `--audit-out`: every cell's
+/// [`AuditReport`] under the `hybridmem-audit-v1` schema, plus totals CI
+/// can gate on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuditMatrixReport {
+    /// Always [`AUDIT_SCHEMA`].
+    pub schema: String,
+    /// Per-cell reports in matrix order.
+    pub cells: Vec<AuditReport>,
+    /// Sum of the cells' `total_violations`.
+    pub total_violations: u64,
+    /// Sum of the cells' `dropped_violations`.
+    pub dropped_violations: u64,
+    /// True when every cell is clean.
+    pub clean: bool,
+}
+
+impl AuditMatrixReport {
+    /// Rolls cell reports into the gateable aggregate.
+    #[must_use]
+    pub fn new(cells: Vec<AuditReport>) -> Self {
+        let total_violations = cells.iter().map(|c| c.total_violations).sum();
+        let dropped_violations = cells.iter().map(|c| c.dropped_violations).sum();
+        let clean = cells.iter().all(|c| c.clean);
+        Self {
+            schema: AUDIT_SCHEMA.to_owned(),
+            cells,
+            total_violations,
+            dropped_violations,
+            clean,
+        }
+    }
+}
+
+/// Writes the aggregate audit report as pretty-printed JSON plus a
+/// trailing newline — the `--audit-out` artifact CI parses.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer, and wraps (unreachable for
+/// this type) serialization failures as [`std::io::ErrorKind::Other`].
+pub fn write_audit_json<W: Write>(
+    writer: &mut W,
+    report: &AuditMatrixReport,
+) -> std::io::Result<()> {
+    let text = serde_json::to_string_pretty(report)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+    writer.write_all(text.as_bytes())?;
+    writer.write_all(b"\n")
+}
+
+/// Per-window tallies feeding the `amat-window` check. The `model_*`
+/// migration counts mirror the windowed collector (counted by
+/// destination tier, same-module included); the `priced_*` counts only
+/// include cross-tier moves — exactly what the simulator charges — so
+/// the two sides diverge precisely when the stream contains motion the
+/// closed form prices but the simulator does not.
+#[derive(Debug, Clone, Copy, Default)]
+struct WindowTallies {
+    dram_read_hits: u64,
+    dram_write_hits: u64,
+    nvm_read_hits: u64,
+    nvm_write_hits: u64,
+    faults: u64,
+    fills_to_dram: u64,
+    fills_to_nvm: u64,
+    model_migrations_to_dram: u64,
+    model_migrations_to_nvm: u64,
+    priced_migrations_to_dram: u64,
+    priced_migrations_to_nvm: u64,
+}
+
+/// State of the access group currently being assembled: one demand
+/// event plus the probe and actions that trail it. Group-scoped
+/// invariants (`demotion-pairing`, `two-lru-window`) and the boundary
+/// conservation checks run when the *next* demand access arrives (or at
+/// [`AuditSink::finish`]), because a fault's fill legitimately follows
+/// its fault event.
+#[derive(Debug, Clone, Copy, Default)]
+struct AccessGroup {
+    /// Demand-access index this group belongs to.
+    index: u64,
+    /// The accessed page.
+    page: Option<PageId>,
+    /// Whether the demand event was a fault.
+    is_fault: bool,
+    /// DRAM→NVM demotions seen in the group.
+    demotions: u64,
+    /// NVM→DRAM promotions seen in the group.
+    promotions: u64,
+    /// Whether the demand page itself was promoted NVM→DRAM.
+    promoted_demand_page: bool,
+    /// The access's NVM counter probe, if one arrived.
+    probe: Option<NvmCounterProbe>,
+}
+
+/// The always-on run-health auditor. See the module docs for the
+/// invariant catalog and the resynchronization rules.
+///
+/// # Examples
+///
+/// ```
+/// use hybridmem_core::{AuditOptions, AuditSink, EventSink, SimEvent};
+/// use hybridmem_policy::PolicyAction;
+/// use hybridmem_types::{MemoryKind, PageAccess, PageId};
+///
+/// let mut audit = AuditSink::new("demo", "two-lru", AuditOptions::default());
+/// audit.record(SimEvent::Fault {
+///     access: PageAccess::read(PageId::new(7)),
+/// });
+/// audit.record(SimEvent::Action {
+///     action: PolicyAction::FillFromDisk {
+///         page: PageId::new(7),
+///         into: MemoryKind::Dram,
+///     },
+/// });
+/// audit.finish();
+/// assert!(audit.report().clean);
+/// ```
+#[derive(Debug)]
+pub struct AuditSink {
+    workload: String,
+    policy: String,
+    options: AuditOptions,
+    /// DRAM page capacity the occupancy law checks against.
+    dram_capacity: u64,
+    /// NVM page capacity the occupancy law checks against.
+    nvm_capacity: u64,
+    /// Warmup prefix excluded from AMAT windows (conservation laws
+    /// still apply during warmup).
+    warmup: u64,
+    /// False for policies whose action stream is cost-equivalent rather
+    /// than an exclusive-residency journal (dram-cache).
+    exclusive_residency: bool,
+    /// Demand accesses seen so far (warmup included).
+    access_index: u64,
+    started: bool,
+    finished: bool,
+    dram_occupancy: u64,
+    nvm_occupancy: u64,
+    faults_total: u64,
+    fills_total: u64,
+    /// Last reported `fills − faults` imbalance (resync baseline).
+    reported_imbalance: i128,
+    /// Highest occupancy already reported per tier (resync baseline).
+    reported_dram_level: u64,
+    reported_nvm_level: u64,
+    group: AccessGroup,
+    /// Demand accesses in the AMAT window currently being filled.
+    in_window: u64,
+    /// Trace index of the current window's first access.
+    window_start: u64,
+    window: WindowTallies,
+    violations: Vec<AuditViolation>,
+    dropped_violations: u64,
+}
+
+impl AuditSink {
+    /// Creates an auditor with unconstrained capacities, no warmup, and
+    /// exclusive-residency semantics; attach per-cell context with the
+    /// builder methods.
+    #[must_use]
+    pub fn new(
+        workload: impl Into<String>,
+        policy: impl Into<String>,
+        options: AuditOptions,
+    ) -> Self {
+        Self {
+            workload: workload.into(),
+            policy: policy.into(),
+            options,
+            dram_capacity: u64::MAX,
+            nvm_capacity: u64::MAX,
+            warmup: 0,
+            exclusive_residency: true,
+            access_index: 0,
+            started: false,
+            finished: false,
+            dram_occupancy: 0,
+            nvm_occupancy: 0,
+            faults_total: 0,
+            fills_total: 0,
+            reported_imbalance: 0,
+            reported_dram_level: 0,
+            reported_nvm_level: 0,
+            group: AccessGroup::default(),
+            in_window: 0,
+            window_start: 0,
+            window: WindowTallies::default(),
+            violations: Vec::new(),
+            dropped_violations: 0,
+        }
+    }
+
+    /// Sets the per-tier page capacities the occupancy law enforces.
+    #[must_use]
+    pub fn with_capacities(mut self, dram: u64, nvm: u64) -> Self {
+        self.dram_capacity = dram;
+        self.nvm_capacity = nvm;
+        self
+    }
+
+    /// Sets the warmup prefix excluded from AMAT windows.
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: u64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Disables the occupancy laws for policies whose action stream
+    /// prices cost without journaling residency (dram-cache).
+    #[must_use]
+    pub fn with_exclusive_residency(mut self, exclusive: bool) -> Self {
+        self.exclusive_residency = exclusive;
+        self
+    }
+
+    /// Closes the final access group and AMAT window. Call exactly once
+    /// after the run (idempotent when nothing new arrived).
+    pub fn finish(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if self.started {
+            self.finalize_group();
+        }
+        if self.in_window > 0 {
+            self.flush_window();
+        }
+    }
+
+    /// The audit outcome so far; call [`AuditSink::finish`] first for a
+    /// complete run.
+    #[must_use]
+    pub fn report(&self) -> AuditReport {
+        let retained = self.violations.len() as u64;
+        let total = retained + self.dropped_violations;
+        AuditReport {
+            workload: self.workload.clone(),
+            policy: self.policy.clone(),
+            accesses: self.access_index,
+            faults: self.faults_total,
+            fills: self.fills_total,
+            violations: self.violations.clone(),
+            dropped_violations: self.dropped_violations,
+            total_violations: total,
+            clean: total == 0,
+        }
+    }
+
+    fn push_violation(
+        &mut self,
+        invariant: &str,
+        access_index: u64,
+        page: Option<PageId>,
+        observed: String,
+        expected: String,
+    ) {
+        if self.violations.len() < self.options.max_violations as usize {
+            self.violations.push(AuditViolation {
+                invariant: invariant.to_owned(),
+                access_index,
+                page: page.map(|p| p.value()),
+                observed,
+                expected,
+            });
+        } else {
+            self.dropped_violations += 1;
+        }
+    }
+
+    /// True once the warmup prefix has fully passed (actions trail
+    /// their demand access, so the comparison is strict — identical to
+    /// the windowed collector).
+    fn in_steady_state(&self) -> bool {
+        self.access_index > self.warmup
+    }
+
+    /// Decrements one tier's occupancy, reporting underflow under
+    /// exclusive-residency semantics.
+    fn decrement(&mut self, tier: MemoryKind, page: PageId) {
+        let occupancy = match tier {
+            MemoryKind::Dram => &mut self.dram_occupancy,
+            MemoryKind::Nvm => &mut self.nvm_occupancy,
+        };
+        if *occupancy == 0 {
+            let index = self.group.index;
+            if self.exclusive_residency {
+                self.push_violation(
+                    "occupancy-delta",
+                    index,
+                    Some(page),
+                    format!("page leaving an empty {tier:?} tier"),
+                    "fill − evict − migration deltas keep occupancy non-negative".to_owned(),
+                );
+            }
+        } else {
+            *occupancy -= 1;
+        }
+    }
+
+    fn increment(&mut self, tier: MemoryKind) {
+        match tier {
+            MemoryKind::Dram => self.dram_occupancy += 1,
+            MemoryKind::Nvm => self.nvm_occupancy += 1,
+        }
+    }
+
+    /// Group-scoped and boundary checks, run when the group is complete
+    /// (next demand access or finish).
+    fn finalize_group(&mut self) {
+        let group = self.group;
+        // demotion-pairing: outside a fault, each DRAM→NVM demotion is a
+        // PromotionSwap and needs an NVM→DRAM promotion in the same
+        // group; during a fault any demotion is a FaultFill (the fill's
+        // displacement), matching the ledger's DemotionCause rules.
+        if !group.is_fault && group.demotions > group.promotions {
+            self.push_violation(
+                "demotion-pairing",
+                group.index,
+                group.page,
+                format!(
+                    "{} DRAM→NVM demotion(s) vs {} NVM→DRAM promotion(s) in a non-fault access",
+                    group.demotions, group.promotions
+                ),
+                "every PromotionSwap demotion pairs with a promotion in its access".to_owned(),
+            );
+        }
+        // two-lru-window: a fired counter probe promises the probed
+        // page's promotion in the same access, an unfired one forbids it.
+        if let Some(probe) = group.probe {
+            match probe.fired {
+                Some(kind) => {
+                    if !group.promoted_demand_page {
+                        self.push_violation(
+                            "two-lru-window",
+                            group.index,
+                            group.page,
+                            format!("{kind:?} counter fired but no NVM→DRAM promotion followed"),
+                            "a fired counter is followed by the page's promotion".to_owned(),
+                        );
+                    }
+                }
+                None => {
+                    if group.promoted_demand_page {
+                        self.push_violation(
+                            "two-lru-window",
+                            group.index,
+                            group.page,
+                            "page promoted without a fired counter".to_owned(),
+                            "promotions only follow a fired counter probe".to_owned(),
+                        );
+                    }
+                }
+            }
+        }
+        // fill-fault: all faults answered once the group's actions are in.
+        let imbalance = i128::from(self.fills_total) - i128::from(self.faults_total);
+        if imbalance != self.reported_imbalance {
+            self.push_violation(
+                "fill-fault",
+                group.index,
+                group.page,
+                format!(
+                    "{} disk fill(s) for {} demand fault(s)",
+                    self.fills_total, self.faults_total
+                ),
+                "every demand fault is answered by exactly one disk fill".to_owned(),
+            );
+            self.reported_imbalance = imbalance;
+        }
+        // occupancy-capacity: the resident set fits the tiers once the
+        // group's displacements have all been applied.
+        if self.exclusive_residency {
+            if self.dram_occupancy > self.dram_capacity
+                && self.dram_occupancy > self.reported_dram_level
+            {
+                self.reported_dram_level = self.dram_occupancy;
+                let (occupancy, capacity) = (self.dram_occupancy, self.dram_capacity);
+                self.push_violation(
+                    "occupancy-capacity",
+                    group.index,
+                    group.page,
+                    format!("{occupancy} resident DRAM pages in a {capacity}-page tier"),
+                    "per-tier occupancy never exceeds capacity".to_owned(),
+                );
+            }
+            if self.nvm_occupancy > self.nvm_capacity
+                && self.nvm_occupancy > self.reported_nvm_level
+            {
+                self.reported_nvm_level = self.nvm_occupancy;
+                let (occupancy, capacity) = (self.nvm_occupancy, self.nvm_capacity);
+                self.push_violation(
+                    "occupancy-capacity",
+                    group.index,
+                    group.page,
+                    format!("{occupancy} resident NVM pages in a {capacity}-page tier"),
+                    "per-tier occupancy never exceeds capacity".to_owned(),
+                );
+            }
+        }
+        self.group = AccessGroup::default();
+    }
+
+    /// Closes the current AMAT window: the event-priced mean access
+    /// time must agree with the Eq. 1 closed form evaluated on the
+    /// window's measured probabilities.
+    fn flush_window(&mut self) {
+        debug_assert!(self.in_window > 0);
+        let w = self.window;
+        let accesses = self.in_window;
+        #[allow(clippy::cast_precision_loss)]
+        let n = accesses as f64;
+        #[allow(clippy::cast_precision_loss)]
+        let ratio = |count: u64| count as f64 / n;
+        let dram_hits = w.dram_read_hits + w.dram_write_hits;
+        let nvm_hits = w.nvm_read_hits + w.nvm_write_hits;
+        #[allow(clippy::cast_precision_loss)]
+        let conditional = |part: u64, whole: u64| {
+            if whole == 0 {
+                0.0
+            } else {
+                part as f64 / whole as f64
+            }
+        };
+        // The prediction side: the same construction the windowed
+        // collector feeds into IntervalRecord::amat_ns, with migrations
+        // counted by destination tier.
+        let model = ModelParams::date2016(Probabilities {
+            hit_dram: ratio(dram_hits),
+            hit_nvm: ratio(nvm_hits),
+            miss: ratio(w.faults),
+            read_given_dram: conditional(w.dram_read_hits, dram_hits),
+            read_given_nvm: conditional(w.nvm_read_hits, nvm_hits),
+            migrate_to_dram: ratio(w.model_migrations_to_dram),
+            migrate_to_nvm: ratio(w.model_migrations_to_nvm),
+            disk_to_dram: conditional(w.fills_to_dram, w.faults),
+            disk_to_nvm: conditional(w.fills_to_nvm, w.faults),
+        });
+        let expected = model.amat().value();
+        // The priced side: every event category charged exactly what
+        // the simulator charges it (fills and evictions are overlapped
+        // and free; only cross-tier migrations move data).
+        let dram_read = model.dram.read_latency.value();
+        let dram_write = model.dram.write_latency.value();
+        let nvm_read = model.nvm.read_latency.value();
+        let nvm_write = model.nvm.write_latency.value();
+        let disk = model.disk.access_latency.value();
+        #[allow(clippy::cast_precision_loss)]
+        let page_factor = model.page_factor as f64;
+        #[allow(clippy::cast_precision_loss)]
+        let priced = |count: u64, unit: f64| count as f64 * unit;
+        let observed = (priced(w.dram_read_hits, dram_read)
+            + priced(w.dram_write_hits, dram_write)
+            + priced(w.nvm_read_hits, nvm_read)
+            + priced(w.nvm_write_hits, nvm_write)
+            + priced(w.faults, disk)
+            + priced(
+                w.priced_migrations_to_dram,
+                page_factor * (nvm_read + dram_write),
+            )
+            + priced(
+                w.priced_migrations_to_nvm,
+                page_factor * (dram_read + nvm_write),
+            ))
+            / n;
+        let tolerance =
+            expected.abs().max(1.0) * (f64::from(self.options.amat_tolerance_ppm) / 1e6);
+        if (observed - expected).abs() > tolerance {
+            let last_access = self.window_start + accesses - 1;
+            self.push_violation(
+                "amat-window",
+                last_access,
+                None,
+                format!(
+                    "event-priced AMAT {observed:.3} ns over accesses {}..={last_access}",
+                    self.window_start
+                ),
+                format!("Eq. 1 closed form {expected:.3} ns (±{tolerance:.3})"),
+            );
+        }
+        self.in_window = 0;
+        self.window = WindowTallies::default();
+    }
+
+    /// Handles one demand access (`Served` or `Fault`).
+    fn on_demand(&mut self, access: PageAccess, served_from: Option<MemoryKind>) {
+        if self.started {
+            self.finalize_group();
+        }
+        // Deferred flush, exactly like the windowed collector: the
+        // previous window closes only now, so a window-closing fault's
+        // trailing actions were counted in *its* window.
+        if self.options.window > 0 && self.in_window == self.options.window {
+            self.flush_window();
+        }
+        let index = self.access_index;
+        self.access_index += 1;
+        self.started = true;
+        let is_fault = served_from.is_none();
+        if is_fault {
+            self.faults_total += 1;
+        }
+        self.group = AccessGroup {
+            index,
+            page: Some(access.page),
+            is_fault,
+            demotions: 0,
+            promotions: 0,
+            promoted_demand_page: false,
+            probe: None,
+        };
+        if index < self.warmup {
+            return;
+        }
+        if self.in_window == 0 {
+            self.window_start = index;
+        }
+        self.in_window += 1;
+        match (served_from, access.kind) {
+            (Some(MemoryKind::Dram), AccessKind::Read) => self.window.dram_read_hits += 1,
+            (Some(MemoryKind::Dram), AccessKind::Write) => self.window.dram_write_hits += 1,
+            (Some(MemoryKind::Nvm), AccessKind::Read) => self.window.nvm_read_hits += 1,
+            (Some(MemoryKind::Nvm), AccessKind::Write) => self.window.nvm_write_hits += 1,
+            (None, _) => self.window.faults += 1,
+        }
+    }
+
+    fn on_action(&mut self, action: PolicyAction) {
+        if !self.started {
+            let (page, description) = match action {
+                PolicyAction::FillFromDisk { page, .. } => (page, "disk fill"),
+                PolicyAction::Migrate { page, .. } => (page, "migration"),
+                PolicyAction::EvictToDisk { page, .. } => (page, "disk eviction"),
+            };
+            self.push_violation(
+                "monotone-access",
+                0,
+                Some(page),
+                format!("{description} before the first demand access"),
+                "every action trails the demand access that caused it".to_owned(),
+            );
+            return;
+        }
+        match action {
+            PolicyAction::FillFromDisk { into, .. } => {
+                self.fills_total += 1;
+                self.increment(into);
+            }
+            PolicyAction::Migrate { page, from, to } => {
+                self.decrement(from, page);
+                self.increment(to);
+                match (from, to) {
+                    (MemoryKind::Dram, MemoryKind::Nvm) => self.group.demotions += 1,
+                    (MemoryKind::Nvm, MemoryKind::Dram) => {
+                        self.group.promotions += 1;
+                        if self.group.page == Some(page) {
+                            self.group.promoted_demand_page = true;
+                        }
+                    }
+                    (MemoryKind::Dram, MemoryKind::Dram) | (MemoryKind::Nvm, MemoryKind::Nvm) => {}
+                }
+            }
+            PolicyAction::EvictToDisk { page, from } => self.decrement(from, page),
+        }
+        if !self.in_steady_state() {
+            return;
+        }
+        match action {
+            PolicyAction::FillFromDisk { into, .. } => match into {
+                MemoryKind::Dram => self.window.fills_to_dram += 1,
+                MemoryKind::Nvm => self.window.fills_to_nvm += 1,
+            },
+            PolicyAction::Migrate { from, to, .. } => {
+                match to {
+                    MemoryKind::Dram => self.window.model_migrations_to_dram += 1,
+                    MemoryKind::Nvm => self.window.model_migrations_to_nvm += 1,
+                }
+                match (from, to) {
+                    (MemoryKind::Nvm, MemoryKind::Dram) => {
+                        self.window.priced_migrations_to_dram += 1;
+                    }
+                    (MemoryKind::Dram, MemoryKind::Nvm) => {
+                        self.window.priced_migrations_to_nvm += 1;
+                    }
+                    (MemoryKind::Dram, MemoryKind::Dram) | (MemoryKind::Nvm, MemoryKind::Nvm) => {}
+                }
+            }
+            PolicyAction::EvictToDisk { .. } => {}
+        }
+    }
+
+    fn on_probe(&mut self, access: PageAccess, probe: NvmCounterProbe) {
+        if !self.started {
+            self.push_violation(
+                "monotone-access",
+                0,
+                Some(access.page),
+                "counter probe before the first demand access".to_owned(),
+                "every probe trails the demand access that sampled it".to_owned(),
+            );
+            return;
+        }
+        let index = self.group.index;
+        if self.group.probe.is_some() {
+            self.push_violation(
+                "monotone-access",
+                index,
+                Some(access.page),
+                "second counter probe within one demand access".to_owned(),
+                "at most one NVM counter probe per access".to_owned(),
+            );
+            return;
+        }
+        if self.group.page != Some(access.page) {
+            self.push_violation(
+                "monotone-access",
+                index,
+                Some(access.page),
+                "counter probe for a page other than the demand page".to_owned(),
+                "probes attach to the access that sampled them".to_owned(),
+            );
+            return;
+        }
+        if self.group.is_fault {
+            self.push_violation(
+                "monotone-access",
+                index,
+                Some(access.page),
+                "counter probe on a faulting access".to_owned(),
+                "NVM counters are only sampled on NVM hits".to_owned(),
+            );
+            return;
+        }
+        self.group.probe = Some(probe);
+    }
+}
+
+impl EventSink for AuditSink {
+    fn record(&mut self, event: SimEvent) {
+        match event {
+            SimEvent::Served { access, from } => self.on_demand(access, Some(from)),
+            SimEvent::Fault { access } => self.on_demand(access, None),
+            SimEvent::Action { action } => self.on_action(action),
+            SimEvent::CounterProbe { access, probe } => self.on_probe(access, probe),
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybridmem_policy::CounterKind;
+    use hybridmem_types::PageAccess;
+
+    fn served(page: u64, from: MemoryKind) -> SimEvent {
+        SimEvent::Served {
+            access: PageAccess::read(PageId::new(page)),
+            from,
+        }
+    }
+
+    fn fault(page: u64) -> SimEvent {
+        SimEvent::Fault {
+            access: PageAccess::read(PageId::new(page)),
+        }
+    }
+
+    fn fill(page: u64, into: MemoryKind) -> SimEvent {
+        SimEvent::Action {
+            action: PolicyAction::FillFromDisk {
+                page: PageId::new(page),
+                into,
+            },
+        }
+    }
+
+    fn migrate(page: u64, from: MemoryKind, to: MemoryKind) -> SimEvent {
+        SimEvent::Action {
+            action: PolicyAction::Migrate {
+                page: PageId::new(page),
+                from,
+                to,
+            },
+        }
+    }
+
+    fn evict(page: u64, from: MemoryKind) -> SimEvent {
+        SimEvent::Action {
+            action: PolicyAction::EvictToDisk {
+                page: PageId::new(page),
+                from,
+            },
+        }
+    }
+
+    fn probe(page: u64, fired: Option<CounterKind>) -> SimEvent {
+        SimEvent::CounterProbe {
+            access: PageAccess::read(PageId::new(page)),
+            probe: NvmCounterProbe {
+                rank: 0,
+                reads: 1,
+                writes: 0,
+                read_lost: 0,
+                write_lost: 0,
+                read_threshold: 1,
+                write_threshold: 1,
+                fired,
+            },
+        }
+    }
+
+    fn audit(events: &[SimEvent]) -> AuditReport {
+        audit_with(AuditSink::new("w", "p", AuditOptions::default()), events)
+    }
+
+    fn audit_with(mut sink: AuditSink, events: &[SimEvent]) -> AuditReport {
+        for &event in events {
+            sink.record(event);
+        }
+        sink.finish();
+        sink.report()
+    }
+
+    fn invariants(report: &AuditReport) -> Vec<&str> {
+        report
+            .violations
+            .iter()
+            .map(|v| v.invariant.as_str())
+            .collect()
+    }
+
+    #[test]
+    fn clean_stream_reports_zero_violations() {
+        // Fault fill, a promotion swap with a fired probe, plain hits,
+        // and a capacity-bound eviction: every law holds.
+        let report = audit_with(
+            AuditSink::new("w", "p", AuditOptions::default()).with_capacities(1, 2),
+            &[
+                fault(1),
+                fill(1, MemoryKind::Nvm),
+                fault(2),
+                fill(2, MemoryKind::Nvm),
+                served(1, MemoryKind::Nvm),
+                probe(1, Some(CounterKind::Read)),
+                migrate(1, MemoryKind::Nvm, MemoryKind::Dram),
+                served(1, MemoryKind::Dram),
+                fault(3),
+                evict(2, MemoryKind::Nvm),
+                fill(3, MemoryKind::Nvm),
+                served(3, MemoryKind::Nvm),
+                probe(3, None),
+            ],
+        );
+        assert!(report.clean, "violations: {:?}", report.violations);
+        assert_eq!(report.accesses, 6);
+        assert_eq!(report.faults, 3);
+        assert_eq!(report.fills, 3);
+    }
+
+    #[test]
+    fn tampered_fill_fires_fill_fault_exactly_once() {
+        // The fault at access 0 is never answered; every later boundary
+        // sees the same imbalance, which resynchronization reports once.
+        let report = audit(&[
+            fault(1),
+            served(1, MemoryKind::Nvm),
+            served(1, MemoryKind::Nvm),
+        ]);
+        assert_eq!(invariants(&report), ["fill-fault"]);
+        assert_eq!(report.violations[0].access_index, 0);
+        assert_eq!(report.total_violations, 1);
+    }
+
+    #[test]
+    fn spurious_fill_fires_fill_fault_exactly_once() {
+        let report = audit(&[
+            served(1, MemoryKind::Dram),
+            fill(9, MemoryKind::Dram),
+            served(1, MemoryKind::Dram),
+        ]);
+        assert_eq!(invariants(&report), ["fill-fault"]);
+    }
+
+    #[test]
+    fn occupancy_overflow_fires_capacity_exactly_once() {
+        let sink = AuditSink::new("w", "p", AuditOptions::default()).with_capacities(1, 1);
+        let report = audit_with(
+            sink,
+            &[
+                fault(1),
+                fill(1, MemoryKind::Dram),
+                fault(2),
+                fill(2, MemoryKind::Dram),
+                served(1, MemoryKind::Dram),
+                served(2, MemoryKind::Dram),
+            ],
+        );
+        assert_eq!(invariants(&report), ["occupancy-capacity"]);
+        assert_eq!(
+            report.violations[0].access_index, 1,
+            "the overflowing fill's access"
+        );
+        assert_eq!(report.total_violations, 1);
+    }
+
+    #[test]
+    fn underflow_fires_occupancy_delta() {
+        let report = audit(&[served(1, MemoryKind::Dram), evict(1, MemoryKind::Dram)]);
+        assert_eq!(invariants(&report), ["occupancy-delta"]);
+        assert_eq!(report.violations[0].page, Some(1));
+    }
+
+    #[test]
+    fn unpaired_demotion_fires_demotion_pairing() {
+        let report = audit(&[
+            fault(1),
+            fill(1, MemoryKind::Dram),
+            fault(2),
+            fill(2, MemoryKind::Nvm),
+            served(2, MemoryKind::Nvm),
+            migrate(1, MemoryKind::Dram, MemoryKind::Nvm),
+        ]);
+        assert_eq!(invariants(&report), ["demotion-pairing"]);
+        assert_eq!(report.violations[0].access_index, 2);
+    }
+
+    #[test]
+    fn demotion_during_fault_is_a_fault_fill_not_a_violation() {
+        let report = audit(&[
+            fault(1),
+            fill(1, MemoryKind::Dram),
+            fault(2),
+            migrate(1, MemoryKind::Dram, MemoryKind::Nvm),
+            fill(2, MemoryKind::Dram),
+        ]);
+        assert!(report.clean, "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn fired_probe_without_promotion_fires_two_lru_window() {
+        let report = audit(&[
+            fault(1),
+            fill(1, MemoryKind::Nvm),
+            served(1, MemoryKind::Nvm),
+            probe(1, Some(CounterKind::Read)),
+        ]);
+        assert_eq!(invariants(&report), ["two-lru-window"]);
+        assert_eq!(report.violations[0].access_index, 1);
+    }
+
+    #[test]
+    fn promotion_without_fired_probe_fires_two_lru_window() {
+        let report = audit(&[
+            fault(1),
+            fill(1, MemoryKind::Nvm),
+            served(1, MemoryKind::Nvm),
+            probe(1, None),
+            migrate(1, MemoryKind::Nvm, MemoryKind::Dram),
+        ]);
+        assert_eq!(invariants(&report), ["two-lru-window"]);
+    }
+
+    #[test]
+    fn action_before_first_access_fires_monotone_access_and_is_dropped() {
+        // The stray fill is reported once and ignored: it must not
+        // poison the fill or occupancy books of the real run after it.
+        let report = audit(&[
+            fill(9, MemoryKind::Dram),
+            fault(1),
+            fill(1, MemoryKind::Dram),
+            served(1, MemoryKind::Dram),
+        ]);
+        assert_eq!(invariants(&report), ["monotone-access"]);
+        assert_eq!(report.fills, 1, "the stray fill is not booked");
+    }
+
+    #[test]
+    fn probe_on_wrong_page_fires_monotone_access() {
+        let report = audit(&[
+            fault(1),
+            fill(1, MemoryKind::Nvm),
+            served(1, MemoryKind::Nvm),
+            probe(2, None),
+        ]);
+        assert_eq!(invariants(&report), ["monotone-access"]);
+    }
+
+    #[test]
+    fn same_module_migration_fires_amat_window() {
+        // The closed form prices a migration the simulator charges
+        // nothing for: the two sides of the AMAT law diverge by
+        // PageFactor-scaled latencies, far past any tolerance.
+        let report = audit(&[
+            fault(1),
+            fill(1, MemoryKind::Dram),
+            served(1, MemoryKind::Dram),
+            migrate(1, MemoryKind::Dram, MemoryKind::Dram),
+        ]);
+        assert_eq!(invariants(&report), ["amat-window"]);
+        assert_eq!(report.violations[0].access_index, 1);
+    }
+
+    #[test]
+    fn windowed_amat_attributes_the_violation_to_its_window() {
+        let options = AuditOptions {
+            window: 2,
+            ..AuditOptions::default()
+        };
+        let report = audit_with(
+            AuditSink::new("w", "p", options),
+            &[
+                fault(1),
+                fill(1, MemoryKind::Dram),
+                served(1, MemoryKind::Dram),
+                // Window 1: the tampered access.
+                served(1, MemoryKind::Dram),
+                migrate(1, MemoryKind::Dram, MemoryKind::Dram),
+                served(1, MemoryKind::Dram),
+            ],
+        );
+        assert_eq!(invariants(&report), ["amat-window"]);
+        assert_eq!(
+            report.violations[0].access_index, 3,
+            "last access of window 1"
+        );
+    }
+
+    #[test]
+    fn warmup_accesses_are_excluded_from_amat_but_not_conservation() {
+        // A warmup-time same-module migration is invisible to the AMAT
+        // law (no window is open), but a warmup-time unanswered fault
+        // still breaks conservation.
+        let clean_amat = audit_with(
+            AuditSink::new("w", "p", AuditOptions::default()).with_warmup(2),
+            &[
+                fault(1),
+                fill(1, MemoryKind::Dram),
+                served(1, MemoryKind::Dram),
+                migrate(1, MemoryKind::Dram, MemoryKind::Dram),
+                served(1, MemoryKind::Dram),
+            ],
+        );
+        assert!(clean_amat.clean, "violations: {:?}", clean_amat.violations);
+
+        let broken = audit_with(
+            AuditSink::new("w", "p", AuditOptions::default()).with_warmup(2),
+            &[
+                fault(1),
+                served(1, MemoryKind::Nvm),
+                served(1, MemoryKind::Nvm),
+            ],
+        );
+        assert_eq!(invariants(&broken), ["fill-fault"]);
+    }
+
+    #[test]
+    fn non_exclusive_residency_disables_the_occupancy_laws() {
+        let sink = AuditSink::new("w", "dram-cache", AuditOptions::default())
+            .with_capacities(1, 1)
+            .with_exclusive_residency(false);
+        // Cost-equivalent stream: a second cache-in of the same page
+        // decrements NVM twice without a second fill — legal for
+        // dram-cache, underflow anywhere else.
+        let report = audit_with(
+            sink,
+            &[
+                fault(1),
+                fill(1, MemoryKind::Nvm),
+                served(1, MemoryKind::Nvm),
+                migrate(1, MemoryKind::Nvm, MemoryKind::Dram),
+                served(1, MemoryKind::Nvm),
+                migrate(1, MemoryKind::Nvm, MemoryKind::Dram),
+            ],
+        );
+        assert!(report.clean, "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn violation_cap_counts_the_overflow() {
+        let options = AuditOptions {
+            max_violations: 1,
+            ..AuditOptions::default()
+        };
+        let report = audit_with(
+            AuditSink::new("w", "p", options),
+            &[
+                served(1, MemoryKind::Dram),
+                evict(1, MemoryKind::Dram),
+                evict(2, MemoryKind::Dram),
+            ],
+        );
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.dropped_violations, 1);
+        assert_eq!(report.total_violations, 2);
+        assert!(!report.clean);
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut sink = AuditSink::new("w", "p", AuditOptions::default());
+        sink.record(fault(1));
+        sink.finish();
+        sink.finish();
+        assert_eq!(
+            sink.report().total_violations,
+            1,
+            "only the unanswered fault"
+        );
+    }
+
+    #[test]
+    fn matrix_report_rolls_up_and_roundtrips() {
+        let clean = audit(&[fault(1), fill(1, MemoryKind::Dram)]);
+        let dirty = audit(&[served(1, MemoryKind::Dram), evict(1, MemoryKind::Dram)]);
+        let matrix = AuditMatrixReport::new(vec![clean, dirty]);
+        assert_eq!(matrix.schema, AUDIT_SCHEMA);
+        assert_eq!(matrix.total_violations, 1);
+        assert!(!matrix.clean);
+
+        let mut bytes = Vec::new();
+        write_audit_json(&mut bytes, &matrix).unwrap();
+        let parsed: AuditMatrixReport = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(parsed, matrix);
+    }
+}

@@ -21,8 +21,9 @@ use hybridmem_types::{Error, PageAccess, PageCount, Result};
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    EventSink, FanoutSink, HybridSimulator, IntervalRecord, LedgerOptions, LedgerReport,
-    ObservedRun, PageLedger, SimulationReport, TimeModel, TraceCache, WindowedCollector,
+    AuditOptions, AuditReport, AuditSink, EventSink, FanoutSink, HybridSimulator, IntervalRecord,
+    LedgerOptions, LedgerReport, ObservedRun, PageLedger, SimulationReport, TimeModel, TraceCache,
+    WindowedCollector,
 };
 
 /// Which policy to evaluate.
@@ -469,7 +470,7 @@ impl ExperimentConfig {
             cache.try_get(spec, self.seed)
         });
         let mut simulator = self.build_simulator(kind, spec)?;
-        if let Some(sink) = self.instrument_sink(spec, kind, instrumentation) {
+        if let Some(sink) = self.instrument_sink(spec, kind, instrumentation, &simulator) {
             simulator.set_event_sink(sink);
         }
         let cell = format!("{}/{}", spec.name, kind.name());
@@ -510,32 +511,51 @@ impl ExperimentConfig {
 
     /// Assembles the cell's event sink from the requested instrumentation:
     /// `None` when nothing was requested, the bare sink when one was, a
-    /// [`FanoutSink`] (collector first, ledger second) when both were.
+    /// [`FanoutSink`] (collector first, ledger second, audit third) when
+    /// several were.
     fn instrument_sink(
         &self,
         spec: &WorkloadSpec,
         kind: PolicyKind,
         instrumentation: Instrumentation,
+        simulator: &HybridSimulator,
     ) -> Option<Box<dyn EventSink>> {
-        let collector = instrumentation
-            .window
-            .map(|window| self.collector(spec, kind, window));
-        let ledger = instrumentation.ledger.map(|options| {
-            PageLedger::new(
+        let mut sinks: Vec<Box<dyn EventSink>> = Vec::new();
+        if let Some(window) = instrumentation.window {
+            sinks.push(Box::new(self.collector(spec, kind, window)));
+        }
+        if let Some(options) = instrumentation.ledger {
+            sinks.push(Box::new(PageLedger::new(
                 spec.name.clone(),
                 kind.name(),
                 options,
                 self.warmup_len(spec) as u64,
-            )
-        });
-        match (collector, ledger) {
-            (None, None) => None,
-            (Some(collector), None) => Some(Box::new(collector)),
-            (None, Some(ledger)) => Some(Box::new(ledger)),
-            (Some(collector), Some(ledger)) => {
+            )));
+        }
+        if let Some(options) = instrumentation.audit {
+            // Capacities come from the built simulator, so single-tier
+            // policies (whose counterpart tier has zero capacity) and the
+            // paper's 10 %/90 % split are both audited against the sizes
+            // the policy actually declared. dram-cache prices migrations
+            // as cost-equivalents without journaling residency moves, so
+            // its occupancy laws are disabled.
+            let audit = AuditSink::new(spec.name.clone(), kind.name(), options)
+                .with_capacities(
+                    simulator.dram_capacity().value(),
+                    simulator.nvm_capacity().value(),
+                )
+                .with_warmup(self.warmup_len(spec) as u64)
+                .with_exclusive_residency(kind != PolicyKind::DramCache);
+            sinks.push(Box::new(audit));
+        }
+        match sinks.len() {
+            0 => None,
+            1 => sinks.pop(),
+            _ => {
                 let mut fanout = FanoutSink::new();
-                fanout.push(Box::new(collector));
-                fanout.push(Box::new(ledger));
+                for child in sinks {
+                    fanout.push(child);
+                }
                 Some(Box::new(fanout))
             }
         }
@@ -566,48 +586,47 @@ impl ExperimentConfig {
                 records: Vec::new(),
                 metrics: MetricsSnapshot::default(),
                 ledger: None,
+                audit: None,
             });
         }
         let mut sink = simulator.take_event_sink().ok_or_else(|| {
             Error::invalid_input("instrumented run lost its event sink".to_owned())
         })?;
         let wrong_type = || Error::invalid_input("instrumented run sink has wrong type".to_owned());
-        let (collector, ledger): (Option<&mut WindowedCollector>, Option<&mut PageLedger>) =
-            match (instrumentation.window, instrumentation.ledger) {
-                (None, None) => (None, None),
-                (Some(_), None) => (
-                    Some(
-                        sink.as_any_mut()
-                            .downcast_mut::<WindowedCollector>()
-                            .ok_or_else(wrong_type)?,
-                    ),
-                    None,
-                ),
-                (None, Some(_)) => (
-                    None,
-                    Some(
-                        sink.as_any_mut()
-                            .downcast_mut::<PageLedger>()
-                            .ok_or_else(wrong_type)?,
-                    ),
-                ),
-                (Some(_), Some(_)) => {
-                    let fanout = sink
-                        .as_any_mut()
-                        .downcast_mut::<FanoutSink>()
-                        .ok_or_else(wrong_type)?;
-                    let mut children = fanout.sinks_mut().iter_mut();
-                    let collector = children
-                        .next()
-                        .and_then(|child| child.as_any_mut().downcast_mut::<WindowedCollector>())
-                        .ok_or_else(wrong_type)?;
-                    let ledger = children
-                        .next()
-                        .and_then(|child| child.as_any_mut().downcast_mut::<PageLedger>())
-                        .ok_or_else(wrong_type)?;
-                    (Some(collector), Some(ledger))
-                }
-            };
+        let expected = usize::from(instrumentation.window.is_some())
+            + usize::from(instrumentation.ledger.is_some())
+            + usize::from(instrumentation.audit.is_some());
+        // Recover the concrete sinks by type-sniffing the children: a
+        // bare sink when one was attached, a fanout's children when
+        // several were. Each child's type identifies it — the fanout
+        // order (collector, ledger, audit) is an implementation detail.
+        let children = if expected > 1 {
+            sink.as_any_mut()
+                .downcast_mut::<FanoutSink>()
+                .ok_or_else(wrong_type)?
+                .sinks_mut()
+        } else {
+            std::slice::from_mut(&mut sink)
+        };
+        let mut collector: Option<&mut WindowedCollector> = None;
+        let mut ledger: Option<&mut PageLedger> = None;
+        let mut audit: Option<&mut AuditSink> = None;
+        for child in children {
+            let any = child.as_any_mut();
+            if any.is::<WindowedCollector>() {
+                collector = any.downcast_mut::<WindowedCollector>();
+            } else if any.is::<PageLedger>() {
+                ledger = any.downcast_mut::<PageLedger>();
+            } else if any.is::<AuditSink>() {
+                audit = any.downcast_mut::<AuditSink>();
+            }
+        }
+        if collector.is_some() != instrumentation.window.is_some()
+            || ledger.is_some() != instrumentation.ledger.is_some()
+            || audit.is_some() != instrumentation.audit.is_some()
+        {
+            return Err(wrong_type());
+        }
         let mut records = Vec::new();
         let mut metrics = MetricsSnapshot::default();
         if let Some(collector) = collector {
@@ -625,12 +644,17 @@ impl ExperimentConfig {
             metrics = collector.snapshot();
         }
         let ledger = ledger.map(PageLedger::finish);
+        let audit = audit.map(|audit| {
+            audit.finish();
+            audit.report()
+        });
         let report = simulator.into_report(spec.name.clone());
         Ok(InstrumentedRun {
             report,
             records,
             metrics,
             ledger,
+            audit,
         })
     }
 
@@ -673,6 +697,9 @@ pub struct Instrumentation {
     /// Attach a [`PageLedger`] with these retention options. `None` = no
     /// ledger.
     pub ledger: Option<LedgerOptions>,
+    /// Attach an [`AuditSink`] with these checking options. `None` = no
+    /// run-health auditing.
+    pub audit: Option<AuditOptions>,
 }
 
 impl Instrumentation {
@@ -682,6 +709,7 @@ impl Instrumentation {
         Self {
             window: Some(window),
             ledger: None,
+            audit: None,
         }
     }
 
@@ -692,10 +720,21 @@ impl Instrumentation {
         self
     }
 
+    /// Adds a run-health audit with the given checking options. The
+    /// audit's capacities, warmup, and residency mode are derived from
+    /// the cell (policy capacities, [`ExperimentConfig`] warmup, and
+    /// whether the policy journals residency) — only the checking knobs
+    /// are configured here.
+    #[must_use]
+    pub fn with_audit(mut self, options: AuditOptions) -> Self {
+        self.audit = Some(options);
+        self
+    }
+
     /// True when nothing is attached (no sink will be allocated).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.window.is_none() && self.ledger.is_none()
+        self.window.is_none() && self.ledger.is_none() && self.audit.is_none()
     }
 }
 
@@ -712,6 +751,8 @@ pub struct InstrumentedRun {
     pub metrics: MetricsSnapshot,
     /// The page ledger's report, when one was attached.
     pub ledger: Option<LedgerReport>,
+    /// The run-health audit's report, when an audit was attached.
+    pub audit: Option<AuditReport>,
 }
 
 impl InstrumentedRun {
@@ -1450,5 +1491,72 @@ mod tests {
             "matrix and cell spans recorded"
         );
         assert!(records.iter().any(|r| r.cat == "simulate"));
+    }
+
+    #[test]
+    fn audited_paper_matrix_is_clean_at_any_thread_count() {
+        // ISSUE 8 acceptance: every cell of the paper matrix passes the
+        // run-health audit with zero violations, and the verdict is
+        // identical whether the matrix ran serial or parallel.
+        let config = ExperimentConfig::date2016();
+        let specs = vec![
+            small_spec(),
+            parsec::spec("bodytrack").unwrap().capped(3_000),
+            parsec::spec("canneal").unwrap().capped(2_500),
+        ];
+        let kinds = PolicyKind::all();
+        let instrumentation = Instrumentation::default().with_audit(AuditOptions::default());
+        for threads in [1, 4] {
+            let (rows, _) = compare_policies_instrumented(
+                &specs,
+                &kinds,
+                &config,
+                threads,
+                instrumentation,
+                None,
+            )
+            .unwrap();
+            for (spec, row) in specs.iter().zip(&rows) {
+                for (kind, cell) in kinds.iter().zip(row) {
+                    let audit = cell
+                        .audit
+                        .as_ref()
+                        .expect("an audit report was requested for every cell");
+                    assert_eq!(audit.workload, spec.name, "threads={threads}");
+                    assert_eq!(audit.policy, kind.name(), "threads={threads}");
+                    assert_eq!(audit.accesses, spec.total_accesses(), "threads={threads}");
+                    assert!(
+                        audit.clean && audit.violations.is_empty(),
+                        "threads={threads} {spec_name}/{kind}: {violations:?}",
+                        spec_name = spec.name,
+                        violations = audit.violations
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn audit_instrumentation_does_not_perturb_reports() {
+        let config = ExperimentConfig::date2016();
+        let spec = small_spec();
+        let cache = TraceCache::new(64 << 20);
+        let audited = config
+            .run_instrumented(
+                &spec,
+                PolicyKind::TwoLru,
+                &cache,
+                Instrumentation::default().with_audit(AuditOptions::default()),
+            )
+            .unwrap();
+        let plain = config
+            .run_cached(&spec, PolicyKind::TwoLru, &cache)
+            .unwrap();
+        assert_eq!(audited.report, plain, "the audit must not perturb results");
+        assert!(audited.records.is_empty(), "no window was requested");
+        assert!(audited.ledger.is_none(), "no ledger was requested");
+        let report = audited.audit.expect("an audit report was requested");
+        assert!(report.clean, "{:?}", report.violations);
+        assert_eq!(report.faults, plain.counts.faults);
     }
 }

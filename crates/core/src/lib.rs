@@ -22,7 +22,11 @@
 //! * [`ledger`] — drill-down telemetry: a [`PageLedger`] event sink
 //!   reconstructs per-page journeys (fills, promotions with Algorithm 1
 //!   provenance, demotions with cause, lossy resets) under deterministic
-//!   top-K retention.
+//!   top-K retention;
+//! * [`audit`] — run-health auditing: an [`AuditSink`] event sink checks
+//!   the conservation laws behind Eq. 1/Eq. 2 online (fills ≡ faults,
+//!   occupancy ≤ capacity, demotion pairing, probe consistency, priced
+//!   vs. closed-form AMAT) and reports structured [`AuditViolation`]s.
 //!
 //! # Examples
 //!
@@ -45,6 +49,7 @@
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
+pub mod audit;
 mod events;
 mod experiments;
 pub mod ledger;
@@ -55,6 +60,10 @@ mod simulator;
 mod sweep;
 mod trace_cache;
 
+pub use audit::{
+    write_audit_json, AuditMatrixReport, AuditOptions, AuditReport, AuditSink, AuditViolation,
+    AUDIT_SCHEMA,
+};
 pub use events::{CountingSink, EventSink, FanoutSink, RecordingSink, SimEvent};
 pub use experiments::{
     compare_policies, compare_policies_instrumented, compare_policies_observed,

@@ -129,8 +129,36 @@ impl Histogram {
         }
     }
 
-    /// A serializable export: summary statistics plus the non-empty
-    /// buckets in ascending upper-bound order.
+    /// Deterministic percentile estimate, exact within bucket bounds.
+    ///
+    /// Returns the inclusive upper bound of the bucket holding the
+    /// rank-`⌈count·pct/100⌉` sample, clamped to the exact observed
+    /// `[min, max]` range — so `percentile(100)` is the exact maximum
+    /// and a single-bucket histogram reports its exact extremes. Pure
+    /// integer arithmetic over the fixed bucket layout: the same
+    /// samples produce the same estimate in any observation or merge
+    /// order. `pct` is clamped to `1..=100`; `None` when empty.
+    #[must_use]
+    pub fn percentile(&self, pct: u64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let pct = pct.clamp(1, 100);
+        let rank = (u128::from(self.count) * u128::from(pct)).div_ceil(100);
+        let rank = u64::try_from(rank).unwrap_or(u64::MAX).max(1);
+        let mut seen: u64 = 0;
+        for (index, &count) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(count);
+            if seen >= rank {
+                return Some(Self::bucket_upper(index).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// A serializable export: summary statistics, deterministic
+    /// p50/p95/p99 estimates, plus the non-empty buckets in ascending
+    /// upper-bound order.
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
         let buckets = self
@@ -148,6 +176,9 @@ impl Histogram {
             sum: self.sum,
             min: self.min().unwrap_or(0),
             max: self.max().unwrap_or(0),
+            p50: self.percentile(50).unwrap_or(0),
+            p95: self.percentile(95).unwrap_or(0),
+            p99: self.percentile(99).unwrap_or(0),
             buckets,
         }
     }
@@ -190,6 +221,17 @@ pub struct HistogramSnapshot {
     pub min: u64,
     /// Largest sample (0 when empty).
     pub max: u64,
+    /// Deterministic median estimate ([`Histogram::percentile`]; 0 when
+    /// empty). Defaults to 0 when absent, so pre-quantile snapshots
+    /// still deserialize.
+    #[serde(default)]
+    pub p50: u64,
+    /// Deterministic 95th-percentile estimate (0 when empty).
+    #[serde(default)]
+    pub p95: u64,
+    /// Deterministic 99th-percentile estimate (0 when empty).
+    #[serde(default)]
+    pub p99: u64,
     /// Non-empty buckets, ascending by `upper`.
     pub buckets: Vec<BucketCount>,
 }
@@ -286,6 +328,71 @@ mod tests {
         assert_eq!(merged, all);
         merged.merge(&Histogram::new());
         assert_eq!(merged, all, "merging an empty histogram is a no-op");
+    }
+
+    #[test]
+    fn percentiles_are_exact_within_bucket_bounds() {
+        let mut h = Histogram::new();
+        // 100 samples: 50× value 3 (bucket [2,3]), 45× value 10
+        // (bucket [8,15]), 5× value 1000 (bucket [512,1023]).
+        for _ in 0..50 {
+            h.observe(3);
+        }
+        for _ in 0..45 {
+            h.observe(10);
+        }
+        for _ in 0..5 {
+            h.observe(1000);
+        }
+        assert_eq!(h.percentile(50), Some(3), "rank 50 lands in [2,3]");
+        assert_eq!(h.percentile(95), Some(15), "rank 95 lands in [8,15]");
+        assert_eq!(
+            h.percentile(99),
+            Some(1000),
+            "rank 99 lands in [512,1023], clamped to the exact max"
+        );
+        assert_eq!(h.percentile(100), Some(1000), "p100 is the exact max");
+        assert_eq!(h.percentile(1), Some(3), "low ranks clamp to the exact min");
+        assert_eq!(Histogram::new().percentile(50), None);
+
+        let snapshot = h.snapshot();
+        assert_eq!((snapshot.p50, snapshot.p95, snapshot.p99), (3, 15, 1000));
+        let rebuilt = snapshot.to_histogram().snapshot();
+        assert_eq!(
+            (rebuilt.p50, rebuilt.p95, rebuilt.p99),
+            (3, 15, 1000),
+            "quantiles survive the snapshot round-trip"
+        );
+    }
+
+    #[test]
+    fn percentiles_are_merge_order_independent() {
+        let samples = [5u64, 0, 19, 3, 3, 77, 1024, 77, 12];
+        let mut all = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for (i, v) in samples.iter().enumerate() {
+            all.observe(*v);
+            if i % 2 == 0 {
+                left.observe(*v);
+            } else {
+                right.observe(*v);
+            }
+        }
+        let mut merged = right.clone();
+        merged.merge(&left);
+        for pct in [1, 25, 50, 75, 95, 99, 100] {
+            assert_eq!(merged.percentile(pct), all.percentile(pct), "p{pct}");
+        }
+    }
+
+    #[test]
+    fn pre_quantile_snapshots_still_deserialize() {
+        let legacy = r#"{"count":2,"sum":13,"min":4,"max":9,"buckets":[{"upper":7,"count":1},{"upper":15,"count":1}]}"#;
+        let parsed: HistogramSnapshot = serde_json::from_str(legacy).unwrap();
+        assert_eq!((parsed.p50, parsed.p95, parsed.p99), (0, 0, 0));
+        let recomputed = parsed.to_histogram().snapshot();
+        assert_eq!((recomputed.p50, recomputed.p95), (7, 9));
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! static-analysis pass (see DESIGN.md §14 for the full rule table):
 //!
 //! * **Determinism rules** over the simulation crates (`types`,
-//!   `trace`, `cachesim`, `device`, `policy`, `core`, `metrics`): no
-//!   default-hasher maps, no unordered serialized collections, no
-//!   wall-clock or entropy reads (see [`rules`]).
+//!   `trace`, `cachesim`, `device`, `policy`, `core`, `metrics`) and
+//!   the byte-stable analytics engine (`analyze`): no default-hasher
+//!   maps, no unordered serialized collections, no wall-clock or
+//!   entropy reads (see [`rules`]).
 //! * **Concurrency safety** ahead of the sharded engine: every
 //!   non-`SeqCst` atomic `Ordering` needs a `why=` justification,
 //!   locks in hot-path modules are denied without one, and nested

@@ -29,10 +29,11 @@ use crate::diag::{Diagnostic, Severity};
 use crate::lexer::{Lexed, Token, TokenKind};
 
 /// Crates whose sources must be deterministic: everything that runs
-/// inside a simulation. The CLI and bench harnesses measure wall-clock
+/// inside a simulation, plus the analytics engine whose reports CI
+/// diffs byte-for-byte. The CLI and bench harnesses measure wall-clock
 /// time on purpose and are exempt.
-pub const SIM_CRATES: [&str; 7] = [
-    "types", "trace", "cachesim", "device", "policy", "core", "metrics",
+pub const SIM_CRATES: [&str; 8] = [
+    "types", "trace", "cachesim", "device", "policy", "core", "metrics", "analyze",
 ];
 
 /// Names of the unordered hash collections (std and the in-repo Fx
