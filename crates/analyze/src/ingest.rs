@@ -171,16 +171,35 @@ pub enum Input {
     Report(Json),
 }
 
+/// A loaded input plus the ingest warnings gathered on the way: JSONL
+/// lines that were malformed or partial are skipped and reported here
+/// (one message each, in file order) instead of failing the whole
+/// ingest — a long campaign's telemetry with a torn tail line still
+/// analyzes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loaded {
+    /// The sniffed input.
+    pub input: Input,
+    /// One message per skipped JSONL line.
+    pub warnings: Vec<String>,
+}
+
 /// Sniffs and loads one input file's text.
 ///
 /// # Errors
 ///
 /// Returns a message naming `label` when the text is neither valid JSON
-/// nor JSONL, or parses but matches no known producer.
-pub fn load(label: &str, text: &str) -> Result<Input, String> {
+/// nor JSONL, parses but matches no known producer, or (for JSONL)
+/// contains no usable line at all. Individually malformed JSONL lines
+/// degrade to [`Loaded::warnings`] instead.
+pub fn load(label: &str, text: &str) -> Result<Loaded, String> {
     if let Ok(doc) = parse(text) {
-        return classify_document(label, &doc)
-            .ok_or_else(|| format!("{label}: JSON parses but matches no known schema"))?;
+        let input = classify_document(label, &doc)
+            .ok_or_else(|| format!("{label}: JSON parses but matches no known schema"))??;
+        return Ok(Loaded {
+            input,
+            warnings: Vec::new(),
+        });
     }
     load_jsonl(label, text)
 }
@@ -208,34 +227,58 @@ fn classify_document(label: &str, doc: &Json) -> Option<Result<Input, String>> {
     None
 }
 
-/// Loads JSONL: every non-empty line an object, classified by the first.
-fn load_jsonl(label: &str, text: &str) -> Result<Input, String> {
+/// Loads JSONL: every non-empty line an object, classified per line.
+/// Malformed, partial, and unrecognized lines are skipped with a
+/// warning; the ingest only fails when no line is usable or the usable
+/// lines mix interval and ledger records.
+fn load_jsonl(label: &str, text: &str) -> Result<Loaded, String> {
     let mut intervals = Vec::new();
     let mut ledgers = Vec::new();
+    let mut warnings = Vec::new();
     for (number, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let doc = parse(line).map_err(|e| format!("{label}:{}: {e}", number + 1))?;
+        let doc = match parse(line) {
+            Ok(doc) => doc,
+            Err(e) => {
+                warnings.push(format!("{label}:{}: {e}", number + 1));
+                continue;
+            }
+        };
         if doc.get("interval").is_some() {
-            intervals.push(interval_stat(label, &doc)?);
+            match interval_stat(label, &doc) {
+                Ok(stat) => intervals.push(stat),
+                Err(e) => warnings.push(format!("{e} (line {})", number + 1)),
+            }
         } else if doc.get("summary").is_some() {
-            ledgers.push(ledger_stat(label, &doc)?);
+            match ledger_stat(label, &doc) {
+                Ok(stat) => ledgers.push(stat),
+                Err(e) => warnings.push(format!("{e} (line {})", number + 1)),
+            }
         } else {
-            return Err(format!(
+            warnings.push(format!(
                 "{label}:{}: line matches no known JSONL schema",
                 number + 1
             ));
         }
     }
-    match (intervals.is_empty(), ledgers.is_empty()) {
-        (false, true) => Ok(Input::Intervals(intervals)),
-        (true, false) => Ok(Input::Ledgers(ledgers)),
-        (false, false) => Err(format!(
-            "{label}: mixes interval and ledger lines; pass them separately"
-        )),
-        (true, true) => Err(format!("{label}: no JSON lines found")),
-    }
+    let input = match (intervals.is_empty(), ledgers.is_empty()) {
+        (false, true) => Input::Intervals(intervals),
+        (true, false) => Input::Ledgers(ledgers),
+        (false, false) => {
+            return Err(format!(
+                "{label}: mixes interval and ledger lines; pass them separately"
+            ))
+        }
+        (true, true) => {
+            return Err(match warnings.first() {
+                Some(first) => format!("{label}: no usable JSON lines ({first})"),
+                None => format!("{label}: no JSON lines found"),
+            })
+        }
+    };
+    Ok(Loaded { input, warnings })
 }
 
 fn str_field(label: &str, doc: &Json, key: &str) -> Result<String, String> {
@@ -417,7 +460,7 @@ mod tests {
     #[test]
     fn sniffs_interval_jsonl() {
         let text = format!("{INTERVAL_LINE}\n{INTERVAL_LINE}\n");
-        let Input::Intervals(stats) = load("m.jsonl", &text).expect("loads") else {
+        let Input::Intervals(stats) = load("m.jsonl", &text).expect("loads").input else {
             panic!("expected intervals");
         };
         assert_eq!(stats.len(), 2);
@@ -430,7 +473,7 @@ mod tests {
 
     #[test]
     fn sniffs_ledger_jsonl() {
-        let Input::Ledgers(stats) = load("l.jsonl", LEDGER_LINE).expect("loads") else {
+        let Input::Ledgers(stats) = load("l.jsonl", LEDGER_LINE).expect("loads").input else {
             panic!("expected ledgers");
         };
         assert_eq!(stats[0].promotions, 11);
@@ -440,7 +483,9 @@ mod tests {
 
     #[test]
     fn sniffs_bench_points_and_indices() {
-        let Input::Bench(point) = load("runs/BENCH_8.json", &bench_json(480_000.0)).expect("loads")
+        let Input::Bench(point) = load("runs/BENCH_8.json", &bench_json(480_000.0))
+            .expect("loads")
+            .input
         else {
             panic!("expected a bench point");
         };
@@ -456,7 +501,7 @@ mod tests {
 
     #[test]
     fn comparability_requires_matching_shape() {
-        let Input::Bench(a) = load("BENCH_1.json", &bench_json(1.0)).expect("loads") else {
+        let Input::Bench(a) = load("BENCH_1.json", &bench_json(1.0)).expect("loads").input else {
             panic!("bench");
         };
         let mut b = a.clone();
@@ -469,7 +514,7 @@ mod tests {
     fn sniffs_metrics_snapshots_with_and_without_quantiles() {
         let bare = r#"{"counters":{"sim.accesses":100},"gauges":{"load":0.5},
             "histograms":{"lat":{"count":3,"sum":30,"min":5,"max":20,"p50":10,"p95":20,"p99":20,"buckets":[]}}}"#;
-        let Input::Metrics(stat) = load("m.json", bare).expect("loads") else {
+        let Input::Metrics(stat) = load("m.json", bare).expect("loads").input else {
             panic!("expected metrics");
         };
         assert_eq!(stat.counters, vec![("sim.accesses".to_owned(), 100)]);
@@ -478,7 +523,7 @@ mod tests {
         // Pre-quantile snapshot inside a throughput.json wrapper.
         let wrapped = r#"{"workers":2,"metrics":{"counters":{},"gauges":{},
             "histograms":{"lat":{"count":1,"sum":7,"min":7,"max":7,"buckets":[7]}}}}"#;
-        let Input::Metrics(stat) = load("throughput.json", wrapped).expect("loads") else {
+        let Input::Metrics(stat) = load("throughput.json", wrapped).expect("loads").input else {
             panic!("expected metrics");
         };
         assert_eq!(stat.histograms[0].p50, 0, "absent quantiles default to 0");
@@ -490,5 +535,32 @@ mod tests {
         assert!(load("x", "not json at all").is_err());
         let mixed = format!("{INTERVAL_LINE}\n{LEDGER_LINE}\n");
         assert!(load("x", &mixed).unwrap_err().contains("mixes"));
+    }
+
+    #[test]
+    fn jsonl_degrades_bad_lines_to_warnings() {
+        // A torn tail, an unrecognized record, and a partial record are
+        // each skipped with a warning; the good lines still load.
+        let text = format!(
+            "{INTERVAL_LINE}\n{{\"interval\":0}}\n{{\"other\":true}}\nnot json\n{INTERVAL_LINE}\n"
+        );
+        let loaded = load("m.jsonl", &text).expect("loads");
+        let Input::Intervals(stats) = loaded.input else {
+            panic!("expected intervals");
+        };
+        assert_eq!(stats.len(), 2);
+        assert_eq!(loaded.warnings.len(), 3);
+        assert!(
+            loaded.warnings[0].contains("(line 2)"),
+            "{:?}",
+            loaded.warnings
+        );
+        assert!(loaded.warnings[1].contains("no known JSONL schema"));
+        assert!(loaded.warnings[2].contains("m.jsonl:4"));
+
+        // When nothing is usable the ingest still fails, carrying the
+        // first warning for context.
+        let err = load("m.jsonl", "not json\n").unwrap_err();
+        assert!(err.contains("no usable JSON lines"), "{err}");
     }
 }

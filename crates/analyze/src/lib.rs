@@ -29,7 +29,8 @@ pub use diff::{
     Worse,
 };
 pub use ingest::{
-    bench_index, load, BenchPoint, HistogramStat, Input, IntervalStat, LedgerStat, MetricsStat,
+    bench_index, load, BenchPoint, HistogramStat, Input, IntervalStat, LedgerStat, Loaded,
+    MetricsStat,
 };
 pub use json::{parse, Json};
 pub use report::{diff_report, round_trips, trajectory_report, ANALYZE_SCHEMA};

@@ -37,8 +37,17 @@ fn envelope(mode: &str, regressions: u64, body: Vec<(String, Json)>) -> Json {
 }
 
 /// Renders a diff comparison as `hybridmem-analyze-v1`.
+///
+/// `ingest_warnings` counts the JSONL lines skipped while loading both
+/// inputs (see [`crate::ingest::Loaded`]); it is carried in the report
+/// so a gate passing on degraded telemetry is visible after the fact.
 #[must_use]
-pub fn diff_report(a_label: &str, b_label: &str, report: &DiffReport) -> Json {
+pub fn diff_report(
+    a_label: &str,
+    b_label: &str,
+    report: &DiffReport,
+    ingest_warnings: u64,
+) -> Json {
     let cells = report
         .cells
         .iter()
@@ -75,6 +84,7 @@ pub fn diff_report(a_label: &str, b_label: &str, report: &DiffReport) -> Json {
             ("cells".to_owned(), Json::Array(cells)),
             ("only_a".to_owned(), labels(&report.only_a)),
             ("only_b".to_owned(), labels(&report.only_b)),
+            ("ingest_warnings".to_owned(), Json::u64(ingest_warnings)),
         ],
     )
 }
@@ -201,9 +211,10 @@ mod tests {
     fn diff_reports_round_trip() {
         let a = profile_intervals(&[interval(100.0)]);
         let b = profile_intervals(&[interval(173.0)]);
-        let json = diff_report("a.jsonl", "b.jsonl", &diff(&a, &b, 0.05));
+        let json = diff_report("a.jsonl", "b.jsonl", &diff(&a, &b, 0.05), 2);
         assert_eq!(json.get("mode").and_then(Json::as_str), Some("diff"));
         assert_eq!(json.get("clean"), Some(&Json::Bool(false)));
+        assert_eq!(json.get("ingest_warnings").and_then(Json::as_u64), Some(2));
         round_trips(&json.emit_pretty()).expect("byte round-trip");
     }
 

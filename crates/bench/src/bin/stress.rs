@@ -10,7 +10,15 @@
 //! --seed N      trace generator seed (default 42)
 //! --out FILE    output path (default: next free BENCH_<n>.json in the
 //!               current directory, one past the highest committed index)
+//! --resume FILE journal each workload's finished result to FILE and skip
+//!               workloads the journal already holds (their measurements
+//!               are restored as recorded), so a killed run resumes
+//!               instead of starting over
 //! ```
+//!
+//! `HYBRIDMEM_FAULT_PLAN` (see `hybridmem-core::faultinject`) is honored
+//! by the harness's private trace caches, so the chaos job can script
+//! spill read/write faults against the spill-replay phase.
 //!
 //! Five phases per workload, all single-threaded so the numbers isolate
 //! per-access cost rather than scheduling:
@@ -31,16 +39,19 @@
 //! different simulations.
 
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 use hybridmem_bench::ReferenceTwoLru;
 use hybridmem_core::{
-    ExperimentConfig, HybridSimulator, PolicyKind, ReplayMode, SimulationReport, TraceCache,
+    ExperimentConfig, FaultPlan, HybridSimulator, PolicyKind, ReplayMode, RunJournal,
+    SimulationReport, TraceCache,
 };
 use hybridmem_metrics::peak_rss_bytes;
 use hybridmem_policy::TwoLruConfig;
 use hybridmem_trace::{parsec, WorkloadSpec};
-use serde::Serialize;
+use hybridmem_types::fx_hash_one;
+use serde::{Deserialize, Serialize};
 
 /// Workloads the harness replays: a locality-heavy, a scan-heavy, and two
 /// mixed profiles, so the trajectory is not tuned to one access pattern.
@@ -87,6 +98,7 @@ struct Options {
     cap: Option<u64>,
     seed: u64,
     out: PathBuf,
+    resume: Option<PathBuf>,
 }
 
 impl Options {
@@ -96,6 +108,7 @@ impl Options {
             cap: None,
             seed: 42,
             out: next_bench_path(std::path::Path::new(".")),
+            resume: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
@@ -108,7 +121,10 @@ impl Options {
                 "--cap" => options.cap = Some(value().parse().expect("--cap expects an integer")),
                 "--seed" => options.seed = value().parse().expect("--seed expects an integer"),
                 "--out" => options.out = PathBuf::from(value()),
-                other => panic!("unknown flag {other}; expected --quick/--cap/--seed/--out"),
+                "--resume" => options.resume = Some(PathBuf::from(value())),
+                other => {
+                    panic!("unknown flag {other}; expected --quick/--cap/--seed/--out/--resume")
+                }
             }
         }
         options
@@ -121,7 +137,7 @@ impl Options {
 }
 
 /// One timed measurement: how many accesses, how long.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Measurement {
     seconds: f64,
     accesses: u64,
@@ -157,7 +173,7 @@ impl Measurement {
 }
 
 /// A named measurement (one phase or one policy).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct NamedMeasurement {
     name: String,
     #[serde(flatten)]
@@ -165,7 +181,7 @@ struct NamedMeasurement {
 }
 
 /// Per-workload results.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 struct WorkloadResult {
     workload: String,
     accesses: u64,
@@ -265,10 +281,25 @@ fn main() {
     let options = Options::from_args();
     let cap = options.cap();
     let spill_dir = std::env::temp_dir().join(format!("hybridmem-stress-{}", std::process::id()));
+    // Scripted faults (if any) hit both caches through one shared plan,
+    // so attempt numbers count across the whole run.
+    let fault_plan = FaultPlan::from_env()
+        .unwrap_or_else(|e| panic!("malformed HYBRIDMEM_FAULT_PLAN: {e}"))
+        .map(Arc::new);
+    let with_plan = |cache: TraceCache| match &fault_plan {
+        Some(plan) => cache.with_fault_plan(Arc::clone(plan)),
+        None => cache,
+    };
     // Plenty for the harness caps; the spill-replay phase uses its own
     // deliberately undersized cache over the same directory.
-    let cache = TraceCache::with_spill_dir(1 << 30, &spill_dir);
-    let spill_only = TraceCache::with_spill_dir(1, &spill_dir);
+    let cache = with_plan(TraceCache::with_spill_dir(1 << 30, &spill_dir));
+    let spill_only = with_plan(TraceCache::with_spill_dir(1, &spill_dir));
+    // The journal is keyed to the workload set and its sizing; resuming
+    // into a different configuration is rejected rather than mixed in.
+    let journal = options.resume.as_ref().map(|path| {
+        let fingerprint = fx_hash_one(&format!("stress:{WORKLOADS:?}:{}:{cap}", options.seed));
+        RunJournal::open(path, fingerprint).unwrap_or_else(|e| panic!("{e}"))
+    });
     let serial_config = ExperimentConfig {
         seed: options.seed,
         replay: ReplayMode::Serial,
@@ -286,6 +317,15 @@ fn main() {
             .expect("WORKLOADS only lists known profiles")
             .capped(cap);
         let accesses = spec.total_accesses();
+        if let Some(journal) = &journal {
+            if let Some(value) = journal.completed_report(name, "stress") {
+                let result: WorkloadResult = serde_json::from_value(value)
+                    .unwrap_or_else(|e| panic!("journaled workload {name}: {e}"));
+                println!("[{name}] restored from journal ({accesses} accesses)");
+                workloads.push(result);
+                continue;
+            }
+        }
         println!("[{name}] {accesses} accesses");
 
         let (generate, _) = timed(accesses, || {
@@ -338,12 +378,16 @@ fn main() {
             measurement,
         })
         .collect();
-        workloads.push(WorkloadResult {
+        let result = WorkloadResult {
             workload: spec.name.clone(),
             accesses,
             phases,
             policies,
-        });
+        };
+        if let Some(journal) = &journal {
+            journal.record(name, "stress", &result);
+        }
+        workloads.push(result);
     }
 
     let mut phase_totals: Vec<NamedMeasurement> = Vec::new();

@@ -16,6 +16,10 @@
 //! --profile-out FILE  write a Chrome trace-event span profile (Perfetto-loadable)
 //! --audit-out FILE    attach the run-health audit to every cell and write its
 //!                     hybridmem-audit-v1 report (non-zero exit on violations)
+//! --resume FILE       journal completed cells to FILE (fsynced, checksummed)
+//!                     and skip cells already journaled, so a killed run
+//!                     resumes byte-identically; incompatible with the
+//!                     instrumentation outputs
 //! ```
 //!
 //! Tables are printed in the same row/series layout the paper uses, with
@@ -30,10 +34,11 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use hybridmem_core::{
-    arith_mean, compare_policies_instrumented, compare_policies_timed, geo_mean, write_audit_json,
-    write_jsonl, write_ledger_jsonl, AuditMatrixReport, AuditOptions, ExperimentConfig,
-    Instrumentation, LedgerOptions, MatrixTiming, PolicyKind, SimulationReport, TraceCache,
-    TraceCacheStats,
+    arith_mean, compare_policies_instrumented, compare_policies_isolated, compare_policies_timed,
+    geo_mean, matrix_fingerprint, write_audit_json, write_jsonl, write_ledger_jsonl,
+    AuditMatrixReport, AuditOptions, CellOutcome, CellStatus, ExperimentConfig, FaultPlan,
+    Instrumentation, LedgerOptions, MatrixTiming, PolicyKind, RunJournal, SimulationReport,
+    TraceCache, TraceCacheStats,
 };
 use hybridmem_metrics::{MetricsRegistry, MetricsSnapshot, SpanProfiler};
 use hybridmem_trace::{parsec, WorkloadSpec};
@@ -72,6 +77,12 @@ pub struct SuiteOptions {
     /// audit to every cell and writes the `hybridmem-audit-v1` aggregate
     /// here, failing the run when any invariant is violated.
     pub audit_out: Option<PathBuf>,
+    /// When given, [`SuiteOptions::run_matrix`] journals each completed
+    /// cell here (fsynced, checksummed) and skips cells the journal
+    /// already holds, so a killed or faulted run resumes with
+    /// byte-identical reports. Incompatible with the instrumentation
+    /// outputs (journaled cells replay reports without re-running).
+    pub resume: Option<PathBuf>,
 }
 
 impl SuiteOptions {
@@ -113,11 +124,12 @@ impl SuiteOptions {
                 }
                 "--profile-out" => options.profile_out = Some(PathBuf::from(value())),
                 "--audit-out" => options.audit_out = Some(PathBuf::from(value())),
+                "--resume" => options.resume = Some(PathBuf::from(value())),
                 other => {
                     panic!(
                         "unknown flag {other}; expected \
                          --cap/--seed/--out/--threads/--metrics-out/--metrics-window\
-                         /--ledger-out/--ledger-top/--profile-out/--audit-out"
+                         /--ledger-out/--ledger-top/--profile-out/--audit-out/--resume"
                     );
                 }
             }
@@ -165,6 +177,16 @@ impl SuiteOptions {
         let config = self.config();
         let instrumentation = self.instrumentation();
         let profiler = self.profile_out.as_ref().map(|_| SpanProfiler::new());
+        if let Some(journal_path) = &self.resume {
+            if !instrumentation.is_empty() || profiler.is_some() {
+                return Err(Error::invalid_input(
+                    "--resume cannot be combined with --metrics-out/--ledger-out\
+                     /--profile-out/--audit-out: journaled cells replay their reports \
+                     without re-running, so instrumentation streams would be incomplete",
+                ));
+            }
+            return self.run_matrix_journaled(kinds, &specs, &config, journal_path);
+        }
         let (rows, timing, cell_metrics) = if instrumentation.is_empty() && profiler.is_none() {
             let (rows, timing) = compare_policies_timed(&specs, kinds, &config, self.threads)?;
             (rows, timing, None)
@@ -193,6 +215,66 @@ impl SuiteOptions {
         summary.metrics = Self::aggregate_metrics(&timing, cell_metrics);
         self.write_throughput(&summary);
         Ok(specs.into_iter().zip(rows).collect())
+    }
+
+    /// The `--resume` path of [`SuiteOptions::run_matrix`]: cells run on
+    /// the isolating scheduler (panics retried, then quarantined),
+    /// completed cells land in the journal as they finish, and cells the
+    /// journal already holds replay their reports without re-running.
+    /// Failures leave the other cells journaled and exit non-zero, so the
+    /// very same invocation resumes the run.
+    fn run_matrix_journaled(
+        &self,
+        kinds: &[PolicyKind],
+        specs: &[WorkloadSpec],
+        config: &ExperimentConfig,
+        journal_path: &Path,
+    ) -> Result<Vec<(WorkloadSpec, Vec<SimulationReport>)>> {
+        let journal = RunJournal::open(journal_path, matrix_fingerprint(specs, kinds, config))?;
+        let fault_plan = FaultPlan::from_env()?;
+        let (outcomes, health, timing) = compare_policies_isolated(
+            specs,
+            kinds,
+            config,
+            self.threads,
+            fault_plan.as_ref(),
+            Some(&journal),
+        );
+        let mut summary = ThroughputSummary::from_matrix(specs, kinds, &timing);
+        summary.trace_cache = TraceCache::global().stats();
+        summary.metrics = Self::aggregate_metrics(&timing, None);
+        self.write_throughput(&summary);
+        if health.failed_cells > 0 {
+            for cell in health
+                .cells
+                .iter()
+                .filter(|c| c.status == CellStatus::Failed)
+            {
+                eprintln!(
+                    "cell {}/{} failed after {} retries: {}",
+                    cell.workload,
+                    cell.policy,
+                    cell.retries,
+                    cell.error.as_deref().unwrap_or("unknown error")
+                );
+            }
+            return Err(Error::invalid_input(format!(
+                "{} of {} cells failed; completed cells are journaled in {} — rerun \
+                 with --resume to recompute only the failures",
+                health.failed_cells,
+                health.total_cells,
+                journal_path.display()
+            )));
+        }
+        let rows = outcomes
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(CellOutcome::into_result)
+                    .collect::<Result<Vec<_>>>()
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(specs.iter().cloned().zip(rows).collect())
     }
 
     /// Which sinks [`SuiteOptions::run_matrix`] attaches to every cell,
@@ -391,6 +473,7 @@ impl Default for SuiteOptions {
             ledger_top: 64,
             profile_out: None,
             audit_out: None,
+            resume: None,
         }
     }
 }
@@ -581,6 +664,7 @@ mod tests {
         assert_eq!(o.ledger_top, 64);
         assert!(o.profile_out.is_none(), "profiling is opt-in");
         assert!(o.audit_out.is_none(), "the audit artefact is opt-in");
+        assert!(o.resume.is_none(), "the resume journal is opt-in");
         assert!(
             o.instrumentation().is_empty(),
             "no flags must mean no sinks"
@@ -668,6 +752,43 @@ mod tests {
         let merged = SuiteOptions::aggregate_metrics(&timing, Some(registry.snapshot()));
         assert_eq!(merged.counters["sim.accesses"], 10);
         assert_eq!(merged.counters["scheduler.cells"], 4);
+    }
+
+    #[test]
+    fn resume_journal_replays_the_matrix_byte_identically() {
+        let dir = std::env::temp_dir().join("hybridmem-bench-resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("run.hmjournal");
+        let _ = fs::remove_file(&journal);
+        let options = SuiteOptions {
+            cap: 2_000,
+            out_dir: Some(dir.clone()),
+            resume: Some(journal.clone()),
+            threads: 2,
+            ..SuiteOptions::default()
+        };
+        let first = options.run_matrix(&[PolicyKind::TwoLru]).unwrap();
+        // Every cell is journaled now; the second run replays them all.
+        let second = options.run_matrix(&[PolicyKind::TwoLru]).unwrap();
+        let rows = |matrix: &[(WorkloadSpec, Vec<SimulationReport>)]| {
+            serde_json::to_string(&matrix.iter().map(|(_, row)| row).collect::<Vec<_>>()).unwrap()
+        };
+        assert_eq!(
+            rows(&first),
+            rows(&second),
+            "journal replay is byte-identical"
+        );
+
+        let incompatible = SuiteOptions {
+            metrics_out: Some(dir.join("m.jsonl")),
+            ..options
+        };
+        let err = incompatible.run_matrix(&[PolicyKind::TwoLru]).unwrap_err();
+        assert!(
+            err.to_string().contains("--resume cannot be combined"),
+            "{err}"
+        );
+        let _ = fs::remove_file(journal);
     }
 
     #[test]

@@ -6,11 +6,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use hybridmem_analyze::{CellProfile, Input, TrajectoryOptions};
+use hybridmem_core::health::run_isolated;
 use hybridmem_core::{
-    write_audit_json, write_jsonl, write_ledger_jsonl, AuditMatrixReport, AuditOptions,
-    AuditReport, AuditSink, EventSink, ExperimentConfig, FanoutSink, HybridSimulator,
-    IntervalRecord, LedgerOptions, LedgerReport, PageEvent, PageLedger, PolicyKind, ReplayMode,
-    SimulationReport, WindowedCollector,
+    matrix_fingerprint, write_audit_json, write_jsonl, write_ledger_jsonl,
+    write_matrix_health_json, AuditMatrixReport, AuditOptions, AuditReport, AuditSink, CellOutcome,
+    CellStatus, EventSink, ExperimentConfig, FanoutSink, FaultPlan, HybridSimulator,
+    IntervalRecord, LedgerOptions, LedgerReport, MatrixHealthReport, PageEvent, PageLedger,
+    PolicyKind, ReplayMode, RunJournal, SimulationReport, WindowedCollector,
 };
 use hybridmem_metrics::SpanProfiler;
 use hybridmem_trace::{
@@ -41,6 +43,8 @@ COMMANDS:
              [--metrics-out FILE] [--metrics-window N]
              [--ledger-out FILE] [--ledger-top N] [--profile-out FILE]
              [--audit-out FILE] [--replay serial|batched]
+             [--fault-plan SPEC] [--resume FILE] [--health-out FILE]
+             [--strict true]
              (--threads 0, the default, uses all available cores;
               --replay picks the replay driver — both are byte-identical,
               batched (the default) amortizes policy dispatch;
@@ -52,7 +56,17 @@ COMMANDS:
               loadable at https://ui.perfetto.dev;
               --audit-out attaches the run-health audit to every cell and
               writes its hybridmem-audit-v1 report, exiting non-zero on
-              any invariant violation)
+              any invariant violation;
+              --fault-plan injects scripted faults (grammar documented in
+              hybridmem-core::faultinject; HYBRIDMEM_FAULT_PLAN is the
+              env equivalent); a panicking cell is retried, then
+              quarantined while the other cells complete;
+              --resume FILE journals completed cells to FILE (fsynced,
+              checksummed) and skips cells already journaled, so a
+              killed run resumes byte-identically; incompatible with the
+              instrumentation outputs;
+              --health-out writes the hybridmem-matrix-health-v1 report;
+              --strict true exits non-zero when any cell failed)
     observe <workload>                 stream windowed interval records (JSONL)
              [--policy P] [--cap N] [--seed N] [--window N]
              [--memory-fraction F] [--dram-fraction F] [--warmup F]
@@ -259,16 +273,45 @@ fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
         "profile-out",
         "audit-out",
         "replay",
+        "fault-plan",
+        "resume",
+        "health-out",
+        "strict",
     ])?;
     let threads: usize = args.get_parsed_or("threads", 0)?;
     let metrics_window: u64 = args.get_parsed_or("metrics-window", 10_000)?;
     let ledger_top: usize = args.get_parsed_or("ledger-top", 64)?;
+    let strict = args.get("strict").is_some_and(|v| v == "true");
+    let fault_plan = match args.get("fault-plan") {
+        Some(spec) => Some(FaultPlan::parse(spec)?),
+        None => FaultPlan::from_env()?,
+    };
+    if args.get("resume").is_some() {
+        for flag in ["metrics-out", "ledger-out", "profile-out", "audit-out"] {
+            if args.get(flag).is_some() {
+                return Err(Error::invalid_input(format!(
+                    "--resume cannot be combined with --{flag}: journaled cells replay \
+                     their reports without re-running, so instrumentation streams would \
+                     be incomplete"
+                )));
+            }
+        }
+    }
     let (path, trace) = load_trace(args)?;
     let (spec, config) = trace_experiment(args, &path, &trace)?;
     // Decode once; every policy replays the same immutable buffer instead
     // of re-reading the trace file per policy.
     let pages: Vec<PageAccess> = trace.iter().copied().map(PageAccess::from).collect();
     let kinds = PolicyKind::all();
+    let journal = args
+        .get("resume")
+        .map(|journal_path| {
+            RunJournal::open(
+                journal_path,
+                matrix_fingerprint(std::slice::from_ref(&spec), &kinds, &config),
+            )
+        })
+        .transpose()?;
     let window = args.get("metrics-out").map(|_| metrics_window);
     let ledger = args.get("ledger-out").map(|_| LedgerOptions {
         top_k: ledger_top,
@@ -278,7 +321,7 @@ fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
     // Wall-clock span profile of the worker pool; sits outside the
     // determinism boundary and never feeds back into results.
     let profiler = args.get("profile-out").map(|_| SpanProfiler::new());
-    let cells = run_policy_cells(&kinds, threads, |kind, worker| {
+    let run_cell = |kind: PolicyKind, worker: usize| {
         let _span = profiler.as_ref().map(|p| {
             p.span(
                 "scheduler",
@@ -287,7 +330,55 @@ fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
             )
         });
         instrumented_policy_cell(&config, &spec, &path, kind, &pages, window, ledger, audit)
-    })?;
+    };
+    // Any robustness flag switches the scheduler to the isolating
+    // runner: panicking cells are retried, then quarantined into the
+    // health report instead of aborting the matrix. The plain path is
+    // untouched so default runs keep fail-fast semantics.
+    let isolate =
+        fault_plan.is_some() || journal.is_some() || args.get("health-out").is_some() || strict;
+    let (cells, health) = if isolate {
+        let outcomes = run_policy_cells_isolated(&path, &kinds, threads, |kind, worker| {
+            if let Some(plan) = fault_plan.as_ref() {
+                plan.fire_cell_panic(&path, kind.name());
+            }
+            if let Some(journal) = journal.as_ref() {
+                if let Some(report) = journal.completed_report(&path, kind.name()) {
+                    let report: SimulationReport = serde_json::from_value(report).map_err(|e| {
+                        Error::invalid_input(format!(
+                            "journaled cell {path}/{} does not deserialize: {e}",
+                            kind.name()
+                        ))
+                    })?;
+                    return Ok(CompareCell {
+                        report,
+                        records: Vec::new(),
+                        ledger: None,
+                        audit: None,
+                    });
+                }
+            }
+            let cell = run_cell(kind, worker)?;
+            if let Some(journal) = journal.as_ref() {
+                journal.record(&path, kind.name(), &cell.report);
+            }
+            Ok(cell)
+        });
+        let health = MatrixHealthReport::new(
+            outcomes
+                .iter()
+                .zip(&kinds)
+                .map(|(outcome, kind)| outcome.health(&path, kind.name()))
+                .collect(),
+        );
+        let cells = outcomes
+            .into_iter()
+            .filter_map(|outcome| outcome.into_result().ok())
+            .collect();
+        (cells, Some(health))
+    } else {
+        (run_policy_cells(&kinds, threads, run_cell)?, None)
+    };
     write_compare_table(out, cells.iter().map(|cell| &cell.report))?;
     if let Some(metrics_path) = args.get("metrics-out") {
         let mut writer = create_out(metrics_path)?;
@@ -335,6 +426,38 @@ fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
             return Err(Error::invalid_input(format!(
                 "run-health audit found {} invariant violation(s); see {audit_path}",
                 matrix.total_violations
+            )));
+        }
+    }
+    if let Some(health) = health {
+        for cell in health
+            .cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Failed)
+        {
+            writeln!(
+                out,
+                "cell {}/{} failed after {} retries: {}",
+                cell.workload,
+                cell.policy,
+                cell.retries,
+                cell.error.as_deref().unwrap_or("unknown error")
+            )
+            .map_err(io_err)?;
+        }
+        if let Some(health_path) = args.get("health-out") {
+            let mut writer = create_out(health_path)?;
+            write_matrix_health_json(&mut writer, &health).map_err(io_err)?;
+            std::io::Write::flush(&mut writer).map_err(io_err)?;
+            writeln!(out, "wrote matrix health to {health_path}").map_err(io_err)?;
+        }
+        // The health artifact lands first; the exit code only carries
+        // the verdict when --strict asked it to.
+        if strict && health.failed_cells > 0 {
+            return Err(Error::invalid_input(format!(
+                "{} of {} cells failed; see the health report, or rerun with --resume \
+                 to recompute only the failures",
+                health.failed_cells, health.total_cells
             )));
         }
     }
@@ -590,8 +713,10 @@ fn analyze_command<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
     }
 }
 
-/// Reads and format-sniffs one analyzer input file.
-fn read_analyze_input(path: &str) -> Result<Input> {
+/// Reads and format-sniffs one analyzer input file. The returned
+/// [`hybridmem_analyze::Loaded`] carries per-line ingest warnings for
+/// JSONL inputs with malformed or partial lines.
+fn read_analyze_input(path: &str) -> Result<hybridmem_analyze::Loaded> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| Error::invalid_input(format!("cannot read {path}: {e}")))?;
     hybridmem_analyze::load(path, &text).map_err(Error::invalid_input)
@@ -631,14 +756,20 @@ fn analyze_diff<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
         ));
     };
     let threshold: f64 = args.get_parsed_or("threshold", 0.05)?;
-    let a = profile_analyze_input(path_a, read_analyze_input(path_a)?)?;
-    let b = profile_analyze_input(path_b, read_analyze_input(path_b)?)?;
+    let loaded_a = read_analyze_input(path_a)?;
+    let loaded_b = read_analyze_input(path_b)?;
+    let ingest_warnings = (loaded_a.warnings.len() + loaded_b.warnings.len()) as u64;
+    for warning in loaded_a.warnings.iter().chain(&loaded_b.warnings) {
+        writeln!(out, "warning: skipped {warning}").map_err(io_err)?;
+    }
+    let a = profile_analyze_input(path_a, loaded_a.input)?;
+    let b = profile_analyze_input(path_b, loaded_b.input)?;
     let report = hybridmem_analyze::diff(&a, &b, threshold);
     write!(out, "{}", hybridmem_analyze::diff_table(&report)).map_err(io_err)?;
     write_analyze_json(
         args,
         out,
-        &hybridmem_analyze::diff_report(path_a, path_b, &report),
+        &hybridmem_analyze::diff_report(path_a, path_b, &report, ingest_warnings),
     )?;
     if args.get("gate").is_some_and(|v| v == "true") && report.regressions > 0 {
         return Err(Error::invalid_input(format!(
@@ -665,7 +796,7 @@ fn analyze_trajectory<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()>
     };
     let mut points = Vec::new();
     for path in files {
-        let Input::Bench(point) = read_analyze_input(path)? else {
+        let Input::Bench(point) = read_analyze_input(path)?.input else {
             return Err(Error::invalid_input(format!(
                 "{path}: not a hybridmem-stress-v1 report"
             )));
@@ -691,7 +822,7 @@ fn analyze_metrics<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
             "usage: analyze metrics <snapshot.json>",
         ));
     };
-    let Input::Metrics(stat) = read_analyze_input(path)? else {
+    let Input::Metrics(stat) = read_analyze_input(path)?.input else {
         return Err(Error::invalid_input(format!(
             "{path}: not a metrics snapshot"
         )));
@@ -1051,6 +1182,61 @@ fn run_policy_cells<T: Send>(
             slot.into_inner()
                 .expect("cell slot poisoned")
                 .expect("every cell was claimed by a worker")
+        })
+        .collect()
+}
+
+/// [`run_policy_cells`] with per-cell failure isolation: every cell
+/// runs inside [`run_isolated`] (panics caught and retried, then
+/// quarantined as typed errors), so one dying cell never takes the
+/// rest of the matrix down. Never fails as a whole — quarantined
+/// cells come back as [`CellOutcome::Failed`] in policy order.
+fn run_policy_cells_isolated<T: Send>(
+    workload: &str,
+    kinds: &[PolicyKind],
+    threads: usize,
+    run: impl Fn(PolicyKind, usize) -> Result<T> + Sync,
+) -> Vec<CellOutcome<T>> {
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    }
+    .min(kinds.len())
+    .max(1);
+    let next_cell = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CellOutcome<T>>>> =
+        kinds.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        let worker = |id: usize| loop {
+            let index = next_cell.fetch_add(1, Ordering::Relaxed);
+            let Some(kind) = kinds.get(index) else { break };
+            let outcome = run_isolated(workload, kind.name(), || run(*kind, id));
+            // A poisoned slot just means some other cell panicked past
+            // its isolation wrapper; this cell's outcome is still good.
+            *slots[index]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(outcome);
+        };
+        for id in 0..workers {
+            let worker = &worker;
+            scope.spawn(move || worker(id));
+        }
+    });
+    slots
+        .into_iter()
+        .zip(kinds)
+        .map(|(slot, kind)| {
+            slot.into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .unwrap_or_else(|| CellOutcome::Failed {
+                    error: Error::invalid_input(format!(
+                        "cell {workload}/{} was never completed: its worker thread died",
+                        kind.name()
+                    )),
+                    retries: 0,
+                    panicked: true,
+                })
         })
         .collect()
 }
@@ -1459,6 +1645,159 @@ mod tests {
     }
 
     #[test]
+    fn compare_quarantines_a_scripted_panic_and_gates_with_strict() {
+        let dir = std::env::temp_dir().join("hybridmem-cli-chaos");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("a.trace");
+        let trace_path = trace_path.to_str().unwrap();
+        run_capture(&[
+            "generate",
+            "--workload",
+            "bodytrack",
+            "--output",
+            trace_path,
+            "--cap",
+            "2000",
+        ])
+        .0
+        .unwrap();
+        // The cell name in the fault plan is the trace path itself.
+        let plan = format!("cell-panic@{trace_path}/two-lru:100");
+        let health = dir.join("health.json");
+
+        // Without --strict: the matrix completes, the failure is
+        // reported, and the exit stays clean.
+        let (result, text) = run_capture(&[
+            "compare",
+            trace_path,
+            "--threads",
+            "2",
+            "--fault-plan",
+            &plan,
+            "--health-out",
+            health.to_str().unwrap(),
+        ]);
+        assert!(result.is_ok(), "non-strict run stays clean: {result:?}");
+        assert!(text.contains("injected fault"), "{text}");
+        assert!(text.contains("wrote matrix health"), "{text}");
+        assert!(text.contains("clock-dwf"), "other cells complete: {text}");
+        let parsed: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&health).unwrap()).unwrap();
+        assert_eq!(parsed["schema"], "hybridmem-matrix-health-v1");
+        assert_eq!(parsed["failed_cells"], 1, "{parsed}");
+        assert_eq!(
+            parsed["cells"].as_array().unwrap().len(),
+            PolicyKind::all().len()
+        );
+        let failed: Vec<&str> = parsed["cells"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|c| c["status"] == "failed")
+            .map(|c| c["policy"].as_str().unwrap())
+            .collect();
+        assert_eq!(failed, ["two-lru"], "{parsed}");
+
+        // With --strict the same run exits non-zero, after writing the
+        // artifact.
+        let (result, _) = run_capture(&[
+            "compare",
+            trace_path,
+            "--threads",
+            "2",
+            "--fault-plan",
+            &plan,
+            "--health-out",
+            health.to_str().unwrap(),
+            "--strict",
+            "true",
+        ]);
+        let err = result.unwrap_err().to_string();
+        assert!(err.contains("cells failed"), "{err}");
+        assert!(health.exists(), "health artifact written before the exit");
+        let _ = std::fs::remove_file(health);
+        let _ = std::fs::remove_file(trace_path);
+    }
+
+    #[test]
+    fn compare_resume_replays_journaled_cells_byte_identically() {
+        let dir = std::env::temp_dir().join("hybridmem-cli-resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("a.trace");
+        let trace_path = trace_path.to_str().unwrap();
+        run_capture(&[
+            "generate",
+            "--workload",
+            "bodytrack",
+            "--output",
+            trace_path,
+            "--cap",
+            "2000",
+        ])
+        .0
+        .unwrap();
+        let journal = dir.join("run.hmjournal");
+        let _ = std::fs::remove_file(&journal);
+
+        let (baseline, baseline_text) = run_capture(&["compare", trace_path, "--threads", "2"]);
+        baseline.unwrap();
+
+        // An interrupted run: one cell keeps panicking, the others
+        // complete and land in the journal.
+        let plan = format!("cell-panic@{trace_path}/two-lru:100");
+        let (result, _) = run_capture(&[
+            "compare",
+            trace_path,
+            "--threads",
+            "2",
+            "--fault-plan",
+            &plan,
+            "--resume",
+            journal.to_str().unwrap(),
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+
+        // Resuming without the fault recomputes only the quarantined
+        // cell; the output matches the uninterrupted run byte for byte.
+        let (result, resumed_text) = run_capture(&[
+            "compare",
+            trace_path,
+            "--threads",
+            "2",
+            "--resume",
+            journal.to_str().unwrap(),
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        assert_eq!(resumed_text, baseline_text, "resumed ≡ uninterrupted");
+
+        // A second resume replays everything from the journal.
+        let (result, replayed_text) = run_capture(&[
+            "compare",
+            trace_path,
+            "--threads",
+            "1",
+            "--resume",
+            journal.to_str().unwrap(),
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        assert_eq!(replayed_text, baseline_text);
+
+        // The journal cannot be combined with instrumentation streams.
+        let (result, _) = run_capture(&[
+            "compare",
+            trace_path,
+            "--resume",
+            journal.to_str().unwrap(),
+            "--metrics-out",
+            dir.join("m.jsonl").to_str().unwrap(),
+        ]);
+        let err = result.unwrap_err().to_string();
+        assert!(err.contains("--resume cannot be combined"), "{err}");
+        let _ = std::fs::remove_file(journal);
+        let _ = std::fs::remove_file(trace_path);
+    }
+
+    #[test]
     fn analyze_diff_tables_and_gates() {
         let dir = std::env::temp_dir().join("hybridmem-cli-analyze-diff");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1510,6 +1849,39 @@ mod tests {
         ]);
         assert!(result.is_ok(), "{result:?}");
         for p in [a, b, report] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+
+    #[test]
+    fn analyze_diff_degrades_bad_jsonl_lines_to_warnings() {
+        let dir = std::env::temp_dir().join("hybridmem-cli-analyze-warn");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = r#"{"workload":"w","policy":"two-lru","interval":0,"start_access":0,"end_access":1000,"accesses":1000,"dram_read_hits":10,"dram_write_hits":5,"nvm_read_hits":700,"nvm_write_hits":200,"faults":85,"migrations_to_dram":3,"migrations_to_nvm":2,"fills_to_dram":0,"fills_to_nvm":85,"evictions_to_disk":80,"dram_occupancy":12,"nvm_occupancy":110,"hit_ratio":0.915,"amat_ns":100.0,"appr_nj":1.25}"#;
+        let a = dir.join("a.jsonl");
+        // A good line, a torn tail, and a partial record: the ingest
+        // keeps the good line and reports the other two.
+        std::fs::write(&a, format!("{good}\n{{\"interval\":1}}\n{{\"torn")).unwrap();
+
+        let report = dir.join("diff.json");
+        let (result, text) = run_capture(&[
+            "analyze",
+            "diff",
+            a.to_str().unwrap(),
+            a.to_str().unwrap(),
+            "--json",
+            report.to_str().unwrap(),
+            "--gate",
+            "true",
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        assert!(text.contains("warning: skipped"), "{text}");
+        let json = std::fs::read_to_string(&report).unwrap();
+        // Both sides load the same degraded file: 2 warnings each.
+        assert!(json.contains("\"ingest_warnings\": 4"), "{json}");
+        let (result, _) = run_capture(&["analyze", "check", report.to_str().unwrap()]);
+        assert!(result.is_ok(), "{result:?}");
+        for p in [a, report] {
             let _ = std::fs::remove_file(p);
         }
     }

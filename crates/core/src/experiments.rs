@@ -17,9 +17,12 @@ use hybridmem_policy::{
 };
 use hybridmem_trace::binfmt::BinTraceStream;
 use hybridmem_trace::{TraceGenerator, WorkloadSpec};
-use hybridmem_types::{Error, PageAccess, PageCount, Result};
+use hybridmem_types::{fx_hash_one, Error, PageAccess, PageCount, Result};
 use serde::{Deserialize, Serialize};
 
+use crate::faultinject::FaultPlan;
+use crate::health::{run_isolated, CellOutcome, MatrixHealthReport};
+use crate::journal::RunJournal;
 use crate::{
     AuditOptions, AuditReport, AuditSink, EventSink, FanoutSink, HybridSimulator, IntervalRecord,
     LedgerOptions, LedgerReport, ObservedRun, PageLedger, SimulationReport, TimeModel, TraceCache,
@@ -302,11 +305,11 @@ impl ExperimentConfig {
     /// Propagates a truncated or corrupted spill body as
     /// [`Error::ParseTrace`] — the file's header was verified at open, so
     /// mid-stream damage means the file changed underneath us.
-    fn replay_stream(
+    fn replay_stream<R: std::io::Read>(
         &self,
         simulator: &mut HybridSimulator,
         spec: &WorkloadSpec,
-        mut stream: BinTraceStream,
+        mut stream: BinTraceStream<R>,
     ) -> Result<()> {
         let warmup = self.warmup_len(spec);
         let mut position = 0usize;
@@ -952,17 +955,20 @@ pub fn compare_policies_instrumented(
 
 /// The shared work-stealing engine behind the matrix runners: runs `run`
 /// on every `(spec, kind)` cell across a worker pool and assembles the
-/// results by cell index, so output order never depends on scheduling.
-/// Also measures the scheduler itself — per-cell wall time, how many
-/// cells each worker claimed, and the peak number of cells in flight —
-/// into the returned [`MatrixTiming`].
+/// outcomes by cell index, so output order never depends on scheduling.
+/// Every cell executes inside [`run_isolated`] — a panicking cell is
+/// retried and, if it keeps dying, quarantined as a
+/// [`CellOutcome::Failed`] while every other cell completes normally;
+/// the engine itself never fails. Also measures the scheduler —
+/// per-cell wall time, how many cells each worker claimed, and the peak
+/// number of cells in flight — into the returned [`MatrixTiming`].
 #[allow(clippy::missing_panics_doc)] // internal invariants only
-fn run_cell_matrix<T, F>(
+fn run_cell_matrix_isolated<T, F>(
     specs: &[WorkloadSpec],
     kinds: &[PolicyKind],
     threads: usize,
     run: F,
-) -> Result<(Vec<Vec<T>>, MatrixTiming)>
+) -> (Vec<Vec<CellOutcome<T>>>, MatrixTiming)
 where
     T: Send,
     F: Fn(&WorkloadSpec, PolicyKind, usize) -> Result<T> + Sync,
@@ -970,7 +976,7 @@ where
     let started = Instant::now(); // xtask:allow(timing) — measures wall clock, never affects results
     let cells = specs.len() * kinds.len();
     if cells == 0 {
-        return Ok((
+        return (
             specs.iter().map(|_| Vec::new()).collect(),
             MatrixTiming {
                 wall_seconds: started.elapsed().as_secs_f64(),
@@ -979,7 +985,7 @@ where
                 cells_per_worker: Vec::new(),
                 peak_in_flight: 0,
             },
-        ));
+        );
     }
     let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let workers = if threads == 0 { available } else { threads }
@@ -990,10 +996,10 @@ where
     let in_flight = AtomicUsize::new(0);
     let peak_in_flight = AtomicUsize::new(0);
     let claimed: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
-    let slots: Vec<Mutex<Option<(Result<T>, f64)>>> =
+    let slots: Vec<Mutex<Option<(CellOutcome<T>, f64)>>> =
         (0..cells).map(|_| Mutex::new(None)).collect();
 
-    let panicked = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let worker = |id: usize| loop {
             // xtask:allow(atomic-ordering, why=unique cell claim comes from the atomic RMW itself; no cross-cell ordering needed)
             let index = next_cell.fetch_add(1, Ordering::Relaxed);
@@ -1011,40 +1017,54 @@ where
             let spec = &specs[index / kinds.len()];
             let kind = kinds[index % kinds.len()];
             let cell_started = Instant::now(); // xtask:allow(timing) — per-cell wall clock only
-            let result = run(spec, kind, id);
+                                               // Isolation boundary: a panic inside the cell is caught,
+                                               // retried, and at worst quarantined — the worker (and every
+                                               // other cell it will claim) survives.
+            let outcome = run_isolated(&spec.name, kind.name(), || run(spec, kind, id));
             let elapsed = cell_started.elapsed().as_secs_f64();
-            *slots[index].lock().expect("cell slot poisoned") = Some((result, elapsed));
+            *slots[index].lock().expect("cell slot poisoned") = Some((outcome, elapsed));
             // xtask:allow(atomic-ordering, why=in-flight depth telemetry; approximate interleaving is fine)
             in_flight.fetch_sub(1, Ordering::Relaxed);
         };
         let handles: Vec<_> = (0..workers)
             .map(|id| scope.spawn(move || worker(id)))
             .collect();
-        handles
-            .into_iter()
-            .fold(false, |panicked, handle| panicked | handle.join().is_err())
+        for handle in handles {
+            // Worker bodies cannot panic (cells are caught above), so a
+            // join error would mean the scheduler itself is broken; any
+            // unfilled slots are quarantined below either way.
+            let _ = handle.join();
+        }
     });
-    if panicked {
-        return Err(Error::invalid_input(
-            "simulation thread panicked".to_owned(),
-        ));
-    }
 
     // Assemble by cell index: output order (and the first-error choice)
     // never depends on which worker finished when.
     let mut rows = Vec::with_capacity(specs.len());
     let mut cell_seconds = Vec::with_capacity(specs.len());
     let mut slots = slots.into_iter();
-    for _ in specs {
+    for spec in specs {
         let mut row = Vec::with_capacity(kinds.len());
         let mut times = Vec::with_capacity(kinds.len());
-        for _ in kinds {
+        for kind in kinds {
             let slot = slots.next().expect("one slot per cell");
-            let (result, seconds) = slot
+            let (outcome, seconds) = slot
                 .into_inner()
-                .expect("cell slot poisoned")
-                .expect("every cell index below `cells` was claimed");
-            row.push(result?);
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    (
+                        CellOutcome::Failed {
+                            error: Error::invalid_input(format!(
+                                "cell {}/{} was never completed: its worker thread died",
+                                spec.name,
+                                kind.name()
+                            )),
+                            retries: 0,
+                            panicked: true,
+                        },
+                        0.0,
+                    )
+                });
+            row.push(outcome);
             times.push(seconds);
         }
         rows.push(row);
@@ -1062,7 +1082,112 @@ where
         // xtask:allow(atomic-ordering, why=read after thread::scope join, which already synchronizes)
         peak_in_flight: peak_in_flight.load(Ordering::Relaxed),
     };
+    (rows, timing)
+}
+
+/// The fail-fast wrapper over [`run_cell_matrix_isolated`] used by the
+/// historical matrix runners: the first quarantined cell in cell-index
+/// order fails the whole matrix with its typed error — the same error
+/// the serial path would hit first.
+fn run_cell_matrix<T, F>(
+    specs: &[WorkloadSpec],
+    kinds: &[PolicyKind],
+    threads: usize,
+    run: F,
+) -> Result<(Vec<Vec<T>>, MatrixTiming)>
+where
+    T: Send,
+    F: Fn(&WorkloadSpec, PolicyKind, usize) -> Result<T> + Sync,
+{
+    let (outcomes, timing) = run_cell_matrix_isolated(specs, kinds, threads, run);
+    let mut rows = Vec::with_capacity(outcomes.len());
+    for row in outcomes {
+        rows.push(
+            row.into_iter()
+                .map(CellOutcome::into_result)
+                .collect::<Result<Vec<T>>>()?,
+        );
+    }
     Ok((rows, timing))
+}
+
+/// Stable fingerprint of one exact matrix: the workloads, the policy
+/// kinds, and the full experiment configuration, hashed over their
+/// canonical JSON. A [`RunJournal`] is bound to this value so a journal
+/// written for one campaign can never be resumed into a different one.
+#[must_use]
+pub fn matrix_fingerprint(
+    specs: &[WorkloadSpec],
+    kinds: &[PolicyKind],
+    config: &ExperimentConfig,
+) -> u64 {
+    let canonical = serde_json::to_string(&(specs, kinds, config)).unwrap_or_default();
+    fx_hash_one(&canonical)
+}
+
+/// The fault-tolerant matrix runner: every cell runs isolated (panics
+/// caught, retried up to [`crate::health::MAX_CELL_RETRIES`] times,
+/// then quarantined), an optional [`FaultPlan`] injects scripted
+/// per-cell panics, and an optional [`RunJournal`] makes the run
+/// resumable — completed cells are appended as they finish and replayed
+/// verbatim on the next run instead of being recomputed.
+///
+/// Unlike [`compare_policies_threaded`], a failing cell does **not**
+/// abort the matrix: every other cell completes, and the returned
+/// [`MatrixHealthReport`] (`hybridmem-matrix-health-v1`) records
+/// exactly which cells were quarantined or retried. Callers decide
+/// whether failures are fatal (the CLI's `--strict`).
+///
+/// The outcome grid and health report carry no wall-clock fields, so
+/// they are byte-identical at any thread count; only [`MatrixTiming`]
+/// (a measurement artefact) varies.
+pub fn compare_policies_isolated(
+    specs: &[WorkloadSpec],
+    kinds: &[PolicyKind],
+    config: &ExperimentConfig,
+    threads: usize,
+    fault_plan: Option<&FaultPlan>,
+    journal: Option<&RunJournal>,
+) -> (
+    Vec<Vec<CellOutcome<SimulationReport>>>,
+    MatrixHealthReport,
+    MatrixTiming,
+) {
+    let cache = TraceCache::global();
+    let (outcomes, timing) = run_cell_matrix_isolated(specs, kinds, threads, |spec, kind, _| {
+        if let Some(plan) = fault_plan {
+            plan.fire_cell_panic(&spec.name, kind.name());
+        }
+        if let Some(journal) = journal {
+            if let Some(report) = journal.completed_report(&spec.name, kind.name()) {
+                return serde_json::from_value(report).map_err(|e| {
+                    Error::invalid_input(format!(
+                        "journaled report for {}/{} does not deserialize: {e}",
+                        spec.name,
+                        kind.name()
+                    ))
+                });
+            }
+        }
+        let report = config.run_cached(spec, kind, cache)?;
+        if let Some(journal) = journal {
+            journal.record(&spec.name, kind.name(), &report);
+        }
+        Ok(report)
+    });
+    let health = MatrixHealthReport::new(
+        specs
+            .iter()
+            .zip(&outcomes)
+            .flat_map(|(spec, row)| {
+                kinds
+                    .iter()
+                    .zip(row)
+                    .map(|(kind, outcome)| outcome.health(&spec.name, kind.name()))
+            })
+            .collect(),
+    );
+    (outcomes, health, timing)
 }
 
 #[cfg(test)]
@@ -1319,6 +1444,141 @@ mod tests {
         let err = compare_policies_threaded(&specs, &kinds, &config, 4).unwrap_err();
         let serial_err = config.run(&specs[0], kinds[0]).unwrap_err();
         assert_eq!(err.to_string(), serial_err.to_string());
+    }
+
+    #[test]
+    fn isolated_matrix_quarantines_a_panicking_cell_and_completes_the_rest() {
+        let config = ExperimentConfig::date2016();
+        let specs = vec![
+            small_spec(),
+            parsec::spec("bodytrack").unwrap().capped(1_000),
+        ];
+        let kinds = [PolicyKind::TwoLru, PolicyKind::DramOnly];
+        // K far past the retry budget: the cell must be quarantined.
+        let plan = FaultPlan::parse("cell-panic@test/two-lru:100").unwrap();
+        let (outcomes, health, _) =
+            compare_policies_isolated(&specs, &kinds, &config, 4, Some(&plan), None);
+
+        let clean = compare_policies_threaded(&specs, &kinds, &config, 1).unwrap();
+        match &outcomes[0][0] {
+            CellOutcome::Failed {
+                error,
+                retries,
+                panicked,
+            } => {
+                assert!(error.to_string().contains("injected fault"), "{error}");
+                assert_eq!(*retries, crate::health::MAX_CELL_RETRIES);
+                assert!(panicked);
+            }
+            CellOutcome::Ok { .. } => panic!("scripted cell must be quarantined"),
+        }
+        // Every other cell completed with exactly the clean-run report.
+        assert_eq!(outcomes[0][1].ok(), Some(&clean[0][1]));
+        assert_eq!(outcomes[1][0].ok(), Some(&clean[1][0]));
+        assert_eq!(outcomes[1][1].ok(), Some(&clean[1][1]));
+
+        assert_eq!(health.schema, crate::health::MATRIX_HEALTH_SCHEMA);
+        assert_eq!(health.total_cells, 4);
+        assert_eq!(health.failed_cells, 1);
+        assert!(!health.clean);
+        assert_eq!(health.cells[0].workload, "test");
+        assert_eq!(health.cells[0].policy, "two-lru");
+        assert!(health.cells[0]
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("injected fault")));
+    }
+
+    #[test]
+    fn scripted_panics_within_the_retry_budget_recover() {
+        let config = ExperimentConfig::date2016();
+        let specs = vec![small_spec()];
+        let kinds = [PolicyKind::TwoLru, PolicyKind::DramOnly];
+        let plan = FaultPlan::parse(&format!(
+            "cell-panic@test/two-lru:{}",
+            crate::health::MAX_CELL_RETRIES
+        ))
+        .unwrap();
+        let (outcomes, health, _) =
+            compare_policies_isolated(&specs, &kinds, &config, 2, Some(&plan), None);
+        let clean = compare_policies_threaded(&specs, &kinds, &config, 1).unwrap();
+        match &outcomes[0][0] {
+            CellOutcome::Ok { value, retries } => {
+                assert_eq!(value, &clean[0][0], "recovered cell is byte-identical");
+                assert_eq!(*retries, crate::health::MAX_CELL_RETRIES);
+            }
+            CellOutcome::Failed { error, .. } => panic!("cell must recover: {error}"),
+        }
+        assert_eq!(health.failed_cells, 0);
+        assert_eq!(health.retried_cells, 1);
+        assert!(!health.clean, "retries are visible in the report");
+    }
+
+    #[test]
+    fn interrupted_then_resumed_matrix_is_byte_identical_to_uninterrupted() {
+        let config = ExperimentConfig::date2016();
+        let specs = vec![
+            small_spec(),
+            parsec::spec("bodytrack").unwrap().capped(1_000),
+        ];
+        let kinds = [PolicyKind::TwoLru, PolicyKind::DramOnly];
+        let fingerprint = matrix_fingerprint(&specs, &kinds, &config);
+        let journal_path = std::env::temp_dir().join(format!(
+            "hybridmem-resume-test-{}.hmjournal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&journal_path);
+
+        // The oracle: one uninterrupted run.
+        let (clean, _) = compare_policies_timed(&specs, &kinds, &config, 2).unwrap();
+        let clean_json = serde_json::to_string(&clean).unwrap();
+
+        // The "killed" run: one cell dies past its retry budget, the
+        // other three complete and land in the journal.
+        let plan = FaultPlan::parse("cell-panic@test/two-lru:100").unwrap();
+        let journal = RunJournal::open(&journal_path, fingerprint).unwrap();
+        let (_, health, _) =
+            compare_policies_isolated(&specs, &kinds, &config, 2, Some(&plan), Some(&journal));
+        assert_eq!(health.failed_cells, 1);
+        assert_eq!(journal.len(), 3, "completed cells were journaled");
+        drop(journal);
+
+        // The resumed run: no faults, journal replays the three
+        // completed cells, only the quarantined one is recomputed.
+        let journal = RunJournal::open(&journal_path, fingerprint).unwrap();
+        let (outcomes, health, _) =
+            compare_policies_isolated(&specs, &kinds, &config, 2, None, Some(&journal));
+        assert_eq!(health.failed_cells, 0);
+        let resumed: Vec<Vec<SimulationReport>> = outcomes
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|outcome| outcome.into_result().unwrap())
+                    .collect()
+            })
+            .collect();
+        let resumed_json = serde_json::to_string(&resumed).unwrap();
+        assert_eq!(resumed_json, clean_json, "resumed ≡ uninterrupted");
+        let _ = std::fs::remove_file(&journal_path);
+    }
+
+    #[test]
+    fn matrix_fingerprint_pins_specs_kinds_and_config() {
+        let config = ExperimentConfig::date2016();
+        let specs = vec![small_spec()];
+        let kinds = [PolicyKind::TwoLru];
+        let base = matrix_fingerprint(&specs, &kinds, &config);
+        assert_eq!(
+            base,
+            matrix_fingerprint(&specs, &kinds, &config),
+            "stable across calls"
+        );
+        assert_ne!(
+            base,
+            matrix_fingerprint(&specs, &[PolicyKind::DramOnly], &config)
+        );
+        let other = ExperimentConfig { seed: 7, ..config };
+        assert_ne!(base, matrix_fingerprint(&specs, &kinds, &other));
     }
 
     #[test]

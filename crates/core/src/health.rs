@@ -1,0 +1,368 @@
+//! Per-cell failure isolation for the experiment matrix.
+//!
+//! Before this module, one panicking worker aborted the whole
+//! `(workload × policy)` matrix and discarded every completed cell.
+//! [`run_isolated`] wraps one cell in `catch_unwind`, retries a
+//! panicking cell a bounded number of times (immediately and
+//! sequentially, so the retry order is deterministic), and turns
+//! whatever remains into a typed [`CellOutcome`] — the matrix
+//! scheduler keeps going, quarantines the failure, and reports it
+//! through the [`MatrixHealthReport`] (`hybridmem-matrix-health-v1`)
+//! instead of throwing the run away.
+//!
+//! Typed [`Error`]s are **not** retried: a deterministic engine fails
+//! the same way every time, so retrying an invalid configuration only
+//! burns time. Panics are retried because the isolation layer cannot
+//! know whether they are deterministic (an injected
+//! [`FaultPlan`](crate::FaultPlan) `cell-panic` with `K` no larger
+//! than [`MAX_CELL_RETRIES`] recovers exactly as a transient fault
+//! would).
+//!
+//! Like every other report in this workspace, the health report
+//! carries no wall-clock fields: the same matrix with the same fault
+//! plan produces a byte-identical report at any thread count.
+
+use std::io::Write;
+use std::panic::AssertUnwindSafe;
+
+use hybridmem_types::Error;
+use serde::{Deserialize, Serialize};
+
+/// Schema identifier of the matrix health JSON report.
+pub const MATRIX_HEALTH_SCHEMA: &str = "hybridmem-matrix-health-v1";
+
+/// Times a panicking cell is re-run before being quarantined (so a
+/// cell gets `MAX_CELL_RETRIES + 1` attempts in total).
+pub const MAX_CELL_RETRIES: u64 = 2;
+
+/// What became of one isolated matrix cell.
+#[derive(Debug)]
+pub enum CellOutcome<T> {
+    /// The cell completed, possibly after retried panics.
+    Ok {
+        /// The cell's result.
+        value: T,
+        /// Panicking attempts that preceded the success.
+        retries: u64,
+    },
+    /// The cell was quarantined: a typed error, or a panic that
+    /// survived the whole retry budget.
+    Failed {
+        /// The typed error, or the panic message wrapped as one.
+        error: Error,
+        /// Panicking attempts that were retried before giving up.
+        retries: u64,
+        /// True when the final failure was a panic rather than a
+        /// typed error.
+        panicked: bool,
+    },
+}
+
+impl<T> CellOutcome<T> {
+    /// The success value, if the cell completed.
+    pub fn ok(&self) -> Option<&T> {
+        match self {
+            Self::Ok { value, .. } => Some(value),
+            Self::Failed { .. } => None,
+        }
+    }
+
+    /// Converts into a plain `Result`, discarding retry bookkeeping.
+    ///
+    /// # Errors
+    ///
+    /// Returns the quarantined cell's typed error.
+    pub fn into_result(self) -> Result<T, Error> {
+        match self {
+            Self::Ok { value, .. } => Ok(value),
+            Self::Failed { error, .. } => Err(error),
+        }
+    }
+
+    /// The health-report row for this outcome.
+    #[must_use]
+    pub fn health(&self, workload: &str, policy: &str) -> CellHealth {
+        match self {
+            Self::Ok { retries, .. } => CellHealth {
+                workload: workload.to_owned(),
+                policy: policy.to_owned(),
+                status: CellStatus::Ok,
+                retries: *retries,
+                panicked: false,
+                error: None,
+            },
+            Self::Failed {
+                error,
+                retries,
+                panicked,
+            } => CellHealth {
+                workload: workload.to_owned(),
+                policy: policy.to_owned(),
+                status: CellStatus::Failed,
+                retries: *retries,
+                panicked: *panicked,
+                error: Some(error.to_string()),
+            },
+        }
+    }
+}
+
+/// Terminal state of one cell in the health report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum CellStatus {
+    /// The cell produced its report.
+    Ok,
+    /// The cell was quarantined.
+    Failed,
+}
+
+/// One cell's row in the `hybridmem-matrix-health-v1` report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellHealth {
+    /// Workload name of the cell.
+    pub workload: String,
+    /// Policy name of the cell.
+    pub policy: String,
+    /// Whether the cell completed or was quarantined.
+    pub status: CellStatus,
+    /// Panicking attempts that were retried.
+    pub retries: u64,
+    /// True when the cell's final failure was a panic.
+    pub panicked: bool,
+    /// The failure message, for quarantined cells.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+}
+
+/// The matrix-level health roll-up written by `--health-out`: every
+/// cell's [`CellHealth`] under the `hybridmem-matrix-health-v1`
+/// schema, plus totals CI can gate on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatrixHealthReport {
+    /// Always [`MATRIX_HEALTH_SCHEMA`].
+    pub schema: String,
+    /// Per-cell health in matrix order (workload-major, policy-minor).
+    pub cells: Vec<CellHealth>,
+    /// Total cells in the matrix.
+    pub total_cells: u64,
+    /// Cells that were quarantined.
+    pub failed_cells: u64,
+    /// Cells that needed at least one retry (completed or not).
+    pub retried_cells: u64,
+    /// True when every cell completed without a single retry.
+    pub clean: bool,
+}
+
+impl MatrixHealthReport {
+    /// Rolls cell rows into the gateable aggregate.
+    #[must_use]
+    pub fn new(cells: Vec<CellHealth>) -> Self {
+        let total_cells = cells.len() as u64;
+        let failed_cells = cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Failed)
+            .count() as u64;
+        let retried_cells = cells.iter().filter(|c| c.retries > 0).count() as u64;
+        Self {
+            schema: MATRIX_HEALTH_SCHEMA.to_owned(),
+            cells,
+            total_cells,
+            failed_cells,
+            retried_cells,
+            clean: failed_cells == 0 && retried_cells == 0,
+        }
+    }
+}
+
+/// Writes the matrix health report as pretty-printed JSON plus a
+/// trailing newline — the `--health-out` artifact CI parses.
+///
+/// # Errors
+///
+/// Returns any I/O error from the writer, and wraps (unreachable for
+/// this type) serialization failures as [`std::io::ErrorKind::Other`].
+pub fn write_matrix_health_json<W: Write>(
+    writer: &mut W,
+    report: &MatrixHealthReport,
+) -> std::io::Result<()> {
+    let text = serde_json::to_string_pretty(report)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::Other, e))?;
+    writer.write_all(text.as_bytes())?;
+    writer.write_all(b"\n")
+}
+
+/// Extracts a printable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_owned()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs one matrix cell inside `catch_unwind`, retrying panics up to
+/// [`MAX_CELL_RETRIES`] times (immediately and on the same worker, so
+/// retry ordering is deterministic) and quarantining whatever still
+/// fails. Typed errors are returned on the first attempt — the engine
+/// is deterministic, so they would fail identically every time.
+pub fn run_isolated<T, F>(workload: &str, policy: &str, run: F) -> CellOutcome<T>
+where
+    F: Fn() -> Result<T, Error>,
+{
+    let mut retries = 0u64;
+    loop {
+        match std::panic::catch_unwind(AssertUnwindSafe(&run)) {
+            Ok(Ok(value)) => return CellOutcome::Ok { value, retries },
+            Ok(Err(error)) => {
+                return CellOutcome::Failed {
+                    error,
+                    retries,
+                    panicked: false,
+                };
+            }
+            Err(payload) => {
+                if retries < MAX_CELL_RETRIES {
+                    retries += 1;
+                    continue;
+                }
+                return CellOutcome::Failed {
+                    error: Error::invalid_input(format!(
+                        "cell {workload}/{policy} panicked: {}",
+                        panic_message(payload.as_ref())
+                    )),
+                    retries,
+                    panicked: true,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn clean_cells_complete_without_retries() {
+        let outcome = run_isolated("w", "p", || Ok::<_, Error>(7));
+        match outcome {
+            CellOutcome::Ok { value, retries } => {
+                assert_eq!(value, 7);
+                assert_eq!(retries, 0);
+            }
+            CellOutcome::Failed { .. } => panic!("clean cell must not fail"),
+        }
+    }
+
+    #[test]
+    fn typed_errors_are_not_retried() {
+        let attempts = AtomicU64::new(0);
+        let outcome = run_isolated("w", "p", || {
+            attempts.fetch_add(1, Ordering::Relaxed);
+            Err::<(), _>(Error::invalid_input("bad config"))
+        });
+        assert_eq!(attempts.load(Ordering::Relaxed), 1);
+        match outcome {
+            CellOutcome::Failed {
+                error,
+                retries,
+                panicked,
+            } => {
+                assert!(error.to_string().contains("bad config"));
+                assert_eq!(retries, 0);
+                assert!(!panicked);
+            }
+            CellOutcome::Ok { .. } => panic!("typed error must fail the cell"),
+        }
+    }
+
+    #[test]
+    fn transient_panics_recover_within_the_budget() {
+        let attempts = AtomicU64::new(0);
+        let outcome = run_isolated("w", "p", || {
+            if attempts.fetch_add(1, Ordering::Relaxed) < MAX_CELL_RETRIES {
+                panic!("transient");
+            }
+            Ok::<_, Error>("done")
+        });
+        match outcome {
+            CellOutcome::Ok { value, retries } => {
+                assert_eq!(value, "done");
+                assert_eq!(retries, MAX_CELL_RETRIES);
+            }
+            CellOutcome::Failed { .. } => panic!("cell recovers inside the budget"),
+        }
+    }
+
+    #[test]
+    fn persistent_panics_are_quarantined_with_the_message() {
+        let attempts = AtomicU64::new(0);
+        let outcome = run_isolated("bodytrack", "two-lru", || -> Result<(), Error> {
+            attempts.fetch_add(1, Ordering::Relaxed);
+            panic!("injected fault: scripted");
+        });
+        assert_eq!(
+            attempts.load(Ordering::Relaxed),
+            MAX_CELL_RETRIES + 1,
+            "budget exhausted"
+        );
+        match outcome {
+            CellOutcome::Failed {
+                error,
+                retries,
+                panicked,
+            } => {
+                let text = error.to_string();
+                assert!(text.contains("bodytrack/two-lru"), "{text}");
+                assert!(text.contains("injected fault: scripted"), "{text}");
+                assert_eq!(retries, MAX_CELL_RETRIES);
+                assert!(panicked);
+            }
+            CellOutcome::Ok { .. } => panic!("persistent panic must quarantine"),
+        }
+    }
+
+    #[test]
+    fn health_report_rolls_up_and_roundtrips() {
+        let ok = run_isolated("w1", "p", || Ok::<_, Error>(()));
+        let failed = run_isolated("w2", "p", || Err::<(), _>(Error::invalid_input("scripted")));
+        let report = MatrixHealthReport::new(vec![ok.health("w1", "p"), failed.health("w2", "p")]);
+        assert_eq!(report.schema, MATRIX_HEALTH_SCHEMA);
+        assert_eq!(report.total_cells, 2);
+        assert_eq!(report.failed_cells, 1);
+        assert_eq!(report.retried_cells, 0);
+        assert!(!report.clean);
+        assert_eq!(
+            report.cells[1].error.as_deref(),
+            Some("invalid input: scripted")
+        );
+
+        let mut bytes = Vec::new();
+        write_matrix_health_json(&mut bytes, &report).unwrap();
+        let parsed: MatrixHealthReport = serde_json::from_slice(&bytes).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn recovered_cells_keep_the_report_unclean_but_unfailed() {
+        let attempts = AtomicU64::new(0);
+        let recovered = run_isolated("w", "p", || {
+            if attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                panic!("once");
+            }
+            Ok::<_, Error>(())
+        });
+        let report = MatrixHealthReport::new(vec![recovered.health("w", "p")]);
+        assert_eq!(report.failed_cells, 0);
+        assert_eq!(report.retried_cells, 1);
+        assert!(
+            !report.clean,
+            "a retry is visible even when the cell recovered"
+        );
+        assert_eq!(report.cells[0].status, CellStatus::Ok);
+    }
+}

@@ -26,7 +26,13 @@
 //! * [`audit`] — run-health auditing: an [`AuditSink`] event sink checks
 //!   the conservation laws behind Eq. 1/Eq. 2 online (fills ≡ faults,
 //!   occupancy ≤ capacity, demotion pairing, probe consistency, priced
-//!   vs. closed-form AMAT) and reports structured [`AuditViolation`]s.
+//!   vs. closed-form AMAT) and reports structured [`AuditViolation`]s;
+//! * [`faultinject`] / [`health`] / [`journal`] — the robustness layer:
+//!   a scripted, deterministic [`FaultPlan`] exercises every
+//!   degradation path; [`compare_policies_isolated`] quarantines
+//!   failing cells into a [`MatrixHealthReport`] instead of aborting
+//!   the matrix; a [`RunJournal`] makes long campaigns crash-safe and
+//!   resumable with byte-identical output.
 //!
 //! # Examples
 //!
@@ -52,6 +58,9 @@
 pub mod audit;
 mod events;
 mod experiments;
+pub mod faultinject;
+pub mod health;
+pub mod journal;
 pub mod ledger;
 pub mod model;
 pub mod observe;
@@ -66,10 +75,17 @@ pub use audit::{
 };
 pub use events::{CountingSink, EventSink, FanoutSink, RecordingSink, SimEvent};
 pub use experiments::{
-    compare_policies, compare_policies_instrumented, compare_policies_observed,
-    compare_policies_threaded, compare_policies_timed, ExperimentConfig, Instrumentation,
-    InstrumentedRun, MatrixTiming, PolicyKind, ReplayMode,
+    compare_policies, compare_policies_instrumented, compare_policies_isolated,
+    compare_policies_observed, compare_policies_threaded, compare_policies_timed,
+    matrix_fingerprint, ExperimentConfig, Instrumentation, InstrumentedRun, MatrixTiming,
+    PolicyKind, ReplayMode,
 };
+pub use faultinject::FaultPlan;
+pub use health::{
+    write_matrix_health_json, CellHealth, CellOutcome, CellStatus, MatrixHealthReport,
+    MATRIX_HEALTH_SCHEMA, MAX_CELL_RETRIES,
+};
+pub use journal::{JournalEntry, RunJournal, JOURNAL_MAGIC, JOURNAL_VERSION};
 pub use ledger::{
     write_ledger_jsonl, DemotionCause, LedgerOptions, LedgerReport, LedgerSummary, PageEvent,
     PageLedger, PageRecord, PageSummary, PromotionProvenance,
@@ -82,4 +98,4 @@ pub use report::{
 };
 pub use simulator::HybridSimulator;
 pub use sweep::{sweep_dram_fractions, sweep_thresholds, sweep_windows, SweepPoint};
-pub use trace_cache::{TraceCache, TraceCacheStats, DEFAULT_BUDGET_BYTES};
+pub use trace_cache::{SpillSource, TraceCache, TraceCacheStats, DEFAULT_BUDGET_BYTES};

@@ -49,6 +49,8 @@
 //! verified on load, so a stale or colliding file degrades to regeneration
 //! rather than replaying the wrong workload.
 
+use std::fs::File;
+use std::io::{BufReader, Cursor, Read};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -59,9 +61,32 @@ use hybridmem_trace::{TraceGenerator, WorkloadSpec};
 use hybridmem_types::{fx_hash_one, FxHashMap, PageAccess};
 use serde::{Deserialize, Serialize};
 
+use crate::faultinject::FaultPlan;
+
 /// Default byte budget of the global cache: enough for the full default
 /// 1M-access × 12-workload suite (~192 MB) with headroom for sweeps.
 pub const DEFAULT_BUDGET_BYTES: usize = 1 << 30;
+
+/// Byte source behind a spill replay stream. Production replays stream
+/// from the file; with a [`FaultPlan`] installed the file is pre-read so
+/// the scripted read faults can corrupt the in-memory image before the
+/// format layer sees it (exactly how [`TraceCache::try_load_spill`]
+/// injects faults on the materialization path).
+pub enum SpillSource {
+    /// Buffered read straight from the spill file (no fault plan).
+    File(BufReader<File>),
+    /// Pre-read (and possibly fault-corrupted) image of the file.
+    Memory(Cursor<Vec<u8>>),
+}
+
+impl Read for SpillSource {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Self::File(reader) => reader.read(buf),
+            Self::Memory(cursor) => cursor.read(buf),
+        }
+    }
+}
 
 /// One cached trace: generated lazily, at most once, by whichever worker
 /// gets there first.
@@ -79,6 +104,7 @@ struct SpillCounters {
     misses: AtomicU64,
     bytes_read: AtomicU64,
     bytes_written: AtomicU64,
+    write_errors: AtomicU64,
 }
 
 struct Entry {
@@ -128,6 +154,12 @@ pub struct TraceCacheStats {
     /// Bytes of trace data written to spill files by this process.
     #[serde(default)]
     pub spill_bytes_written: u64,
+    /// Spill writes that failed (directory creation, file write, or
+    /// rename) — previously swallowed silently, now counted so a
+    /// campaign that quietly lost its spill acceleration is visible in
+    /// `results/throughput.json`.
+    #[serde(default)]
+    pub spill_write_errors: u64,
 }
 
 /// A byte-budgeted, LRU-evicting cache of materialized traces.
@@ -156,6 +188,9 @@ pub struct TraceCache {
     /// disables the spill entirely (in-memory cache only).
     spill_dir: Option<PathBuf>,
     spill: SpillCounters,
+    /// Injected-fault schedule applied to spill reads and writes; the
+    /// global cache picks it up from `HYBRIDMEM_FAULT_PLAN`.
+    fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl TraceCache {
@@ -177,6 +212,7 @@ impl TraceCache {
             oversize_rejections: AtomicU64::new(0),
             spill_dir: None,
             spill: SpillCounters::default(),
+            fault_plan: None,
         }
     }
 
@@ -188,6 +224,16 @@ impl TraceCache {
             spill_dir: Some(dir.into()),
             ..Self::new(budget_bytes)
         }
+    }
+
+    /// Installs an injected-fault schedule: spill reads and writes
+    /// consult `plan` before touching disk, so tests (and the CI chaos
+    /// job) can script I/O errors, bit-flips, and truncations against
+    /// this cache deterministically.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
     }
 
     /// The spill directory from the environment: the value of
@@ -209,9 +255,19 @@ impl TraceCache {
     #[must_use]
     pub fn global() -> &'static Self {
         static GLOBAL: OnceLock<TraceCache> = OnceLock::new();
-        GLOBAL.get_or_init(|| Self {
-            spill_dir: Self::default_spill_dir(),
-            ..Self::new(DEFAULT_BUDGET_BYTES)
+        GLOBAL.get_or_init(|| {
+            let fault_plan = match FaultPlan::from_env() {
+                Ok(plan) => plan.map(Arc::new),
+                Err(e) => {
+                    eprintln!("warning: ignoring malformed HYBRIDMEM_FAULT_PLAN: {e}");
+                    None
+                }
+            };
+            Self {
+                spill_dir: Self::default_spill_dir(),
+                fault_plan,
+                ..Self::new(DEFAULT_BUDGET_BYTES)
+            }
         })
     }
 
@@ -337,14 +393,28 @@ impl TraceCache {
             .map(|dir| dir.join(format!("{key:016x}.hmtrace")))
     }
 
+    /// Reads the spill file at `path` into memory, applying any
+    /// injected read faults to the image first. `None` means the file
+    /// is unreadable — really or by script; the caller cannot tell the
+    /// difference, which is the point.
+    fn read_spill_image(&self, path: &Path) -> Option<Vec<u8>> {
+        let mut bytes = std::fs::read(path).ok()?;
+        if let Some(plan) = &self.fault_plan {
+            plan.corrupt_spill_read(&mut bytes).ok()?;
+        }
+        Some(bytes)
+    }
+
     /// Loads and verifies the spill file for `key`, counting a spill hit
-    /// or miss. Any failure — absent file, truncation, corruption, or a
-    /// header naming a different `(spec, seed)` — is a miss, never an
-    /// error: the caller falls back to the generator.
+    /// or miss. Any failure — absent file, truncation, bit-flip (caught
+    /// by the version-2 checksum trailer), or a header naming a
+    /// different `(spec, seed)` — is a miss, never an error: the caller
+    /// falls back to the generator.
     fn try_load_spill(&self, key: u64, spec_json: &str, seed: u64) -> Option<Arc<[PageAccess]>> {
         let path = self.spill_path(key)?;
-        let loaded = BinTraceReader::open(&path)
-            .ok()
+        let loaded = self
+            .read_spill_image(&path)
+            .and_then(|bytes| BinTraceReader::from_reader(bytes.as_slice()).ok())
             .filter(|reader| reader.header().matches(spec_json, seed));
         let Some(reader) = loaded else {
             // xtask:allow(atomic-ordering, why=monotonic stats counters; readers tolerate any interleaving)
@@ -367,10 +437,18 @@ impl TraceCache {
         )
     }
 
+    /// Books one failed spill write in the stats.
+    fn count_spill_write_error(&self) {
+        // xtask:allow(atomic-ordering, why=monotonic stats counters; readers tolerate any interleaving)
+        self.spill.write_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Best-effort spill write: the trace lands under a temporary name and
     /// is renamed into place so concurrent processes never observe a
-    /// half-written file. I/O failures are swallowed — the spill is an
-    /// optimization, not a correctness dependency.
+    /// half-written file. I/O failures never propagate — the spill is an
+    /// optimization, not a correctness dependency — but every failure is
+    /// counted in [`TraceCacheStats::spill_write_errors`] so a campaign
+    /// that quietly lost its spill acceleration is visible.
     fn try_write_spill<I>(&self, key: u64, spec_json: &str, seed: u64, accesses: I)
     where
         I: IntoIterator<Item = PageAccess>,
@@ -382,6 +460,15 @@ impl TraceCache {
             return;
         };
         if std::fs::create_dir_all(dir).is_err() {
+            self.count_spill_write_error();
+            return;
+        }
+        if self
+            .fault_plan
+            .as_ref()
+            .is_some_and(|plan| plan.fail_spill_write())
+        {
+            self.count_spill_write_error();
             return;
         }
         let tmp = dir.join(format!("{key:016x}.hmtrace.tmp.{}", std::process::id()));
@@ -394,13 +481,35 @@ impl TraceCache {
                         Ordering::Relaxed,
                     );
                 } else {
+                    self.count_spill_write_error();
                     let _ = std::fs::remove_file(&tmp);
                 }
             }
             Err(_) => {
+                self.count_spill_write_error();
                 let _ = std::fs::remove_file(&tmp);
             }
         }
+    }
+
+    /// Opens a verified spill stream at `path`. Without a fault plan
+    /// this streams straight from the file; with one installed the
+    /// whole file is pre-read so the scripted read faults can apply to
+    /// the image, mirroring [`Self::read_spill_image`].
+    fn open_spill_stream(
+        &self,
+        path: &Path,
+        spec_json: &str,
+        seed: u64,
+    ) -> Option<BinTraceStream<SpillSource>> {
+        let source = if self.fault_plan.is_some() {
+            SpillSource::Memory(Cursor::new(self.read_spill_image(path)?))
+        } else {
+            SpillSource::File(BufReader::new(File::open(path).ok()?))
+        };
+        BinTraceStream::from_reader(source, binfmt::STREAM_CHUNK_RECORDS)
+            .ok()
+            .filter(|stream| stream.header().matches(spec_json, seed))
     }
 
     /// Opens a chunked binary replay stream for `(spec, seed)` — the path
@@ -411,23 +520,25 @@ impl TraceCache {
     /// every later one. Returns `None` when spilling is disabled or the
     /// file cannot be written (callers stream the generator instead).
     #[must_use]
-    pub fn open_stream(&self, spec: &WorkloadSpec, seed: u64) -> Option<BinTraceStream> {
+    pub fn open_stream(
+        &self,
+        spec: &WorkloadSpec,
+        seed: u64,
+    ) -> Option<BinTraceStream<SpillSource>> {
         let key = Self::fingerprint(spec, seed);
         let path = self.spill_path(key)?;
         let spec_json = Self::spec_json(spec);
-        if let Ok(stream) = BinTraceStream::open(&path, binfmt::STREAM_CHUNK_RECORDS) {
-            if stream.header().matches(&spec_json, seed) {
+        if let Some(stream) = self.open_spill_stream(&path, &spec_json, seed) {
+            // xtask:allow(atomic-ordering, why=monotonic stats counters; readers tolerate any interleaving)
+            self.spill.hits.fetch_add(1, Ordering::Relaxed);
+            self.spill.bytes_read.fetch_add(
+                stream
+                    .remaining()
+                    .saturating_mul(binfmt::RECORD_BYTES as u64),
                 // xtask:allow(atomic-ordering, why=monotonic stats counters; readers tolerate any interleaving)
-                self.spill.hits.fetch_add(1, Ordering::Relaxed);
-                self.spill.bytes_read.fetch_add(
-                    stream
-                        .remaining()
-                        .saturating_mul(binfmt::RECORD_BYTES as u64),
-                    // xtask:allow(atomic-ordering, why=monotonic stats counters; readers tolerate any interleaving)
-                    Ordering::Relaxed,
-                );
-                return Some(stream);
-            }
+                Ordering::Relaxed,
+            );
+            return Some(stream);
         }
         // xtask:allow(atomic-ordering, why=monotonic stats counters; readers tolerate any interleaving)
         self.spill.misses.fetch_add(1, Ordering::Relaxed);
@@ -437,10 +548,7 @@ impl TraceCache {
             seed,
             TraceGenerator::new(spec.clone(), seed).map(PageAccess::from),
         );
-        let stream = BinTraceStream::open(&path, binfmt::STREAM_CHUNK_RECORDS).ok()?;
-        if !stream.header().matches(&spec_json, seed) {
-            return None;
-        }
+        let stream = self.open_spill_stream(&path, &spec_json, seed)?;
         self.spill.bytes_read.fetch_add(
             stream
                 .remaining()
@@ -503,6 +611,7 @@ impl TraceCache {
             spill_misses: self.spill.misses.load(Ordering::Relaxed), // xtask:allow(atomic-ordering, why=relaxed stats snapshot)
             spill_bytes_read: self.spill.bytes_read.load(Ordering::Relaxed), // xtask:allow(atomic-ordering, why=relaxed stats snapshot)
             spill_bytes_written: self.spill.bytes_written.load(Ordering::Relaxed), // xtask:allow(atomic-ordering, why=relaxed stats snapshot)
+            spill_write_errors: self.spill.write_errors.load(Ordering::Relaxed), // xtask:allow(atomic-ordering, why=relaxed stats snapshot)
         }
     }
 
@@ -522,6 +631,7 @@ impl TraceCache {
         registry.add("trace_cache.spill_misses", stats.spill_misses);
         registry.add("trace_cache.spill_bytes_read", stats.spill_bytes_read);
         registry.add("trace_cache.spill_bytes_written", stats.spill_bytes_written);
+        registry.add("trace_cache.spill_write_errors", stats.spill_write_errors);
         #[allow(clippy::cast_precision_loss)]
         {
             registry.set_gauge("trace_cache.resident_traces", stats.resident_traces as f64);
@@ -758,5 +868,172 @@ mod tests {
             assert!(Arc::ptr_eq(&traces[0], trace));
         }
         assert_eq!(cache.len(), 1, "one entry despite 8 concurrent callers");
+    }
+
+    #[test]
+    fn every_spill_corruption_falls_back_to_generation() {
+        let s = spec(2_500);
+        let expected: Vec<PageAccess> = TraceGenerator::new(s.clone(), 42)
+            .map(PageAccess::from)
+            .collect();
+        let corruptions: Vec<(&str, Box<dyn Fn(&Path)>)> = vec![
+            (
+                "truncated",
+                Box::new(|path| {
+                    let bytes = std::fs::read(path).unwrap();
+                    std::fs::write(path, &bytes[..bytes.len() / 3]).unwrap();
+                }),
+            ),
+            (
+                "bit-flipped",
+                Box::new(|path| {
+                    let mut bytes = std::fs::read(path).unwrap();
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0x40;
+                    std::fs::write(path, &bytes).unwrap();
+                }),
+            ),
+            (
+                "wrong-fingerprint",
+                Box::new(|path| {
+                    // A valid file for a *different* workload at this
+                    // path: the header never verifies, exactly like a
+                    // fingerprint collision.
+                    let other = parsec::spec("canneal").unwrap().capped(100);
+                    let other_json = serde_json::to_string(&other).unwrap();
+                    binfmt::write_trace_file(
+                        path,
+                        &other_json,
+                        9,
+                        TraceCache::fingerprint(&other, 9),
+                        TraceGenerator::new(other, 9).map(PageAccess::from),
+                    )
+                    .unwrap();
+                }),
+            ),
+            (
+                "zero-length",
+                Box::new(|path| std::fs::write(path, []).unwrap()),
+            ),
+        ];
+        for (tag, corrupt) in corruptions {
+            let dir = SpillDir::new(&format!("fallback-{tag}"));
+            let writer = TraceCache::with_spill_dir(64 << 20, &dir.0);
+            writer.try_get(&s, 42).unwrap();
+            let path = writer.spill_path(TraceCache::fingerprint(&s, 42)).unwrap();
+            assert!(path.exists(), "{tag}: spill file was written");
+            corrupt(&path);
+
+            let fresh = TraceCache::with_spill_dir(64 << 20, &dir.0);
+            let replayed = fresh.try_get(&s, 42).unwrap();
+            assert_eq!(&replayed[..], &expected[..], "{tag}: byte-identical");
+            let stats = fresh.stats();
+            assert_eq!(
+                (stats.spill_hits, stats.spill_misses),
+                (0, 1),
+                "{tag}: counted miss, no hit"
+            );
+        }
+    }
+
+    #[test]
+    fn injected_read_faults_degrade_to_counted_misses() {
+        let dir = SpillDir::new("fault-read");
+        let s = spec(2_000);
+        let expected: Vec<PageAccess> = TraceGenerator::new(s.clone(), 42)
+            .map(PageAccess::from)
+            .collect();
+        // Write a clean spill first.
+        TraceCache::with_spill_dir(64 << 20, &dir.0)
+            .try_get(&s, 42)
+            .unwrap();
+
+        // Attempts: 1 = outright read error, 2 = bit-flip (caught by the
+        // v2 checksum trailer), 3 = truncation, 4 = clean hit.
+        let plan = Arc::new(
+            FaultPlan::parse("spill-read-error@1; bit-flip@2:100; truncate@3:48").unwrap(),
+        );
+        for (round, fault_expected) in [(1, true), (2, true), (3, true), (4, false)] {
+            let cache =
+                TraceCache::with_spill_dir(64 << 20, &dir.0).with_fault_plan(Arc::clone(&plan));
+            let replayed = cache.try_get(&s, 42).unwrap();
+            assert_eq!(
+                &replayed[..],
+                &expected[..],
+                "round {round}: byte-identical"
+            );
+            let stats = cache.stats();
+            if fault_expected {
+                assert_eq!(
+                    (stats.spill_hits, stats.spill_misses),
+                    (0, 1),
+                    "round {round}: fault degrades to a miss"
+                );
+            } else {
+                assert_eq!(
+                    (stats.spill_hits, stats.spill_misses),
+                    (1, 0),
+                    "round {round}: schedule exhausted, clean hit"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn injected_write_faults_are_counted_and_leave_no_file() {
+        let dir = SpillDir::new("fault-write");
+        let s = spec(1_500);
+        let plan = Arc::new(FaultPlan::parse("spill-write-error@1").unwrap());
+        let cache = TraceCache::with_spill_dir(64 << 20, &dir.0).with_fault_plan(Arc::clone(&plan));
+        let generated = cache.try_get(&s, 42).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.spill_write_errors, 1);
+        assert_eq!(stats.spill_bytes_written, 0);
+        let path = cache.spill_path(TraceCache::fingerprint(&s, 42)).unwrap();
+        assert!(!path.exists(), "failed write leaves no spill file");
+
+        // The second write attempt (fresh cache, same plan) succeeds.
+        let retry = TraceCache::with_spill_dir(64 << 20, &dir.0).with_fault_plan(Arc::clone(&plan));
+        let replayed = retry.try_get(&s, 42).unwrap();
+        assert_eq!(&generated[..], &replayed[..]);
+        assert!(path.exists(), "second attempt spills normally");
+        assert_eq!(retry.stats().spill_write_errors, 0);
+    }
+
+    #[test]
+    fn open_stream_applies_injected_read_faults() {
+        let dir = SpillDir::new("fault-stream");
+        let s = spec(3_000);
+        // Write a clean spill via a plain streaming open.
+        TraceCache::with_spill_dir(64 << 20, &dir.0)
+            .open_stream(&s, 42)
+            .expect("spill dir configured");
+
+        // Attempt 1 truncates the image mid-record: the open fails, the
+        // cache regenerates the file, and attempt 2 replays it cleanly.
+        let plan = Arc::new(FaultPlan::parse("truncate@1:100").unwrap());
+        let cache = TraceCache::with_spill_dir(64 << 20, &dir.0).with_fault_plan(Arc::clone(&plan));
+        let mut stream = cache.open_stream(&s, 42).expect("regenerated after fault");
+        let mut streamed = Vec::new();
+        while let Some(chunk) = stream.next_chunk().unwrap() {
+            streamed.extend(chunk.iter().map(|r| r.access()));
+        }
+        let expected: Vec<PageAccess> = TraceGenerator::new(s.clone(), 42)
+            .map(PageAccess::from)
+            .collect();
+        assert_eq!(streamed, expected);
+        let stats = cache.stats();
+        assert_eq!((stats.spill_hits, stats.spill_misses), (0, 1));
+    }
+
+    #[test]
+    fn spill_write_errors_export_under_trace_cache_names() {
+        let dir = SpillDir::new("fault-export");
+        let plan = Arc::new(FaultPlan::parse("spill-write-error@1").unwrap());
+        let cache = TraceCache::with_spill_dir(64 << 20, &dir.0).with_fault_plan(plan);
+        cache.try_get(&spec(1_000), 42).unwrap();
+        let mut registry = MetricsRegistry::new();
+        cache.export_into(&mut registry);
+        assert_eq!(registry.counter("trace_cache.spill_write_errors"), 1);
     }
 }

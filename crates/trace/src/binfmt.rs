@@ -10,23 +10,33 @@
 //! # Layout
 //!
 //! All integers are little-endian. A file is a 40-byte header, the
-//! canonical spec JSON, then `count` fixed 16-byte records:
+//! canonical spec JSON, `count` fixed 16-byte records, and (since
+//! version 2) an 8-byte FNV-1a 64 checksum trailer over the record
+//! bytes:
 //!
 //! ```text
 //! offset  size  field
 //!      0     8  magic        b"HMTRACE1"
-//!      8     4  version      format version (currently 1)
+//!      8     4  version      format version (currently 2)
 //!     12     4  spec_len     byte length of the spec JSON that follows
 //!     16     8  seed         generator seed the trace was produced with
 //!     24     8  fingerprint  cache key of (spec JSON, seed)
 //!     32     8  count        number of records
 //!     40   spec_len          canonical spec JSON (collision verification)
 //!     40+spec_len  16*count  records
+//!     then     8  checksum   FNV-1a 64 of the record bytes (version ≥ 2)
 //! ```
 //!
 //! Each record is `{ page: u64, flags: u64 }` with flag bit 0 carrying
 //! the op (0 = read, 1 = write); the remaining flag bits are reserved
-//! for future op/size packing and must be zero in version 1.
+//! for future op/size packing and must be zero.
+//!
+//! Version 1 files (no trailer) are still readable: the readers skip
+//! checksum verification for them, so every spill written before the
+//! version bump stays valid. Version 2 readers verify the trailer and
+//! report a bit-flipped or mid-record-truncated body as
+//! [`Error::ParseTrace`] — the trace cache counts that as a spill miss
+//! and regenerates instead of trusting a corrupt file.
 //!
 //! The full spec JSON rides in the header (not just its fingerprint) so
 //! a reader can verify the file really holds the trace it asked for —
@@ -53,13 +63,38 @@ use hybridmem_types::{AccessKind, Error, PageAccess, PageId};
 pub const MAGIC: [u8; 8] = *b"HMTRACE1";
 
 /// Current format version.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
+
+/// Oldest format version the readers still accept (version 1 files
+/// carry no checksum trailer).
+pub const MIN_VERSION: u32 = 1;
 
 /// Size of the fixed header in bytes (the spec JSON follows it).
 pub const HEADER_BYTES: usize = 40;
 
 /// Size of one record in bytes.
 pub const RECORD_BYTES: usize = 16;
+
+/// Size of the checksum trailer (version ≥ 2).
+pub const TRAILER_BYTES: usize = 8;
+
+/// FNV-1a 64 offset basis — the seed of an incremental checksum.
+pub const FNV1A64_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64 prime.
+const FNV1A64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into an incremental FNV-1a 64 state. Start from
+/// [`FNV1A64_SEED`]; feeding the same bytes in any chunking yields the
+/// same digest. Shared with the resume journal's record CRCs.
+#[must_use]
+pub fn fnv1a64_update(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV1A64_PRIME);
+    }
+    hash
+}
 
 /// Record flag bit 0: the access is a write.
 const FLAG_WRITE: u64 = 1;
@@ -150,6 +185,7 @@ pub struct TraceWriter<W: Write + Seek> {
     sink: W,
     count: u64,
     buffer: Vec<u8>,
+    checksum: u64,
 }
 
 /// Records staged in the writer's buffer before a flush.
@@ -184,6 +220,7 @@ impl<W: Write + Seek> TraceWriter<W> {
             sink,
             count: 0,
             buffer: Vec::with_capacity(WRITER_BUFFER_RECORDS * RECORD_BYTES),
+            checksum: FNV1A64_SEED,
         })
     }
 
@@ -194,8 +231,12 @@ impl<W: Write + Seek> TraceWriter<W> {
     /// Propagates sink failures as [`Error::InvalidInput`].
     pub fn push(&mut self, access: PageAccess) -> Result<(), Error> {
         let record = Record::from_access(access);
-        self.buffer.extend_from_slice(&record.page.to_le_bytes());
-        self.buffer.extend_from_slice(&record.flags.to_le_bytes());
+        let page = record.page.to_le_bytes();
+        let flags = record.flags.to_le_bytes();
+        self.checksum = fnv1a64_update(self.checksum, &page);
+        self.checksum = fnv1a64_update(self.checksum, &flags);
+        self.buffer.extend_from_slice(&page);
+        self.buffer.extend_from_slice(&flags);
         self.count += 1;
         if self.buffer.len() >= WRITER_BUFFER_RECORDS * RECORD_BYTES {
             self.sink.write_all(&self.buffer).map_err(io_err)?;
@@ -204,8 +245,9 @@ impl<W: Write + Seek> TraceWriter<W> {
         Ok(())
     }
 
-    /// Flushes buffered records, patches the header's record count, and
-    /// returns the number of records written.
+    /// Flushes buffered records, writes the checksum trailer, patches
+    /// the header's record count, and returns the number of records
+    /// written.
     ///
     /// # Errors
     ///
@@ -215,6 +257,9 @@ impl<W: Write + Seek> TraceWriter<W> {
             self.sink.write_all(&self.buffer).map_err(io_err)?;
             self.buffer.clear();
         }
+        self.sink
+            .write_all(&self.checksum.to_le_bytes())
+            .map_err(io_err)?;
         self.sink.seek(SeekFrom::Start(32)).map_err(io_err)?;
         self.sink
             .write_all(&self.count.to_le_bytes())
@@ -279,6 +324,9 @@ impl BinTraceReader {
             .ok_or_else(|| Error::parse_trace(0, "record count overflows the address space"))?;
         let mut body = vec![0u8; body_len];
         read_exact_body(&mut reader, &mut body, header.count)?;
+        if header.version >= 2 {
+            verify_trailer(&mut reader, fnv1a64_update(FNV1A64_SEED, &body))?;
+        }
         let mut trailing = [0u8; 1];
         if reader.read(&mut trailing).map_err(io_err)? != 0 {
             return Err(Error::parse_trace(
@@ -328,6 +376,11 @@ pub struct BinTraceStream<R: Read = BufReader<File>> {
     chunk_records: usize,
     bytes: Vec<u8>,
     chunk: Vec<Record>,
+    /// Incremental FNV-1a 64 over the record bytes yielded so far.
+    checksum: u64,
+    /// True once the trailer has been read and verified (or skipped
+    /// for a version-1 file), so the check fires exactly once.
+    trailer_checked: bool,
 }
 
 impl BinTraceStream<BufReader<File>> {
@@ -360,6 +413,8 @@ impl<R: Read> BinTraceStream<R> {
             chunk_records,
             bytes: Vec::new(),
             chunk: Vec::new(),
+            checksum: FNV1A64_SEED,
+            trailer_checked: false,
         })
     }
 
@@ -381,10 +436,14 @@ impl<R: Read> BinTraceStream<R> {
     /// # Errors
     ///
     /// Returns [`Error::ParseTrace`] when the file ends before the
-    /// header's record count is satisfied, and [`Error::InvalidInput`]
-    /// for I/O failures.
+    /// header's record count is satisfied or the version-2 checksum
+    /// trailer does not match the streamed bytes, and
+    /// [`Error::InvalidInput`] for I/O failures. The trailer check runs
+    /// as soon as the declared count is exhausted, so the final chunk
+    /// is only handed out once the whole body has verified.
     pub fn next_chunk(&mut self) -> Result<Option<&[Record]>, Error> {
         if self.remaining == 0 {
+            self.check_trailer()?;
             return Ok(None);
         }
         let take = (self.chunk_records as u64).min(self.remaining) as usize;
@@ -394,13 +453,28 @@ impl<R: Read> BinTraceStream<R> {
             &mut self.bytes,
             self.header.count - self.remaining + take as u64,
         )?;
+        self.checksum = fnv1a64_update(self.checksum, &self.bytes);
+        self.remaining -= take as u64;
+        if self.remaining == 0 {
+            self.check_trailer()?;
+        }
         self.chunk.clear();
         self.chunk.reserve(take);
         for chunk in self.bytes.chunks_exact(RECORD_BYTES) {
             self.chunk.push(decode_record(chunk));
         }
-        self.remaining -= take as u64;
         Ok(Some(&self.chunk))
+    }
+
+    /// Reads and verifies the checksum trailer exactly once (no-op for
+    /// version-1 files, which carry none).
+    fn check_trailer(&mut self) -> Result<(), Error> {
+        if self.trailer_checked || self.header.version < 2 {
+            self.trailer_checked = true;
+            return Ok(());
+        }
+        self.trailer_checked = true;
+        verify_trailer(&mut self.source, self.checksum)
     }
 }
 
@@ -420,10 +494,10 @@ fn read_header<R: Read>(reader: &mut R) -> Result<TraceHeader, Error> {
         return Err(Error::parse_trace(0, "bad magic: not a binary trace file"));
     }
     let version = u32::from_le_bytes(fixed[8..12].try_into().expect("4-byte slice"));
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(Error::parse_trace(
             0,
-            format!("unsupported format version {version} (expected {VERSION})"),
+            format!("unsupported format version {version} (expected {MIN_VERSION}..={VERSION})"),
         ));
     }
     let spec_len = u32::from_le_bytes(fixed[12..16].try_into().expect("4-byte slice")) as usize;
@@ -452,6 +526,28 @@ fn read_exact_body<R: Read>(reader: &mut R, body: &mut [u8], record: u64) -> Res
         std::io::ErrorKind::UnexpectedEof => Error::parse_trace(record, "truncated record body"),
         _ => Error::invalid_input(format!("I/O error: {e}")),
     })
+}
+
+/// Reads the 8-byte trailer and compares it against the checksum
+/// computed over the record bytes actually read.
+fn verify_trailer<R: Read>(reader: &mut R, computed: u64) -> Result<(), Error> {
+    let mut trailer = [0u8; TRAILER_BYTES];
+    reader
+        .read_exact(&mut trailer)
+        .map_err(|e| match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => {
+                Error::parse_trace(0, "truncated checksum trailer")
+            }
+            _ => io_err(e),
+        })?;
+    let stored = u64::from_le_bytes(trailer);
+    if stored != computed {
+        return Err(Error::parse_trace(
+            0,
+            format!("checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"),
+        ));
+    }
+    Ok(())
 }
 
 fn io_err(e: std::io::Error) -> Error {
@@ -501,7 +597,7 @@ mod tests {
         let bytes = encode(&trace, "{\"spec\":1}", 42, 0xfeed);
         assert_eq!(
             bytes.len(),
-            HEADER_BYTES + "{\"spec\":1}".len() + trace.len() * RECORD_BYTES
+            HEADER_BYTES + "{\"spec\":1}".len() + trace.len() * RECORD_BYTES + TRAILER_BYTES
         );
         let reader = BinTraceReader::from_reader(bytes.as_slice()).unwrap();
         assert_eq!(reader.header().seed, 42);
@@ -575,7 +671,8 @@ mod tests {
     #[test]
     fn truncated_body_is_rejected_by_reader_and_stream() {
         let bytes = encode(&sample(10), "{}", 1, 2);
-        let cut = &bytes[..bytes.len() - 7];
+        // Cut past the trailer and into the last record.
+        let cut = &bytes[..bytes.len() - TRAILER_BYTES - 7];
         let err = BinTraceReader::from_reader(cut).unwrap_err();
         assert!(err.to_string().contains("truncated record body"), "{err}");
 
@@ -591,6 +688,80 @@ mod tests {
         } {}
         let err = last.unwrap_err();
         assert!(err.to_string().contains("truncated record body"), "{err}");
+    }
+
+    #[test]
+    fn truncated_trailer_is_rejected_by_reader_and_stream() {
+        let bytes = encode(&sample(6), "{}", 1, 2);
+        let cut = &bytes[..bytes.len() - 3];
+        let err = BinTraceReader::from_reader(cut).unwrap_err();
+        assert!(
+            err.to_string().contains("truncated checksum trailer"),
+            "{err}"
+        );
+
+        let mut stream = BinTraceStream::from_reader(cut, 4).unwrap();
+        let mut last = Ok(());
+        while match stream.next_chunk() {
+            Ok(Some(_)) => true,
+            Ok(None) => false,
+            Err(e) => {
+                last = Err(e);
+                false
+            }
+        } {}
+        let err = last.unwrap_err();
+        assert!(
+            err.to_string().contains("truncated checksum trailer"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn bit_flip_in_body_is_detected_by_reader_and_stream() {
+        let mut bytes = encode(&sample(8), "{}", 1, 2);
+        let flip_at = HEADER_BYTES + "{}".len() + 3 * RECORD_BYTES + 1;
+        bytes[flip_at] ^= 0x10;
+        let err = BinTraceReader::from_reader(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+
+        let mut stream = BinTraceStream::from_reader(bytes.as_slice(), 3).unwrap();
+        let mut last = Ok(());
+        while match stream.next_chunk() {
+            Ok(Some(_)) => true,
+            Ok(None) => false,
+            Err(e) => {
+                last = Err(e);
+                false
+            }
+        } {}
+        let err = last.unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+    }
+
+    /// Rewrites an encoded file as a pre-checksum version-1 file: the
+    /// version field drops to 1 and the trailer is stripped.
+    fn downgrade_to_v1(mut bytes: Vec<u8>) -> Vec<u8> {
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        bytes.truncate(bytes.len() - TRAILER_BYTES);
+        bytes
+    }
+
+    #[test]
+    fn version1_files_without_trailer_still_read() {
+        let trace = sample(9);
+        let bytes = downgrade_to_v1(encode(&trace, "{\"v\":1}", 3, 4));
+        let reader = BinTraceReader::from_reader(bytes.as_slice()).unwrap();
+        assert_eq!(reader.header().version, 1);
+        let back: Vec<PageAccess> = reader.records().iter().map(|r| r.access()).collect();
+        assert_eq!(back, trace);
+
+        let mut stream = BinTraceStream::from_reader(bytes.as_slice(), 4).unwrap();
+        let mut streamed = Vec::new();
+        while let Some(chunk) = stream.next_chunk().unwrap() {
+            streamed.extend(chunk.iter().map(|r| r.access()));
+        }
+        assert_eq!(streamed, trace);
     }
 
     /// Overwrites the header's record-count field (bytes 32..40).
@@ -620,13 +791,42 @@ mod tests {
     }
 
     #[test]
-    fn count_smaller_than_body_is_rejected_by_reader_and_bounds_the_stream() {
+    fn count_smaller_than_body_is_rejected_by_reader_and_stream() {
         let trace = sample(5);
         let mut bytes = encode(&trace, "{}", 1, 2);
         patch_count(&mut bytes, 4);
-        // The whole-file reader treats the undeclared fifth record as
-        // trailing garbage; the stream reads exactly the declared four
-        // and never looks at it.
+        // Both readers stop at the declared four records, so the bytes
+        // where the trailer should sit are the undeclared fifth record
+        // — the checksum check rejects the file.
+        let err = BinTraceReader::from_reader(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+
+        let mut stream = BinTraceStream::from_reader(bytes.as_slice(), 3).unwrap();
+        let mut last = Ok(());
+        let mut back = Vec::new();
+        while match stream.next_chunk() {
+            Ok(Some(chunk)) => {
+                back.extend(chunk.iter().map(|r| r.access()));
+                true
+            }
+            Ok(None) => false,
+            Err(e) => {
+                last = Err(e);
+                false
+            }
+        } {}
+        let err = last.unwrap_err();
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        assert_eq!(back, trace[..3], "the poisoned final chunk is withheld");
+    }
+
+    #[test]
+    fn count_smaller_than_body_in_a_version1_file_bounds_the_stream() {
+        // Without a trailer the declared count is the only bound: the
+        // stream reads exactly four records and never looks past them.
+        let trace = sample(5);
+        let mut bytes = downgrade_to_v1(encode(&trace, "{}", 1, 2));
+        patch_count(&mut bytes, 4);
         let err = BinTraceReader::from_reader(bytes.as_slice()).unwrap_err();
         assert!(err.to_string().contains("trailing bytes"), "{err}");
 
@@ -758,7 +958,8 @@ mod tests {
                 let declared_len = bytes.len() as u64;
                 prop_assert_eq!(
                     declared_len,
-                    (HEADER_BYTES + spec.len() + trace.len() * RECORD_BYTES) as u64
+                    (HEADER_BYTES + spec.len() + trace.len() * RECORD_BYTES + TRAILER_BYTES)
+                        as u64
                 );
                 let mut padded = bytes;
                 padded.extend_from_slice(&garbage);
@@ -777,7 +978,7 @@ mod tests {
                 prop_assert_eq!(
                     read.get(),
                     declared_len,
-                    "stream stops at header + spec + count * RECORD_BYTES"
+                    "stream stops at header + spec + records + trailer"
                 );
             }
         }

@@ -254,9 +254,7 @@ impl TraceGenerator {
             let limit = self.recency.len().min(self.depth);
             let total = self.rank_cdf[limit - 1];
             let u = self.rng.gen::<f64>() * total;
-            let rank = match self.rank_cdf[..limit]
-                .binary_search_by(|w| w.partial_cmp(&u).expect("weights are finite"))
-            {
+            let rank = match self.rank_cdf[..limit].binary_search_by(|w| w.total_cmp(&u)) {
                 Ok(i) | Err(i) => i.min(limit - 1),
             };
             self.recency[self.recency.len() - 1 - rank]

@@ -186,8 +186,11 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<Vec<Access>, Error> {
     }
     let mut accesses = Vec::with_capacity(bytes.len() / BINARY_RECORD_SIZE);
     for (index, record) in bytes.chunks_exact(BINARY_RECORD_SIZE).enumerate() {
-        let address = u64::from_le_bytes(record[..8].try_into().expect("8-byte slice"));
-        let core = u16::from_le_bytes(record[8..10].try_into().expect("2-byte slice"));
+        let short = |field: &str| {
+            Error::parse_trace(index as u64 + 1, format!("record too short for {field}"))
+        };
+        let address = u64::from_le_bytes(record[..8].try_into().map_err(|_| short("address"))?);
+        let core = u16::from_le_bytes(record[8..10].try_into().map_err(|_| short("core id"))?);
         let kind = match record[10] {
             0 => AccessKind::Read,
             1 => AccessKind::Write,

@@ -354,10 +354,10 @@ pub fn spec(name: &str) -> Result<WorkloadSpec> {
 /// ```
 #[must_use]
 pub fn all_specs() -> Vec<WorkloadSpec> {
-    NAMES
-        .iter()
-        .map(|name| spec(name).expect("built-in specs are valid"))
-        .collect()
+    // Every name in NAMES has a TABLE_III row with validated
+    // parameters (the test module checks all twelve), so a failing
+    // spec cannot occur; filter_map keeps the path panic-free anyway.
+    NAMES.iter().filter_map(|name| spec(name).ok()).collect()
 }
 
 #[cfg(test)]
