@@ -5,9 +5,11 @@
 //! metrics snapshots. This crate closes the loop — it ingests any of
 //! them ([`ingest`]), rolls per-cell profiles and A-vs-B deltas
 //! ([`diff`]), judges the committed bench history with a noise-aware
-//! median-of-priors detector ([`trajectory`]), and renders the results
-//! both as aligned text tables ([`table`]) and as the stable
-//! `hybridmem-analyze-v1` JSON ([`report`]) that CI gates on.
+//! median-of-priors detector ([`trajectory`]), correlates black-box
+//! flight dumps with every other stream into per-cell failure
+//! timelines ([`postmortem`]), and renders the results both as aligned
+//! text tables ([`table`]) and as the stable `hybridmem-analyze-v1`
+//! JSON ([`report`]) that CI gates on.
 //!
 //! Like `xtask`, the crate is zero-dependency by design: it carries its
 //! own small JSON reader/writer ([`json`]) whose number lexemes survive
@@ -20,6 +22,7 @@
 pub mod diff;
 pub mod ingest;
 pub mod json;
+pub mod postmortem;
 pub mod report;
 pub mod table;
 pub mod trajectory;
@@ -33,6 +36,10 @@ pub use ingest::{
     MetricsStat,
 };
 pub use json::{parse, Json};
+pub use postmortem::{
+    correlate, postmortem_report, CellTimeline, PostmortemInputs, PostmortemReport, Signal,
+    POSTMORTEM_SCHEMA,
+};
 pub use report::{diff_report, round_trips, trajectory_report, ANALYZE_SCHEMA};
-pub use table::{diff_table, metrics_table, trajectory_table};
+pub use table::{diff_table, metrics_table, postmortem_table, trajectory_table};
 pub use trajectory::{roll, SeriesVerdict, TrajectoryOptions, TrajectoryReport};

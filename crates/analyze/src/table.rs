@@ -8,6 +8,7 @@
 
 use crate::diff::DiffReport;
 use crate::ingest::MetricsStat;
+use crate::postmortem::PostmortemReport;
 use crate::trajectory::TrajectoryReport;
 
 /// Formats a value: whole numbers without a fraction, others with three
@@ -182,6 +183,52 @@ pub fn metrics_table(stat: &MetricsStat) -> String {
     out
 }
 
+/// Renders a postmortem correlation: one block per flight-dumped cell
+/// (a preamble line, then its signal timeline), followed by warnings.
+#[must_use]
+pub fn postmortem_table(report: &PostmortemReport) -> String {
+    let mut out = String::new();
+    for cell in &report.cells {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "cell {}/{} — trigger {}, final access {}, {} accesses, {} retried attempt(s)\n",
+            cell.workload,
+            cell.policy,
+            cell.trigger,
+            cell.final_access,
+            cell.accesses,
+            cell.retries,
+        ));
+        if let Some(error) = &cell.error {
+            out.push_str(&format!("  error: {error}\n"));
+        }
+        let rows: Vec<Vec<String>> = cell
+            .signals
+            .iter()
+            .map(|s| {
+                vec![
+                    s.source.clone(),
+                    s.access.map_or_else(|| "-".to_owned(), |a| a.to_string()),
+                    s.detail.clone(),
+                ]
+            })
+            .collect();
+        out.push_str(&render(&["source", "access", "detail"], 3, &rows));
+    }
+    for warning in &report.warnings {
+        out.push_str(&format!("warning: {warning}\n"));
+    }
+    out.push_str(&format!(
+        "{} flight cell(s), {} triggered; sources: {}\n",
+        report.cells.len(),
+        report.triggered_cells,
+        report.sources.join(", ")
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +312,45 @@ mod tests {
             TrajectoryOptions::default(),
         );
         assert!(trajectory_table(&failed).contains("gate FAILED"));
+    }
+
+    #[test]
+    fn postmortem_table_shows_cells_signals_and_warnings() {
+        let report = PostmortemReport {
+            sources: vec!["flight".to_owned(), "health".to_owned()],
+            triggered_cells: 1,
+            cells: vec![crate::postmortem::CellTimeline {
+                workload: "w.trace".to_owned(),
+                policy: "two-lru".to_owned(),
+                trigger: "panic".to_owned(),
+                error: Some("injected fault".to_owned()),
+                retries: 2,
+                accesses: 500,
+                final_access: 499,
+                events_dropped: 436,
+                signals: vec![
+                    crate::postmortem::Signal {
+                        source: "flight".to_owned(),
+                        access: Some(499),
+                        detail: "last recorded event: page 9 write served from dram".to_owned(),
+                    },
+                    crate::postmortem::Signal {
+                        source: "health".to_owned(),
+                        access: None,
+                        detail: "quarantined after 2 retries (panic): injected fault".to_owned(),
+                    },
+                ],
+                correlated_signals: 1,
+            }],
+            warnings: vec!["metrics line 2: unparseable".to_owned()],
+        };
+        let out = postmortem_table(&report);
+        assert!(out.contains("cell w.trace/two-lru — trigger panic, final access 499"));
+        assert!(out.contains("error: injected fault"));
+        assert!(out.contains("quarantined after 2 retries"));
+        assert!(out.contains("warning: metrics line 2"));
+        assert!(out.contains("1 flight cell(s), 1 triggered; sources: flight, health"));
+        assert!(out.lines().all(|l| l == l.trim_end()));
     }
 
     #[test]

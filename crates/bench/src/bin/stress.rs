@@ -14,6 +14,14 @@
 //!               workloads the journal already holds (their measurements
 //!               are restored as recorded), so a killed run resumes
 //!               instead of starting over
+//! --flight-out FILE
+//!               ride a black-box flight recorder on one extra *untimed*
+//!               batched two-LRU replay per workload (so the measured
+//!               phases stay unperturbed) and write the
+//!               hybridmem-flight-v1 dump; journal-restored workloads
+//!               replay no cell and dump no black box
+//! --flight-events N
+//!               events retained per cell's flight ring (default 256)
 //! ```
 //!
 //! `HYBRIDMEM_FAULT_PLAN` (see `hybridmem-core::faultinject`) is honored
@@ -44,8 +52,9 @@ use std::time::Instant;
 
 use hybridmem_bench::ReferenceTwoLru;
 use hybridmem_core::{
-    ExperimentConfig, FaultPlan, HybridSimulator, PolicyKind, ReplayMode, RunJournal,
-    SimulationReport, TraceCache,
+    write_flight_json, ExperimentConfig, FaultPlan, FlightMatrixReport, FlightOptions,
+    HybridSimulator, Instrumentation, PolicyKind, ReplayMode, RunJournal, SimulationReport,
+    TraceCache,
 };
 use hybridmem_metrics::peak_rss_bytes;
 use hybridmem_policy::TwoLruConfig;
@@ -99,6 +108,8 @@ struct Options {
     seed: u64,
     out: PathBuf,
     resume: Option<PathBuf>,
+    flight_out: Option<PathBuf>,
+    flight_events: usize,
 }
 
 impl Options {
@@ -109,6 +120,8 @@ impl Options {
             seed: 42,
             out: next_bench_path(std::path::Path::new(".")),
             resume: None,
+            flight_out: None,
+            flight_events: 256,
         };
         let mut args = std::env::args().skip(1);
         while let Some(flag) = args.next() {
@@ -122,11 +135,23 @@ impl Options {
                 "--seed" => options.seed = value().parse().expect("--seed expects an integer"),
                 "--out" => options.out = PathBuf::from(value()),
                 "--resume" => options.resume = Some(PathBuf::from(value())),
+                "--flight-out" => options.flight_out = Some(PathBuf::from(value())),
+                "--flight-events" => {
+                    options.flight_events =
+                        value().parse().expect("--flight-events expects an integer");
+                }
                 other => {
-                    panic!("unknown flag {other}; expected --quick/--cap/--seed/--out/--resume")
+                    panic!(
+                        "unknown flag {other}; expected \
+                         --quick/--cap/--seed/--out/--resume/--flight-out/--flight-events"
+                    )
                 }
             }
         }
+        assert!(
+            options.flight_events > 0,
+            "--flight-events must retain at least 1 event"
+        );
         options
     }
 
@@ -312,6 +337,7 @@ fn main() {
 
     let run_start = Instant::now();
     let mut workloads = Vec::new();
+    let mut flights = Vec::new();
     for name in WORKLOADS {
         let spec = parsec::spec(name)
             .expect("WORKLOADS only lists known profiles")
@@ -388,6 +414,32 @@ fn main() {
             journal.record(name, "stress", &result);
         }
         workloads.push(result);
+
+        // One extra *untimed* replay carries the black box, so the
+        // measured phases above stay unperturbed by the recorder.
+        if options.flight_out.is_some() {
+            let instrumentation = Instrumentation::default()
+                .with_flight(FlightOptions::with_events(options.flight_events));
+            let run = batched_config
+                .run_instrumented(&spec, PolicyKind::TwoLru, &cache, instrumentation)
+                .expect("cell inputs are valid");
+            flights.push(
+                run.flight
+                    .expect("flight instrumentation was requested for this cell"),
+            );
+        }
+    }
+
+    if let Some(path) = &options.flight_out {
+        let matrix = FlightMatrixReport::new(flights);
+        let mut writer = std::io::BufWriter::new(
+            std::fs::File::create(path)
+                .unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display())),
+        );
+        write_flight_json(&mut writer, &matrix)
+            .and_then(|()| std::io::Write::flush(&mut writer))
+            .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!("wrote flight recorder dump to {}", path.display());
     }
 
     let mut phase_totals: Vec<NamedMeasurement> = Vec::new();

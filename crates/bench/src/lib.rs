@@ -16,10 +16,16 @@
 //! --profile-out FILE  write a Chrome trace-event span profile (Perfetto-loadable)
 //! --audit-out FILE    attach the run-health audit to every cell and write its
 //!                     hybridmem-audit-v1 report (non-zero exit on violations)
+//! --flight-out FILE   ride a black-box flight recorder on every cell and
+//!                     write the hybridmem-flight-v1 dump (byte-identical at
+//!                     any --threads count)
+//! --flight-events N   events retained per cell's flight ring (default 256)
 //! --resume FILE       journal completed cells to FILE (fsynced, checksummed)
 //!                     and skip cells already journaled, so a killed run
 //!                     resumes byte-identically; incompatible with the
-//!                     instrumentation outputs
+//!                     streaming instrumentation outputs, but --flight-out is
+//!                     allowed (journaled cells replay without a black box;
+//!                     quarantined cells still dump theirs)
 //! ```
 //!
 //! Tables are printed in the same row/series layout the paper uses, with
@@ -35,10 +41,10 @@ use std::path::{Path, PathBuf};
 
 use hybridmem_core::{
     arith_mean, compare_policies_instrumented, compare_policies_isolated, compare_policies_timed,
-    geo_mean, matrix_fingerprint, write_audit_json, write_jsonl, write_ledger_jsonl,
-    AuditMatrixReport, AuditOptions, CellOutcome, CellStatus, ExperimentConfig, FaultPlan,
-    Instrumentation, LedgerOptions, MatrixTiming, PolicyKind, RunJournal, SimulationReport,
-    TraceCache, TraceCacheStats,
+    geo_mean, matrix_fingerprint, write_audit_json, write_flight_json, write_jsonl,
+    write_ledger_jsonl, AuditMatrixReport, AuditOptions, CellOutcome, CellStatus, ExperimentConfig,
+    FaultPlan, FlightMatrixReport, FlightOptions, FlightRecord, Instrumentation, LedgerOptions,
+    MatrixTiming, PolicyKind, RunJournal, SimulationReport, TraceCache, TraceCacheStats,
 };
 use hybridmem_metrics::{MetricsRegistry, MetricsSnapshot, SpanProfiler};
 use hybridmem_trace::{parsec, WorkloadSpec};
@@ -77,11 +83,21 @@ pub struct SuiteOptions {
     /// audit to every cell and writes the `hybridmem-audit-v1` aggregate
     /// here, failing the run when any invariant is violated.
     pub audit_out: Option<PathBuf>,
+    /// When given, [`SuiteOptions::run_matrix`] rides a bounded black-box
+    /// flight recorder on every cell and writes the `hybridmem-flight-v1`
+    /// dump here (byte-identical at any `--threads` count). On the
+    /// `--resume` path only quarantined cells carry a black box —
+    /// journaled cells replay their reports without re-running.
+    pub flight_out: Option<PathBuf>,
+    /// Events retained per cell's flight-recorder ring.
+    pub flight_events: usize,
     /// When given, [`SuiteOptions::run_matrix`] journals each completed
     /// cell here (fsynced, checksummed) and skips cells the journal
     /// already holds, so a killed or faulted run resumes with
-    /// byte-identical reports. Incompatible with the instrumentation
-    /// outputs (journaled cells replay reports without re-running).
+    /// byte-identical reports. Incompatible with the streaming
+    /// instrumentation outputs (journaled cells replay reports without
+    /// re-running); `--flight-out` is allowed because a flight dump only
+    /// captures freshly simulated failures.
     pub resume: Option<PathBuf>,
 }
 
@@ -124,16 +140,33 @@ impl SuiteOptions {
                 }
                 "--profile-out" => options.profile_out = Some(PathBuf::from(value())),
                 "--audit-out" => options.audit_out = Some(PathBuf::from(value())),
+                "--flight-out" => options.flight_out = Some(PathBuf::from(value())),
+                "--flight-events" => {
+                    options.flight_events =
+                        value().parse().expect("--flight-events expects an integer");
+                }
                 "--resume" => options.resume = Some(PathBuf::from(value())),
                 other => {
                     panic!(
                         "unknown flag {other}; expected \
                          --cap/--seed/--out/--threads/--metrics-out/--metrics-window\
-                         /--ledger-out/--ledger-top/--profile-out/--audit-out/--resume"
+                         /--ledger-out/--ledger-top/--profile-out/--audit-out\
+                         /--flight-out/--flight-events/--resume"
                     );
                 }
             }
         }
+        // A zero-sized retention knob would silently produce an empty
+        // artefact; fail loudly at the door instead (`--metrics-window 0`
+        // stays legal — it means one whole-run window).
+        assert!(
+            options.ledger_top > 0,
+            "--ledger-top must retain at least 1 page"
+        );
+        assert!(
+            options.flight_events > 0,
+            "--flight-events must retain at least 1 event"
+        );
         options
     }
 
@@ -178,7 +211,15 @@ impl SuiteOptions {
         let instrumentation = self.instrumentation();
         let profiler = self.profile_out.as_ref().map(|_| SpanProfiler::new());
         if let Some(journal_path) = &self.resume {
-            if !instrumentation.is_empty() || profiler.is_some() {
+            // `--flight-out` is deliberately exempt: a flight dump only
+            // captures freshly simulated failures, so journal replay
+            // cannot make it lie — CI's chaos job relies on combining
+            // the two. The streaming outputs would be incomplete.
+            let streaming = Instrumentation {
+                flight: None,
+                ..instrumentation
+            };
+            if !streaming.is_empty() || profiler.is_some() {
                 return Err(Error::invalid_input(
                     "--resume cannot be combined with --metrics-out/--ledger-out\
                      /--profile-out/--audit-out: journaled cells replay their reports \
@@ -222,7 +263,10 @@ impl SuiteOptions {
     /// completed cells land in the journal as they finish, and cells the
     /// journal already holds replay their reports without re-running.
     /// Failures leave the other cells journaled and exit non-zero, so the
-    /// very same invocation resumes the run.
+    /// very same invocation resumes the run. With `--flight-out`, every
+    /// quarantined cell's black box lands in the dump — written *before*
+    /// the failure verdict, so CI uploads the evidence even when the run
+    /// exits non-zero.
     fn run_matrix_journaled(
         &self,
         kinds: &[PolicyKind],
@@ -231,19 +275,42 @@ impl SuiteOptions {
         journal_path: &Path,
     ) -> Result<Vec<(WorkloadSpec, Vec<SimulationReport>)>> {
         let journal = RunJournal::open(journal_path, matrix_fingerprint(specs, kinds, config))?;
+        if journal.torn_tail_bytes() > 0 {
+            eprintln!(
+                "warning: resume journal had {} byte(s) of torn or corrupt tail truncated; \
+                 the cells recorded there will be recomputed",
+                journal.torn_tail_bytes()
+            );
+        }
         let fault_plan = FaultPlan::from_env()?;
-        let (outcomes, health, timing) = compare_policies_isolated(
+        let flight = self
+            .flight_out
+            .as_ref()
+            .map(|_| FlightOptions::with_events(self.flight_events));
+        let (mut outcomes, health, timing) = compare_policies_isolated(
             specs,
             kinds,
             config,
             self.threads,
             fault_plan.as_ref(),
             Some(&journal),
+            flight,
         );
         let mut summary = ThroughputSummary::from_matrix(specs, kinds, &timing);
         summary.trace_cache = TraceCache::global().stats();
         summary.metrics = Self::aggregate_metrics(&timing, None);
         self.write_throughput(&summary);
+        if let Some(path) = &self.flight_out {
+            let flights: Vec<FlightRecord> = outcomes
+                .iter_mut()
+                .flat_map(|row| row.iter_mut())
+                .filter_map(|outcome| match outcome {
+                    CellOutcome::Failed { flight, .. } => flight.take().map(|record| *record),
+                    CellOutcome::Ok { .. } => None,
+                })
+                .collect();
+            write_flight_dump(path, flights)?;
+        }
         if health.failed_cells > 0 {
             for cell in health
                 .cells
@@ -280,7 +347,7 @@ impl SuiteOptions {
     /// Which sinks [`SuiteOptions::run_matrix`] attaches to every cell,
     /// derived from the output flags: a window when `--metrics-out` was
     /// given, a ledger when `--ledger-out` was, a run-health audit when
-    /// `--audit-out` was.
+    /// `--audit-out` was, a flight recorder when `--flight-out` was.
     #[must_use]
     pub fn instrumentation(&self) -> Instrumentation {
         let mut instrumentation = Instrumentation::default();
@@ -295,6 +362,10 @@ impl SuiteOptions {
         }
         if self.audit_out.is_some() {
             instrumentation = instrumentation.with_audit(AuditOptions::default());
+        }
+        if self.flight_out.is_some() {
+            instrumentation =
+                instrumentation.with_flight(FlightOptions::with_events(self.flight_events));
         }
         instrumentation
     }
@@ -321,10 +392,11 @@ impl SuiteOptions {
         };
         let mut aggregate = self.metrics_out.is_some().then(MetricsSnapshot::default);
         let mut audit_cells = self.audit_out.as_ref().map(|_| Vec::new());
+        let mut flight_cells = self.flight_out.as_ref().map(|_| Vec::new());
         let mut rows = Vec::with_capacity(cells.len());
         for row in cells {
             let mut reports = Vec::with_capacity(row.len());
-            for cell in row {
+            for mut cell in row {
                 if let Some((writer, path)) = &mut metrics_writer {
                     write_jsonl(writer, &cell.records).map_err(|e| {
                         Error::invalid_input(format!("write {}: {e}", path.display()))
@@ -346,6 +418,11 @@ impl SuiteOptions {
                         Error::invalid_input("instrumented cell lost its audit sink")
                     })?);
                 }
+                if let Some(flight_cells) = &mut flight_cells {
+                    flight_cells.push(cell.flight.take().ok_or_else(|| {
+                        Error::invalid_input("instrumented cell lost its flight recorder")
+                    })?);
+                }
                 reports.push(cell.report);
             }
             rows.push(reports);
@@ -359,6 +436,11 @@ impl SuiteOptions {
             std::io::Write::flush(writer)
                 .map_err(|e| Error::invalid_input(format!("write {}: {e}", path.display())))?;
             println!("wrote page ledger to {}", path.display());
+        }
+        // The flight dump lands before the audit verdict so a failing run
+        // still leaves its black box behind for CI to upload.
+        if let (Some(path), Some(cells)) = (&self.flight_out, flight_cells) {
+            write_flight_dump(path, cells)?;
         }
         if let (Some(path), Some(cells)) = (&self.audit_out, audit_cells) {
             let matrix = AuditMatrixReport::new(cells);
@@ -473,9 +555,23 @@ impl Default for SuiteOptions {
             ledger_top: 64,
             profile_out: None,
             audit_out: None,
+            flight_out: None,
+            flight_events: 256,
             resume: None,
         }
     }
+}
+
+/// Writes a `hybridmem-flight-v1` dump to `path` — always, even when
+/// `cells` is empty, so CI can assert on the artefact's presence.
+fn write_flight_dump(path: &Path, cells: Vec<FlightRecord>) -> Result<()> {
+    let matrix = FlightMatrixReport::new(cells);
+    let mut writer = create_jsonl_writer(path)?;
+    write_flight_json(&mut writer, &matrix)
+        .and_then(|()| std::io::Write::flush(&mut writer))
+        .map_err(|e| Error::invalid_input(format!("write {}: {e}", path.display())))?;
+    println!("wrote flight recorder dump to {}", path.display());
+    Ok(())
 }
 
 /// Creates a buffered writer for an explicitly requested JSONL artefact.
@@ -664,6 +760,8 @@ mod tests {
         assert_eq!(o.ledger_top, 64);
         assert!(o.profile_out.is_none(), "profiling is opt-in");
         assert!(o.audit_out.is_none(), "the audit artefact is opt-in");
+        assert!(o.flight_out.is_none(), "the flight recorder is opt-in");
+        assert_eq!(o.flight_events, 256);
         assert!(o.resume.is_none(), "the resume journal is opt-in");
         assert!(
             o.instrumentation().is_empty(),
@@ -680,6 +778,8 @@ mod tests {
             ledger_top: 8,
             metrics_window: 500,
             audit_out: Some(PathBuf::from("audit.json")),
+            flight_out: Some(PathBuf::from("flight.json")),
+            flight_events: 32,
             ..SuiteOptions::default()
         };
         let instrumentation = o.instrumentation();
@@ -693,6 +793,11 @@ mod tests {
             instrumentation.audit,
             Some(AuditOptions::default()),
             "--audit-out must attach the audit sink"
+        );
+        assert_eq!(
+            instrumentation.flight,
+            Some(FlightOptions::with_events(32)),
+            "--flight-events must size the flight ring"
         );
     }
 
@@ -779,6 +884,18 @@ mod tests {
             "journal replay is byte-identical"
         );
 
+        // `--flight-out` is exempt from the resume incompatibility: the
+        // journaled replay yields an empty (but valid) flight dump.
+        let flight_path = dir.join("flight.json");
+        let with_flight = SuiteOptions {
+            flight_out: Some(flight_path.clone()),
+            ..options.clone()
+        };
+        with_flight.run_matrix(&[PolicyKind::TwoLru]).unwrap();
+        let dump = fs::read_to_string(&flight_path).unwrap();
+        assert!(dump.contains("hybridmem-flight-v1"), "{dump}");
+        assert!(dump.contains("\"dumped_cells\": 0"), "{dump}");
+
         let incompatible = SuiteOptions {
             metrics_out: Some(dir.join("m.jsonl")),
             ..options
@@ -789,6 +906,7 @@ mod tests {
             "{err}"
         );
         let _ = fs::remove_file(journal);
+        let _ = fs::remove_file(flight_path);
     }
 
     #[test]

@@ -5,14 +5,15 @@ use std::io::{BufReader, BufWriter};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use hybridmem_analyze::{CellProfile, Input, TrajectoryOptions};
+use hybridmem_analyze::{CellProfile, Input, PostmortemInputs, TrajectoryOptions};
 use hybridmem_core::health::run_isolated;
 use hybridmem_core::{
-    matrix_fingerprint, write_audit_json, write_jsonl, write_ledger_jsonl,
-    write_matrix_health_json, AuditMatrixReport, AuditOptions, AuditReport, AuditSink, CellOutcome,
-    CellStatus, EventSink, ExperimentConfig, FanoutSink, FaultPlan, HybridSimulator,
+    flight_recorder_for, flightrec, matrix_fingerprint, write_audit_json, write_flight_json,
+    write_jsonl, write_ledger_jsonl, write_matrix_health_json, AuditMatrixReport, AuditOptions,
+    AuditReport, AuditSink, CellOutcome, CellStatus, EventSink, ExperimentConfig, FanoutSink,
+    FaultPlan, FlightMatrixReport, FlightOptions, FlightRecord, FlightRecorder, HybridSimulator,
     IntervalRecord, LedgerOptions, LedgerReport, MatrixHealthReport, PageEvent, PageLedger,
-    PolicyKind, ReplayMode, RunJournal, SimulationReport, WindowedCollector,
+    PanicTripwire, PolicyKind, ReplayMode, RunJournal, SimulationReport, WindowedCollector,
 };
 use hybridmem_metrics::SpanProfiler;
 use hybridmem_trace::{
@@ -44,7 +45,7 @@ COMMANDS:
              [--ledger-out FILE] [--ledger-top N] [--profile-out FILE]
              [--audit-out FILE] [--replay serial|batched]
              [--fault-plan SPEC] [--resume FILE] [--health-out FILE]
-             [--strict true]
+             [--strict true] [--flight-out FILE] [--flight-events N]
              (--threads 0, the default, uses all available cores;
               --replay picks the replay driver — both are byte-identical,
               batched (the default) amortizes policy dispatch;
@@ -66,13 +67,29 @@ COMMANDS:
               killed run resumes byte-identically; incompatible with the
               instrumentation outputs;
               --health-out writes the hybridmem-matrix-health-v1 report;
-              --strict true exits non-zero when any cell failed)
+              --strict true exits non-zero when any cell failed;
+              --flight-out rides a bounded black-box flight recorder on
+              every cell — last N events plus periodic state snapshots —
+              and writes the hybridmem-flight-v1 dump; a panicking or
+              erroring cell's last moments survive into the dump, which
+              is byte-identical at any --threads count;
+              --flight-events sizes the per-cell event ring, default 256)
     observe <workload>                 stream windowed interval records (JSONL)
              [--policy P] [--cap N] [--seed N] [--window N]
              [--memory-fraction F] [--dram-fraction F] [--warmup F]
              [--replay serial|batched]
+             [--flight-out FILE] [--flight-events N]
              (--window 0 emits one whole-run record at the end;
               --workload accepts a PARSEC name or a WorkloadSpec JSON path)
+    postmortem --flight FILE           correlate a flight dump with every
+             [--health FILE] [--audit FILE]     other telemetry stream
+             [--metrics FILE] [--ledger FILE] [--journal FILE]
+             [--json FILE]
+             (joins the hybridmem-flight-v1 dump with the health report,
+              audit report, windowed-metrics JSONL, page-ledger JSONL,
+              and the binary resume journal on (workload, policy) cells
+              and access indices; prints a per-cell failure timeline and
+              --json writes the stable hybridmem-postmortem-v1 report)
     ledger <workload>                  per-page journey ledger (top-K pages)
              [--policy P] [--cap N] [--seed N] [--top K] [--max-events N]
              [--memory-fraction F] [--dram-fraction F] [--json]
@@ -117,6 +134,7 @@ pub fn run<W: std::io::Write>(raw: Vec<String>, out: &mut W) -> Result<()> {
         "simulate" => simulate(&args, out),
         "compare" => compare(&args, out),
         "observe" => observe(&args, out),
+        "postmortem" => postmortem(&args, out),
         "ledger" => ledger(&args, out),
         "trace-page" => trace_page(&args, out),
         "analyze" => analyze_command(&args, out),
@@ -277,15 +295,40 @@ fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
         "resume",
         "health-out",
         "strict",
+        "flight-out",
+        "flight-events",
     ])?;
     let threads: usize = args.get_parsed_or("threads", 0)?;
+    // All three defaults are nonzero, so a parsed zero can only mean
+    // the user passed 0 explicitly — reject it with a typed error
+    // instead of emitting degenerate windows, empty ledgers, or a
+    // clamped-to-1 flight ring.
     let metrics_window: u64 = args.get_parsed_or("metrics-window", 10_000)?;
+    if metrics_window == 0 {
+        return Err(Error::invalid_input(
+            "--metrics-window must be at least 1 access per window",
+        ));
+    }
     let ledger_top: usize = args.get_parsed_or("ledger-top", 64)?;
+    if ledger_top == 0 {
+        return Err(Error::invalid_input(
+            "--ledger-top must retain at least 1 page",
+        ));
+    }
+    let flight_events: usize = args.get_parsed_or("flight-events", 256)?;
+    if flight_events == 0 {
+        return Err(Error::invalid_input(
+            "--flight-events must retain at least 1 event",
+        ));
+    }
     let strict = args.get("strict").is_some_and(|v| v == "true");
     let fault_plan = match args.get("fault-plan") {
         Some(spec) => Some(FaultPlan::parse(spec)?),
         None => FaultPlan::from_env()?,
     };
+    // --flight-out is deliberately exempt: journaled cells simply have
+    // no flight record, and CI's chaos job combines --resume with
+    // --flight-out to capture the still-failing cells' black boxes.
     if args.get("resume").is_some() {
         for flag in ["metrics-out", "ledger-out", "profile-out", "audit-out"] {
             if args.get(flag).is_some() {
@@ -312,12 +355,26 @@ fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
             )
         })
         .transpose()?;
+    if let Some(journal) = journal.as_ref() {
+        if journal.torn_tail_bytes() > 0 {
+            writeln!(
+                out,
+                "warning: resume journal had {} byte(s) of torn or corrupt tail truncated; \
+                 the cells recorded there will be recomputed",
+                journal.torn_tail_bytes()
+            )
+            .map_err(io_err)?;
+        }
+    }
     let window = args.get("metrics-out").map(|_| metrics_window);
     let ledger = args.get("ledger-out").map(|_| LedgerOptions {
         top_k: ledger_top,
         ..LedgerOptions::default()
     });
     let audit = args.get("audit-out").map(|_| AuditOptions::default());
+    let flight = args
+        .get("flight-out")
+        .map(|_| FlightOptions::with_events(flight_events));
     // Wall-clock span profile of the worker pool; sits outside the
     // determinism boundary and never feeds back into results.
     let profiler = args.get("profile-out").map(|_| SpanProfiler::new());
@@ -329,7 +386,14 @@ fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
                 worker as u64 + 1,
             )
         });
-        instrumented_policy_cell(&config, &spec, &path, kind, &pages, window, ledger, audit)
+        // A scheduled mid-simulation panic arms a tripwire sink so the
+        // flight recorder's ring stops strictly before the dying access.
+        let panic_at = fault_plan
+            .as_ref()
+            .and_then(|plan| plan.cell_panic_access(&path, kind.name()));
+        instrumented_policy_cell(
+            &config, &spec, &path, kind, &pages, window, ledger, audit, flight, panic_at,
+        )
     };
     // Any robustness flag switches the scheduler to the isolating
     // runner: panicking cells are retried, then quarantined into the
@@ -337,7 +401,7 @@ fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
     // untouched so default runs keep fail-fast semantics.
     let isolate =
         fault_plan.is_some() || journal.is_some() || args.get("health-out").is_some() || strict;
-    let (cells, health) = if isolate {
+    let (cells, health, flights): (Vec<CompareCell>, _, Vec<FlightRecord>) = if isolate {
         let outcomes = run_policy_cells_isolated(&path, &kinds, threads, |kind, worker| {
             if let Some(plan) = fault_plan.as_ref() {
                 plan.fire_cell_panic(&path, kind.name());
@@ -355,6 +419,7 @@ fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
                         records: Vec::new(),
                         ledger: None,
                         audit: None,
+                        flight: None,
                     });
                 }
             }
@@ -371,13 +436,36 @@ fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
                 .map(|(outcome, kind)| outcome.health(&path, kind.name()))
                 .collect(),
         );
+        // Flight records interleave in policy order: completed cells
+        // carry theirs inside the cell, quarantined cells inside the
+        // outcome — extract both before `into_result` discards the
+        // failure's black box.
+        let mut flights = Vec::new();
         let cells = outcomes
             .into_iter()
-            .filter_map(|outcome| outcome.into_result().ok())
+            .filter_map(|outcome| match outcome {
+                CellOutcome::Ok { mut value, .. } => {
+                    if let Some(record) = value.flight.take() {
+                        flights.push(record);
+                    }
+                    Some(value)
+                }
+                CellOutcome::Failed { flight: record, .. } => {
+                    if let Some(record) = record {
+                        flights.push(*record);
+                    }
+                    None
+                }
+            })
             .collect();
-        (cells, Some(health))
+        (cells, Some(health), flights)
     } else {
-        (run_policy_cells(&kinds, threads, run_cell)?, None)
+        let mut cells = run_policy_cells(&kinds, threads, run_cell)?;
+        let flights = cells
+            .iter_mut()
+            .filter_map(|cell: &mut CompareCell| cell.flight.take())
+            .collect();
+        (cells, None, flights)
     };
     write_compare_table(out, cells.iter().map(|cell| &cell.report))?;
     if let Some(metrics_path) = args.get("metrics-out") {
@@ -405,6 +493,15 @@ fn compare<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
         profiler.write_chrome_trace(&mut writer).map_err(io_err)?;
         std::io::Write::flush(&mut writer).map_err(io_err)?;
         writeln!(out, "wrote span profile to {profile_path}").map_err(io_err)?;
+    }
+    if let Some(flight_path) = args.get("flight-out") {
+        // Written before the audit and strict gates below so a failing
+        // run still leaves its black box behind for CI to upload.
+        let matrix = FlightMatrixReport::new(flights);
+        let mut writer = create_out(flight_path)?;
+        write_flight_json(&mut writer, &matrix).map_err(io_err)?;
+        std::io::Write::flush(&mut writer).map_err(io_err)?;
+        writeln!(out, "wrote flight recorder dump to {flight_path}").map_err(io_err)?;
     }
     if let Some(audit_path) = args.get("audit-out") {
         let reports = cells
@@ -509,6 +606,8 @@ fn observe<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
         "dram-fraction",
         "warmup",
         "replay",
+        "flight-out",
+        "flight-events",
     ])?;
     let workload = args
         .positional(1)
@@ -519,6 +618,18 @@ fn observe<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
     let kind = parse_policy(args.get_or("policy", "two-lru"))?;
     let seed: u64 = args.get_parsed_or("seed", 42)?;
     let window: u64 = args.get_parsed_or("window", 10_000)?;
+    // The default is nonzero, so a parsed zero means the user asked
+    // for a zero-capacity ring explicitly (unlike --window, where 0
+    // legitimately means one whole-run record).
+    let flight_events: usize = args.get_parsed_or("flight-events", 256)?;
+    if flight_events == 0 {
+        return Err(Error::invalid_input(
+            "--flight-events must retain at least 1 event",
+        ));
+    }
+    let flight = args
+        .get("flight-out")
+        .map(|_| FlightOptions::with_events(flight_events));
     let warmup: f64 = args.get_parsed_or("warmup", 0.0)?;
     if !(0.0..1.0).contains(&warmup) {
         return Err(Error::invalid_input(format!(
@@ -541,12 +652,21 @@ fn observe<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
         clippy::cast_sign_loss
     )]
     let warmup_len = (spec.total_accesses() as f64 * warmup) as u64;
-    simulator.set_event_sink(Box::new(WindowedCollector::new(
-        spec.name.clone(),
-        kind.name(),
-        window,
-        warmup_len,
-    )));
+    let collector = WindowedCollector::new(spec.name.clone(), kind.name(), window, warmup_len);
+    if let Some(options) = flight {
+        let mut fanout = FanoutSink::new();
+        fanout.push(Box::new(collector));
+        fanout.push(Box::new(flight_recorder_for(
+            spec.name.clone(),
+            kind.name(),
+            options,
+            &simulator,
+            warmup_len,
+        )));
+        simulator.set_event_sink(Box::new(fanout));
+    } else {
+        simulator.set_event_sink(Box::new(collector));
+    }
     // Drive in replay-driver-sized chunks so `--replay batched` exercises
     // the batch path; window boundaries are trace positions, so the JSONL
     // is byte-identical whichever driver runs (CI compares the two).
@@ -565,23 +685,99 @@ fn observe<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
     drive_slice(&mut simulator, config.replay, &buffer);
     let records = drain_observed(&mut simulator, true)?;
     write_jsonl(out, &records).map_err(io_err)?;
+    if let Some(flight_path) = args.get("flight-out") {
+        let mut sink = simulator
+            .take_event_sink()
+            .ok_or_else(|| Error::invalid_input("observe lost its event sink"))?;
+        let recorder = sink
+            .as_any_mut()
+            .downcast_mut::<FanoutSink>()
+            .and_then(|fanout| {
+                fanout
+                    .sinks_mut()
+                    .iter_mut()
+                    .find_map(|child| child.as_any_mut().downcast_mut::<FlightRecorder>())
+            })
+            .ok_or_else(|| Error::invalid_input("observe lost its flight recorder"))?;
+        let probe = recorder.probe();
+        let _ = flightrec::take_probe();
+        let matrix = FlightMatrixReport::new(vec![probe.capture("completed", None, 0)]);
+        let mut writer = create_out(flight_path)?;
+        write_flight_json(&mut writer, &matrix).map_err(io_err)?;
+        std::io::Write::flush(&mut writer).map_err(io_err)?;
+        writeln!(out, "wrote flight recorder dump to {flight_path}").map_err(io_err)?;
+    }
     Ok(())
 }
 
 /// Drains completed interval records from the simulator's installed
-/// [`WindowedCollector`], closing the partial window when `finish`.
+/// [`WindowedCollector`] (possibly riding a [`FanoutSink`] next to a
+/// flight recorder), closing the partial window when `finish`.
 fn drain_observed(simulator: &mut HybridSimulator, finish: bool) -> Result<Vec<IntervalRecord>> {
     let sink = simulator
         .event_sink_mut()
         .ok_or_else(|| Error::invalid_input("observe lost its event sink"))?;
-    let collector = sink
-        .as_any_mut()
-        .downcast_mut::<WindowedCollector>()
-        .ok_or_else(|| Error::invalid_input("observe sink has the wrong type"))?;
+    let any = sink.as_any_mut();
+    let collector = if any.is::<FanoutSink>() {
+        any.downcast_mut::<FanoutSink>().and_then(|fanout| {
+            fanout
+                .sinks_mut()
+                .iter_mut()
+                .find_map(|child| child.as_any_mut().downcast_mut::<WindowedCollector>())
+        })
+    } else {
+        any.downcast_mut::<WindowedCollector>()
+    }
+    .ok_or_else(|| Error::invalid_input("observe sink has the wrong type"))?;
     if finish {
         collector.finish();
     }
     Ok(collector.drain())
+}
+
+/// Correlates a `hybridmem-flight-v1` dump with whatever other
+/// telemetry streams were provided — health report, audit report,
+/// windowed-metrics JSONL, page-ledger JSONL, resume journal — into a
+/// per-cell failure timeline, printed as a table and optionally written
+/// as the stable `hybridmem-postmortem-v1` JSON.
+fn postmortem<W: std::io::Write>(args: &Args, out: &mut W) -> Result<()> {
+    args.reject_unknown(&[
+        "flight", "health", "audit", "metrics", "ledger", "journal", "json",
+    ])?;
+    let read_text = |path: &str| {
+        std::fs::read_to_string(path)
+            .map_err(|e| Error::invalid_input(format!("cannot read {path}: {e}")))
+    };
+    let read_opt = |flag: &str| args.get(flag).map(read_text).transpose();
+    let flight = read_text(args.require("flight")?)?;
+    let health = read_opt("health")?;
+    let audit = read_opt("audit")?;
+    let metrics = read_opt("metrics")?;
+    let ledger = read_opt("ledger")?;
+    let journal = args
+        .get("journal")
+        .map(|path| {
+            std::fs::read(path)
+                .map_err(|e| Error::invalid_input(format!("cannot read {path}: {e}")))
+        })
+        .transpose()?;
+    let inputs = PostmortemInputs {
+        flight: &flight,
+        health: health.as_deref(),
+        audit: audit.as_deref(),
+        metrics: metrics.as_deref(),
+        ledger: ledger.as_deref(),
+        journal: journal.as_deref(),
+    };
+    let report = hybridmem_analyze::correlate(&inputs).map_err(Error::invalid_input)?;
+    write!(out, "{}", hybridmem_analyze::postmortem_table(&report)).map_err(io_err)?;
+    if let Some(json_path) = args.get("json") {
+        let json = hybridmem_analyze::postmortem_report(&report);
+        std::fs::write(json_path, json.emit_pretty())
+            .map_err(|e| Error::invalid_input(format!("cannot write {json_path}: {e}")))?;
+        writeln!(out, "wrote postmortem report to {json_path}").map_err(io_err)?;
+    }
+    Ok(())
 }
 
 /// Prints the whole-run page-lifecycle roll-up and the retained top-K
@@ -1028,15 +1224,25 @@ struct CompareCell {
     records: Vec<IntervalRecord>,
     ledger: Option<LedgerReport>,
     audit: Option<AuditReport>,
+    flight: Option<FlightRecord>,
 }
 
 /// [`simulate_policy_cell`] with optional instrumentation attached: a
 /// [`WindowedCollector`] when `--metrics-out` asked for interval records,
 /// a [`PageLedger`] when `--ledger-out` asked for page journeys, an
-/// [`AuditSink`] when `--audit-out` asked for run-health checking — all
+/// [`AuditSink`] when `--audit-out` asked for run-health checking, a
+/// [`FlightRecorder`] black box when `--flight-out` asked for one — all
 /// fanned out when several are set, and no sink at all when none is.
 /// Window and ledger boundaries are trace positions, so the outputs do
 /// not depend on how the cells around this one are scheduled.
+///
+/// A scheduled `cell-panic-at` fault arms a [`PanicTripwire`] as the
+/// FIRST sink, so the panic fires before the dying access reaches any
+/// recorder and the flight ring ends strictly before the panic site;
+/// the flight recorder rides LAST so its ring reflects what every
+/// other sink saw. Its probe is published to the thread's registry, so
+/// the isolation wrapper captures the black box even when the panic
+/// destroys the sink itself.
 #[allow(clippy::too_many_arguments)]
 fn instrumented_policy_cell(
     config: &ExperimentConfig,
@@ -1047,10 +1253,15 @@ fn instrumented_policy_cell(
     window: Option<u64>,
     ledger: Option<LedgerOptions>,
     audit: Option<AuditOptions>,
+    flight: Option<FlightOptions>,
+    panic_at: Option<u64>,
 ) -> Result<CompareCell> {
     let policy = config.build_policy(kind, spec)?;
     let mut simulator = HybridSimulator::with_date2016_devices(policy);
     let mut sinks: Vec<Box<dyn EventSink>> = Vec::new();
+    if let Some(at) = panic_at {
+        sinks.push(Box::new(PanicTripwire::new(path, kind.name(), at)));
+    }
     if let Some(window) = window {
         sinks.push(Box::new(WindowedCollector::new(
             path,
@@ -1074,6 +1285,15 @@ fn instrumented_policy_cell(
             .with_exclusive_residency(kind != PolicyKind::DramCache);
         sinks.push(Box::new(sink));
     }
+    if let Some(options) = flight {
+        sinks.push(Box::new(flight_recorder_for(
+            path,
+            kind.name(),
+            options,
+            &simulator,
+            0,
+        )));
+    }
     let attached = sinks.len();
     match sinks.len() {
         0 => {}
@@ -1090,6 +1310,7 @@ fn instrumented_policy_cell(
     let mut records = Vec::new();
     let mut ledger_report = None;
     let mut audit_report = None;
+    let mut flight_record = None;
     if attached > 0 {
         let mut sink = simulator
             .take_event_sink()
@@ -1105,6 +1326,7 @@ fn instrumented_policy_cell(
                     &mut records,
                     &mut ledger_report,
                     &mut audit_report,
+                    &mut flight_record,
                 );
             }
         } else {
@@ -1113,6 +1335,7 @@ fn instrumented_policy_cell(
                 &mut records,
                 &mut ledger_report,
                 &mut audit_report,
+                &mut flight_record,
             );
         }
     }
@@ -1121,16 +1344,21 @@ fn instrumented_policy_cell(
         records,
         ledger: ledger_report,
         audit: audit_report,
+        flight: flight_record,
     })
 }
 
 /// Finishes and drains one instrumentation sink into whichever output
-/// slot matches its concrete type.
+/// slot matches its concrete type. The flight recorder rides last in
+/// the fanout, so the audit slot is already filled when its branch
+/// runs: an unclean audit promotes the dump's trigger, exactly as a
+/// cell that survived but broke a conservation law should read.
 fn drain_instrumentation(
     sink: &mut dyn EventSink,
     records: &mut Vec<IntervalRecord>,
     ledger: &mut Option<LedgerReport>,
     audit: &mut Option<AuditReport>,
+    flight: &mut Option<FlightRecord>,
 ) {
     let any = sink.as_any_mut();
     if let Some(collector) = any.downcast_mut::<WindowedCollector>() {
@@ -1141,6 +1369,16 @@ fn drain_instrumentation(
     } else if let Some(audit_sink) = any.downcast_mut::<AuditSink>() {
         audit_sink.finish();
         *audit = Some(audit_sink.report());
+    } else if let Some(recorder) = any.downcast_mut::<FlightRecorder>() {
+        // The cell completed, so nothing will capture the published
+        // probe — take it back and capture the black box here.
+        let probe = recorder.probe();
+        let _ = flightrec::take_probe();
+        let trigger = match audit {
+            Some(report) if !report.clean => "audit-violation",
+            _ => "completed",
+        };
+        *flight = Some(probe.capture(trigger, None, 0));
     }
 }
 
@@ -1236,6 +1474,7 @@ fn run_policy_cells_isolated<T: Send>(
                     )),
                     retries: 0,
                     panicked: true,
+                    flight: None,
                 })
         })
         .collect()
@@ -1720,6 +1959,187 @@ mod tests {
     }
 
     #[test]
+    fn compare_rejects_zero_valued_instrumentation_knobs() {
+        for (flag, message) in [
+            ("--metrics-window", "--metrics-window"),
+            ("--ledger-top", "--ledger-top"),
+            ("--flight-events", "--flight-events"),
+        ] {
+            let (result, _) = run_capture(&["compare", "unused.trace", flag, "0"]);
+            let err = result.unwrap_err().to_string();
+            assert!(err.contains(message), "{flag}: {err}");
+            assert!(err.contains("at least 1"), "{flag}: {err}");
+        }
+        let (result, _) = run_capture(&["observe", "bodytrack", "--flight-events", "0"]);
+        assert!(result
+            .unwrap_err()
+            .to_string()
+            .contains("--flight-events must retain at least 1"));
+    }
+
+    #[test]
+    fn compare_flight_out_survives_a_mid_sim_panic_and_postmortem_correlates_it() {
+        let dir = std::env::temp_dir().join("hybridmem-cli-flight");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("f.trace");
+        let trace_path = trace_path.to_str().unwrap();
+        run_capture(&[
+            "generate",
+            "--workload",
+            "bodytrack",
+            "--output",
+            trace_path,
+            "--cap",
+            "2000",
+        ])
+        .0
+        .unwrap();
+        // A mid-simulation panic: the tripwire fires at access 100, on
+        // every retry, so the cell ends quarantined with a black box.
+        let plan = format!("cell-panic-at@{trace_path}/two-lru:100");
+        let health = dir.join("health.json");
+
+        let mut dumps = Vec::new();
+        for threads in ["1", "4"] {
+            let flight = dir.join(format!("flight-{threads}.json"));
+            let (result, text) = run_capture(&[
+                "compare",
+                trace_path,
+                "--threads",
+                threads,
+                "--fault-plan",
+                &plan,
+                "--health-out",
+                health.to_str().unwrap(),
+                "--flight-out",
+                flight.to_str().unwrap(),
+            ]);
+            assert!(result.is_ok(), "non-strict run stays clean: {result:?}");
+            assert!(text.contains("wrote flight recorder dump"), "{text}");
+            dumps.push(std::fs::read_to_string(&flight).unwrap());
+            let _ = std::fs::remove_file(flight);
+        }
+        assert_eq!(
+            dumps[0], dumps[1],
+            "flight dump must be byte-identical at any thread count"
+        );
+
+        let parsed: serde_json::Value = serde_json::from_str(&dumps[0]).unwrap();
+        assert_eq!(parsed["schema"], "hybridmem-flight-v1");
+        assert_eq!(parsed["triggered_cells"], 1, "{parsed}");
+        assert_eq!(
+            parsed["cells"].as_array().unwrap().len(),
+            PolicyKind::all().len(),
+            "completed cells dump their black box too"
+        );
+        let failed = parsed["cells"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|c| c["trigger"] == "panic")
+            .expect("the panicking cell is in the dump");
+        assert_eq!(failed["policy"], "two-lru");
+        assert_eq!(failed["retries"], 2, "bounded retries exhausted");
+        assert!(
+            failed["error"]
+                .as_str()
+                .unwrap()
+                .contains("panicked at access 100"),
+            "{failed}"
+        );
+        // The tripwire rides before the recorder, so the ring stops
+        // strictly before the dying access.
+        let final_access = failed["final_access"].as_u64().unwrap();
+        assert!(
+            final_access < 100,
+            "final access {final_access} < panic site"
+        );
+        let last_event = failed["events"].as_array().unwrap().last().unwrap();
+        assert!(last_event["access"].as_u64().unwrap() < 100, "{last_event}");
+
+        // Postmortem joins the dump with the health report into a
+        // timeline that names the cell and correlates a prior signal.
+        let flight_path = dir.join("flight.json");
+        std::fs::write(&flight_path, &dumps[0]).unwrap();
+        let report_path = dir.join("postmortem.json");
+        let (result, text) = run_capture(&[
+            "postmortem",
+            "--flight",
+            flight_path.to_str().unwrap(),
+            "--health",
+            health.to_str().unwrap(),
+            "--json",
+            report_path.to_str().unwrap(),
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        assert!(
+            text.contains(&format!("cell {trace_path}/two-lru — trigger panic")),
+            "{text}"
+        );
+        assert!(text.contains("quarantined after 2"), "{text}");
+        let report: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+        assert_eq!(report["schema"], "hybridmem-postmortem-v1");
+        assert_eq!(report["triggered_cells"], 1, "{report}");
+        let cell = report["cells"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|c| c["trigger"] == "panic")
+            .expect("the failing cell is in the report");
+        assert_eq!(cell["policy"], "two-lru");
+        assert_eq!(cell["final_access"].as_u64().unwrap(), final_access);
+        assert!(
+            cell["correlated_signals"].as_u64().unwrap() >= 1,
+            "at least one non-flight signal correlates: {cell}"
+        );
+
+        for p in [flight_path, report_path, health] {
+            let _ = std::fs::remove_file(p);
+        }
+        let _ = std::fs::remove_file(trace_path);
+    }
+
+    #[test]
+    fn observe_flight_out_dumps_a_completed_black_box() {
+        let dir = std::env::temp_dir().join("hybridmem-cli-observe-flight");
+        std::fs::create_dir_all(&dir).unwrap();
+        let flight = dir.join("flight.json");
+        let (result, text) = run_capture(&[
+            "observe",
+            "bodytrack",
+            "--cap",
+            "3000",
+            "--window",
+            "1000",
+            "--flight-out",
+            flight.to_str().unwrap(),
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        assert!(text.contains("wrote flight recorder dump"), "{text}");
+        // The interval stream is unchanged by the riding recorder.
+        let records: Vec<&str> = text.lines().filter(|l| l.starts_with('{')).collect();
+        assert_eq!(records.len(), 3);
+        let parsed: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&flight).unwrap()).unwrap();
+        assert_eq!(parsed["schema"], "hybridmem-flight-v1");
+        assert_eq!(parsed["triggered_cells"], 0);
+        let cell = &parsed["cells"].as_array().unwrap()[0];
+        assert_eq!(cell["trigger"], "completed");
+        assert_eq!(cell["workload"], "bodytrack");
+        assert_eq!(cell["accesses"], 3000, "{cell}");
+        let _ = std::fs::remove_file(flight);
+    }
+
+    #[test]
+    fn postmortem_requires_a_flight_dump() {
+        let (result, _) = run_capture(&["postmortem"]);
+        assert!(result.unwrap_err().to_string().contains("--flight"));
+        let (result, _) = run_capture(&["postmortem", "--flight", "/no/such/file"]);
+        assert!(result.unwrap_err().to_string().contains("cannot read"));
+    }
+
+    #[test]
     fn compare_resume_replays_journaled_cells_byte_identically() {
         let dir = std::env::temp_dir().join("hybridmem-cli-resume");
         std::fs::create_dir_all(&dir).unwrap();
@@ -1793,6 +2213,25 @@ mod tests {
         ]);
         let err = result.unwrap_err().to_string();
         assert!(err.contains("--resume cannot be combined"), "{err}");
+
+        // --flight-out stays allowed with --resume: journaled cells
+        // simply have no flight record, so a fully replayed run dumps
+        // an empty matrix (CI's chaos job relies on this combination).
+        let flight = dir.join("flight.json");
+        let (result, _) = run_capture(&[
+            "compare",
+            trace_path,
+            "--resume",
+            journal.to_str().unwrap(),
+            "--flight-out",
+            flight.to_str().unwrap(),
+        ]);
+        assert!(result.is_ok(), "{result:?}");
+        let parsed: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&flight).unwrap()).unwrap();
+        assert_eq!(parsed["schema"], "hybridmem-flight-v1");
+        assert_eq!(parsed["dumped_cells"], 0, "all cells replayed: {parsed}");
+        let _ = std::fs::remove_file(flight);
         let _ = std::fs::remove_file(journal);
         let _ = std::fs::remove_file(trace_path);
     }

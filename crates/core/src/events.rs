@@ -90,8 +90,11 @@ pub trait EventSink {
 /// # Drop semantics when capacity is exceeded
 ///
 /// A bounded recorder drops the **oldest** retained event, one per
-/// overflowing `record`, silently and irrecoverably — the ring is a
-/// "keep the newest `cap`" window, not a sampling scheme. Within the
+/// overflowing `record`, irrecoverably — the ring is a "keep the newest
+/// `cap`" window, not a sampling scheme. The loss is never silent:
+/// [`RecordingSink::dropped`] counts every evicted event (cumulatively —
+/// draining does not reset it), so callers can always report
+/// `retained + dropped = total observed`. Within the
 /// retained window, global event order is preserved exactly:
 /// [`RecordingSink::iter`], [`RecordingSink::into_events`], and
 /// [`RecordingSink::take_events`] all yield the surviving events
@@ -106,6 +109,8 @@ pub struct RecordingSink {
     /// Oldest retained event's position in `events` (always 0 until the
     /// ring wraps).
     start: usize,
+    /// Events evicted from the ring since construction (never reset).
+    dropped: u64,
 }
 
 impl RecordingSink {
@@ -125,6 +130,7 @@ impl RecordingSink {
             events: Vec::with_capacity(capacity),
             capacity: Some(capacity),
             start: 0,
+            dropped: 0,
         }
     }
 
@@ -144,6 +150,16 @@ impl RecordingSink {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// Events evicted from the ring since construction. Always 0 for an
+    /// unbounded recorder. Cumulative: draining with
+    /// [`RecordingSink::take_events`] does **not** reset it, so the
+    /// total number of events ever observed is
+    /// `dropped + len + (events drained earlier)`.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Raw storage slice. For an unbounded recorder this is chronological;
@@ -188,6 +204,7 @@ impl EventSink for RecordingSink {
                     *slot = event;
                 }
                 self.start = (self.start + 1) % capacity;
+                self.dropped += 1;
             }
             _ => self.events.push(event),
         }
@@ -356,6 +373,16 @@ mod tests {
     }
 
     #[test]
+    fn unbounded_sink_never_drops() {
+        let mut sink = RecordingSink::new();
+        for page in 0..100 {
+            sink.record(read_event(page));
+        }
+        assert_eq!(sink.dropped(), 0);
+        assert_eq!(sink.len(), 100);
+    }
+
+    #[test]
     fn bounded_sink_keeps_most_recent_events() {
         let mut sink = RecordingSink::bounded(3);
         assert_eq!(sink.capacity(), Some(3));
@@ -363,6 +390,7 @@ mod tests {
             sink.record(read_event(page));
         }
         assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 2, "5 events through a 3-ring drop 2");
         let pages: Vec<u64> = sink.iter().map(served_page).collect();
         assert_eq!(pages, vec![2, 3, 4], "oldest events were discarded");
         let owned: Vec<u64> = sink.into_events().iter().map(served_page).collect();
@@ -376,6 +404,7 @@ mod tests {
             sink.record(read_event(page));
         }
         assert_eq!(sink.len(), 3);
+        assert_eq!(sink.dropped(), 0, "nothing evicted below capacity");
         let pages: Vec<u64> = sink.iter().map(served_page).collect();
         assert_eq!(pages, vec![0, 1, 2]);
         assert_eq!(sink.events().len(), 3, "no wrap: storage is chronological");
@@ -388,6 +417,7 @@ mod tests {
         sink.record(read_event(1));
         sink.record(read_event(2));
         assert_eq!(sink.len(), 1);
+        assert_eq!(sink.dropped(), 1);
         assert_eq!(sink.iter().map(served_page).next(), Some(2));
     }
 
@@ -411,12 +441,14 @@ mod tests {
         assert_eq!(drained, vec![2, 3, 4]);
         assert!(sink.is_empty());
         assert_eq!(sink.capacity(), Some(3), "the bound survives the drain");
+        assert_eq!(sink.dropped(), 2, "the drop counter survives the drain");
 
         for page in 10..12 {
             sink.record(read_event(page));
         }
         let refilled: Vec<u64> = sink.take_events().iter().map(served_page).collect();
         assert_eq!(refilled, vec![10, 11], "the recorder is reusable");
+        assert_eq!(sink.dropped(), 2, "cumulative, not reset by draining");
     }
 
     #[test]

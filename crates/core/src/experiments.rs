@@ -21,6 +21,7 @@ use hybridmem_types::{fx_hash_one, Error, PageAccess, PageCount, Result};
 use serde::{Deserialize, Serialize};
 
 use crate::faultinject::FaultPlan;
+use crate::flightrec::{self, FlightOptions, FlightRecord, FlightRecorder, PanicTripwire};
 use crate::health::{run_isolated, CellOutcome, MatrixHealthReport};
 use crate::journal::RunJournal;
 use crate::{
@@ -454,9 +455,21 @@ impl ExperimentConfig {
         self.run_cell_instrumented(spec, kind, Some(cache), instrumentation, None, 0)
     }
 
-    /// The shared cell driver: optional trace cache (streaming when
-    /// `None` or over budget), optional instrumentation sinks, optional
-    /// span profiler reporting on lane `lane`.
+    /// The isolated matrix runner's cell driver: instrumentation (in
+    /// practice a flight recorder) plus an optional armed
+    /// [`PanicTripwire`] from a `cell-panic-at` fault clause.
+    fn run_cell_faulted(
+        &self,
+        spec: &WorkloadSpec,
+        kind: PolicyKind,
+        cache: &TraceCache,
+        instrumentation: Instrumentation,
+        panic_at: Option<u64>,
+    ) -> Result<InstrumentedRun> {
+        self.run_cell_driver(spec, kind, Some(cache), instrumentation, None, 0, panic_at)
+    }
+
+    /// The shared cell driver without fault wiring (the common case).
     fn run_cell_instrumented(
         &self,
         spec: &WorkloadSpec,
@@ -466,6 +479,24 @@ impl ExperimentConfig {
         profiler: Option<&SpanProfiler>,
         lane: u64,
     ) -> Result<InstrumentedRun> {
+        self.run_cell_driver(spec, kind, cache, instrumentation, profiler, lane, None)
+    }
+
+    /// The shared cell driver: optional trace cache (streaming when
+    /// `None` or over budget), optional instrumentation sinks, optional
+    /// span profiler reporting on lane `lane`, optional armed panic
+    /// tripwire (`cell-panic-at` fault injection).
+    #[allow(clippy::too_many_arguments)]
+    fn run_cell_driver(
+        &self,
+        spec: &WorkloadSpec,
+        kind: PolicyKind,
+        cache: Option<&TraceCache>,
+        instrumentation: Instrumentation,
+        profiler: Option<&SpanProfiler>,
+        lane: u64,
+        panic_at: Option<u64>,
+    ) -> Result<InstrumentedRun> {
         self.validate_cell(spec)?;
         let trace = cache.and_then(|cache| {
             let _span =
@@ -473,7 +504,8 @@ impl ExperimentConfig {
             cache.try_get(spec, self.seed)
         });
         let mut simulator = self.build_simulator(kind, spec)?;
-        if let Some(sink) = self.instrument_sink(spec, kind, instrumentation, &simulator) {
+        if let Some(sink) = self.instrument_sink(spec, kind, instrumentation, &simulator, panic_at)
+        {
             simulator.set_event_sink(sink);
         }
         let cell = format!("{}/{}", spec.name, kind.name());
@@ -509,21 +541,32 @@ impl ExperimentConfig {
             }
         }
         let _span = profiler.map(|p| p.span("finish", format!("finish {cell}"), lane));
-        self.finish_instrumented(simulator, spec, instrumentation)
+        self.finish_instrumented(simulator, spec, instrumentation, panic_at)
     }
 
     /// Assembles the cell's event sink from the requested instrumentation:
     /// `None` when nothing was requested, the bare sink when one was, a
-    /// [`FanoutSink`] (collector first, ledger second, audit third) when
-    /// several were.
+    /// [`FanoutSink`] (tripwire first, then collector, ledger, audit,
+    /// flight recorder) when several were. The tripwire goes first so an
+    /// injected mid-run panic fires before any later sink records the
+    /// dying access; the flight recorder goes last so its ring reflects
+    /// everything the other sinks saw.
     fn instrument_sink(
         &self,
         spec: &WorkloadSpec,
         kind: PolicyKind,
         instrumentation: Instrumentation,
         simulator: &HybridSimulator,
+        panic_at: Option<u64>,
     ) -> Option<Box<dyn EventSink>> {
         let mut sinks: Vec<Box<dyn EventSink>> = Vec::new();
+        if let Some(access) = panic_at {
+            sinks.push(Box::new(PanicTripwire::new(
+                spec.name.clone(),
+                kind.name(),
+                access,
+            )));
+        }
         if let Some(window) = instrumentation.window {
             sinks.push(Box::new(self.collector(spec, kind, window)));
         }
@@ -550,6 +593,15 @@ impl ExperimentConfig {
                 .with_warmup(self.warmup_len(spec) as u64)
                 .with_exclusive_residency(kind != PolicyKind::DramCache);
             sinks.push(Box::new(audit));
+        }
+        if let Some(options) = instrumentation.flight {
+            sinks.push(Box::new(flight_recorder_for(
+                spec.name.clone(),
+                kind.name(),
+                options,
+                simulator,
+                self.warmup_len(spec) as u64,
+            )));
         }
         match sinks.len() {
             0 => None,
@@ -581,6 +633,7 @@ impl ExperimentConfig {
         mut simulator: HybridSimulator,
         spec: &WorkloadSpec,
         instrumentation: Instrumentation,
+        panic_at: Option<u64>,
     ) -> Result<InstrumentedRun> {
         if instrumentation.is_empty() {
             let report = simulator.into_report(spec.name.clone());
@@ -590,6 +643,7 @@ impl ExperimentConfig {
                 metrics: MetricsSnapshot::default(),
                 ledger: None,
                 audit: None,
+                flight: None,
             });
         }
         let mut sink = simulator.take_event_sink().ok_or_else(|| {
@@ -598,11 +652,14 @@ impl ExperimentConfig {
         let wrong_type = || Error::invalid_input("instrumented run sink has wrong type".to_owned());
         let expected = usize::from(instrumentation.window.is_some())
             + usize::from(instrumentation.ledger.is_some())
-            + usize::from(instrumentation.audit.is_some());
+            + usize::from(instrumentation.audit.is_some())
+            + usize::from(instrumentation.flight.is_some())
+            + usize::from(panic_at.is_some());
         // Recover the concrete sinks by type-sniffing the children: a
         // bare sink when one was attached, a fanout's children when
         // several were. Each child's type identifies it — the fanout
-        // order (collector, ledger, audit) is an implementation detail.
+        // order (tripwire, collector, ledger, audit, flight) is an
+        // implementation detail.
         let children = if expected > 1 {
             sink.as_any_mut()
                 .downcast_mut::<FanoutSink>()
@@ -614,6 +671,7 @@ impl ExperimentConfig {
         let mut collector: Option<&mut WindowedCollector> = None;
         let mut ledger: Option<&mut PageLedger> = None;
         let mut audit: Option<&mut AuditSink> = None;
+        let mut recorder: Option<&mut FlightRecorder> = None;
         for child in children {
             let any = child.as_any_mut();
             if any.is::<WindowedCollector>() {
@@ -622,11 +680,14 @@ impl ExperimentConfig {
                 ledger = any.downcast_mut::<PageLedger>();
             } else if any.is::<AuditSink>() {
                 audit = any.downcast_mut::<AuditSink>();
+            } else if any.is::<FlightRecorder>() {
+                recorder = any.downcast_mut::<FlightRecorder>();
             }
         }
         if collector.is_some() != instrumentation.window.is_some()
             || ledger.is_some() != instrumentation.ledger.is_some()
             || audit.is_some() != instrumentation.audit.is_some()
+            || recorder.is_some() != instrumentation.flight.is_some()
         {
             return Err(wrong_type());
         }
@@ -651,6 +712,18 @@ impl ExperimentConfig {
             audit.finish();
             audit.report()
         });
+        // The cell completed, so nothing will capture the published
+        // probe — capture the black box here. An unclean audit promotes
+        // the trigger: the run survived, but a conservation law broke.
+        let flight = recorder.map(|recorder| {
+            let probe = recorder.probe();
+            let _ = flightrec::take_probe();
+            let trigger = match &audit {
+                Some(report) if !report.clean => "audit-violation",
+                _ => "completed",
+            };
+            probe.capture(trigger, None, 0)
+        });
         let report = simulator.into_report(spec.name.clone());
         Ok(InstrumentedRun {
             report,
@@ -658,6 +731,7 @@ impl ExperimentConfig {
             metrics,
             ledger,
             audit,
+            flight,
         })
     }
 
@@ -703,6 +777,9 @@ pub struct Instrumentation {
     /// Attach an [`AuditSink`] with these checking options. `None` = no
     /// run-health auditing.
     pub audit: Option<AuditOptions>,
+    /// Attach a [`FlightRecorder`] black box with these ring options.
+    /// `None` = no flight recording.
+    pub flight: Option<FlightOptions>,
 }
 
 impl Instrumentation {
@@ -711,8 +788,7 @@ impl Instrumentation {
     pub fn windowed(window: u64) -> Self {
         Self {
             window: Some(window),
-            ledger: None,
-            audit: None,
+            ..Self::default()
         }
     }
 
@@ -734,10 +810,20 @@ impl Instrumentation {
         self
     }
 
+    /// Adds a black-box flight recorder with the given ring options.
+    #[must_use]
+    pub fn with_flight(mut self, options: FlightOptions) -> Self {
+        self.flight = Some(options);
+        self
+    }
+
     /// True when nothing is attached (no sink will be allocated).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.window.is_none() && self.ledger.is_none() && self.audit.is_none()
+        self.window.is_none()
+            && self.ledger.is_none()
+            && self.audit.is_none()
+            && self.flight.is_none()
     }
 }
 
@@ -756,6 +842,10 @@ pub struct InstrumentedRun {
     pub ledger: Option<LedgerReport>,
     /// The run-health audit's report, when an audit was attached.
     pub audit: Option<AuditReport>,
+    /// The black-box flight dump, when a recorder was attached. Trigger
+    /// `"completed"` for a clean run, `"audit-violation"` when an
+    /// attached audit found the run unclean.
+    pub flight: Option<FlightRecord>,
 }
 
 impl InstrumentedRun {
@@ -1060,6 +1150,7 @@ where
                             )),
                             retries: 0,
                             panicked: true,
+                            flight: None,
                         },
                         0.0,
                     )
@@ -1111,6 +1202,41 @@ where
     Ok((rows, timing))
 }
 
+/// Builds a [`FlightRecorder`] for a cell about to run on `simulator`
+/// and publishes its capture probe to the thread's probe registry (see
+/// [`crate::flightrec`]), so an isolation wrapper can dump the black
+/// box even after a panic destroys the sink. Capacities come from the
+/// built simulator, and counter-window policies get their read-window
+/// size recorded so snapshots can report the window position.
+#[must_use]
+pub fn flight_recorder_for(
+    workload: impl Into<String>,
+    policy: &str,
+    options: FlightOptions,
+    simulator: &HybridSimulator,
+    warmup: u64,
+) -> FlightRecorder {
+    let mut recorder = FlightRecorder::new(workload, policy, options)
+        .with_warmup(warmup)
+        .with_capacities(
+            simulator.dram_capacity().value(),
+            simulator.nvm_capacity().value(),
+        );
+    if let Some(any) = simulator.policy().as_any() {
+        let config = if let Some(two_lru) = any.downcast_ref::<TwoLruPolicy>() {
+            Some(two_lru.config())
+        } else {
+            any.downcast_ref::<AdaptiveTwoLruPolicy>()
+                .map(|adaptive| adaptive.two_lru().config())
+        };
+        if let Some(config) = config {
+            recorder = recorder.with_read_window_pages(config.read_window_pages() as u64);
+        }
+    }
+    flightrec::publish_probe(recorder.probe());
+    recorder
+}
+
 /// Stable fingerprint of one exact matrix: the workloads, the policy
 /// kinds, and the full experiment configuration, hashed over their
 /// canonical JSON. A [`RunJournal`] is bound to this value so a journal
@@ -1141,6 +1267,15 @@ pub fn matrix_fingerprint(
 /// The outcome grid and health report carry no wall-clock fields, so
 /// they are byte-identical at any thread count; only [`MatrixTiming`]
 /// (a measurement artefact) varies.
+///
+/// When `flight` is set, every freshly simulated cell carries a
+/// [`FlightRecorder`] black box: a quarantined cell's last moments are
+/// preserved in its [`CellOutcome::Failed`] `flight` field (the raw
+/// material for `--flight-out` dumps and `hybridmem postmortem`). A
+/// `cell-panic-at` clause in the fault plan additionally arms a
+/// [`PanicTripwire`] so the cell dies *mid-simulation* at an exact
+/// demand access — with the flight ring guaranteed to stop strictly
+/// before the panic site.
 pub fn compare_policies_isolated(
     specs: &[WorkloadSpec],
     kinds: &[PolicyKind],
@@ -1148,6 +1283,7 @@ pub fn compare_policies_isolated(
     threads: usize,
     fault_plan: Option<&FaultPlan>,
     journal: Option<&RunJournal>,
+    flight: Option<FlightOptions>,
 ) -> (
     Vec<Vec<CellOutcome<SimulationReport>>>,
     MatrixHealthReport,
@@ -1169,7 +1305,18 @@ pub fn compare_policies_isolated(
                 });
             }
         }
-        let report = config.run_cached(spec, kind, cache)?;
+        let panic_at = fault_plan.and_then(|plan| plan.cell_panic_access(&spec.name, kind.name()));
+        let report = if flight.is_some() || panic_at.is_some() {
+            let instrumentation = Instrumentation {
+                flight,
+                ..Instrumentation::default()
+            };
+            config
+                .run_cell_faulted(spec, kind, cache, instrumentation, panic_at)?
+                .report
+        } else {
+            config.run_cached(spec, kind, cache)?
+        };
         if let Some(journal) = journal {
             journal.record(&spec.name, kind.name(), &report);
         }
@@ -1457,7 +1604,7 @@ mod tests {
         // K far past the retry budget: the cell must be quarantined.
         let plan = FaultPlan::parse("cell-panic@test/two-lru:100").unwrap();
         let (outcomes, health, _) =
-            compare_policies_isolated(&specs, &kinds, &config, 4, Some(&plan), None);
+            compare_policies_isolated(&specs, &kinds, &config, 4, Some(&plan), None, None);
 
         let clean = compare_policies_threaded(&specs, &kinds, &config, 1).unwrap();
         match &outcomes[0][0] {
@@ -1465,6 +1612,7 @@ mod tests {
                 error,
                 retries,
                 panicked,
+                ..
             } => {
                 assert!(error.to_string().contains("injected fault"), "{error}");
                 assert_eq!(*retries, crate::health::MAX_CELL_RETRIES);
@@ -1500,7 +1648,7 @@ mod tests {
         ))
         .unwrap();
         let (outcomes, health, _) =
-            compare_policies_isolated(&specs, &kinds, &config, 2, Some(&plan), None);
+            compare_policies_isolated(&specs, &kinds, &config, 2, Some(&plan), None, None);
         let clean = compare_policies_threaded(&specs, &kinds, &config, 1).unwrap();
         match &outcomes[0][0] {
             CellOutcome::Ok { value, retries } => {
@@ -1537,8 +1685,15 @@ mod tests {
         // other three complete and land in the journal.
         let plan = FaultPlan::parse("cell-panic@test/two-lru:100").unwrap();
         let journal = RunJournal::open(&journal_path, fingerprint).unwrap();
-        let (_, health, _) =
-            compare_policies_isolated(&specs, &kinds, &config, 2, Some(&plan), Some(&journal));
+        let (_, health, _) = compare_policies_isolated(
+            &specs,
+            &kinds,
+            &config,
+            2,
+            Some(&plan),
+            Some(&journal),
+            None,
+        );
         assert_eq!(health.failed_cells, 1);
         assert_eq!(journal.len(), 3, "completed cells were journaled");
         drop(journal);
@@ -1547,7 +1702,7 @@ mod tests {
         // completed cells, only the quarantined one is recomputed.
         let journal = RunJournal::open(&journal_path, fingerprint).unwrap();
         let (outcomes, health, _) =
-            compare_policies_isolated(&specs, &kinds, &config, 2, None, Some(&journal));
+            compare_policies_isolated(&specs, &kinds, &config, 2, None, Some(&journal), None);
         assert_eq!(health.failed_cells, 0);
         let resumed: Vec<Vec<SimulationReport>> = outcomes
             .into_iter()
@@ -1666,6 +1821,105 @@ mod tests {
         assert!(run.records.is_empty());
         assert!(run.metrics.counters.is_empty());
         assert!(run.ledger.is_none());
+        assert!(run.flight.is_none());
+    }
+
+    #[test]
+    fn flight_instrumentation_does_not_perturb_and_captures_the_black_box() {
+        let config = ExperimentConfig::date2016();
+        let spec = small_spec();
+        let cache = TraceCache::new(64 << 20);
+        let instrumentation =
+            Instrumentation::default().with_flight(crate::FlightOptions::with_events(64));
+        let run = config
+            .run_instrumented(&spec, PolicyKind::TwoLru, &cache, instrumentation)
+            .unwrap();
+        let plain = config
+            .run_cached(&spec, PolicyKind::TwoLru, &cache)
+            .unwrap();
+        assert_eq!(run.report, plain, "the recorder must not perturb results");
+        let flight = run.flight.expect("a flight record was requested");
+        assert_eq!(flight.trigger, "completed");
+        assert_eq!(flight.workload, spec.name);
+        assert_eq!(flight.policy, "two-lru");
+        assert_eq!(
+            flight.accesses,
+            spec.total_accesses(),
+            "warmup demand accesses are recorded too"
+        );
+        assert_eq!(flight.final_access, spec.total_accesses() - 1);
+        assert_eq!(flight.events.len(), 64, "the ring is full on a long run");
+        assert!(flight.events_dropped > 0);
+        assert!(
+            flight.two_lru_read_window_pages.is_some(),
+            "counter-window policies report their window size"
+        );
+        assert!(
+            crate::flightrec::take_probe().is_none(),
+            "a completed instrumented run must not leak its probe"
+        );
+        // The recorder's own occupancy reconstruction must agree with
+        // the engine's accounting at the end of the run.
+        assert!(flight.dram_resident <= flight.dram_capacity);
+        assert!(flight.nvm_resident <= flight.nvm_capacity);
+    }
+
+    #[test]
+    fn cell_panic_at_quarantines_with_a_flight_dump_preceding_the_panic() {
+        let config = ExperimentConfig::date2016();
+        let specs = vec![small_spec()];
+        let kinds = [PolicyKind::TwoLru, PolicyKind::DramOnly];
+        let plan = FaultPlan::parse("cell-panic-at@test/two-lru:500").unwrap();
+        let options = crate::FlightOptions::with_events(32);
+
+        let flight_of = |threads: usize| {
+            let (outcomes, health, _) = compare_policies_isolated(
+                &specs,
+                &kinds,
+                &config,
+                threads,
+                Some(&plan),
+                None,
+                Some(options),
+            );
+            assert_eq!(health.failed_cells, 1);
+            let mut rows = outcomes.into_iter();
+            let mut row = rows.next().expect("one workload row");
+            match row.remove(0) {
+                CellOutcome::Failed {
+                    panicked, flight, ..
+                } => {
+                    assert!(panicked);
+                    *flight.expect("the flight dump must be captured")
+                }
+                CellOutcome::Ok { .. } => panic!("scripted cell must be quarantined"),
+            }
+        };
+
+        let flight = flight_of(2);
+        assert_eq!(flight.trigger, "panic");
+        assert_eq!(
+            flight.accesses, 500,
+            "demand accesses 0..=499 were recorded"
+        );
+        assert_eq!(
+            flight.final_access, 499,
+            "the last recorded event strictly precedes the panic site"
+        );
+        assert!(flight
+            .error
+            .as_deref()
+            .is_some_and(|e| e.contains("panicked at access 500")));
+        assert_eq!(flight.retries, crate::health::MAX_CELL_RETRIES);
+
+        // The acceptance criterion: the dump is identical at any
+        // thread count.
+        let serial = flight_of(1);
+        assert_eq!(
+            serde_json::to_string(&serial).unwrap(),
+            serde_json::to_string(&flight).unwrap(),
+            "flight dumps are byte-identical across thread counts"
+        );
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //! bit-flip@N:OFFSET           Nth spill read sees byte OFFSET (mod len) flipped
 //! truncate@N:KEEP             Nth spill read sees only the first KEEP bytes
 //! cell-panic@WORKLOAD/POLICY:K   first K attempts of that matrix cell panic
+//! cell-panic-at@WORKLOAD/POLICY:ACCESS   that cell panics mid-simulation,
+//!                                at 0-based demand access ACCESS (every attempt)
 //! ```
 //!
 //! Attempt numbers are 1-based and counted per plan instance. The
@@ -31,6 +33,14 @@
 //! it in the `hybridmem-matrix-health-v1` report if it keeps dying.
 //! With `K` no larger than the retry budget the cell *recovers*; with a
 //! larger `K` it fails without taking the rest of the matrix down.
+//!
+//! `cell-panic` fires **before** the cell starts simulating, so its
+//! flight recording is empty. `cell-panic-at` instead arms a
+//! [`PanicTripwire`](crate::flightrec::PanicTripwire) event sink that
+//! kills the cell *mid-simulation* at an exact demand access — the
+//! clause the chaos job uses to prove a flight dump's last event
+//! precedes the panic site. It fires on every attempt, so the cell is
+//! always quarantined (a mid-run panic is never transient).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -65,6 +75,9 @@ pub struct FaultPlan {
     write_errors: Vec<u64>,
     /// `(workload, policy) → K`: panic the first K attempts of a cell.
     cell_panics: FxHashMap<(String, String), u64>,
+    /// `(workload, policy) → ACCESS`: panic that cell mid-simulation at
+    /// the 0-based demand access, on every attempt.
+    cell_panic_ats: FxHashMap<(String, String), u64>,
     /// Spill read attempts made so far.
     read_attempts: AtomicU64,
     /// Spill write attempts made so far.
@@ -117,10 +130,10 @@ impl FaultPlan {
                     };
                     plan.read_faults.push((attempt, fault));
                 }
-                "cell-panic" => {
-                    let (cell, count) = rest.rsplit_once(':').ok_or_else(|| {
+                "cell-panic" | "cell-panic-at" => {
+                    let (cell, arg) = rest.rsplit_once(':').ok_or_else(|| {
                         Error::invalid_input(format!(
-                            "fault clause {clause:?}: expected @WORKLOAD/POLICY:K"
+                            "fault clause {clause:?}: expected @WORKLOAD/POLICY:ARG"
                         ))
                     })?;
                     // Policy names never contain '/', but a workload may
@@ -130,15 +143,18 @@ impl FaultPlan {
                             "fault clause {clause:?}: expected WORKLOAD/POLICY"
                         ))
                     })?;
-                    plan.cell_panics.insert(
-                        (workload.to_owned(), policy.to_owned()),
-                        number(count, "panic count")?,
-                    );
+                    let key = (workload.to_owned(), policy.to_owned());
+                    if name == "cell-panic" {
+                        plan.cell_panics.insert(key, number(arg, "panic count")?);
+                    } else {
+                        plan.cell_panic_ats.insert(key, number(arg, "access")?);
+                    }
                 }
                 other => {
                     return Err(Error::invalid_input(format!(
                         "unknown fault clause {other:?} (expected spill-read-error, \
-                         spill-write-error, bit-flip, truncate, or cell-panic)"
+                         spill-write-error, bit-flip, truncate, cell-panic, or \
+                         cell-panic-at)"
                     )));
                 }
             }
@@ -163,7 +179,21 @@ impl FaultPlan {
     /// True when the plan schedules no faults at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.read_faults.is_empty() && self.write_errors.is_empty() && self.cell_panics.is_empty()
+        self.read_faults.is_empty()
+            && self.write_errors.is_empty()
+            && self.cell_panics.is_empty()
+            && self.cell_panic_ats.is_empty()
+    }
+
+    /// The 0-based demand access at which the plan kills cell
+    /// `(workload, policy)` mid-simulation, if a `cell-panic-at` clause
+    /// scheduled one. The experiment runner arms a
+    /// [`PanicTripwire`](crate::flightrec::PanicTripwire) with it.
+    #[must_use]
+    pub fn cell_panic_access(&self, workload: &str, policy: &str) -> Option<u64> {
+        self.cell_panic_ats
+            .get(&(workload.to_owned(), policy.to_owned()))
+            .copied()
     }
 
     /// Books one spill read attempt and applies whatever fault the plan
@@ -253,7 +283,8 @@ mod tests {
     fn parses_every_clause_kind() {
         let plan = FaultPlan::parse(
             "spill-read-error@1; spill-write-error@2; bit-flip@3:17; \
-             truncate@4:100; cell-panic@bodytrack/two-lru:2;",
+             truncate@4:100; cell-panic@bodytrack/two-lru:2; \
+             cell-panic-at@canneal/clock-dwf:500;",
         )
         .unwrap();
         assert_eq!(plan.read_faults.len(), 3);
@@ -263,7 +294,13 @@ mod tests {
                 .get(&("bodytrack".to_owned(), "two-lru".to_owned())),
             Some(&2)
         );
+        assert_eq!(plan.cell_panic_access("canneal", "clock-dwf"), Some(500));
+        assert_eq!(plan.cell_panic_access("canneal", "two-lru"), None);
         assert!(!plan.is_empty());
+        assert!(
+            !FaultPlan::parse("cell-panic-at@w/p:0").unwrap().is_empty(),
+            "a lone cell-panic-at clause makes the plan non-empty"
+        );
         assert!(FaultPlan::parse("").unwrap().is_empty());
     }
 
@@ -276,6 +313,8 @@ mod tests {
             "bit-flip@1",
             "truncate@1:x",
             "cell-panic@bodytrack:1",
+            "cell-panic-at@bodytrack:1",
+            "cell-panic-at@bodytrack/two-lru:x",
         ] {
             let err = FaultPlan::parse(bad).unwrap_err();
             assert!(err.to_string().contains("fault clause") || err.to_string().contains("clause"));

@@ -28,6 +28,8 @@ use std::panic::AssertUnwindSafe;
 use hybridmem_types::Error;
 use serde::{Deserialize, Serialize};
 
+use crate::flightrec::{self, FlightRecord};
+
 /// Schema identifier of the matrix health JSON report.
 pub const MATRIX_HEALTH_SCHEMA: &str = "hybridmem-matrix-health-v1";
 
@@ -55,6 +57,10 @@ pub enum CellOutcome<T> {
         /// True when the final failure was a panic rather than a
         /// typed error.
         panicked: bool,
+        /// The black-box flight dump of the failing attempt, when a
+        /// [`FlightRecorder`](crate::FlightRecorder) was riding the
+        /// cell (see [`crate::flightrec`]).
+        flight: Option<Box<FlightRecord>>,
     },
 }
 
@@ -95,6 +101,7 @@ impl<T> CellOutcome<T> {
                 error,
                 retries,
                 panicked,
+                ..
             } => CellHealth {
                 workload: workload.to_owned(),
                 policy: policy.to_owned(),
@@ -214,13 +221,23 @@ where
 {
     let mut retries = 0u64;
     loop {
+        // Discard any probe a previous attempt (or a sibling cell that
+        // ran earlier on this worker) left behind, so the probe taken
+        // after `catch_unwind` always belongs to *this* attempt.
+        let _ = flightrec::take_probe();
         match std::panic::catch_unwind(AssertUnwindSafe(&run)) {
-            Ok(Ok(value)) => return CellOutcome::Ok { value, retries },
+            Ok(Ok(value)) => {
+                let _ = flightrec::take_probe();
+                return CellOutcome::Ok { value, retries };
+            }
             Ok(Err(error)) => {
+                let flight = flightrec::take_probe()
+                    .map(|p| Box::new(p.capture("error", Some(error.to_string()), retries)));
                 return CellOutcome::Failed {
                     error,
                     retries,
                     panicked: false,
+                    flight,
                 };
             }
             Err(payload) => {
@@ -228,13 +245,16 @@ where
                     retries += 1;
                     continue;
                 }
+                let message = panic_message(payload.as_ref());
+                let flight = flightrec::take_probe()
+                    .map(|p| Box::new(p.capture("panic", Some(message.clone()), retries)));
                 return CellOutcome::Failed {
                     error: Error::invalid_input(format!(
-                        "cell {workload}/{policy} panicked: {}",
-                        panic_message(payload.as_ref())
+                        "cell {workload}/{policy} panicked: {message}"
                     )),
                     retries,
                     panicked: true,
+                    flight,
                 };
             }
         }
@@ -271,10 +291,12 @@ mod tests {
                 error,
                 retries,
                 panicked,
+                flight,
             } => {
                 assert!(error.to_string().contains("bad config"));
                 assert_eq!(retries, 0);
                 assert!(!panicked);
+                assert!(flight.is_none(), "no recorder was riding this cell");
             }
             CellOutcome::Ok { .. } => panic!("typed error must fail the cell"),
         }
@@ -315,6 +337,7 @@ mod tests {
                 error,
                 retries,
                 panicked,
+                ..
             } => {
                 let text = error.to_string();
                 assert!(text.contains("bodytrack/two-lru"), "{text}");
@@ -324,6 +347,71 @@ mod tests {
             }
             CellOutcome::Ok { .. } => panic!("persistent panic must quarantine"),
         }
+    }
+
+    #[test]
+    fn a_published_flight_probe_is_captured_when_the_cell_dies() {
+        use crate::flightrec::{publish_probe, FlightOptions, FlightRecorder};
+        use crate::EventSink;
+        use hybridmem_policy::PolicyAction;
+        use hybridmem_types::{MemoryKind, PageId};
+
+        let outcome = run_isolated("canneal", "two-lru", || -> Result<(), Error> {
+            // What the experiment runner does per attempt: build a
+            // recorder, publish its probe, simulate, then die.
+            let mut recorder =
+                FlightRecorder::new("canneal", "two-lru", FlightOptions::with_events(8));
+            publish_probe(recorder.probe());
+            for page in 0..3 {
+                recorder.record(crate::SimEvent::Fault {
+                    access: hybridmem_types::PageAccess::read(PageId::new(page)),
+                });
+                recorder.record(crate::SimEvent::Action {
+                    action: PolicyAction::FillFromDisk {
+                        page: PageId::new(page),
+                        into: MemoryKind::Dram,
+                    },
+                });
+            }
+            panic!("injected fault: mid-run");
+        });
+        match outcome {
+            CellOutcome::Failed {
+                panicked, flight, ..
+            } => {
+                assert!(panicked);
+                let flight = flight.expect("the published probe must be captured");
+                assert_eq!(flight.trigger, "panic");
+                assert_eq!(flight.retries, MAX_CELL_RETRIES);
+                assert_eq!(flight.accesses, 3, "the last attempt's recording");
+                assert_eq!(flight.final_access, 2);
+                assert!(flight
+                    .error
+                    .as_deref()
+                    .is_some_and(|e| e.contains("injected fault: mid-run")));
+            }
+            CellOutcome::Ok { .. } => panic!("cell must be quarantined"),
+        }
+        assert!(
+            crate::flightrec::take_probe().is_none(),
+            "run_isolated must not leak the probe to the next cell"
+        );
+    }
+
+    #[test]
+    fn a_successful_cell_discards_its_flight_probe() {
+        use crate::flightrec::{publish_probe, FlightOptions, FlightRecorder};
+
+        let outcome = run_isolated("w", "p", || {
+            let recorder = FlightRecorder::new("w", "p", FlightOptions::default());
+            publish_probe(recorder.probe());
+            Ok::<_, Error>(())
+        });
+        assert!(matches!(outcome, CellOutcome::Ok { .. }));
+        assert!(
+            crate::flightrec::take_probe().is_none(),
+            "the probe must not survive a completed cell"
+        );
     }
 
     #[test]

@@ -79,6 +79,10 @@ pub struct RunJournal {
     /// availability feature, so append failures degrade the resume —
     /// they never abort the run — but they must not be invisible.
     append_errors: AtomicU64,
+    /// Bytes of torn or corrupt tail truncated away on open. The loss
+    /// is recoverable (the interrupted cell just reruns), but callers
+    /// surface it so a crash that tore a record is never silent.
+    torn_tail_bytes: u64,
 }
 
 impl RunJournal {
@@ -119,6 +123,7 @@ impl RunJournal {
         } else {
             Self::scan(&path, &bytes, fingerprint, &mut completed)?
         };
+        let torn_tail_bytes = (bytes.len() as u64).saturating_sub(valid_end);
         // Drop any torn tail so appends extend the valid prefix.
         file.set_len(valid_end).map_err(io_err)?;
         file.seek(SeekFrom::End(0)).map_err(io_err)?;
@@ -127,6 +132,7 @@ impl RunJournal {
             fingerprint,
             inner: Mutex::new(Inner { file, completed }),
             append_errors: AtomicU64::new(0),
+            torn_tail_bytes,
         })
     }
 
@@ -286,6 +292,15 @@ impl RunJournal {
         // xtask:allow(atomic-ordering, why=relaxed stats snapshot; exactness not required)
         self.append_errors.load(Ordering::Relaxed)
     }
+
+    /// Bytes of torn or corrupt tail that [`Self::open`] truncated away
+    /// — a record was mid-append when the previous run died. Every
+    /// complete record before the tear was replayed; callers should
+    /// surface the count as a warning so the data loss is visible.
+    #[must_use]
+    pub fn torn_tail_bytes(&self) -> u64 {
+        self.torn_tail_bytes
+    }
 }
 
 impl std::fmt::Debug for RunJournal {
@@ -380,6 +395,10 @@ mod tests {
         assert_eq!(recovered.len(), 1, "torn record dropped, first kept");
         assert!(recovered.completed_report("w1", "p").is_some());
         assert!(recovered.completed_report("w2", "p").is_none());
+        assert!(
+            recovered.torn_tail_bytes() > 0,
+            "the dropped tail is reported, not silent"
+        );
 
         // The truncation happened on disk: appends extend a valid log.
         recovered.record("w3", "p", &FakeReport { hits: 3, amat: 3.0 });
@@ -387,6 +406,41 @@ mod tests {
         let reopened = RunJournal::open(&tmp.0, 7).unwrap();
         assert_eq!(reopened.len(), 2);
         assert!(reopened.completed_report("w3", "p").is_some());
+    }
+
+    #[test]
+    fn a_partial_frame_tail_replays_complete_records_and_reports_the_loss() {
+        let tmp = TmpJournal::new("partialframe");
+        let journal = RunJournal::open(&tmp.0, 7).unwrap();
+        journal.record("w1", "p", &FakeReport { hits: 1, amat: 1.0 });
+        journal.record("w2", "p", &FakeReport { hits: 2, amat: 2.0 });
+        assert_eq!(journal.torn_tail_bytes(), 0, "clean open reports zero");
+        drop(journal);
+
+        // A crash mid-append can leave a complete 12-byte frame header
+        // plus the first few payload bytes: the frame claims a payload
+        // that is not there. All 16 bytes must be dropped — and every
+        // complete record before them replayed — without failing.
+        let mut bytes = std::fs::read(&tmp.0).unwrap();
+        let mut tail = Vec::new();
+        tail.extend_from_slice(&64u32.to_le_bytes()); // claims 64 payload bytes
+        tail.extend_from_slice(&0u64.to_le_bytes()); // checksum of the lost payload
+        tail.extend_from_slice(b"{\"wo"); // 4 bytes of payload made it to disk
+        assert_eq!(tail.len(), 16);
+        bytes.extend_from_slice(&tail);
+        std::fs::write(&tmp.0, &bytes).unwrap();
+
+        let recovered = RunJournal::open(&tmp.0, 7).unwrap();
+        assert_eq!(recovered.len(), 2, "every complete record replays");
+        assert!(recovered.completed_report("w1", "p").is_some());
+        assert!(recovered.completed_report("w2", "p").is_some());
+        assert_eq!(recovered.torn_tail_bytes(), 16);
+
+        // The truncation happened on disk: a clean reopen sees no tear.
+        drop(recovered);
+        let reopened = RunJournal::open(&tmp.0, 7).unwrap();
+        assert_eq!(reopened.torn_tail_bytes(), 0);
+        assert_eq!(reopened.len(), 2);
     }
 
     #[test]

@@ -32,7 +32,13 @@
 //!   degradation path; [`compare_policies_isolated`] quarantines
 //!   failing cells into a [`MatrixHealthReport`] instead of aborting
 //!   the matrix; a [`RunJournal`] makes long campaigns crash-safe and
-//!   resumable with byte-identical output.
+//!   resumable with byte-identical output;
+//! * [`flightrec`] — the black box: a bounded [`FlightRecorder`] event
+//!   sink rides every instrumented cell, retaining the last N events
+//!   plus periodic state snapshots, and dumps a deterministic
+//!   `hybridmem-flight-v1` [`FlightRecord`] when a cell panics, errors
+//!   out, or trips an audit violation — the raw material for
+//!   `hybridmem postmortem` cross-stream correlation.
 //!
 //! # Examples
 //!
@@ -59,6 +65,7 @@ pub mod audit;
 mod events;
 mod experiments;
 pub mod faultinject;
+pub mod flightrec;
 pub mod health;
 pub mod journal;
 pub mod ledger;
@@ -77,10 +84,14 @@ pub use events::{CountingSink, EventSink, FanoutSink, RecordingSink, SimEvent};
 pub use experiments::{
     compare_policies, compare_policies_instrumented, compare_policies_isolated,
     compare_policies_observed, compare_policies_threaded, compare_policies_timed,
-    matrix_fingerprint, ExperimentConfig, Instrumentation, InstrumentedRun, MatrixTiming,
-    PolicyKind, ReplayMode,
+    flight_recorder_for, matrix_fingerprint, ExperimentConfig, Instrumentation, InstrumentedRun,
+    MatrixTiming, PolicyKind, ReplayMode,
 };
 pub use faultinject::FaultPlan;
+pub use flightrec::{
+    write_flight_json, FlightEvent, FlightEventKind, FlightMatrixReport, FlightOptions,
+    FlightProbe, FlightRecord, FlightRecorder, FlightSnapshot, PanicTripwire, FLIGHT_SCHEMA,
+};
 pub use health::{
     write_matrix_health_json, CellHealth, CellOutcome, CellStatus, MatrixHealthReport,
     MATRIX_HEALTH_SCHEMA, MAX_CELL_RETRIES,
